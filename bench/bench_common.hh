@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches: table printing with
+ * paper-reference columns, argument parsing, and standard system setup.
+ *
+ * Every bench prints the rows/series of one paper figure or table. The
+ * `paper` column carries the value reported in the paper (when readable
+ * from the text); `ours` is what this reproduction measures. Absolute
+ * match is not expected (different substrate), the *shape* is.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "system/system.hh"
+
+namespace m2ndp::bench {
+
+/** Command-line: --scale=<f> shrinks workload sizes; --full = paper size. */
+struct BenchArgs
+{
+    double scale = 1.0;
+    bool full = false;
+
+    static BenchArgs
+    parse(int argc, char **argv)
+    {
+        BenchArgs a;
+        for (int i = 1; i < argc; ++i) {
+            if (std::strncmp(argv[i], "--scale=", 8) == 0)
+                a.scale = std::atof(argv[i] + 8);
+            else if (std::strcmp(argv[i], "--full") == 0)
+                a.full = true;
+        }
+        return a;
+    }
+};
+
+inline void
+header(const char *fig, const char *title)
+{
+    std::printf("\n=== %s: %s ===\n", fig, title);
+}
+
+inline void
+row(const char *name, double ours, const char *unit, double paper = -1.0)
+{
+    if (paper >= 0.0)
+        std::printf("  %-28s %10.3f %-8s (paper: %.3g)\n", name, ours, unit,
+                    paper);
+    else
+        std::printf("  %-28s %10.3f %-8s\n", name, ours, unit);
+}
+
+inline void
+note(const char *text)
+{
+    std::printf("  -- %s\n", text);
+}
+
+/** Geometric mean. */
+inline double
+gmean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : v)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+/** Standard single-device system per Table IV. */
+inline SystemConfig
+tableIvSystem(Tick ltu = 150 * kNs)
+{
+    SystemConfig cfg;
+    cfg.link = SystemConfig::linkForLoadToUse(ltu);
+    return cfg;
+}
+
+} // namespace m2ndp::bench

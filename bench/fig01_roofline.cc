@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fig. 1a: roofline analysis — workload performance with data in local
+ * memory (1024 GB/s) vs CXL memory (128 GB/s effective in the figure's
+ * configuration), plus Fig. 1b's companion data (see fig01_kvs_latency).
+ */
+
+#include "bench/bench_common.hh"
+#include "host/gpu_model.hh"
+
+using namespace m2ndp;
+using namespace m2ndp::bench;
+
+namespace {
+
+struct Point
+{
+    const char *name;
+    double ops_per_byte;
+    double paper_slowdown; ///< readable trend: up to 9.9x, avg 6.3x
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    header("Fig. 1a", "roofline: local (1024 GB/s) vs CXL (128 GB/s) memory");
+
+    const double local_bw = 1024.0, cxl_bw = 128.0;
+    const double peak_ops = GpuConfig{}.peakGflops(); // GOPS
+
+    const Point points[] = {
+        {"HISTO4096", 0.5, -1}, {"SPMV", 0.17, -1},  {"PGRANK", 0.25, -1},
+        {"SSSP", 0.15, -1},     {"DLRM(B32)", 0.25, -1},
+        {"OPT-30B", 0.5, -1},
+    };
+
+    std::printf("  %-12s %14s %14s %10s\n", "workload", "local (GOPS)",
+                "CXL (GOPS)", "slowdown");
+    std::vector<double> slowdowns;
+    for (const auto &p : points) {
+        double local = std::min(peak_ops, p.ops_per_byte * local_bw);
+        double cxl = std::min(peak_ops, p.ops_per_byte * cxl_bw);
+        double slowdown = local / cxl;
+        slowdowns.push_back(slowdown);
+        std::printf("  %-12s %14.1f %14.1f %9.2fx\n", p.name, local, cxl,
+                    slowdown);
+    }
+    row("geomean slowdown", gmean(slowdowns), "x", 6.3);
+    note("paper: CXL placement degrades BW-bound workloads by up to 9.9x "
+         "(avg 6.3x)");
+    return 0;
+}

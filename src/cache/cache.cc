@@ -1,0 +1,239 @@
+#include "cache/cache.hh"
+
+#include <algorithm>
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace m2ndp {
+
+Cache::Cache(EventQueue &eq, CacheConfig cfg, MemPort &downstream)
+    : eq_(eq), cfg_(std::move(cfg)), downstream_(downstream)
+{
+    M2_ASSERT(cfg_.line_bytes % cfg_.sector_bytes == 0,
+              "line must be a whole number of sectors");
+    M2_ASSERT(cfg_.size % (static_cast<std::uint64_t>(cfg_.assoc) *
+                           cfg_.line_bytes) == 0,
+              "cache size not divisible into sets");
+    num_sets_ = cfg_.size / (static_cast<std::uint64_t>(cfg_.assoc) *
+                             cfg_.line_bytes);
+    sets_.assign(num_sets_, std::vector<Line>(cfg_.assoc));
+}
+
+std::uint64_t
+Cache::setIndex(Addr line_addr) const
+{
+    // Hash the set index so power-of-two strides do not alias into one set.
+    return mixHash64(line_addr / cfg_.line_bytes) % num_sets_;
+}
+
+Cache::Line *
+Cache::findLine(Addr line_addr)
+{
+    auto &set = sets_[setIndex(line_addr)];
+    for (auto &line : set) {
+        if (line.valid && line.tag == line_addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+Cache::Line &
+Cache::allocLine(Addr line_addr, Tick now)
+{
+    auto &set = sets_[setIndex(line_addr)];
+    Line *victim = nullptr;
+    for (auto &line : set) {
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (victim == nullptr || line.lru < victim->lru)
+            victim = &line;
+    }
+    if (victim->valid && victim->dirty) {
+        // Write back all dirty sectors (modeled as one downstream write per
+        // valid sector; posted, no completion dependence).
+        ++stats_.writebacks;
+        unsigned sectors = cfg_.line_bytes / cfg_.sector_bytes;
+        for (unsigned s = 0; s < sectors; ++s) {
+            if (victim->sector_valid & (1ull << s)) {
+                sendDownstream(MemOp::Write,
+                               victim->tag + static_cast<Addr>(s) *
+                                                 cfg_.sector_bytes,
+                               cfg_.sector_bytes, MemSource::NdpUnit, {});
+            }
+        }
+    }
+    victim->valid = true;
+    victim->dirty = false;
+    victim->tag = line_addr;
+    victim->sector_valid = 0;
+    touch(*victim);
+    return *victim;
+}
+
+void
+Cache::sendDownstream(MemOp op, Addr addr, std::uint32_t size,
+                      MemSource source, std::function<void(Tick)> cb)
+{
+    auto pkt = std::make_unique<MemPacket>();
+    pkt->op = op;
+    pkt->addr = addr;
+    pkt->size = size;
+    pkt->source = source;
+    pkt->issued_at = eq_.now();
+    pkt->onComplete = std::move(cb);
+    stats_.bytes_downstream += size;
+    downstream_.receive(std::move(pkt));
+}
+
+void
+Cache::receive(MemPacketPtr pkt)
+{
+    // Serialize lookups through the port, then pay the lookup latency.
+    Tick start = std::max(eq_.now(), port_free_);
+    port_free_ = start + cfg_.port_cycle;
+    auto *raw = pkt.release();
+    eq_.schedule(start + cfg_.latency,
+                 [this, raw] { lookup(MemPacketPtr(raw)); });
+}
+
+void
+Cache::lookup(MemPacketPtr pkt)
+{
+    const Tick now = eq_.now();
+    const Addr line_addr = lineAddr(pkt->addr);
+    const Addr sector_addr = sectorAddr(pkt->addr);
+    const unsigned sector = sectorIndex(pkt->addr);
+    Line *line = findLine(line_addr);
+    const bool sector_hit =
+        line != nullptr && (line->sector_valid & (1ull << sector));
+
+    if (pkt->op == MemOp::Atomic && !cfg_.atomics_local) {
+        // Atomics execute at the memory-side L2; pass straight through.
+        auto *raw = pkt.release();
+        sendDownstream(MemOp::Atomic, raw->addr, raw->size, raw->source,
+                       [raw](Tick t) {
+                           MemPacketPtr p(raw);
+                           if (p->onComplete)
+                               p->onComplete(t);
+                       });
+        return;
+    }
+
+    switch (pkt->op) {
+      case MemOp::Atomic:
+        ++stats_.atomics;
+        [[fallthrough]];
+      case MemOp::Read: {
+        if (pkt->op == MemOp::Read) {
+            sector_hit ? ++stats_.read_hits : ++stats_.read_misses;
+        }
+        if (sector_hit) {
+            touch(*line);
+            if (pkt->op == MemOp::Atomic)
+                line->dirty = true;
+            if (pkt->onComplete)
+                pkt->onComplete(now);
+            return;
+        }
+        // Miss: merge into or allocate an MSHR for this sector.
+        auto it = mshrs_.find(sector_addr);
+        if (it != mshrs_.end()) {
+            ++stats_.mshr_merges;
+            it->second.waiters.push_back(std::move(pkt));
+            return;
+        }
+        if (mshrs_.size() >= cfg_.mshrs) {
+            ++stats_.mshr_stalls;
+            stalled_.push_back(std::move(pkt));
+            return;
+        }
+        auto &mshr = mshrs_[sector_addr];
+        mshr.waiters.push_back(std::move(pkt));
+        mshr.fill_outstanding = true;
+        sendDownstream(MemOp::Read, sector_addr, cfg_.sector_bytes,
+                       MemSource::NdpUnit,
+                       [this, sector_addr](Tick t) {
+                           handleFill(sector_addr, t);
+                       });
+        return;
+      }
+      case MemOp::Write: {
+        if (line != nullptr && sector_hit) {
+            ++stats_.write_hits;
+            touch(*line);
+            if (cfg_.write_through) {
+                sendDownstream(MemOp::Write, sector_addr, cfg_.sector_bytes,
+                               pkt->source, {});
+            } else {
+                line->dirty = true;
+            }
+        } else if (!cfg_.write_allocate || cfg_.write_through) {
+            // No-allocate: forward the write downstream.
+            ++stats_.write_misses;
+            sendDownstream(MemOp::Write, sector_addr, cfg_.sector_bytes,
+                           pkt->source, {});
+        } else {
+            // Write-allocate, write-back: full-sector writes install the
+            // sector without fetching (write-validate).
+            ++stats_.write_misses;
+            Line &l = line != nullptr ? *line : allocLine(line_addr, now);
+            l.sector_valid |= (1ull << sector);
+            l.dirty = true;
+            touch(l);
+        }
+        // Writes are posted: complete at the lookup point.
+        if (pkt->onComplete)
+            pkt->onComplete(now);
+        return;
+      }
+    }
+}
+
+void
+Cache::handleFill(Addr sector_addr, Tick when)
+{
+    auto it = mshrs_.find(sector_addr);
+    M2_ASSERT(it != mshrs_.end(), "fill with no MSHR: addr=", sector_addr);
+    ++stats_.fills;
+
+    const Addr line_addr = lineAddr(sector_addr);
+    Line *line = findLine(line_addr);
+    if (line == nullptr)
+        line = &allocLine(line_addr, when);
+    line->sector_valid |= (1ull << sectorIndex(sector_addr));
+    touch(*line);
+
+    auto waiters = std::move(it->second.waiters);
+    mshrs_.erase(it);
+
+    for (auto &w : waiters) {
+        if (w->op == MemOp::Atomic)
+            line->dirty = true;
+        if (w->onComplete)
+            w->onComplete(when);
+    }
+
+    // Admit one stalled request per freed MSHR.
+    if (!stalled_.empty()) {
+        MemPacketPtr retry = std::move(stalled_.front());
+        stalled_.pop_front();
+        lookup(std::move(retry));
+    }
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &set : sets_) {
+        for (auto &line : set) {
+            line.valid = false;
+            line.sector_valid = 0;
+            line.dirty = false;
+        }
+    }
+}
+
+} // namespace m2ndp

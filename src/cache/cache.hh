@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Sectored set-associative cache with MSHRs.
+ *
+ * Timing-only: functional data lives in the SparseMemory backend
+ * (functional-first execution, see DESIGN.md). The cache decides *when*
+ * accesses complete and what traffic flows downstream, not data values.
+ *
+ * Used for:
+ *  - NDP-unit L1D: 128 KiB, 16-way, 4-cycle, 128 B line / 32 B sector,
+ *    write-through, no write-allocate (GPU-style, Section III-F)
+ *  - Memory-side L2 slices: 128 KiB per channel, 16-way, 7-cycle,
+ *    write-back, executes global atomics (Section III-E/F)
+ *  - Host cache levels in the CPU/GPU interval models
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hh"
+#include "mem/packet.hh"
+#include "sim/event_queue.hh"
+
+namespace m2ndp {
+
+/** Static configuration of one cache. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint64_t size = 128 * 1024;
+    unsigned assoc = 16;
+    unsigned line_bytes = 128;
+    unsigned sector_bytes = 32; ///< fill granularity; == line_bytes if unsectored
+    Tick latency = 2000;        ///< lookup latency (ticks)
+    Tick port_cycle = 500;      ///< min spacing between lookups (throughput)
+    bool write_through = false;
+    bool write_allocate = true;
+    bool atomics_local = false; ///< execute atomics here (memory-side L2)
+    unsigned mshrs = 32;
+};
+
+/** Cache statistics. */
+struct CacheStats
+{
+    std::uint64_t read_hits = 0;
+    std::uint64_t read_misses = 0;
+    std::uint64_t write_hits = 0;
+    std::uint64_t write_misses = 0;
+    std::uint64_t atomics = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t fills = 0;
+    std::uint64_t bytes_downstream = 0;
+    std::uint64_t mshr_merges = 0;
+    std::uint64_t mshr_stalls = 0;
+
+    std::uint64_t
+    accesses() const
+    {
+        return read_hits + read_misses + write_hits + write_misses + atomics;
+    }
+
+    double
+    missRate() const
+    {
+        std::uint64_t a = read_hits + read_misses + write_hits + write_misses;
+        return a == 0 ? 0.0
+                      : static_cast<double>(read_misses + write_misses) /
+                            static_cast<double>(a);
+    }
+};
+
+/**
+ * The cache. Receives MemPackets, completes them after hit latency or
+ * after the downstream fill returns.
+ */
+class Cache : public MemPort
+{
+  public:
+    Cache(EventQueue &eq, CacheConfig cfg, MemPort &downstream);
+
+    void receive(MemPacketPtr pkt) override;
+
+    const CacheStats &stats() const { return stats_; }
+    const CacheConfig &config() const { return cfg_; }
+
+    /** Invalidate everything (e.g. I-cache flush on kernel unregister). */
+    void invalidateAll();
+
+    /** Outstanding misses (for quiesce checks). */
+    std::size_t outstandingMisses() const { return mshrs_.size(); }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+        std::uint64_t sector_valid = 0; ///< bitmask of valid sectors
+        std::uint64_t lru = 0;
+    };
+
+    struct Mshr
+    {
+        std::vector<MemPacketPtr> waiters;
+        bool fill_outstanding = false;
+    };
+
+    void lookup(MemPacketPtr pkt);
+    void handleFill(Addr sector_addr, Tick when);
+
+    Addr lineAddr(Addr a) const { return a & ~static_cast<Addr>(cfg_.line_bytes - 1); }
+    Addr sectorAddr(Addr a) const { return a & ~static_cast<Addr>(cfg_.sector_bytes - 1); }
+    unsigned sectorIndex(Addr a) const
+    {
+        return static_cast<unsigned>((a % cfg_.line_bytes) / cfg_.sector_bytes);
+    }
+    std::uint64_t setIndex(Addr line_addr) const;
+
+    /** Find the line for @p line_addr; nullptr on miss. */
+    Line *findLine(Addr line_addr);
+    /** Allocate (possibly evicting) a line frame for @p line_addr. */
+    Line &allocLine(Addr line_addr, Tick now);
+    void touch(Line &line) { line.lru = ++lru_clock_; }
+
+    void sendDownstream(MemOp op, Addr addr, std::uint32_t size,
+                        MemSource source, std::function<void(Tick)> cb);
+
+    EventQueue &eq_;
+    CacheConfig cfg_;
+    MemPort &downstream_;
+    std::uint64_t num_sets_;
+    std::vector<std::vector<Line>> sets_;
+    std::unordered_map<Addr, Mshr> mshrs_; ///< keyed by sector address
+    std::deque<MemPacketPtr> stalled_;     ///< waiting for a free MSHR
+    Tick port_free_ = 0;
+    std::uint64_t lru_clock_ = 0;
+    CacheStats stats_;
+};
+
+} // namespace m2ndp

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across the simulator.
+ */
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/log.hh"
+
+namespace m2ndp {
+
+/** True if @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** ceil(log2(v)); v must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return v <= 1 ? 0 : floorLog2(v - 1) + 1;
+}
+
+/** Align @p v down to a multiple of @p align (power of two). */
+constexpr std::uint64_t
+alignDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Align @p v up to a multiple of @p align (power of two). */
+constexpr std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Extract bits [lo, hi] (inclusive) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned hi, unsigned lo)
+{
+    return (v >> lo) & ((hi - lo == 63) ? ~0ull : ((1ull << (hi - lo + 1)) - 1));
+}
+
+/** Sign-extend the low @p width bits of @p v to 64 bits. */
+constexpr std::int64_t
+signExtend(std::uint64_t v, unsigned width)
+{
+    unsigned shift = 64 - width;
+    return static_cast<std::int64_t>(v << shift) >> shift;
+}
+
+/**
+ * Mix a 64-bit value into a well-distributed hash (SplitMix64 finalizer).
+ * Used for hashed channel interleaving [Rau, ISCA'91 style] and the
+ * DRAM-TLB entry location hash.
+ */
+constexpr std::uint64_t
+mixHash64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace m2ndp

@@ -1,0 +1,66 @@
+#include "common/log.hh"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace m2ndp {
+
+namespace {
+bool g_debug_enabled = [] {
+    const char *env = std::getenv("M2NDP_DEBUG");
+    return env != nullptr && env[0] != '0';
+}();
+} // namespace
+
+bool
+debugEnabled()
+{
+    return g_debug_enabled;
+}
+
+void
+setDebugEnabled(bool on)
+{
+    g_debug_enabled = on;
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    // Throwing (rather than abort()) lets unit tests assert on panics;
+    // uncaught it still terminates the process with a diagnostic.
+    throw std::logic_error("panic: " + msg);
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "debug: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace m2ndp

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Logging and error reporting for the m2ndp simulator.
+ *
+ * Follows the gem5 convention:
+ *  - panic():  an internal invariant was violated (a simulator bug). Aborts.
+ *  - fatal():  the simulation cannot continue due to a user error (bad
+ *              configuration, invalid arguments). Exits with an error code.
+ *  - warn():   something is not modeled as well as it could be, but the
+ *              simulation can proceed.
+ *  - inform(): status messages with no connotation of incorrect behaviour.
+ */
+
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace m2ndp {
+
+/** Severity levels for log messages. */
+enum class LogLevel { Panic, Fatal, Warn, Inform, Debug };
+
+namespace detail {
+
+/** Emit one formatted log record to stderr and optionally terminate. */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
+
+/** Build a message from stream-style arguments. */
+template <typename... Args>
+std::string
+buildMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Enable/disable debug tracing at runtime (M2NDP_DEBUG env var also works). */
+bool debugEnabled();
+void setDebugEnabled(bool on);
+
+} // namespace m2ndp
+
+/** An actual simulator bug: condition that should never happen. */
+#define M2_PANIC(...)                                                          \
+    ::m2ndp::detail::panicImpl(__FILE__, __LINE__,                             \
+                               ::m2ndp::detail::buildMessage(__VA_ARGS__))
+
+/** A user error: the simulation cannot continue. */
+#define M2_FATAL(...)                                                          \
+    ::m2ndp::detail::fatalImpl(__FILE__, __LINE__,                             \
+                               ::m2ndp::detail::buildMessage(__VA_ARGS__))
+
+#define M2_WARN(...)                                                           \
+    ::m2ndp::detail::warnImpl(__FILE__, __LINE__,                              \
+                              ::m2ndp::detail::buildMessage(__VA_ARGS__))
+
+#define M2_INFORM(...)                                                         \
+    ::m2ndp::detail::informImpl(::m2ndp::detail::buildMessage(__VA_ARGS__))
+
+#define M2_DEBUG(...)                                                          \
+    do {                                                                       \
+        if (::m2ndp::debugEnabled())                                           \
+            ::m2ndp::detail::debugImpl(                                        \
+                ::m2ndp::detail::buildMessage(__VA_ARGS__));                   \
+    } while (0)
+
+/** panic() if the condition does not hold. */
+#define M2_ASSERT(cond, ...)                                                   \
+    do {                                                                       \
+        if (!(cond))                                                           \
+            M2_PANIC("assertion failed: " #cond " ",                           \
+                     ::m2ndp::detail::buildMessage(__VA_ARGS__));              \
+    } while (0)

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Deterministic random number generation for workload synthesis.
+ *
+ * All stochastic inputs (YCSB key skew, R-MAT edges, DLRM lookup indices,
+ * arrival processes) draw from explicitly seeded generators so every
+ * experiment is reproducible bit-for-bit.
+ */
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace m2ndp {
+
+/** SplitMix64: tiny, fast, well-distributed; used for seeding and hashing. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/** xoshiro256** 1.0 — the main workhorse generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eed5eedull)
+    {
+        SplitMix64 sm(seed);
+        for (auto &s : s_)
+            s = sm.next();
+    }
+
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        M2_ASSERT(bound != 0, "nextBounded(0)");
+        // Lemire's multiply-shift rejection-free approximation is fine for
+        // workload synthesis; bias is < 2^-64 * bound.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Exponentially distributed value with the given mean. */
+    double
+    nextExponential(double mean)
+    {
+        double u = nextDouble();
+        // Guard against log(0).
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        return -mean * std::log(u);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s_[4];
+};
+
+/**
+ * Zipfian key-popularity generator (YCSB's algorithm, theta = 0.99 default).
+ * Produces ranks in [0, n); rank 0 is the most popular item.
+ */
+class ZipfianGenerator
+{
+  public:
+    ZipfianGenerator(std::uint64_t n, double theta = 0.99,
+                     std::uint64_t seed = 0x217f5eedull)
+        : n_(n), theta_(theta), rng_(seed)
+    {
+        M2_ASSERT(n > 0, "zipfian over empty domain");
+        zetan_ = zeta(n_, theta_);
+        zeta2_ = zeta(2, theta_);
+        alpha_ = 1.0 / (1.0 - theta_);
+        eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+               (1.0 - zeta2_ / zetan_);
+    }
+
+    std::uint64_t
+    next()
+    {
+        double u = rng_.nextDouble();
+        double uz = u * zetan_;
+        if (uz < 1.0)
+            return 0;
+        if (uz < 1.0 + std::pow(0.5, theta_))
+            return 1;
+        auto rank = static_cast<std::uint64_t>(
+            static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+        return rank >= n_ ? n_ - 1 : rank;
+    }
+
+  private:
+    static double
+    zeta(std::uint64_t n, double theta)
+    {
+        double sum = 0.0;
+        for (std::uint64_t i = 1; i <= n; ++i)
+            sum += 1.0 / std::pow(static_cast<double>(i), theta);
+        return sum;
+    }
+
+    std::uint64_t n_;
+    double theta_;
+    Rng rng_;
+    double zetan_, zeta2_, alpha_, eta_;
+};
+
+} // namespace m2ndp

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Lightweight statistics: counters live as plain integers inside components
+ * (hot path); this header provides the aggregation helpers used for
+ * reporting — a sample histogram with exact percentiles (for tail-latency
+ * studies) and a named stat dump used by benches.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace m2ndp {
+
+/**
+ * Exact-sample histogram. The tail-latency experiments (Figs. 1b, 10b, 11a)
+ * need true p95 values over 10 K-1 M samples, so we keep every sample and
+ * sort lazily.
+ */
+class Histogram
+{
+  public:
+    void
+    add(double sample)
+    {
+        samples_.push_back(sample);
+        sorted_ = false;
+    }
+
+    std::size_t count() const { return samples_.size(); }
+
+    double mean() const;
+    double min() const;
+    double max() const;
+
+    /** Exact percentile, p in [0, 100]. Empty histogram returns 0. */
+    double percentile(double p) const;
+
+    void
+    clear()
+    {
+        samples_.clear();
+        sorted_ = true;
+    }
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/**
+ * A flat, ordered collection of named scalar statistics that components
+ * export at end of simulation. Keys are dotted paths
+ * (e.g. "device0.dram.reads").
+ */
+class StatDump
+{
+  public:
+    void
+    set(const std::string &name, double value)
+    {
+        stats_[name] = value;
+    }
+
+    void
+    add(const std::string &name, double value)
+    {
+        stats_[name] += value;
+    }
+
+    double get(const std::string &name) const;
+    bool has(const std::string &name) const;
+
+    const std::map<std::string, double> &all() const { return stats_; }
+
+    /** Render as "name value" lines. */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, double> stats_;
+};
+
+} // namespace m2ndp

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fundamental units for the simulator.
+ *
+ * Simulated time is kept as an integral number of picoseconds (Tick) so that
+ * heterogeneous clock domains (2 GHz NDP units, 1.695 GHz SMs, DRAM command
+ * clocks, ...) compose without rounding drift.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace m2ndp {
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A physical (host-physical / device-physical) address. */
+using Addr = std::uint64_t;
+
+/** Maximum representable tick, used as "never". */
+inline constexpr Tick kTickMax = ~Tick(0);
+
+/// One nanosecond in ticks.
+inline constexpr Tick kNs = 1000;
+/// One microsecond in ticks.
+inline constexpr Tick kUs = 1000 * kNs;
+/// One millisecond in ticks.
+inline constexpr Tick kMs = 1000 * kUs;
+/// One second in ticks.
+inline constexpr Tick kSec = 1000 * kMs;
+
+constexpr Tick
+nanoseconds(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(kNs));
+}
+
+constexpr Tick
+microseconds(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(kUs));
+}
+
+/** Period in ticks of a clock of the given frequency in GHz. */
+constexpr Tick
+periodFromGHz(double ghz)
+{
+    return static_cast<Tick>(1000.0 / ghz);
+}
+
+/** Period in ticks of a clock of the given frequency in MHz. */
+constexpr Tick
+periodFromMHz(double mhz)
+{
+    return static_cast<Tick>(1.0e6 / mhz);
+}
+
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+/** Convert ticks to seconds (for reporting only). */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) * 1e-12;
+}
+
+/** Bytes-per-second given bytes moved over a tick span. */
+constexpr double
+bytesPerSecond(std::uint64_t bytes, Tick span)
+{
+    return span == 0 ? 0.0
+                     : static_cast<double>(bytes) / ticksToSeconds(span);
+}
+
+/**
+ * Time to serialize @p bytes over a link of @p gbps GB/s (decimal GB),
+ * rounded up to a whole tick.
+ */
+constexpr Tick
+serializationTicks(std::uint64_t bytes, double gbps)
+{
+    // bytes / (gbps * 1e9 B/s) seconds -> picoseconds
+    double ps = static_cast<double>(bytes) / gbps * 1000.0;
+    Tick t = static_cast<Tick>(ps);
+    return (static_cast<double>(t) < ps) ? t + 1 : t;
+}
+
+} // namespace m2ndp

@@ -1,0 +1,20 @@
+#include "cxl/link.hh"
+
+#include <algorithm>
+
+namespace m2ndp {
+
+Tick
+CxlDirection::send(std::uint32_t bytes)
+{
+    Tick ser = serializationTicks(bytes, cfg_.bandwidth_gbps);
+    Tick start = std::max(eq_.now(), link_free_);
+    Tick done = start + ser;
+    link_free_ = done;
+    stats_.messages += 1;
+    stats_.bytes += bytes;
+    stats_.queueing += start - eq_.now();
+    return done + cfg_.oneway_latency;
+}
+
+} // namespace m2ndp

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * CXL link and protocol-stack latency model.
+ *
+ * CXL.mem: the paper's Fig. 2 breaks a CXL.mem round trip into ~52-70 ns of
+ * protocol stack plus wire. We model each direction as a fixed stack+wire
+ * latency plus bandwidth-arbitrated serialization (64 GB/s per direction for
+ * CXL 3.0 / PCIe 6.0 x8, Table IV). Reads send a ~16 B M2S Req and receive a
+ * 64 B S2M DRS; writes send a 64+16 B M2S RwD and receive an S2M NDR.
+ *
+ * CXL.io/PCIe: used only for device management and for the baseline
+ * offloading schemes; it is modeled by its observed end-to-end latencies
+ * (Section II-C): ~500 ns one-way, ~1.5 us for a direct-MMIO doorbell
+ * round trip, ~4 us for a ring-buffer kernel launch.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hh"
+#include "sim/event_queue.hh"
+
+namespace m2ndp {
+
+/** Configuration of one CXL.mem link (both directions symmetric). */
+struct CxlLinkConfig
+{
+    double bandwidth_gbps = 64.0; ///< per direction, GB/s
+    Tick oneway_latency = 35000;  ///< stack + wire, one direction (35 ns)
+    std::uint32_t req_header_bytes = 16; ///< M2S Req / S2M NDR size
+    std::uint32_t data_bytes = 64;       ///< payload granularity
+};
+
+/** Per-direction traffic statistics. */
+struct CxlDirStats
+{
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    Tick queueing = 0;
+};
+
+/**
+ * One direction of a CXL link: fixed latency + serialization at the link
+ * rate. Delivery returns the arrival tick; callers schedule their own
+ * continuation.
+ */
+class CxlDirection
+{
+  public:
+    CxlDirection(EventQueue &eq, const CxlLinkConfig &cfg) : eq_(eq), cfg_(cfg) {}
+
+    /** Book transmission of @p bytes; @return arrival tick at the far end. */
+    Tick send(std::uint32_t bytes);
+
+    const CxlDirStats &stats() const { return stats_; }
+
+  private:
+    EventQueue &eq_;
+    const CxlLinkConfig &cfg_;
+    Tick link_free_ = 0;
+    CxlDirStats stats_;
+};
+
+/** A full-duplex CXL.mem link between host (upstream) and device. */
+class CxlLink
+{
+  public:
+    CxlLink(EventQueue &eq, CxlLinkConfig cfg = {})
+        : cfg_(cfg), down_(eq, cfg_), up_(eq, cfg_)
+    {
+    }
+
+    const CxlLinkConfig &config() const { return cfg_; }
+
+    /** Host -> device direction. */
+    CxlDirection &down() { return down_; }
+    /** Device -> host direction. */
+    CxlDirection &up() { return up_; }
+
+    /** Bytes on the wire for a read request (header only). */
+    std::uint32_t readReqBytes() const { return cfg_.req_header_bytes; }
+    /** Bytes on the wire for a write request carrying @p payload bytes. */
+    std::uint32_t
+    writeReqBytes(std::uint32_t payload) const
+    {
+        return cfg_.req_header_bytes + payload;
+    }
+    /** Bytes for a data response. */
+    std::uint32_t
+    dataRespBytes(std::uint32_t payload) const
+    {
+        return cfg_.req_header_bytes + payload;
+    }
+    /** Bytes for a no-data response. */
+    std::uint32_t ndrBytes() const { return cfg_.req_header_bytes; }
+
+  private:
+    CxlLinkConfig cfg_;
+    CxlDirection down_;
+    CxlDirection up_;
+};
+
+/**
+ * Latency constants for CXL.io/PCIe-based NDP management (Section II-C and
+ * Fig. 5). These model the *observed* end-to-end costs of the conventional
+ * schemes; y is the one-way CXL.io latency used in the Fig. 5 analysis.
+ */
+struct CxlIoConfig
+{
+    Tick oneway_latency = 500 * kNs; ///< y in Fig. 5
+    /**
+     * Extra host-side latency of the ring-buffer scheme on top of link
+     * round trips: user->kernel transition, ring manipulation, doorbell.
+     * Fig. 5b charges 8 one-way trips total for launch + error check.
+     */
+    unsigned ringbuffer_oneways = 8;
+    /** Fig. 5c: direct MMIO doorbell launch costs 3 one-way trips. */
+    unsigned direct_oneways = 3;
+    /** Completion-poll cost over PCIe (2-3 us per Section II-C). */
+    Tick poll_latency = 2 * kUs;
+};
+
+} // namespace m2ndp

@@ -1,0 +1,526 @@
+#include "device/cxl_memory_expander.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace m2ndp {
+
+// Temporary path-latency breakdown instrumentation (debug builds of tools).
+PathDebugCounters g_path_debug;
+
+/** MemPort adapter feeding the shared DRAM device from the L2 slices. */
+class CxlMemoryExpander::DramPort : public MemPort
+{
+  public:
+    explicit DramPort(CxlMemoryExpander &dev) : dev_(dev) {}
+
+    void
+    receive(MemPacketPtr pkt) override
+    {
+        // Atomics that miss in L2 fetch their sector like reads.
+        if (pkt->op == MemOp::Atomic)
+            pkt->op = MemOp::Read;
+        Tick t0 = dev_.eq_.now();
+        g_path_debug.l2 += t0 - pkt->issued_at;
+        if (pkt->onComplete) {
+            auto orig = std::move(pkt->onComplete);
+            pkt->onComplete = [orig = std::move(orig), t0](Tick t) {
+                g_path_debug.dram += t - t0;
+                ++g_path_debug.ndram;
+                orig(t);
+            };
+        }
+        dev_.dram_->receive(std::move(pkt));
+    }
+
+  private:
+    CxlMemoryExpander &dev_;
+};
+
+/** Routes L1D misses from unit @p unit over the NoC to the L2 slices and
+ *  books the response crossbar on the way back. */
+class CxlMemoryExpander::UnitPort : public MemPort
+{
+  public:
+    UnitPort(CxlMemoryExpander &dev, unsigned unit) : dev_(dev), unit_(unit) {}
+
+    void
+    receive(MemPacketPtr pkt) override
+    {
+        MemOp op = pkt->op;
+        Addr pa = pkt->addr;
+        std::uint32_t size = pkt->size;
+        Tick t_recv = dev_.eq_.now();
+        g_path_debug.l1 += t_recv - pkt->issued_at;
+        auto *raw = pkt.release();
+        unsigned unit = unit_;
+        CxlMemoryExpander &dev = dev_;
+        dev_.localMemAccess(
+            op, pa, size, MemSource::NdpUnit,
+            [&dev, unit, size, raw, t_recv](Tick t) {
+                g_path_debug.device += t - t_recv;
+                Tick resp = dev.resp_xbar_->send(unit, size, t ^ unit);
+                g_path_debug.resp += resp - t;
+                ++g_path_debug.n;
+                dev.eq_.schedule(resp, [raw, resp] {
+                    MemPacketPtr p(raw);
+                    if (p->onComplete)
+                        p->onComplete(resp);
+                });
+            });
+    }
+
+  private:
+    CxlMemoryExpander &dev_;
+    unsigned unit_;
+};
+
+namespace {
+
+/** Response-crossbar port used by CXL (host) responses. */
+constexpr unsigned
+hostRespPort(const DeviceConfig &cfg)
+{
+    return cfg.num_units;
+}
+
+constexpr unsigned
+peerRespPort(const DeviceConfig &cfg)
+{
+    return cfg.num_units + 1;
+}
+
+} // namespace
+
+CxlMemoryExpander::CxlMemoryExpander(EventQueue &eq, SparseMemory &global_mem,
+                                     DeviceConfig cfg)
+    : eq_(eq), cfg_(cfg), mem_(global_mem),
+      next_m2func_base_(layout::deviceBase(cfg.index) + cfg.capacity -
+                        layout::kM2FuncReserve),
+      bi_rng_(0xB1B1 + cfg.index)
+{
+    dram_ = std::make_unique<DramDevice>(eq_, cfg_.dram, cfg_.dram_channels,
+                                         cfg_.interleave_bytes);
+    dram_port_ = std::make_unique<DramPort>(*this);
+
+    for (unsigned c = 0; c < cfg_.dram_channels; ++c) {
+        CacheConfig l2;
+        l2.name = "l2_slice" + std::to_string(c);
+        l2.size = cfg_.l2_slice_bytes;
+        l2.assoc = cfg_.l2_assoc;
+        l2.line_bytes = 128;
+        l2.sector_bytes = 32;
+        l2.latency = cfg_.l2_latency_cycles * cfg_.unit.period;
+        l2.port_cycle = cfg_.unit.period;
+        l2.write_through = false;
+        l2.write_allocate = true;
+        l2.atomics_local = true; // global atomics execute here (III-F)
+        l2.mshrs = 160;
+        l2_slices_.push_back(std::make_unique<Cache>(eq_, l2, *dram_port_));
+    }
+
+    CrossbarConfig req = cfg_.noc;
+    req.ports = cfg_.dram_channels;
+    req_xbar_ = std::make_unique<Crossbar>(eq_, req);
+    CrossbarConfig resp = cfg_.noc;
+    resp.ports = cfg_.num_units + 2; // units + host + peer
+    resp_xbar_ = std::make_unique<Crossbar>(eq_, resp);
+
+    controller_ = std::make_unique<NdpController>(*this);
+
+    for (unsigned u = 0; u < cfg_.num_units; ++u) {
+        NdpUnitConfig uc = cfg_.unit;
+        uc.index = u;
+        units_.push_back(std::make_unique<NdpUnit>(*this, uc));
+        unit_ports_.push_back(std::make_unique<UnitPort>(*this, u));
+        CacheConfig l1;
+        l1.name = "l1d_u" + std::to_string(u);
+        l1.size = cfg_.l1d_bytes;
+        l1.assoc = 16;
+        l1.line_bytes = 128;
+        l1.sector_bytes = 32;
+        l1.latency = cfg_.l1d_latency_cycles * cfg_.unit.period;
+        l1.port_cycle = cfg_.unit.period;
+        l1.write_through = true;   // GPU-style, Section III-F
+        l1.write_allocate = false;
+        l1.atomics_local = false;  // global atomics go to the L2 slices
+        l1.mshrs = 64;
+        l1d_.push_back(std::make_unique<Cache>(eq_, l1, *unit_ports_[u]));
+    }
+
+    // DRAM-TLB region: 32 MiB below the M2func reserve (plenty for 2 MiB
+    // pages; Section III-H notes 16 B / page overhead).
+    Addr tlb_base = paBase() + cfg_.capacity - layout::kM2FuncReserve -
+                    32 * kMiB;
+    dram_tlb_ = std::make_unique<DramTlb>(tlb_base, 32 * kMiB, 2 * kMiB);
+
+    media_link_free_.assign(std::max(1u, cfg_.media_links), 0);
+}
+
+CxlMemoryExpander::~CxlMemoryExpander() = default;
+
+// --------------------------------------------------------------------------
+// Memory path
+// --------------------------------------------------------------------------
+
+void
+CxlMemoryExpander::localMemAccess(MemOp op, Addr pa, std::uint32_t size,
+                                  MemSource source,
+                                  std::function<void(Tick)> done)
+{
+    M2_ASSERT(ownsPa(pa), "localMemAccess outside device window");
+    Addr local = pa - paBase();
+    unsigned channel = dram_->channelOf(local);
+
+    // Optional CXL hop to passive media (NDP-in-switch, Section III-J):
+    // serialize request+response on the per-memory link.
+    Tick media_delay = 0;
+    if (cfg_.media_over_cxl) {
+        unsigned link = channel % cfg_.media_links;
+        Tick ser = serializationTicks(size + 16, cfg_.media_link_gbps) * 2;
+        Tick start = std::max(eq_.now(), media_link_free_[link]);
+        media_link_free_[link] = start + ser;
+        media_delay = (start - eq_.now()) + ser +
+                      2 * cfg_.media_link_latency;
+    }
+
+    Tick arrival = req_xbar_->send(channel, size, pa) + media_delay;
+
+    auto pkt = std::make_unique<MemPacket>();
+    pkt->op = op;
+    pkt->addr = local;
+    pkt->size = size;
+    pkt->source = source;
+    pkt->issued_at = eq_.now();
+    pkt->onComplete = std::move(done);
+
+    auto *raw = pkt.release();
+    Cache *slice = l2_slices_[channel].get();
+    eq_.schedule(arrival, [slice, raw] { slice->receive(MemPacketPtr(raw)); });
+}
+
+void
+CxlMemoryExpander::unitMemAccess(unsigned unit, MemOp op, Addr pa,
+                                 std::uint32_t size,
+                                 std::function<void(Tick)> done)
+{
+    // Cross-device P2P access (Section III-I).
+    if (!ownsPa(pa)) {
+        ++dstats_.p2p_accesses;
+        M2_ASSERT(peer_access_, "P2P access with no peer route installed");
+        peer_access_(cfg_.index, op, pa, size, std::move(done));
+        return;
+    }
+
+    // Dirty-host-cache limit study (Fig. 13b): a fraction of NDP reads
+    // require back-invalidating the host's cache over CXL first.
+    Tick bi_delay = 0;
+    if (op == MemOp::Read && cfg_.dirty_cache_ratio > 0.0 &&
+        bi_rng_.nextDouble() < cfg_.dirty_cache_ratio) {
+        ++dstats_.back_invalidations;
+        bi_delay = cfg_.back_invalidation_latency;
+    }
+
+    // Through the unit's L1D; misses route over the NoC to the L2 slices
+    // (the UnitPort adapter books the response crossbar).
+    auto launch = [this, unit, op, pa, size,
+                   done = std::move(done)]() mutable {
+        auto pkt = std::make_unique<MemPacket>();
+        pkt->op = op;
+        pkt->addr = pa;
+        pkt->size = size;
+        pkt->source = MemSource::NdpUnit;
+        pkt->issued_at = eq_.now();
+        pkt->onComplete = std::move(done);
+        l1d_[unit]->receive(std::move(pkt));
+    };
+    if (bi_delay > 0)
+        eq_.scheduleAfter(bi_delay, std::move(launch));
+    else
+        launch();
+}
+
+void
+CxlMemoryExpander::peerMemAccess(MemOp op, Addr pa, std::uint32_t size,
+                                 std::function<void(Tick)> done)
+{
+    auto wrapped = [this, size, done = std::move(done)](Tick t) mutable {
+        Tick resp = resp_xbar_->send(peerRespPort(cfg_), size, t);
+        eq_.schedule(resp, [done = std::move(done), resp] { done(resp); });
+    };
+    localMemAccess(op, pa, size, MemSource::Peer, std::move(wrapped));
+}
+
+// --------------------------------------------------------------------------
+// CXL.mem ingress (post-link)
+// --------------------------------------------------------------------------
+
+void
+CxlMemoryExpander::cxlWrite(Addr hpa, const std::vector<std::uint8_t> &data,
+                            std::function<void(Tick)> done)
+{
+    auto match = filter_.match(hpa);
+    if (match) {
+        ++dstats_.m2func_calls;
+        // Store the payload functionally in the M2func region, then invoke
+        // the controller after its processing latency.
+        mem_.write(hpa, data.data(), data.size());
+        M2FuncPayload payload{data};
+        Asid asid = match->asid;
+        std::uint64_t offset = match->offset;
+        eq_.scheduleAfter(cfg_.m2func_latency,
+                          [this, asid, offset, payload = std::move(payload)] {
+                              controller_->handleWrite(asid, offset, payload);
+                          });
+        // The write itself is acked immediately (Fig. 5a).
+        done(eq_.now() + cfg_.m2func_latency);
+        return;
+    }
+    ++dstats_.host_writes;
+    mem_.write(hpa, data.data(), data.size());
+    auto wrapped = [this, done = std::move(done)](Tick t) mutable {
+        Tick resp = resp_xbar_->send(hostRespPort(cfg_), 16, t);
+        eq_.schedule(resp, [done = std::move(done), resp] { done(resp); });
+    };
+    localMemAccess(MemOp::Write, hpa,
+                   static_cast<std::uint32_t>(data.size()),
+                   MemSource::Host, std::move(wrapped));
+}
+
+void
+CxlMemoryExpander::cxlRead(Addr hpa, std::uint32_t size,
+                           std::function<void(Tick)> done)
+{
+    auto match = filter_.match(hpa);
+    if (match) {
+        ++dstats_.m2func_calls;
+        Asid asid = match->asid;
+        eq_.scheduleAfter(
+            cfg_.m2func_latency,
+            [this, asid, offset = match->offset, hpa,
+             done = std::move(done)]() mutable {
+                controller_->handleRead(
+                    asid, offset,
+                    [this, hpa, done = std::move(done)](std::int64_t value) {
+                        mem_.write<std::int64_t>(hpa, value);
+                        done(eq_.now());
+                    });
+            });
+        return;
+    }
+    ++dstats_.host_reads;
+    auto wrapped = [this, size, done = std::move(done)](Tick t) mutable {
+        Tick resp = resp_xbar_->send(hostRespPort(cfg_), size, t);
+        eq_.schedule(resp, [done = std::move(done), resp] { done(resp); });
+    };
+    localMemAccess(MemOp::Read, hpa, size, MemSource::Host,
+                   std::move(wrapped));
+}
+
+// --------------------------------------------------------------------------
+// Driver-level management (CXL.io path)
+// --------------------------------------------------------------------------
+
+Addr
+CxlMemoryExpander::allocateM2FuncRegion(Asid asid)
+{
+    // Idempotent per process: a second runtime for the same ASID shares
+    // the region (the driver hands out one region per process).
+    auto existing = m2func_regions_.find(asid);
+    if (existing != m2func_regions_.end())
+        return existing->second;
+    Addr base = next_m2func_base_;
+    M2_ASSERT(base + layout::kM2FuncRegionSize <=
+                  paBase() + cfg_.capacity,
+              "M2func reserve exhausted");
+    if (!filter_.insert(base, base + layout::kM2FuncRegionSize, asid))
+        M2_FATAL("packet filter rejected M2func region for asid ", asid);
+    next_m2func_base_ += layout::kM2FuncRegionSize;
+    m2func_regions_[asid] = base;
+    return base;
+}
+
+void
+CxlMemoryExpander::removeM2FuncRegion(Asid asid)
+{
+    filter_.remove(asid);
+    m2func_regions_.erase(asid);
+}
+
+void
+CxlMemoryExpander::attachProcess(const PageTable *table)
+{
+    processes_[table->asid()] = table;
+}
+
+// --------------------------------------------------------------------------
+// NdpUnitEnv / NdpControllerEnv plumbing
+// --------------------------------------------------------------------------
+
+std::optional<Addr>
+CxlMemoryExpander::translateFunctional(Asid asid, Addr va)
+{
+    auto it = processes_.find(asid);
+    if (it == processes_.end())
+        return std::nullopt;
+    return it->second->translate(va);
+}
+
+void
+CxlMemoryExpander::funcRead(Addr pa, void *out, unsigned size)
+{
+    mem_.read(pa, out, size);
+}
+
+void
+CxlMemoryExpander::funcWrite(Addr pa, const void *in, unsigned size)
+{
+    mem_.write(pa, in, size);
+}
+
+std::uint64_t
+CxlMemoryExpander::funcAmo(AmoOp op, Addr pa, std::uint64_t operand,
+                           unsigned width)
+{
+    return amoExecute(mem_, op, pa, operand, width);
+}
+
+Addr
+CxlMemoryExpander::dramTlbEntryPa(Asid asid, Addr va)
+{
+    return dram_tlb_->entryAddress(asid, va);
+}
+
+bool
+CxlMemoryExpander::dramTlbWarm(Asid asid, Addr va)
+{
+    if (!cfg_.dram_tlb_warm)
+        return false;
+    return dram_tlb_->contains(asid, va);
+}
+
+void
+CxlMemoryExpander::dramTlbRefill(Asid asid, Addr va)
+{
+    dram_tlb_->refill(asid, va);
+}
+
+std::uint64_t
+CxlMemoryExpander::translationPageSize()
+{
+    return 2 * kMiB;
+}
+
+std::optional<SpawnItem>
+CxlMemoryExpander::pullWork(unsigned unit)
+{
+    return controller_->pullWork(unit);
+}
+
+void
+CxlMemoryExpander::requeueWork(unsigned unit, const SpawnItem &item)
+{
+    controller_->requeueWork(unit, item);
+}
+
+void
+CxlMemoryExpander::uthreadFinished(KernelInstance *inst)
+{
+    controller_->uthreadFinished(inst);
+}
+
+void
+CxlMemoryExpander::storeIssued(KernelInstance *inst)
+{
+    controller_->storeIssued(inst);
+}
+
+void
+CxlMemoryExpander::storeDrained(KernelInstance *inst, Tick when)
+{
+    controller_->storeDrained(inst, when);
+}
+
+void
+CxlMemoryExpander::wakeAllUnits()
+{
+    for (auto &u : units_)
+        u->wake();
+}
+
+bool
+CxlMemoryExpander::readKernelText(Asid asid, Addr va, std::uint32_t size,
+                                  std::string &out)
+{
+    out.clear();
+    out.reserve(size);
+    // Translate page-by-page; kernel text may span mappings.
+    std::uint32_t remaining = size;
+    Addr cursor = va;
+    while (remaining > 0) {
+        auto pa = translateFunctional(asid, cursor);
+        if (!pa)
+            return false;
+        std::uint64_t page = translationPageSize();
+        std::uint64_t chunk =
+            std::min<std::uint64_t>(remaining, page - (cursor % page));
+        std::string buf(chunk, '\0');
+        mem_.read(*pa, buf.data(), chunk);
+        out += buf;
+        cursor += chunk;
+        remaining -= static_cast<std::uint32_t>(chunk);
+    }
+    return true;
+}
+
+void
+CxlMemoryExpander::flushInstructionCaches()
+{
+    // Kernel code is tiny and I-cache timing is not modeled (Section III-F
+    // notes the impact is negligible); the flush is a functional no-op.
+}
+
+void
+CxlMemoryExpander::shootdownTlb(Asid asid, Addr va)
+{
+    for (auto &u : units_)
+        u->shootdownTlb(asid, va);
+    dram_tlb_->shootdown(asid, va);
+}
+
+NdpUnitStats
+CxlMemoryExpander::aggregateUnitStats() const
+{
+    NdpUnitStats total;
+    for (const auto &u : units_) {
+        const auto &s = u->stats();
+        total.instructions += s.instructions;
+        total.scalar_instructions += s.scalar_instructions;
+        total.vector_instructions += s.vector_instructions;
+        total.uthreads_completed += s.uthreads_completed;
+        total.global_loads += s.global_loads;
+        total.global_stores += s.global_stores;
+        total.global_atomics += s.global_atomics;
+        total.spad_accesses += s.spad_accesses;
+        total.spad_bytes += s.spad_bytes;
+        total.global_bytes += s.global_bytes;
+        total.issue_cycles += s.issue_cycles;
+        total.active_cycles += s.active_cycles;
+        total.occupancy_integral += s.occupancy_integral;
+        total.load_latency_ticks += s.load_latency_ticks;
+        total.load_samples += s.load_samples;
+    }
+    return total;
+}
+
+unsigned
+CxlMemoryExpander::activeContexts() const
+{
+    unsigned total = 0;
+    for (const auto &u : units_)
+        total += u->activeSlots();
+    return total;
+}
+
+} // namespace m2ndp

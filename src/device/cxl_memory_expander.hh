@@ -1,0 +1,256 @@
+/**
+ * @file
+ * The CXL memory expander with M2NDP (Fig. 3).
+ *
+ * Assembles: packet filter -> {NDP controller | memory path}, 32 NDP units,
+ * request/response crossbars, per-channel memory-side L2 slices, the
+ * LPDDR5 DRAM device, and the DRAM-TLB region. A passive expander is the
+ * same device with zero NDP units.
+ *
+ * Functional memory contents live in a system-wide SparseMemory (shared so
+ * that P2P accesses across devices need no copying); this class owns all
+ * *timing* for accesses that land in its physical window.
+ *
+ * Also supports the M2NDP-in-CXL-switch configuration (Section III-J):
+ * with `media_over_cxl` set, the "DRAM" sits behind per-memory CXL links,
+ * modeling an NDP-enabled switch in front of passive expanders (Fig. 9).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/rng.hh"
+#include "cxl/link.hh"
+#include "cxl/packet_filter.hh"
+#include "dram/dram.hh"
+#include "mem/page_table.hh"
+#include "mem/sparse_memory.hh"
+#include "ndp/ndp_controller.hh"
+#include "ndp/ndp_unit.hh"
+#include "noc/crossbar.hh"
+#include "sim/event_queue.hh"
+
+namespace m2ndp {
+
+/** Device configuration (Table IV defaults). */
+struct DeviceConfig
+{
+    unsigned index = 0;
+    std::uint64_t capacity = 256ull * kGiB;
+
+    // DRAM media.
+    DramTiming dram = DramTiming::lpddr5();
+    unsigned dram_channels = 32;
+    std::uint64_t interleave_bytes = 256;
+
+    // Memory-side L2: 128 KiB per channel slice, 16-way, 7-cycle.
+    std::uint64_t l2_slice_bytes = 128 * kKiB;
+    unsigned l2_assoc = 16;
+    Tick l2_latency_cycles = 7;
+
+    // NDP units.
+    unsigned num_units = 32;
+    NdpUnitConfig unit;
+
+    // NDP-unit L1D: 128 KiB total split with the scratchpad (Section III-F).
+    std::uint64_t l1d_bytes = 64 * kKiB;
+    Tick l1d_latency_cycles = 4;
+
+    // On-chip NoC (four 32x32 crossbars of 32 B flits).
+    CrossbarConfig noc;
+
+    // M2func handling latency at the controller (microcontroller-style).
+    Tick m2func_latency = 30 * kNs;
+
+    // Dirty-host-cache limit study (Fig. 13b): fraction of NDP-read data
+    // requiring back-invalidation from the host cache.
+    double dirty_cache_ratio = 0.0;
+    Tick back_invalidation_latency = 150 * kNs;
+
+    // Section III-J: media behind CXL links (NDP-enabled switch).
+    bool media_over_cxl = false;
+    unsigned media_links = 1;
+    double media_link_gbps = 64.0;
+    Tick media_link_latency = 35 * kNs;
+
+    // DRAM-TLB steady-state warmth (Section III-H).
+    bool dram_tlb_warm = true;
+};
+
+/** Temporary path-latency breakdown (for debugging tools). */
+struct PathDebugCounters
+{
+    std::uint64_t n = 0;
+    std::uint64_t l1 = 0;
+    std::uint64_t device = 0;
+    std::uint64_t resp = 0;
+    std::uint64_t l2 = 0;
+    std::uint64_t dram = 0;
+    std::uint64_t ndram = 0;
+};
+extern PathDebugCounters g_path_debug;
+
+/** Device statistics snapshot. */
+struct DeviceStats
+{
+    std::uint64_t host_reads = 0;
+    std::uint64_t host_writes = 0;
+    std::uint64_t m2func_calls = 0;
+    std::uint64_t back_invalidations = 0;
+    std::uint64_t p2p_accesses = 0;
+};
+
+/** The device. */
+class CxlMemoryExpander : public NdpUnitEnv, public NdpControllerEnv
+{
+  public:
+    CxlMemoryExpander(EventQueue &eq, SparseMemory &global_mem,
+                      DeviceConfig cfg);
+    ~CxlMemoryExpander() override;
+
+    // ---- host-facing CXL.mem entry points (post-link delivery) ----
+
+    /**
+     * A CXL.mem write (M2S RwD) arrived. Passes through the packet filter;
+     * M2func hits go to the NDP controller, everything else is a memory
+     * write. @p done fires when the NDR response may be sent.
+     */
+    void cxlWrite(Addr hpa, const std::vector<std::uint8_t> &data,
+                  std::function<void(Tick)> done);
+
+    /** A CXL.mem read (M2S Req) arrived. @p done carries the data tick. */
+    void cxlRead(Addr hpa, std::uint32_t size, std::function<void(Tick)> done);
+
+    // ---- driver-level (CXL.io) management ----
+
+    /** Allocate and install an M2func region for a process. @return its
+     *  host-physical base address. */
+    Addr allocateM2FuncRegion(Asid asid);
+    void removeM2FuncRegion(Asid asid);
+
+    /** Register a process' page table for functional translation. */
+    void attachProcess(const PageTable *table);
+
+    // ---- structural access ----
+    NdpController &controller() { return *controller_; }
+    const NdpController &controller() const { return *controller_; }
+    NdpUnit &unit(unsigned i) { return *units_[i]; }
+    const DramDevice &dram() const { return *dram_; }
+    const Cache &l2Slice(unsigned i) const { return *l2_slices_[i]; }
+    const Cache &l1dCache(unsigned u) const { return *l1d_[u]; }
+    unsigned numL2Slices() const
+    {
+        return static_cast<unsigned>(l2_slices_.size());
+    }
+    const PacketFilter &packetFilter() const { return filter_; }
+    const DeviceConfig &config() const { return cfg_; }
+    const DeviceStats &deviceStats() const { return dstats_; }
+    const Crossbar &requestNoc() const { return *req_xbar_; }
+
+    Addr paBase() const { return layout::deviceBase(cfg_.index); }
+    bool
+    ownsPa(Addr pa) const
+    {
+        return pa >= paBase() && pa < paBase() + layout::kDeviceWindow;
+    }
+
+    /** Aggregate NDP-unit stats across the device. */
+    NdpUnitStats aggregateUnitStats() const;
+
+    /** Total live uthread slots right now (Fig. 6a sampling). */
+    unsigned activeContexts() const;
+
+    /** Install the cross-device P2P access hook (set by the System). */
+    using PeerAccessFn = std::function<void(unsigned src_device, MemOp op,
+                                            Addr pa, std::uint32_t size,
+                                            std::function<void(Tick)>)>;
+    void setPeerAccess(PeerAccessFn fn) { peer_access_ = std::move(fn); }
+
+    /** Timing access into this device's memory from a peer device or the
+     *  switch (bypasses the packet filter). */
+    void peerMemAccess(MemOp op, Addr pa, std::uint32_t size,
+                       std::function<void(Tick)> done);
+
+    // ---- NdpUnitEnv ----
+    EventQueue &eventQueue() override { return eq_; }
+    void unitMemAccess(unsigned unit, MemOp op, Addr pa, std::uint32_t size,
+                       std::function<void(Tick)> done) override;
+    std::optional<Addr> translateFunctional(Asid asid, Addr va) override;
+    void funcRead(Addr pa, void *out, unsigned size) override;
+    void funcWrite(Addr pa, const void *in, unsigned size) override;
+    std::uint64_t funcAmo(AmoOp op, Addr pa, std::uint64_t operand,
+                          unsigned width) override;
+    Addr dramTlbEntryPa(Asid asid, Addr va) override;
+    bool dramTlbWarm(Asid asid, Addr va) override;
+    void dramTlbRefill(Asid asid, Addr va) override;
+    std::uint64_t translationPageSize() override;
+    std::optional<SpawnItem> pullWork(unsigned unit) override;
+    void requeueWork(unsigned unit, const SpawnItem &item) override;
+    void uthreadFinished(KernelInstance *inst) override;
+    void storeIssued(KernelInstance *inst) override;
+    void storeDrained(KernelInstance *inst, Tick when) override;
+
+    // ---- NdpControllerEnv ----
+    unsigned numUnits() override { return cfg_.num_units; }
+    unsigned slotsPerUnit() override
+    {
+        return cfg_.unit.subcores * cfg_.unit.slots_per_subcore;
+    }
+    std::uint64_t unitScratchpadBytes() override
+    {
+        return cfg_.unit.spad_bytes;
+    }
+    void wakeAllUnits() override;
+    bool readKernelText(Asid asid, Addr va, std::uint32_t size,
+                        std::string &out) override;
+    void flushInstructionCaches() override;
+    void shootdownTlb(Asid asid, Addr va) override;
+
+  private:
+    /** Timing access into this device's own memory path. */
+    void localMemAccess(MemOp op, Addr pa, std::uint32_t size,
+                        MemSource source, std::function<void(Tick)> done);
+
+    EventQueue &eq_;
+    DeviceConfig cfg_;
+    SparseMemory &mem_;
+
+    PacketFilter filter_;
+    std::unique_ptr<DramDevice> dram_;
+    std::vector<std::unique_ptr<Cache>> l2_slices_;
+    std::unique_ptr<Crossbar> req_xbar_;
+    std::unique_ptr<Crossbar> resp_xbar_;
+    std::unique_ptr<NdpController> controller_;
+    std::vector<std::unique_ptr<NdpUnit>> units_;
+    std::unique_ptr<DramTlb> dram_tlb_;
+
+    /** Adapters so each L2 slice can feed the shared DRAM device. */
+    class DramPort;
+    std::unique_ptr<DramPort> dram_port_;
+
+    /** Per-unit L1D caches (write-through, Section III-F) and the adapters
+     *  routing their misses over the request crossbar to the L2 slices. */
+    class UnitPort;
+    std::vector<std::unique_ptr<Cache>> l1d_;
+    std::vector<std::unique_ptr<UnitPort>> unit_ports_;
+
+    /** Media-over-CXL serialization state (Section III-J). */
+    std::vector<Tick> media_link_free_;
+
+    std::unordered_map<Asid, const PageTable *> processes_;
+    std::unordered_map<Asid, Addr> m2func_regions_;
+    Addr next_m2func_base_;
+
+    Rng bi_rng_;
+    PeerAccessFn peer_access_;
+    DeviceStats dstats_;
+};
+
+} // namespace m2ndp

@@ -1,0 +1,284 @@
+#include "dram/dram.hh"
+
+#include <algorithm>
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace m2ndp {
+
+DramTiming
+DramTiming::lpddr5()
+{
+    // 12.8 GB/s per channel with 32 B granularity: one 32 B burst per
+    // 2.5 ns. Command clock 800 MHz (1.25 ns) -> burst occupies 2 cycles.
+    return DramTiming{
+        .name = "LPDDR5",
+        .tck = 1250,
+        .n_rc = 48,
+        .n_rcd = 15,
+        .n_cl = 20,
+        .n_rp = 15,
+        .n_ccd = 2,
+        .burst_cycles = 2,
+        .banks = 16,
+        .access_bytes = 32,
+        .row_bytes = 2048,
+    };
+}
+
+DramTiming
+DramTiming::ddr5()
+{
+    // 51.2 GB/s per channel with 64 B granularity: one 64 B burst per
+    // 1.25 ns. Command clock 1.6 GHz (0.625 ns) -> burst occupies 2 cycles.
+    return DramTiming{
+        .name = "DDR5-6400",
+        .tck = 625,
+        .n_rc = 149,
+        .n_rcd = 46,
+        .n_cl = 46,
+        .n_rp = 46,
+        .n_ccd = 2,
+        .burst_cycles = 2,
+        .banks = 32,
+        .access_bytes = 64,
+        .row_bytes = 8192,
+    };
+}
+
+DramTiming
+DramTiming::hbm2()
+{
+    // 32 GB/s per pseudo-channel with 32 B granularity: one 32 B burst per
+    // 1 ns. Command clock 1 GHz (Table IV) -> burst occupies 1 cycle.
+    return DramTiming{
+        .name = "HBM2",
+        .tck = 1000,
+        .n_rc = 48,
+        .n_rcd = 14,
+        .n_cl = 14,
+        .n_rp = 15,
+        .n_ccd = 1,
+        .burst_cycles = 1,
+        .banks = 16,
+        .access_bytes = 32,
+        .row_bytes = 1024,
+    };
+}
+
+DramAddressMap::DramAddressMap(unsigned channels, const DramTiming &timing,
+                               std::uint64_t interleave_bytes)
+    : channels_(channels), banks_(timing.banks),
+      interleave_(interleave_bytes),
+      blocks_per_row_(std::max<std::uint64_t>(1,
+          timing.row_bytes / interleave_bytes))
+{
+    M2_ASSERT(channels_ > 0, "DRAM device needs channels");
+    M2_ASSERT(isPowerOfTwo(interleave_), "interleave must be a power of two");
+}
+
+DramAddressMap::Coords
+DramAddressMap::decode(Addr local_addr) const
+{
+    std::uint64_t block = local_addr / interleave_;
+    // Hashed channel selection decorrelates channel from low-order bits so
+    // strided accesses spread evenly [114].
+    unsigned channel = static_cast<unsigned>(mixHash64(block) % channels_);
+    // Fold the channel out; consecutive blocks on the same channel then walk
+    // rows sequentially, preserving streaming row-buffer locality.
+    std::uint64_t local_block = block / channels_;
+    std::uint64_t row_block = local_block / blocks_per_row_;
+    // Bank selection is hashed as well (bank-XOR interleaving): without it,
+    // two streams whose base addresses differ by a multiple of the bank-
+    // mapping period (e.g. separate 2 MiB pages) land in the *same* bank
+    // with different rows on every access and serialize on tRC.
+    unsigned bank =
+        static_cast<unsigned>(mixHash64(row_block * 0x9E3779B1ull) % banks_);
+    // The row tag is the row-block id itself (unique), so aliasing cannot
+    // produce false row hits.
+    std::uint64_t row = row_block;
+    return Coords{channel, bank, row};
+}
+
+DramChannel::DramChannel(EventQueue &eq, const DramTiming &timing,
+                         unsigned index)
+    : eq_(eq), timing_(timing), index_(index), banks_(timing.banks)
+{
+}
+
+void
+DramChannel::enqueue(MemPacketPtr pkt, unsigned bank, std::uint64_t row)
+{
+    queue_.push_back(Pending{std::move(pkt), bank, row, eq_.now()});
+    armScheduler(eq_.now());
+}
+
+void
+DramChannel::armScheduler(Tick at)
+{
+    if (scheduler_armed_ && armed_at_ <= at)
+        return;
+    scheduler_armed_ = true;
+    armed_at_ = at;
+    eq_.schedule(std::max(at, eq_.now()), [this, at] {
+        if (!scheduler_armed_ || armed_at_ != at)
+            return; // superseded by an earlier arm
+        scheduler_armed_ = false;
+        armed_at_ = kTickMax;
+        trySchedule();
+    });
+}
+
+void
+DramChannel::trySchedule()
+{
+    // FR-FCFS with earliest-ready selection: each iteration books the
+    // request whose column command can issue soonest (row hits naturally
+    // win), tie-breaking in favour of hits, then queue order. Column
+    // commands are spaced by tCCD (the data-bus rate), and row misses
+    // chain activates per bank (tRP/tRCD/tRC) — so a slow miss delays
+    // later bookings by at most one activate, never cumulatively.
+    const Tick now = eq_.now();
+
+    while (!queue_.empty()) {
+        constexpr std::size_t kScanDepth = 32;
+        std::size_t limit = std::min(queue_.size(), kScanDepth);
+        std::size_t best = limit; // invalid
+        Tick best_ready = kTickMax;
+        bool best_hit = false;
+
+        for (std::size_t i = 0; i < limit; ++i) {
+            const auto &cand = queue_[i];
+            const auto &bank = banks_[cand.bank];
+            bool hit = bank.row_open && bank.open_row == cand.row;
+            Tick ready;
+            if (hit) {
+                ready = std::max(now, bank.col_ready);
+            } else {
+                Tick pre_at = std::max(now, bank.col_ready);
+                Tick act_at = std::max(pre_at + cycles(timing_.n_rp),
+                                       bank.next_act);
+                ready = act_at + cycles(timing_.n_rcd);
+            }
+            // Earliest column time wins; row hits tie-break (FR-FCFS),
+            // then queue order (oldest first).
+            if (best == limit || ready < best_ready ||
+                (ready == best_ready && hit && !best_hit)) {
+                best = i;
+                best_ready = ready;
+                best_hit = hit;
+            }
+        }
+
+        // The command/data bus is modeled as a token clock: each booking
+        // consumes one tCCD slot counted from "now", so a far-future row
+        // miss cannot ratchet the bus ahead for requests that could issue
+        // earlier (bandwidth stays conserved on average; transiently
+        // overlapping bursts are an accepted approximation).
+        Tick slot = std::max(next_col_, now);
+        Tick col_at = std::max(best_ready, slot);
+
+        // Diagnostics: which constraint produced a far-future booking.
+        if (col_at > now + 400 * kNs) {
+            if (slot >= best_ready)
+                ++stats_.diag_colbound;
+            else if (best_hit)
+                ++stats_.diag_hitbound;
+            else
+                ++stats_.diag_missbound;
+        }
+
+        Pending req = std::move(queue_[best]);
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
+
+        BankState &bank = banks_[req.bank];
+        if (best_hit) {
+            ++stats_.row_hits;
+        } else {
+            ++stats_.row_misses;
+            // Recompute the activate booking (same formula as the scan).
+            Tick pre_at = std::max(now, bank.col_ready);
+            Tick act_at = std::max(pre_at + cycles(timing_.n_rp),
+                                   bank.next_act);
+            bank.row_open = true;
+            bank.open_row = req.row;
+            bank.next_act = act_at + cycles(timing_.n_rc);
+        }
+
+        // tCCD (>= burst occupancy) is the data-bus rate constraint.
+        Tick data_start = col_at + cycles(timing_.n_cl);
+        Tick done = data_start + cycles(timing_.burst_cycles);
+        next_col_ = slot + cycles(timing_.n_ccd);
+        bank.col_ready = col_at + cycles(timing_.n_ccd);
+        stats_.busy_ticks += cycles(timing_.burst_cycles);
+
+        if (req.pkt->op == MemOp::Write)
+            ++stats_.writes;
+        else
+            ++stats_.reads;
+        stats_.bytes += req.pkt->size;
+
+        auto *raw = req.pkt.release();
+        eq_.schedule(done, [raw, done] {
+            MemPacketPtr pkt(raw);
+            if (pkt->onComplete)
+                pkt->onComplete(done);
+        });
+    }
+}
+
+DramDevice::DramDevice(EventQueue &eq, const DramTiming &timing,
+                       unsigned channels, std::uint64_t interleave_bytes)
+    : eq_(eq), timing_(timing), map_(channels, timing, interleave_bytes)
+{
+    channels_.reserve(channels);
+    for (unsigned i = 0; i < channels; ++i)
+        channels_.push_back(std::make_unique<DramChannel>(eq, timing, i));
+}
+
+void
+DramDevice::receive(MemPacketPtr pkt)
+{
+    auto coords = map_.decode(pkt->addr);
+    channels_[coords.channel]->enqueue(std::move(pkt), coords.bank,
+                                       coords.row);
+}
+
+unsigned
+DramDevice::channelOf(Addr local_addr) const
+{
+    return map_.decode(local_addr).channel;
+}
+
+DramStats
+DramDevice::totalStats() const
+{
+    DramStats total;
+    for (const auto &ch : channels_) {
+        const auto &s = ch->stats();
+        total.reads += s.reads;
+        total.writes += s.writes;
+        total.row_hits += s.row_hits;
+        total.row_misses += s.row_misses;
+        total.bytes += s.bytes;
+        total.busy_ticks += s.busy_ticks;
+        total.diag_colbound += s.diag_colbound;
+        total.diag_hitbound += s.diag_hitbound;
+        total.diag_missbound += s.diag_missbound;
+    }
+    return total;
+}
+
+double
+DramDevice::peakBandwidth() const
+{
+    // access_bytes per burst_cycles * tck per channel.
+    double per_channel =
+        static_cast<double>(timing_.access_bytes) /
+        (static_cast<double>(timing_.burst_cycles) *
+         ticksToSeconds(timing_.tck));
+    return per_channel * static_cast<double>(channels_.size());
+}
+
+} // namespace m2ndp

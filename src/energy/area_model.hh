@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Area model (Section IV-F): CACTI-6.5-derived structure areas scaled to
+ * 7 nm, reproducing the paper's roll-up: register files 0.25 mm^2, unified
+ * L1/scratchpad 0.45 mm^2, 0.002 mm^2 per uthread slot, compute units from
+ * FPnew [99]; one NDP unit = 0.83 mm^2, 32 units = 26.4 mm^2.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace m2ndp {
+
+/** Per-structure areas in mm^2 at 7 nm. */
+struct NdpUnitArea
+{
+    double register_files = 0.25; ///< int + fp + vector (48 KiB)
+    double l1_scratchpad = 0.45;  ///< unified 128 KiB
+    double per_uthread_slot = 0.002;
+    unsigned uthread_slots = 64;
+    double compute_units = 0.036; ///< scalar + 256-bit vector FUs [99]
+    double icache_tlb = 0.016;    ///< L0/L1 I-cache + TLBs
+
+    double
+    total() const
+    {
+        return register_files + l1_scratchpad +
+               per_uthread_slot * uthread_slots + compute_units +
+               icache_tlb;
+    }
+};
+
+/** Device-level roll-up. */
+struct DeviceArea
+{
+    NdpUnitArea unit;
+    unsigned num_units = 32;
+
+    double unitsTotal() const { return unit.total() * num_units; }
+};
+
+/**
+ * GPU SM area at the same node, used for the Iso-Area comparison: the
+ * paper's GPU-NDP(Iso-Area) fits 16.2 SMs in the area of 32 NDP units.
+ */
+struct GpuSmArea
+{
+    /** mm^2 per Ampere-class SM scaled to 7 nm. */
+    double sm_mm2 = 1.63;
+
+    double
+    smsForArea(double mm2) const
+    {
+        return mm2 / sm_mm2;
+    }
+};
+
+} // namespace m2ndp

@@ -1,0 +1,59 @@
+#include "energy/energy_model.hh"
+
+namespace m2ndp {
+
+EnergyBreakdown
+computeEnergy(const EnergyParams &p, Platform platform,
+              const EnergyActivity &a, const std::string &dram_kind)
+{
+    EnergyBreakdown e;
+
+    double dram_pj_b = p.lpddr5_pj_per_byte;
+    if (dram_kind == "DDR5")
+        dram_pj_b = p.ddr5_pj_per_byte;
+    else if (dram_kind == "HBM2")
+        dram_pj_b = p.hbm2_pj_per_byte;
+
+    e.dram_j = a.dram_bytes * dram_pj_b * 1e-12;
+    e.link_j = a.cxl_link_bytes * 8.0 * p.cxl_pj_per_bit * 1e-12;
+    e.sram_j = (a.l1_accesses * p.sram_l1_pj_per_access +
+                a.l2_accesses * p.sram_l2_pj_per_access +
+                a.spad_accesses * p.spad_pj_per_access) *
+               1e-12;
+    e.compute_j = (a.scalar_ops * p.scalar_op_pj +
+                   a.vector_ops * p.vector_op_pj) *
+                  1e-12;
+
+    double seconds = ticksToSeconds(a.runtime);
+    double static_w = 0.0;
+    switch (platform) {
+      case Platform::CpuHostPassiveCxl:
+        static_w = p.cpu_host_static_w + p.passive_device_static_w;
+        break;
+      case Platform::GpuHostPassiveCxl:
+        static_w = p.gpu_host_static_w + p.passive_device_static_w;
+        break;
+      case Platform::M2Ndp:
+        // Idle host is included during NDP (Section IV-A).
+        static_w = p.gpu_host_static_w + p.ndp_device_static_w;
+        break;
+      case Platform::GpuNdp:
+        static_w = p.gpu_host_static_w + p.passive_device_static_w +
+                   p.gpu_sm_dynamic_w_per_sm; // SM statics folded below
+        break;
+      case Platform::CpuNdp:
+        static_w = p.gpu_host_static_w + p.cpu_ndp_static_w;
+        break;
+    }
+    e.static_j = static_w * seconds;
+
+    // Active-compute dynamic power (SM-seconds / unit-seconds).
+    double unit_w = platform == Platform::GpuNdp ||
+                            platform == Platform::GpuHostPassiveCxl
+                        ? p.gpu_sm_dynamic_w_per_sm
+                        : p.ndp_unit_dynamic_w;
+    e.compute_j += a.compute_unit_seconds * unit_w;
+    return e;
+}
+
+} // namespace m2ndp

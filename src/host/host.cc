@@ -1,0 +1,112 @@
+#include "host/host.hh"
+
+#include "common/log.hh"
+
+namespace m2ndp {
+
+HostCxlPort::HostCxlPort(EventQueue &eq, CxlLink &link,
+                         CxlMemoryExpander &dev, HostPortConfig cfg)
+    : eq_(eq), link_(link), dev_(dev), cfg_(cfg)
+{
+}
+
+void
+HostCxlPort::writeAsync(Addr hpa, std::vector<std::uint8_t> data,
+                        std::function<void(Tick)> done)
+{
+    ++stats_.writes;
+    Tick issue = eq_.now() + cfg_.host_overhead;
+    eq_.schedule(issue, [this, hpa, data = std::move(data),
+                         done = std::move(done)]() mutable {
+        Tick arrive =
+            link_.down().send(link_.writeReqBytes(
+                static_cast<std::uint32_t>(data.size())));
+        eq_.schedule(arrive, [this, hpa, data = std::move(data),
+                              done = std::move(done)]() mutable {
+            dev_.cxlWrite(hpa, data, [this, done = std::move(done)](Tick t) {
+                Tick at = std::max(eq_.now(), t);
+                eq_.schedule(at, [this, done = std::move(done)] {
+                    Tick back = link_.up().send(link_.ndrBytes());
+                    eq_.schedule(back + cfg_.host_overhead,
+                                 [this, done = std::move(done)] {
+                                     done(eq_.now());
+                                 });
+                });
+            });
+        });
+    });
+}
+
+void
+HostCxlPort::readAsync(Addr hpa, std::uint32_t size,
+                       std::function<void(Tick)> done)
+{
+    ++stats_.reads;
+    Tick start = eq_.now();
+    Tick issue = start + cfg_.host_overhead;
+    eq_.schedule(issue, [this, hpa, size, start,
+                         done = std::move(done)]() mutable {
+        Tick arrive = link_.down().send(link_.readReqBytes());
+        eq_.schedule(arrive, [this, hpa, size, start,
+                              done = std::move(done)]() mutable {
+            dev_.cxlRead(hpa, size, [this, size, start,
+                                     done = std::move(done)](Tick t) {
+                Tick at = std::max(eq_.now(), t);
+                eq_.schedule(at, [this, size, start,
+                                  done = std::move(done)] {
+                    Tick back = link_.up().send(link_.dataRespBytes(size));
+                    eq_.schedule(back + cfg_.host_overhead,
+                                 [this, start, done = std::move(done)] {
+                                     stats_.read_latency.add(
+                                         static_cast<double>(eq_.now() -
+                                                             start) /
+                                         kNs);
+                                     done(eq_.now());
+                                 });
+                });
+            });
+        });
+    });
+}
+
+void
+HostCxlPort::runUntil(const bool &flag)
+{
+    while (!flag) {
+        if (!eq_.step())
+            M2_PANIC("event queue drained while waiting for host access");
+    }
+}
+
+Tick
+HostCxlPort::write(Addr hpa, const void *data, std::uint32_t size)
+{
+    std::vector<std::uint8_t> bytes(size);
+    std::memcpy(bytes.data(), data, size);
+    bool done = false;
+    Tick when = 0;
+    writeAsync(hpa, std::move(bytes), [&](Tick t) {
+        done = true;
+        when = t;
+    });
+    runUntil(done);
+    return when;
+}
+
+Tick
+HostCxlPort::read(Addr hpa, void *out, std::uint32_t size)
+{
+    bool done = false;
+    Tick when = 0;
+    readAsync(hpa, size, [&](Tick t) {
+        done = true;
+        when = t;
+    });
+    runUntil(done);
+    // Functional data is fetched at completion time.
+    // (The device wrote return values / memory contents by now.)
+    dev_.funcRead(hpa, out, size);
+    return when;
+}
+
+} // namespace m2ndp

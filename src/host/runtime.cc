@@ -1,0 +1,322 @@
+#include "host/runtime.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace m2ndp {
+
+const char *
+offloadSchemeName(OffloadScheme scheme)
+{
+    switch (scheme) {
+      case OffloadScheme::M2Func: return "M2func";
+      case OffloadScheme::CxlIoRingBuffer: return "CXL.io_RB";
+      case OffloadScheme::CxlIoDirect: return "CXL.io_DR";
+    }
+    return "?";
+}
+
+NdpRuntime::NdpRuntime(HostCxlPort &port, ProcessAddressSpace &process,
+                       Addr m2func_region_pa, NdpRuntimeConfig cfg)
+    : port_(port), process_(process), m2func_pa_(m2func_region_pa), cfg_(cfg)
+{
+    // Staging buffer for kernel source text (written once per register).
+    code_staging_va_ = process_.allocate(256 * kKiB);
+}
+
+std::vector<std::uint8_t>
+NdpRuntime::packLaunchPayload(std::int64_t kernel_id, bool sync,
+                              Addr pool_base, Addr pool_bound,
+                              const std::vector<std::uint8_t> &args) const
+{
+    M2_ASSERT(args.size() <= 32,
+              "kernel args exceed the 64 B launch payload; pass a pointer "
+              "to memory instead (Section III-C)");
+    std::vector<std::uint8_t> p(32 + args.size(), 0);
+    p[0] = sync ? 1 : 0;
+    p[1] = static_cast<std::uint8_t>(args.size());
+    std::memcpy(p.data() + 8, &kernel_id, 8);
+    std::memcpy(p.data() + 16, &pool_base, 8);
+    std::memcpy(p.data() + 24, &pool_bound, 8);
+    std::memcpy(p.data() + 32, args.data(), args.size());
+    return p;
+}
+
+std::int64_t
+NdpRuntime::registerKernel(const std::string &source,
+                           const KernelResources &res)
+{
+    // 1) Place the kernel text in CXL memory (normal CXL.mem writes; large
+    //    inputs travel as data, not as function arguments).
+    auto &dev = port_.device();
+    for (std::uint64_t off = 0; off < source.size();
+         off += SparseMemory::kFrameSize) {
+        auto pa = process_.translate(code_staging_va_ + off);
+        M2_ASSERT(pa.has_value(), "staging buffer unmapped");
+        std::uint64_t chunk = std::min<std::uint64_t>(
+            SparseMemory::kFrameSize, source.size() - off);
+        // Functional content write; timing for the bulk copy is not on the
+        // offloading critical path (done once at setup).
+        std::string piece = source.substr(off, chunk);
+        // route through device functional port
+        dev.funcWrite(*pa, piece.data(), piece.size());
+    }
+
+    // 2) Call the register function.
+    std::vector<std::uint8_t> payload(19, 0);
+    std::uint64_t loc = code_staging_va_;
+    auto size32 = static_cast<std::uint32_t>(source.size());
+    std::memcpy(payload.data() + 0, &loc, 8);
+    std::memcpy(payload.data() + 8, &size32, 4);
+    std::memcpy(payload.data() + 12, &res.scratchpad_bytes, 4);
+    payload[16] = res.num_int_regs;
+    payload[17] = res.num_float_regs;
+    payload[18] = res.num_vector_regs;
+
+    Addr addr = funcAddr(M2Func::RegisterKernel);
+    port_.write(addr, payload.data(), payload.size());
+    // fence (store->load ordering) is implicit in the blocking calls
+    return port_.read<std::int64_t>(addr);
+}
+
+std::int64_t
+NdpRuntime::unregisterKernel(std::int64_t kernel_id)
+{
+    Addr addr = funcAddr(M2Func::UnregisterKernel);
+    port_.write(addr, &kernel_id, 8);
+    return port_.read<std::int64_t>(addr);
+}
+
+std::int64_t
+NdpRuntime::launchKernelSync(std::int64_t kernel_id, Addr pool_base,
+                             Addr pool_bound,
+                             const std::vector<std::uint8_t> &args)
+{
+    ++stats_.launches;
+    ++stats_.sync_launches;
+
+    if (cfg_.scheme == OffloadScheme::M2Func) {
+        auto payload =
+            packLaunchPayload(kernel_id, true, pool_base, pool_bound, args);
+        Addr addr = funcAddr(M2Func::LaunchKernel);
+        port_.write(addr, payload.data(), payload.size());
+        // The read response is deferred by the device until the kernel
+        // terminates (Section III-C).
+        return port_.read<std::int64_t>(addr);
+    }
+
+    // Baseline CXL.io schemes: issue async, then block.
+    bool done = false;
+    std::int64_t result = kNdpErr;
+    issueLaunch(kernel_id, true, pool_base, pool_bound, args,
+                [&](std::int64_t iid, Tick) {
+                    result = iid;
+                    done = true;
+                });
+    port_.runUntil(done);
+    return result;
+}
+
+void
+NdpRuntime::launchKernelAsync(std::int64_t kernel_id, Addr pool_base,
+                              Addr pool_bound,
+                              const std::vector<std::uint8_t> &args,
+                              std::function<void(std::int64_t, Tick)>
+                                  on_complete)
+{
+    ++stats_.launches;
+    issueLaunch(kernel_id, false, pool_base, pool_bound, args,
+                std::move(on_complete));
+}
+
+void
+NdpRuntime::issueLaunch(std::int64_t kernel_id, bool sync, Addr pool_base,
+                        Addr pool_bound,
+                        const std::vector<std::uint8_t> &args,
+                        std::function<void(std::int64_t, Tick)> on_complete)
+{
+    auto &eq = port_.eventQueue();
+    auto &dev = port_.device();
+
+    switch (cfg_.scheme) {
+      case OffloadScheme::M2Func: {
+        m2func_queue_.push_back(DirectLaunch{kernel_id, pool_base,
+                                             pool_bound, args,
+                                             std::move(on_complete)});
+        pumpM2FuncQueue();
+        return;
+      }
+      case OffloadScheme::CxlIoRingBuffer: {
+        // Fig. 5b: CMD enqueue + doorbell + command fetch: kernel starts
+        // 5y after the host initiates; completion (CMP + host check)
+        // reaches the host 3y after kernel end.
+        Tick y = cfg_.io.oneway_latency;
+        auto &ctrl = dev.controller();
+        Asid asid = process_.asid();
+        eq.scheduleAfter(5 * y, [this, &ctrl, &eq, asid, kernel_id,
+                                 pool_base, pool_bound, args,
+                                 cb = std::move(on_complete), y]() mutable {
+            std::int64_t iid = ctrl.launch(asid, kernel_id, false, pool_base,
+                                           pool_bound, args, {});
+            if (iid < 0) {
+                if (cb)
+                    cb(iid, eq.now());
+                return;
+            }
+            hookCompletion(iid, 3 * y, std::move(cb));
+        });
+        return;
+      }
+      case OffloadScheme::CxlIoDirect: {
+        direct_queue_.push_back(DirectLaunch{kernel_id, pool_base, pool_bound,
+                                             args, std::move(on_complete)});
+        pumpDirectQueue();
+        return;
+      }
+    }
+}
+
+void
+NdpRuntime::pumpM2FuncQueue()
+{
+    if (slot_busy_.empty())
+        slot_busy_.assign(kM2FuncLaunchSlots, false);
+    while (!m2func_queue_.empty()) {
+        // Find a free launch slot (round robin).
+        unsigned slot = kM2FuncLaunchSlots;
+        for (unsigned k = 0; k < kM2FuncLaunchSlots; ++k) {
+            unsigned cand = (rr_slot_ + k) % kM2FuncLaunchSlots;
+            if (!slot_busy_[cand]) {
+                slot = cand;
+                break;
+            }
+        }
+        if (slot == kM2FuncLaunchSlots)
+            return; // all slots have a launch in flight; retry on free
+        rr_slot_ = (slot + 1) % kM2FuncLaunchSlots;
+        slot_busy_[slot] = true;
+        DirectLaunch launch = std::move(m2func_queue_.front());
+        m2func_queue_.pop_front();
+        m2funcLaunchOn(slot, launch);
+    }
+}
+
+void
+NdpRuntime::m2funcLaunchOn(unsigned slot, const DirectLaunch &launch)
+{
+    // Synchronous-launch protocol on a private slot (Fig. 5a): the write
+    // carries the arguments, and the return-value read is *deferred by the
+    // device until the kernel terminates* — so its arrival doubles as the
+    // completion notification, with no extra poll round trip.
+    auto payload = packLaunchPayload(launch.kernel_id, true, launch.base,
+                                     launch.bound, launch.args);
+    Addr addr = m2func_pa_ +
+                (kM2FuncLaunchSlotBase + slot) * kM2FuncStride;
+    port_.writeAsync(addr, std::move(payload), [](Tick) {});
+    port_.readAsync(addr, 8,
+                    [this, addr, slot,
+                     cb = launch.on_complete](Tick t) mutable {
+                        std::int64_t iid = 0;
+                        port_.device().funcRead(addr, &iid, 8);
+                        slot_busy_[slot] = false;
+                        pumpM2FuncQueue();
+                        if (cb)
+                            cb(iid, t);
+                    });
+}
+
+void
+NdpRuntime::pumpDirectQueue()
+{
+    if (direct_busy_ || direct_queue_.empty())
+        return;
+    direct_busy_ = true;
+    DirectLaunch launch = std::move(direct_queue_.front());
+    direct_queue_.pop_front();
+
+    auto &eq = port_.eventQueue();
+    auto &ctrl = port_.device().controller();
+    Tick y = cfg_.io.oneway_latency;
+    Asid asid = process_.asid();
+    // Fig. 5c: MMIO doorbell: kernel starts 2y after initiation; the
+    // result register read costs another y after kernel end.
+    eq.scheduleAfter(2 * y, [this, &ctrl, &eq, asid, launch = std::move(launch),
+                             y]() mutable {
+        std::int64_t iid =
+            ctrl.launch(asid, launch.kernel_id, false, launch.base,
+                        launch.bound, launch.args, {});
+        if (iid < 0) {
+            direct_busy_ = false;
+            if (launch.on_complete)
+                launch.on_complete(iid, eq.now());
+            pumpDirectQueue();
+            return;
+        }
+        hookCompletion(iid, y,
+                       [this, cb = std::move(launch.on_complete)](
+                           std::int64_t id, Tick t) {
+                           direct_busy_ = false;
+                           if (cb)
+                               cb(id, t);
+                           pumpDirectQueue();
+                       });
+    });
+}
+
+void
+NdpRuntime::hookCompletion(std::int64_t iid, Tick extra_delay,
+                           std::function<void(std::int64_t, Tick)> cb)
+{
+    auto &eq = port_.eventQueue();
+    port_.device().controller().onInstanceComplete(
+        iid, [this, iid, extra_delay, &eq,
+              cb = std::move(cb)](Tick t) mutable {
+            if (!cb)
+                return;
+            if (cfg_.scheme == OffloadScheme::M2Func) {
+                // Completion notification costs one CXL.mem read (the
+                // deferred ndpPollKernelStatus fetch).
+                port_.readAsync(funcAddr(M2Func::PollKernelStatus), 8,
+                                [iid, cb = std::move(cb)](Tick rt) {
+                                    cb(iid, rt);
+                                });
+            } else {
+                eq.scheduleAfter(extra_delay,
+                                 [iid, t, extra_delay,
+                                  cb = std::move(cb)]() mutable {
+                                     cb(iid, t + extra_delay);
+                                 });
+            }
+        });
+}
+
+KernelStatus
+NdpRuntime::pollKernelStatus(std::int64_t instance_id)
+{
+    ++stats_.polls;
+    if (cfg_.scheme == OffloadScheme::M2Func) {
+        Addr addr = funcAddr(M2Func::PollKernelStatus);
+        port_.write(addr, &instance_id, 8);
+        return static_cast<KernelStatus>(port_.read<std::int64_t>(addr));
+    }
+    // CXL.io poll: one expensive MMIO/polling round trip (Section II-C).
+    bool done = false;
+    port_.eventQueue().scheduleAfter(cfg_.io.poll_latency,
+                                     [&done] { done = true; });
+    port_.runUntil(done);
+    return port_.device().controller().status(instance_id);
+}
+
+std::int64_t
+NdpRuntime::shootdownTlbEntry(Asid asid, Addr va)
+{
+    std::vector<std::uint8_t> payload(10, 0);
+    std::memcpy(payload.data(), &va, 8);
+    std::memcpy(payload.data() + 8, &asid, 2);
+    Addr addr = funcAddr(M2Func::ShootdownTlbEntry);
+    port_.write(addr, payload.data(), payload.size());
+    return port_.read<std::int64_t>(addr);
+}
+
+} // namespace m2ndp

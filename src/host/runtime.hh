@@ -1,0 +1,159 @@
+/**
+ * @file
+ * User-level library API for M2NDP (Table II) plus the conventional
+ * CXL.io/PCIe offloading schemes used as baselines (Section II-C, Fig. 5).
+ *
+ * With the M2func scheme, every API call is genuinely implemented as
+ * CXL.mem accesses to the process' M2func region: a store carrying the
+ * function arguments, a fence, and a load fetching the return value —
+ * exactly the protocol of Section III-B. The user never sees offsets or
+ * packet formats, mirroring the paper's API design goal.
+ *
+ * The CXL.io ring-buffer (RB) and direct-MMIO (DR) schemes charge the
+ * observed end-to-end latencies of the conventional mechanisms; DR
+ * additionally serializes kernels (dedicated device registers cannot be
+ * shared, Section III-C) — reproducing its throughput collapse (Fig. 11a).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "host/host.hh"
+#include "mem/page_table.hh"
+#include "ndp/kernel.hh"
+#include "ndp/ndp_controller.hh"
+
+namespace m2ndp {
+
+/** Which host<->device offloading mechanism to use. */
+enum class OffloadScheme : std::uint8_t {
+    M2Func,          ///< CXL.mem memory-mapped functions (this paper)
+    CxlIoRingBuffer, ///< conventional ring buffer + doorbell (Fig. 5b)
+    CxlIoDirect,     ///< dedicated device registers via MMIO (Fig. 5c)
+};
+
+const char *offloadSchemeName(OffloadScheme scheme);
+
+/** Runtime configuration. */
+struct NdpRuntimeConfig
+{
+    OffloadScheme scheme = OffloadScheme::M2Func;
+    CxlIoConfig io; ///< CXL.io latency constants for the baseline schemes
+};
+
+/** Per-runtime statistics. */
+struct NdpRuntimeStats
+{
+    std::uint64_t launches = 0;
+    std::uint64_t sync_launches = 0;
+    std::uint64_t polls = 0;
+    Histogram launch_overhead_ns; ///< host-observed non-kernel overhead
+};
+
+/**
+ * The user-level runtime bound to (process, device). Construct via
+ * System::createRuntime so the M2func region is installed first.
+ */
+class NdpRuntime
+{
+  public:
+    NdpRuntime(HostCxlPort &port, ProcessAddressSpace &process,
+               Addr m2func_region_pa, NdpRuntimeConfig cfg = {});
+
+    /**
+     * Table II: ndpRegisterKernel. Writes the kernel source text into CXL
+     * memory, then calls the register function. Blocking.
+     * @return kernel id, or negative on error.
+     */
+    std::int64_t registerKernel(const std::string &source,
+                                const KernelResources &res);
+
+    /** Table II: ndpUnregisterKernel. Blocking. */
+    std::int64_t unregisterKernel(std::int64_t kernel_id);
+
+    /**
+     * Table II: ndpLaunchKernel (synchronous). Blocks until the kernel
+     * completes (the return-value read is held by the device).
+     * @return kernel instance id, or negative on error.
+     */
+    std::int64_t launchKernelSync(std::int64_t kernel_id, Addr pool_base,
+                                  Addr pool_bound,
+                                  const std::vector<std::uint8_t> &args = {});
+
+    /**
+     * Table II: ndpLaunchKernel (asynchronous). Returns after the launch
+     * write is acknowledged; @p on_complete fires when the kernel instance
+     * finishes (host-side completion notification included).
+     */
+    void launchKernelAsync(std::int64_t kernel_id, Addr pool_base,
+                           Addr pool_bound,
+                           const std::vector<std::uint8_t> &args,
+                           std::function<void(std::int64_t, Tick)> on_complete);
+
+    /** Table II: ndpPollKernelStatus. Blocking. */
+    KernelStatus pollKernelStatus(std::int64_t instance_id);
+
+    /** Table II: ndpShootdownTlbEntry (privileged). Blocking. */
+    std::int64_t shootdownTlbEntry(Asid asid, Addr va);
+
+    const NdpRuntimeStats &stats() const { return stats_; }
+    ProcessAddressSpace &process() { return process_; }
+    HostCxlPort &port() { return port_; }
+    const NdpRuntimeConfig &config() const { return cfg_; }
+
+  private:
+    /** Pack+issue a launch via the configured scheme. */
+    void issueLaunch(std::int64_t kernel_id, bool sync, Addr pool_base,
+                     Addr pool_bound, const std::vector<std::uint8_t> &args,
+                     std::function<void(std::int64_t, Tick)> on_complete);
+
+    std::vector<std::uint8_t> packLaunchPayload(
+        std::int64_t kernel_id, bool sync, Addr pool_base, Addr pool_bound,
+        const std::vector<std::uint8_t> &args) const;
+
+    /** Arrange host-side completion notification for instance @p iid. */
+    void hookCompletion(std::int64_t iid, Tick extra_delay,
+                        std::function<void(std::int64_t, Tick)> cb);
+
+    Addr funcAddr(M2Func fn) const
+    {
+        return m2func_pa_ + static_cast<std::uint64_t>(fn) * kM2FuncStride;
+    }
+
+    /** CXL.io direct scheme: one kernel at a time. */
+    void pumpDirectQueue();
+
+    HostCxlPort &port_;
+    ProcessAddressSpace &process_;
+    Addr m2func_pa_;
+    NdpRuntimeConfig cfg_;
+    NdpRuntimeStats stats_;
+
+    /** Staging area in CXL memory for kernel source text. */
+    Addr code_staging_va_ = 0;
+
+    struct DirectLaunch
+    {
+        std::int64_t kernel_id;
+        Addr base, bound;
+        std::vector<std::uint8_t> args;
+        std::function<void(std::int64_t, Tick)> on_complete;
+    };
+    std::deque<DirectLaunch> direct_queue_;
+    bool direct_busy_ = false;
+
+    /** M2func async launches use a pool of launch-slot offsets so each
+     *  write->read return-value pair has a private slot (Section III-B). */
+    void m2funcLaunchOn(unsigned slot, const DirectLaunch &launch);
+    void pumpM2FuncQueue();
+    std::vector<bool> slot_busy_;
+    std::deque<DirectLaunch> m2func_queue_;
+    unsigned rr_slot_ = 0;
+};
+
+} // namespace m2ndp

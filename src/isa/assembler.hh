@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Two-pass textual assembler for M2NDP kernels.
+ *
+ * Syntax (one instruction per line; '#' or '//' comments):
+ *
+ *     .name histo256            # optional kernel name
+ *     .init                     # initializer section (Section III-G)
+ *         li   x3, %spad
+ *         sw   x0, 0(x3)
+ *     .body                     # kernel body (repeatable for multi-phase)
+ *     loop:
+ *         vle32.v v2, (x1)
+ *         bne  x4, x0, loop
+ *     .fini                     # finalizer section
+ *         amoadd.d x4, x4, (x3)
+ *
+ * Registers: x0..x31 (zero == x0), f0..f31, v0..v31.
+ * Immediates: decimal, 0x-hex, and %symbol[+/-offset] constants
+ * (%spad, %args, ... installed by the runtime; see setConstant()).
+ * Masked vector forms take a trailing ", v0.t".
+ *
+ * Errors are reported with M2_FATAL (user error) including line numbers.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "isa/inst.hh"
+
+namespace m2ndp::isa {
+
+class Assembler
+{
+  public:
+    Assembler();
+
+    /** Define or redefine a %symbol usable in immediate fields. */
+    void setConstant(const std::string &name, std::int64_t value);
+
+    /** Assemble full kernel text into sections. */
+    AssembledKernel assemble(const std::string &text) const;
+
+  private:
+    std::unordered_map<std::string, std::int64_t> constants_;
+};
+
+} // namespace m2ndp::isa

@@ -1,0 +1,1101 @@
+#include "isa/executor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace m2ndp::isa {
+
+namespace {
+
+constexpr std::uint64_t kNanBoxHigh = 0xFFFFFFFF00000000ull;
+
+/** Zero-extended element read with runtime element width. */
+std::uint64_t
+vget(const VecReg &r, unsigned sew, unsigned i)
+{
+    switch (sew) {
+      case 1: return r.get<std::uint8_t>(i);
+      case 2: return r.get<std::uint16_t>(i);
+      case 4: return r.get<std::uint32_t>(i);
+      case 8: return r.get<std::uint64_t>(i);
+      default: M2_PANIC("bad SEW ", sew);
+    }
+}
+
+/** Sign-extended element read. */
+std::int64_t
+vgetS(const VecReg &r, unsigned sew, unsigned i)
+{
+    return signExtend(vget(r, sew, i), sew * 8);
+}
+
+/** Truncating element write. */
+void
+vset(VecReg &r, unsigned sew, unsigned i, std::uint64_t v)
+{
+    switch (sew) {
+      case 1: r.set<std::uint8_t>(i, static_cast<std::uint8_t>(v)); break;
+      case 2: r.set<std::uint16_t>(i, static_cast<std::uint16_t>(v)); break;
+      case 4: r.set<std::uint32_t>(i, static_cast<std::uint32_t>(v)); break;
+      case 8: r.set<std::uint64_t>(i, v); break;
+      default: M2_PANIC("bad SEW ", sew);
+    }
+}
+
+double
+vgetF(const VecReg &r, unsigned sew, unsigned i)
+{
+    if (sew == 4)
+        return r.get<float>(i);
+    if (sew == 8)
+        return r.get<double>(i);
+    M2_PANIC("bad FP SEW ", sew);
+}
+
+void
+vsetF(VecReg &r, unsigned sew, unsigned i, double v)
+{
+    if (sew == 4)
+        r.set<float>(i, static_cast<float>(v));
+    else if (sew == 8)
+        r.set<double>(i, v);
+    else
+        M2_PANIC("bad FP SEW ", sew);
+}
+
+float
+asF32(std::uint64_t bits)
+{
+    float f;
+    std::uint32_t lo = static_cast<std::uint32_t>(bits);
+    std::memcpy(&f, &lo, sizeof(f));
+    return f;
+}
+
+std::uint64_t
+boxF32(float f)
+{
+    std::uint32_t lo;
+    std::memcpy(&lo, &f, sizeof(f));
+    return kNanBoxHigh | lo;
+}
+
+double
+asF64(std::uint64_t bits)
+{
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+}
+
+std::uint64_t
+boxF64(double d)
+{
+    std::uint64_t v;
+    std::memcpy(&v, &d, sizeof(d));
+    return v;
+}
+
+/** Coalesce element accesses into 32 B-sector MemRefs. */
+void
+coalesce(std::vector<MemRef> &out, bool is_store,
+         const std::vector<Addr> &addrs, unsigned width)
+{
+    std::vector<Addr> sectors;
+    sectors.reserve(addrs.size() * 2);
+    for (Addr a : addrs) {
+        sectors.push_back(alignDown(a, kVlenBytes));
+        if ((a + width - 1) / kVlenBytes != a / kVlenBytes)
+            sectors.push_back(alignDown(a + width - 1, kVlenBytes));
+    }
+    std::sort(sectors.begin(), sectors.end());
+    sectors.erase(std::unique(sectors.begin(), sectors.end()), sectors.end());
+    for (Addr s : sectors)
+        out.push_back(MemRef{is_store, s, kVlenBytes});
+}
+
+} // namespace
+
+StepResult
+step(UthreadContext &ctx, const std::vector<Instruction> &code, MemoryIf &mem)
+{
+    M2_ASSERT(ctx.pc < code.size(), "PC out of range: ", ctx.pc, " of ",
+              code.size());
+    const Instruction &in = code[ctx.pc];
+    ++ctx.instret;
+
+    StepResult res;
+    res.fu = fuTypeOf(in.op);
+    res.latency = latencyOf(in.op);
+
+    // Register provisioning checks (Section III-D): the kernel declared how
+    // many registers it needs; exceeding that is a kernel bug.
+    auto checkX = [&](unsigned r) {
+        M2_ASSERT(r == 0 || r < ctx.num_x, "x", r,
+                  " exceeds provisioned int registers (", unsigned(ctx.num_x),
+                  ") at line ", in.line);
+    };
+    auto checkF = [&](unsigned r) {
+        M2_ASSERT(r < ctx.num_f, "f", r, " exceeds provisioned FP registers (",
+                  unsigned(ctx.num_f), ") at line ", in.line);
+    };
+    auto checkV = [&](unsigned r) {
+        M2_ASSERT(r < ctx.num_v, "v", r,
+                  " exceeds provisioned vector registers (",
+                  unsigned(ctx.num_v), ") at line ", in.line);
+    };
+
+    auto rx = [&](unsigned r) -> std::uint64_t {
+        checkX(r);
+        return r == 0 ? 0 : ctx.x[r];
+    };
+    auto wx = [&](unsigned r, std::uint64_t v) {
+        checkX(r);
+        if (r != 0)
+            ctx.x[r] = v;
+    };
+    auto rf = [&](unsigned r) -> std::uint64_t {
+        checkF(r);
+        return ctx.f[r];
+    };
+    auto wf = [&](unsigned r, std::uint64_t v) {
+        checkF(r);
+        ctx.f[r] = v;
+    };
+
+    auto branchTo = [&](bool taken) {
+        M2_ASSERT(in.target >= 0, "unresolved branch target at line ", in.line);
+        ctx.pc = taken ? static_cast<std::uint32_t>(in.target) : ctx.pc + 1;
+    };
+
+    // Scalar loads/stores.
+    auto scalarLoad = [&](unsigned width, bool sign_extend_result,
+                          bool to_fp) {
+        Addr va = rx(in.rs1) + static_cast<std::uint64_t>(in.imm);
+        std::uint64_t raw = 0;
+        mem.read(va, &raw, width);
+        if (to_fp) {
+            wf(in.rd, width == 4 ? (kNanBoxHigh | raw) : raw);
+        } else {
+            wx(in.rd, sign_extend_result ? static_cast<std::uint64_t>(
+                                               signExtend(raw, width * 8))
+                                         : raw);
+        }
+        res.mem.push_back(MemRef{false, va, static_cast<std::uint8_t>(width)});
+        res.blocking_mem = true;
+    };
+    auto scalarStore = [&](unsigned width, bool from_fp) {
+        Addr va = rx(in.rs1) + static_cast<std::uint64_t>(in.imm);
+        std::uint64_t raw = from_fp ? rf(in.rs2) : rx(in.rs2);
+        mem.write(va, &raw, width);
+        res.mem.push_back(MemRef{true, va, static_cast<std::uint8_t>(width)});
+        // Stores are posted; the uthread does not stall.
+    };
+    auto amo = [&](AmoOp op, unsigned width) {
+        Addr va = rx(in.rs1);
+        M2_ASSERT(va % width == 0, "misaligned AMO at line ", in.line);
+        std::uint64_t old = mem.amo(op, va, rx(in.rs2), width);
+        wx(in.rd, width == 4 ? static_cast<std::uint64_t>(
+                                   signExtend(old, 32))
+                             : old);
+        res.mem.push_back(MemRef{true, va, static_cast<std::uint8_t>(width)});
+        res.blocking_mem = true;
+    };
+
+    // Vector helpers.
+    const unsigned sew = ctx.sew;
+    const unsigned vl = ctx.vl;
+    auto active = [&](unsigned i) {
+        return !in.masked || ctx.v[0].maskBit(i);
+    };
+    auto vloadUnit = [&](unsigned eew) {
+        checkV(in.rd);
+        Addr base = rx(in.rs1) + static_cast<std::uint64_t>(in.imm);
+        std::vector<Addr> addrs;
+        for (unsigned i = 0; i < vl; ++i) {
+            if (!active(i))
+                continue;
+            Addr va = base + static_cast<std::uint64_t>(i) * eew;
+            std::uint64_t raw = 0;
+            mem.read(va, &raw, eew);
+            vset(ctx.v[in.rd], eew, i, raw);
+            addrs.push_back(va);
+        }
+        coalesce(res.mem, false, addrs, eew);
+        res.blocking_mem = !addrs.empty();
+    };
+    auto vstoreUnit = [&](unsigned eew) {
+        checkV(in.rs3);
+        Addr base = rx(in.rs1) + static_cast<std::uint64_t>(in.imm);
+        std::vector<Addr> addrs;
+        for (unsigned i = 0; i < vl; ++i) {
+            if (!active(i))
+                continue;
+            Addr va = base + static_cast<std::uint64_t>(i) * eew;
+            std::uint64_t raw = vget(ctx.v[in.rs3], eew, i);
+            mem.write(va, &raw, eew);
+            addrs.push_back(va);
+        }
+        coalesce(res.mem, true, addrs, eew);
+    };
+    auto vloadStrided = [&](unsigned eew) {
+        checkV(in.rd);
+        Addr base = rx(in.rs1) + static_cast<std::uint64_t>(in.imm);
+        std::uint64_t stride = rx(in.rs2);
+        std::vector<Addr> addrs;
+        for (unsigned i = 0; i < vl; ++i) {
+            if (!active(i))
+                continue;
+            Addr va = base + static_cast<std::uint64_t>(i) * stride;
+            std::uint64_t raw = 0;
+            mem.read(va, &raw, eew);
+            vset(ctx.v[in.rd], eew, i, raw);
+            addrs.push_back(va);
+        }
+        coalesce(res.mem, false, addrs, eew);
+        res.blocking_mem = !addrs.empty();
+    };
+    auto vgather = [&](unsigned index_eew) {
+        checkV(in.rd);
+        checkV(in.rs2);
+        Addr base = rx(in.rs1) + static_cast<std::uint64_t>(in.imm);
+        std::vector<Addr> addrs;
+        for (unsigned i = 0; i < vl; ++i) {
+            if (!active(i))
+                continue;
+            Addr va = base + vget(ctx.v[in.rs2], index_eew, i);
+            std::uint64_t raw = 0;
+            mem.read(va, &raw, sew);
+            vset(ctx.v[in.rd], sew, i, raw);
+            addrs.push_back(va);
+        }
+        coalesce(res.mem, false, addrs, sew);
+        res.blocking_mem = !addrs.empty();
+    };
+    auto vscatter = [&](unsigned index_eew) {
+        checkV(in.rs3);
+        checkV(in.rs2);
+        Addr base = rx(in.rs1) + static_cast<std::uint64_t>(in.imm);
+        std::vector<Addr> addrs;
+        for (unsigned i = 0; i < vl; ++i) {
+            if (!active(i))
+                continue;
+            Addr va = base + vget(ctx.v[in.rs2], index_eew, i);
+            std::uint64_t raw = vget(ctx.v[in.rs3], sew, i);
+            mem.write(va, &raw, sew);
+            addrs.push_back(va);
+        }
+        coalesce(res.mem, true, addrs, sew);
+    };
+
+    /** vd[i] = fn(vs2[i], src1) with unsigned semantics. */
+    auto vBinop = [&](std::uint64_t (*fn)(std::uint64_t, std::uint64_t),
+                      std::uint64_t scalar_operand, bool src_is_vector) {
+        checkV(in.rd);
+        checkV(in.rs2);
+        if (src_is_vector)
+            checkV(in.rs1);
+        for (unsigned i = 0; i < vl; ++i) {
+            if (!active(i))
+                continue;
+            std::uint64_t a = vget(ctx.v[in.rs2], sew, i);
+            std::uint64_t b = src_is_vector ? vget(ctx.v[in.rs1], sew, i)
+                                            : scalar_operand;
+            vset(ctx.v[in.rd], sew, i, fn(a, b));
+        }
+    };
+
+    /** vd[i] = fn(vs2[i], src1) on doubles (sew 4 or 8). */
+    auto vfBinop = [&](double (*fn)(double, double), bool src_is_vector) {
+        checkV(in.rd);
+        checkV(in.rs2);
+        double scalar = 0.0;
+        if (src_is_vector) {
+            checkV(in.rs1);
+        } else {
+            scalar = sew == 4 ? asF32(rf(in.rs1)) : asF64(rf(in.rs1));
+        }
+        for (unsigned i = 0; i < vl; ++i) {
+            if (!active(i))
+                continue;
+            double a = vgetF(ctx.v[in.rs2], sew, i);
+            double b = src_is_vector ? vgetF(ctx.v[in.rs1], sew, i) : scalar;
+            vsetF(ctx.v[in.rd], sew, i, fn(a, b));
+        }
+    };
+
+    /** Mask-producing compare: v[rd] bit i = fn(vs2[i], operand). */
+    auto vCompare = [&](bool (*fn)(std::int64_t, std::int64_t),
+                        std::int64_t scalar_operand, bool src_is_vector,
+                        bool is_unsigned) {
+        checkV(in.rd);
+        checkV(in.rs2);
+        if (src_is_vector)
+            checkV(in.rs1);
+        for (unsigned i = 0; i < vl; ++i) {
+            if (!active(i))
+                continue;
+            std::int64_t a, b;
+            if (is_unsigned) {
+                a = static_cast<std::int64_t>(vget(ctx.v[in.rs2], sew, i));
+                b = src_is_vector ? static_cast<std::int64_t>(
+                                        vget(ctx.v[in.rs1], sew, i))
+                                  : scalar_operand;
+            } else {
+                a = vgetS(ctx.v[in.rs2], sew, i);
+                b = src_is_vector ? vgetS(ctx.v[in.rs1], sew, i)
+                                  : scalar_operand;
+            }
+            ctx.v[in.rd].setMaskBit(i, fn(a, b));
+        }
+    };
+
+    auto vfCompare = [&](bool (*fn)(double, double)) {
+        checkV(in.rd);
+        checkV(in.rs2);
+        double scalar = sew == 4 ? asF32(rf(in.rs1)) : asF64(rf(in.rs1));
+        for (unsigned i = 0; i < vl; ++i) {
+            if (!active(i))
+                continue;
+            ctx.v[in.rd].setMaskBit(i, fn(vgetF(ctx.v[in.rs2], sew, i),
+                                          scalar));
+        }
+    };
+
+    bool pc_set = false;
+
+    switch (in.op) {
+      // ------------------------------------------------------- scalar int
+      case Opcode::NOP:
+        break;
+      case Opcode::LUI:
+        wx(in.rd, static_cast<std::uint64_t>(in.imm) << 12);
+        break;
+      case Opcode::LI:
+        wx(in.rd, static_cast<std::uint64_t>(in.imm));
+        break;
+      case Opcode::MV:
+        wx(in.rd, rx(in.rs1));
+        break;
+      case Opcode::ADD: wx(in.rd, rx(in.rs1) + rx(in.rs2)); break;
+      case Opcode::ADDI:
+        wx(in.rd, rx(in.rs1) + static_cast<std::uint64_t>(in.imm));
+        break;
+      case Opcode::ADDW:
+        wx(in.rd, static_cast<std::uint64_t>(signExtend(
+                      static_cast<std::uint32_t>(rx(in.rs1) + rx(in.rs2)), 32)));
+        break;
+      case Opcode::ADDIW:
+        wx(in.rd, static_cast<std::uint64_t>(signExtend(
+                      static_cast<std::uint32_t>(
+                          rx(in.rs1) + static_cast<std::uint64_t>(in.imm)),
+                      32)));
+        break;
+      case Opcode::SUB: wx(in.rd, rx(in.rs1) - rx(in.rs2)); break;
+      case Opcode::SUBW:
+        wx(in.rd, static_cast<std::uint64_t>(signExtend(
+                      static_cast<std::uint32_t>(rx(in.rs1) - rx(in.rs2)), 32)));
+        break;
+      case Opcode::AND: wx(in.rd, rx(in.rs1) & rx(in.rs2)); break;
+      case Opcode::ANDI:
+        wx(in.rd, rx(in.rs1) & static_cast<std::uint64_t>(in.imm));
+        break;
+      case Opcode::OR: wx(in.rd, rx(in.rs1) | rx(in.rs2)); break;
+      case Opcode::ORI:
+        wx(in.rd, rx(in.rs1) | static_cast<std::uint64_t>(in.imm));
+        break;
+      case Opcode::XOR: wx(in.rd, rx(in.rs1) ^ rx(in.rs2)); break;
+      case Opcode::XORI:
+        wx(in.rd, rx(in.rs1) ^ static_cast<std::uint64_t>(in.imm));
+        break;
+      case Opcode::SLL: wx(in.rd, rx(in.rs1) << (rx(in.rs2) & 63)); break;
+      case Opcode::SLLI: wx(in.rd, rx(in.rs1) << (in.imm & 63)); break;
+      case Opcode::SRL: wx(in.rd, rx(in.rs1) >> (rx(in.rs2) & 63)); break;
+      case Opcode::SRLI: wx(in.rd, rx(in.rs1) >> (in.imm & 63)); break;
+      case Opcode::SRA:
+        wx(in.rd, static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(rx(in.rs1)) >>
+                      (rx(in.rs2) & 63)));
+        break;
+      case Opcode::SRAI:
+        wx(in.rd, static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(rx(in.rs1)) >> (in.imm & 63)));
+        break;
+      case Opcode::SLT:
+        wx(in.rd, static_cast<std::int64_t>(rx(in.rs1)) <
+                          static_cast<std::int64_t>(rx(in.rs2))
+                      ? 1
+                      : 0);
+        break;
+      case Opcode::SLTI:
+        wx(in.rd, static_cast<std::int64_t>(rx(in.rs1)) < in.imm ? 1 : 0);
+        break;
+      case Opcode::SLTU:
+        wx(in.rd, rx(in.rs1) < rx(in.rs2) ? 1 : 0);
+        break;
+      case Opcode::SLTIU:
+        wx(in.rd, rx(in.rs1) < static_cast<std::uint64_t>(in.imm) ? 1 : 0);
+        break;
+      case Opcode::MUL: wx(in.rd, rx(in.rs1) * rx(in.rs2)); break;
+      case Opcode::MULW:
+        wx(in.rd, static_cast<std::uint64_t>(signExtend(
+                      static_cast<std::uint32_t>(rx(in.rs1) * rx(in.rs2)), 32)));
+        break;
+      case Opcode::MULH:
+        wx(in.rd,
+           static_cast<std::uint64_t>(
+               (static_cast<__int128>(static_cast<std::int64_t>(rx(in.rs1))) *
+                static_cast<__int128>(static_cast<std::int64_t>(rx(in.rs2)))) >>
+               64));
+        break;
+      case Opcode::DIV: {
+        auto a = static_cast<std::int64_t>(rx(in.rs1));
+        auto b = static_cast<std::int64_t>(rx(in.rs2));
+        wx(in.rd, b == 0 ? ~0ull : static_cast<std::uint64_t>(a / b));
+        break;
+      }
+      case Opcode::DIVU: {
+        std::uint64_t b = rx(in.rs2);
+        wx(in.rd, b == 0 ? ~0ull : rx(in.rs1) / b);
+        break;
+      }
+      case Opcode::REM: {
+        auto a = static_cast<std::int64_t>(rx(in.rs1));
+        auto b = static_cast<std::int64_t>(rx(in.rs2));
+        wx(in.rd, b == 0 ? static_cast<std::uint64_t>(a)
+                         : static_cast<std::uint64_t>(a % b));
+        break;
+      }
+      case Opcode::REMU: {
+        std::uint64_t b = rx(in.rs2);
+        wx(in.rd, b == 0 ? rx(in.rs1) : rx(in.rs1) % b);
+        break;
+      }
+
+      // ------------------------------------------------------ control flow
+      case Opcode::BEQ: branchTo(rx(in.rs1) == rx(in.rs2)); pc_set = true; break;
+      case Opcode::BNE: branchTo(rx(in.rs1) != rx(in.rs2)); pc_set = true; break;
+      case Opcode::BLT:
+        branchTo(static_cast<std::int64_t>(rx(in.rs1)) <
+                 static_cast<std::int64_t>(rx(in.rs2)));
+        pc_set = true;
+        break;
+      case Opcode::BGE:
+        branchTo(static_cast<std::int64_t>(rx(in.rs1)) >=
+                 static_cast<std::int64_t>(rx(in.rs2)));
+        pc_set = true;
+        break;
+      case Opcode::BLTU: branchTo(rx(in.rs1) < rx(in.rs2)); pc_set = true; break;
+      case Opcode::BGEU: branchTo(rx(in.rs1) >= rx(in.rs2)); pc_set = true; break;
+      case Opcode::J: case Opcode::JAL:
+        branchTo(true);
+        pc_set = true;
+        break;
+
+      // ------------------------------------------------------ scalar memory
+      case Opcode::LB: scalarLoad(1, true, false); break;
+      case Opcode::LBU: scalarLoad(1, false, false); break;
+      case Opcode::LH: scalarLoad(2, true, false); break;
+      case Opcode::LHU: scalarLoad(2, false, false); break;
+      case Opcode::LW: scalarLoad(4, true, false); break;
+      case Opcode::LWU: scalarLoad(4, false, false); break;
+      case Opcode::LD: scalarLoad(8, false, false); break;
+      case Opcode::SB: scalarStore(1, false); break;
+      case Opcode::SH: scalarStore(2, false); break;
+      case Opcode::SW: scalarStore(4, false); break;
+      case Opcode::SD: scalarStore(8, false); break;
+      case Opcode::FLW: scalarLoad(4, false, true); break;
+      case Opcode::FLD: scalarLoad(8, false, true); break;
+      case Opcode::FSW: scalarStore(4, true); break;
+      case Opcode::FSD: scalarStore(8, true); break;
+
+      case Opcode::AMOADD_W: amo(AmoOp::Add, 4); break;
+      case Opcode::AMOADD_D: amo(AmoOp::Add, 8); break;
+      case Opcode::AMOSWAP_W: amo(AmoOp::Swap, 4); break;
+      case Opcode::AMOSWAP_D: amo(AmoOp::Swap, 8); break;
+      case Opcode::AMOMIN_W: amo(AmoOp::Min, 4); break;
+      case Opcode::AMOMIN_D: amo(AmoOp::Min, 8); break;
+      case Opcode::AMOMAX_W: amo(AmoOp::Max, 4); break;
+      case Opcode::AMOMAX_D: amo(AmoOp::Max, 8); break;
+      case Opcode::AMOMINU_W: amo(AmoOp::MinU, 4); break;
+      case Opcode::AMOMINU_D: amo(AmoOp::MinU, 8); break;
+      case Opcode::AMOMAXU_W: amo(AmoOp::MaxU, 4); break;
+      case Opcode::AMOMAXU_D: amo(AmoOp::MaxU, 8); break;
+      case Opcode::AMOAND_W: amo(AmoOp::And, 4); break;
+      case Opcode::AMOAND_D: amo(AmoOp::And, 8); break;
+      case Opcode::AMOOR_W: amo(AmoOp::Or, 4); break;
+      case Opcode::AMOOR_D: amo(AmoOp::Or, 8); break;
+      case Opcode::AMOXOR_W: amo(AmoOp::Xor, 4); break;
+      case Opcode::AMOXOR_D: amo(AmoOp::Xor, 8); break;
+
+      case Opcode::FENCE:
+        // Functional-first: stores already applied; timing layer may drain.
+        break;
+
+      // ------------------------------------------------------- scalar float
+      case Opcode::FADD_S: wf(in.rd, boxF32(asF32(rf(in.rs1)) + asF32(rf(in.rs2)))); break;
+      case Opcode::FSUB_S: wf(in.rd, boxF32(asF32(rf(in.rs1)) - asF32(rf(in.rs2)))); break;
+      case Opcode::FMUL_S: wf(in.rd, boxF32(asF32(rf(in.rs1)) * asF32(rf(in.rs2)))); break;
+      case Opcode::FDIV_S: wf(in.rd, boxF32(asF32(rf(in.rs1)) / asF32(rf(in.rs2)))); break;
+      case Opcode::FSQRT_S: wf(in.rd, boxF32(std::sqrt(asF32(rf(in.rs1))))); break;
+      case Opcode::FMADD_S:
+        wf(in.rd, boxF32(asF32(rf(in.rs1)) * asF32(rf(in.rs2)) +
+                         asF32(rf(in.rs3))));
+        break;
+      case Opcode::FMIN_S: wf(in.rd, boxF32(std::fmin(asF32(rf(in.rs1)), asF32(rf(in.rs2))))); break;
+      case Opcode::FMAX_S: wf(in.rd, boxF32(std::fmax(asF32(rf(in.rs1)), asF32(rf(in.rs2))))); break;
+      case Opcode::FADD_D: wf(in.rd, boxF64(asF64(rf(in.rs1)) + asF64(rf(in.rs2)))); break;
+      case Opcode::FSUB_D: wf(in.rd, boxF64(asF64(rf(in.rs1)) - asF64(rf(in.rs2)))); break;
+      case Opcode::FMUL_D: wf(in.rd, boxF64(asF64(rf(in.rs1)) * asF64(rf(in.rs2)))); break;
+      case Opcode::FDIV_D: wf(in.rd, boxF64(asF64(rf(in.rs1)) / asF64(rf(in.rs2)))); break;
+      case Opcode::FSQRT_D: wf(in.rd, boxF64(std::sqrt(asF64(rf(in.rs1))))); break;
+      case Opcode::FMADD_D:
+        wf(in.rd, boxF64(asF64(rf(in.rs1)) * asF64(rf(in.rs2)) +
+                         asF64(rf(in.rs3))));
+        break;
+      case Opcode::FMIN_D: wf(in.rd, boxF64(std::fmin(asF64(rf(in.rs1)), asF64(rf(in.rs2))))); break;
+      case Opcode::FMAX_D: wf(in.rd, boxF64(std::fmax(asF64(rf(in.rs1)), asF64(rf(in.rs2))))); break;
+      case Opcode::FMV_S: case Opcode::FMV_D: wf(in.rd, rf(in.rs1)); break;
+      case Opcode::FMV_X_W:
+        wx(in.rd, static_cast<std::uint64_t>(
+                      signExtend(rf(in.rs1) & 0xFFFFFFFFull, 32)));
+        break;
+      case Opcode::FMV_W_X: wf(in.rd, kNanBoxHigh | (rx(in.rs1) & 0xFFFFFFFFull)); break;
+      case Opcode::FMV_X_D: wx(in.rd, rf(in.rs1)); break;
+      case Opcode::FMV_D_X: wf(in.rd, rx(in.rs1)); break;
+      case Opcode::FCVT_S_W:
+        wf(in.rd, boxF32(static_cast<float>(
+                      static_cast<std::int32_t>(rx(in.rs1)))));
+        break;
+      case Opcode::FCVT_S_L:
+        wf(in.rd, boxF32(static_cast<float>(
+                      static_cast<std::int64_t>(rx(in.rs1)))));
+        break;
+      case Opcode::FCVT_D_W:
+        wf(in.rd, boxF64(static_cast<double>(
+                      static_cast<std::int32_t>(rx(in.rs1)))));
+        break;
+      case Opcode::FCVT_D_L:
+        wf(in.rd, boxF64(static_cast<double>(
+                      static_cast<std::int64_t>(rx(in.rs1)))));
+        break;
+      case Opcode::FCVT_W_S:
+        wx(in.rd, static_cast<std::uint64_t>(static_cast<std::int64_t>(
+                      static_cast<std::int32_t>(asF32(rf(in.rs1))))));
+        break;
+      case Opcode::FCVT_L_S:
+        wx(in.rd, static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(asF32(rf(in.rs1)))));
+        break;
+      case Opcode::FCVT_W_D:
+        wx(in.rd, static_cast<std::uint64_t>(static_cast<std::int64_t>(
+                      static_cast<std::int32_t>(asF64(rf(in.rs1))))));
+        break;
+      case Opcode::FCVT_L_D:
+        wx(in.rd, static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(asF64(rf(in.rs1)))));
+        break;
+      case Opcode::FCVT_D_S: wf(in.rd, boxF64(asF32(rf(in.rs1)))); break;
+      case Opcode::FCVT_S_D: wf(in.rd, boxF32(static_cast<float>(asF64(rf(in.rs1))))); break;
+      case Opcode::FEQ_S: wx(in.rd, asF32(rf(in.rs1)) == asF32(rf(in.rs2)) ? 1 : 0); break;
+      case Opcode::FEQ_D: wx(in.rd, asF64(rf(in.rs1)) == asF64(rf(in.rs2)) ? 1 : 0); break;
+      case Opcode::FLT_S: wx(in.rd, asF32(rf(in.rs1)) < asF32(rf(in.rs2)) ? 1 : 0); break;
+      case Opcode::FLT_D: wx(in.rd, asF64(rf(in.rs1)) < asF64(rf(in.rs2)) ? 1 : 0); break;
+      case Opcode::FLE_S: wx(in.rd, asF32(rf(in.rs1)) <= asF32(rf(in.rs2)) ? 1 : 0); break;
+      case Opcode::FLE_D: wx(in.rd, asF64(rf(in.rs1)) <= asF64(rf(in.rs2)) ? 1 : 0); break;
+
+      // ---------------------------------------------------- vector config
+      case Opcode::VSETVLI: {
+        ctx.sew = in.sew;
+        unsigned vlmax = kVlenBytes / in.sew;
+        std::uint64_t avl = in.rs1 == 0 ? vlmax : rx(in.rs1);
+        ctx.vl = static_cast<std::uint32_t>(std::min<std::uint64_t>(avl, vlmax));
+        wx(in.rd, ctx.vl);
+        break;
+      }
+
+      // ---------------------------------------------------- vector memory
+      case Opcode::VLE8: vloadUnit(1); break;
+      case Opcode::VLE16: vloadUnit(2); break;
+      case Opcode::VLE32: vloadUnit(4); break;
+      case Opcode::VLE64: vloadUnit(8); break;
+      case Opcode::VSE8: vstoreUnit(1); break;
+      case Opcode::VSE16: vstoreUnit(2); break;
+      case Opcode::VSE32: vstoreUnit(4); break;
+      case Opcode::VSE64: vstoreUnit(8); break;
+      case Opcode::VLSE32: vloadStrided(4); break;
+      case Opcode::VLSE64: vloadStrided(8); break;
+      case Opcode::VLUXEI32: vgather(4); break;
+      case Opcode::VLUXEI64: vgather(8); break;
+      case Opcode::VSUXEI32: vscatter(4); break;
+      case Opcode::VSUXEI64: vscatter(8); break;
+
+      // ------------------------------------------------------- vector int
+      case Opcode::VADD_VV:
+        vBinop([](std::uint64_t a, std::uint64_t b) { return a + b; }, 0, true);
+        break;
+      case Opcode::VADD_VX:
+        vBinop([](std::uint64_t a, std::uint64_t b) { return a + b; },
+               rx(in.rs1), false);
+        break;
+      case Opcode::VADD_VI:
+        vBinop([](std::uint64_t a, std::uint64_t b) { return a + b; },
+               static_cast<std::uint64_t>(in.imm), false);
+        break;
+      case Opcode::VSUB_VV:
+        vBinop([](std::uint64_t a, std::uint64_t b) { return a - b; }, 0, true);
+        break;
+      case Opcode::VSUB_VX:
+        vBinop([](std::uint64_t a, std::uint64_t b) { return a - b; },
+               rx(in.rs1), false);
+        break;
+      case Opcode::VMUL_VV:
+        vBinop([](std::uint64_t a, std::uint64_t b) { return a * b; }, 0, true);
+        break;
+      case Opcode::VMUL_VX:
+        vBinop([](std::uint64_t a, std::uint64_t b) { return a * b; },
+               rx(in.rs1), false);
+        break;
+      case Opcode::VAND_VV:
+        vBinop([](std::uint64_t a, std::uint64_t b) { return a & b; }, 0, true);
+        break;
+      case Opcode::VAND_VX:
+        vBinop([](std::uint64_t a, std::uint64_t b) { return a & b; },
+               rx(in.rs1), false);
+        break;
+      case Opcode::VAND_VI:
+        vBinop([](std::uint64_t a, std::uint64_t b) { return a & b; },
+               static_cast<std::uint64_t>(in.imm), false);
+        break;
+      case Opcode::VOR_VV:
+        vBinop([](std::uint64_t a, std::uint64_t b) { return a | b; }, 0, true);
+        break;
+      case Opcode::VOR_VX:
+        vBinop([](std::uint64_t a, std::uint64_t b) { return a | b; },
+               rx(in.rs1), false);
+        break;
+      case Opcode::VOR_VI:
+        vBinop([](std::uint64_t a, std::uint64_t b) { return a | b; },
+               static_cast<std::uint64_t>(in.imm), false);
+        break;
+      case Opcode::VXOR_VV:
+        vBinop([](std::uint64_t a, std::uint64_t b) { return a ^ b; }, 0, true);
+        break;
+      case Opcode::VXOR_VX:
+        vBinop([](std::uint64_t a, std::uint64_t b) { return a ^ b; },
+               rx(in.rs1), false);
+        break;
+      case Opcode::VXOR_VI:
+        vBinop([](std::uint64_t a, std::uint64_t b) { return a ^ b; },
+               static_cast<std::uint64_t>(in.imm), false);
+        break;
+      case Opcode::VSLL_VI:
+        vBinop([](std::uint64_t a, std::uint64_t b) { return a << (b & 63); },
+               static_cast<std::uint64_t>(in.imm), false);
+        break;
+      case Opcode::VSLL_VX:
+        vBinop([](std::uint64_t a, std::uint64_t b) { return a << (b & 63); },
+               rx(in.rs1), false);
+        break;
+      case Opcode::VSRL_VI:
+        vBinop([](std::uint64_t a, std::uint64_t b) { return a >> (b & 63); },
+               static_cast<std::uint64_t>(in.imm), false);
+        break;
+      case Opcode::VSRL_VX:
+        vBinop([](std::uint64_t a, std::uint64_t b) { return a >> (b & 63); },
+               rx(in.rs1), false);
+        break;
+      case Opcode::VSRA_VI: {
+        checkV(in.rd);
+        checkV(in.rs2);
+        for (unsigned i = 0; i < vl; ++i) {
+            if (!active(i))
+                continue;
+            std::int64_t a = vgetS(ctx.v[in.rs2], sew, i);
+            vset(ctx.v[in.rd], sew, i,
+                 static_cast<std::uint64_t>(a >> (in.imm & 63)));
+        }
+        break;
+      }
+      case Opcode::VMIN_VV: {
+        checkV(in.rd); checkV(in.rs2); checkV(in.rs1);
+        for (unsigned i = 0; i < vl; ++i) {
+            if (!active(i)) continue;
+            std::int64_t a = vgetS(ctx.v[in.rs2], sew, i);
+            std::int64_t b = vgetS(ctx.v[in.rs1], sew, i);
+            vset(ctx.v[in.rd], sew, i,
+                 static_cast<std::uint64_t>(std::min(a, b)));
+        }
+        break;
+      }
+      case Opcode::VMAX_VV: {
+        checkV(in.rd); checkV(in.rs2); checkV(in.rs1);
+        for (unsigned i = 0; i < vl; ++i) {
+            if (!active(i)) continue;
+            std::int64_t a = vgetS(ctx.v[in.rs2], sew, i);
+            std::int64_t b = vgetS(ctx.v[in.rs1], sew, i);
+            vset(ctx.v[in.rd], sew, i,
+                 static_cast<std::uint64_t>(std::max(a, b)));
+        }
+        break;
+      }
+      case Opcode::VMINU_VV:
+        vBinop([](std::uint64_t a, std::uint64_t b) { return std::min(a, b); },
+               0, true);
+        break;
+      case Opcode::VMAXU_VV:
+        vBinop([](std::uint64_t a, std::uint64_t b) { return std::max(a, b); },
+               0, true);
+        break;
+      case Opcode::VID_V: {
+        checkV(in.rd);
+        for (unsigned i = 0; i < vl; ++i) {
+            if (!active(i))
+                continue;
+            vset(ctx.v[in.rd], sew, i, i);
+        }
+        break;
+      }
+      case Opcode::VMV_V_I: {
+        checkV(in.rd);
+        for (unsigned i = 0; i < vl; ++i)
+            vset(ctx.v[in.rd], sew, i, static_cast<std::uint64_t>(in.imm));
+        break;
+      }
+      case Opcode::VMV_V_X: {
+        checkV(in.rd);
+        for (unsigned i = 0; i < vl; ++i)
+            vset(ctx.v[in.rd], sew, i, rx(in.rs1));
+        break;
+      }
+      case Opcode::VMV_V_V: {
+        checkV(in.rd);
+        checkV(in.rs2);
+        ctx.v[in.rd] = ctx.v[in.rs2];
+        break;
+      }
+      case Opcode::VMV_X_S:
+        checkV(in.rs2);
+        wx(in.rd, static_cast<std::uint64_t>(vgetS(ctx.v[in.rs2], sew, 0)));
+        break;
+      case Opcode::VMV_S_X:
+        checkV(in.rd);
+        vset(ctx.v[in.rd], sew, 0, rx(in.rs1));
+        break;
+
+      // ------------------------------------------------------ vector float
+      case Opcode::VFADD_VV:
+        vfBinop([](double a, double b) { return a + b; }, true);
+        break;
+      case Opcode::VFADD_VF:
+        vfBinop([](double a, double b) { return a + b; }, false);
+        break;
+      case Opcode::VFSUB_VV:
+        vfBinop([](double a, double b) { return a - b; }, true);
+        break;
+      case Opcode::VFSUB_VF:
+        vfBinop([](double a, double b) { return a - b; }, false);
+        break;
+      case Opcode::VFMUL_VV:
+        vfBinop([](double a, double b) { return a * b; }, true);
+        break;
+      case Opcode::VFMUL_VF:
+        vfBinop([](double a, double b) { return a * b; }, false);
+        break;
+      case Opcode::VFDIV_VV:
+        vfBinop([](double a, double b) { return a / b; }, true);
+        break;
+      case Opcode::VFDIV_VF:
+        vfBinop([](double a, double b) { return a / b; }, false);
+        break;
+      case Opcode::VFMIN_VV:
+        vfBinop([](double a, double b) { return std::fmin(a, b); }, true);
+        break;
+      case Opcode::VFMAX_VV:
+        vfBinop([](double a, double b) { return std::fmax(a, b); }, true);
+        break;
+      case Opcode::VFMACC_VV: {
+        // vd[i] += vs1[i] * vs2[i]
+        checkV(in.rd); checkV(in.rs1); checkV(in.rs2);
+        for (unsigned i = 0; i < vl; ++i) {
+            if (!active(i)) continue;
+            double acc = vgetF(ctx.v[in.rd], sew, i);
+            acc += vgetF(ctx.v[in.rs1], sew, i) * vgetF(ctx.v[in.rs2], sew, i);
+            vsetF(ctx.v[in.rd], sew, i, acc);
+        }
+        break;
+      }
+      case Opcode::VFMACC_VF: {
+        // vd[i] += f[rs1] * vs2[i]
+        checkV(in.rd); checkV(in.rs2);
+        double s = sew == 4 ? asF32(rf(in.rs1)) : asF64(rf(in.rs1));
+        for (unsigned i = 0; i < vl; ++i) {
+            if (!active(i)) continue;
+            double acc = vgetF(ctx.v[in.rd], sew, i);
+            acc += s * vgetF(ctx.v[in.rs2], sew, i);
+            vsetF(ctx.v[in.rd], sew, i, acc);
+        }
+        break;
+      }
+      case Opcode::VFMV_V_F: {
+        checkV(in.rd);
+        double s = sew == 4 ? asF32(rf(in.rs1)) : asF64(rf(in.rs1));
+        for (unsigned i = 0; i < vl; ++i)
+            vsetF(ctx.v[in.rd], sew, i, s);
+        break;
+      }
+      case Opcode::VFMV_F_S:
+        checkV(in.rs2);
+        wf(in.rd, sew == 4
+                      ? boxF32(static_cast<float>(vgetF(ctx.v[in.rs2], sew, 0)))
+                      : boxF64(vgetF(ctx.v[in.rs2], sew, 0)));
+        break;
+      case Opcode::VFMV_S_F: {
+        checkV(in.rd);
+        double s = sew == 4 ? asF32(rf(in.rs1)) : asF64(rf(in.rs1));
+        vsetF(ctx.v[in.rd], sew, 0, s);
+        break;
+      }
+
+      // ------------------------------------------------------- reductions
+      case Opcode::VREDSUM_VS: case Opcode::VREDMAX_VS:
+      case Opcode::VREDMIN_VS: case Opcode::VREDAND_VS:
+      case Opcode::VREDOR_VS: {
+        // vd[0] = reduce(vs1[0], vs2[*])
+        checkV(in.rd); checkV(in.rs1); checkV(in.rs2);
+        std::int64_t acc = vgetS(ctx.v[in.rs1], sew, 0);
+        for (unsigned i = 0; i < vl; ++i) {
+            if (!active(i))
+                continue;
+            std::int64_t e = vgetS(ctx.v[in.rs2], sew, i);
+            switch (in.op) {
+              case Opcode::VREDSUM_VS: acc += e; break;
+              case Opcode::VREDMAX_VS: acc = std::max(acc, e); break;
+              case Opcode::VREDMIN_VS: acc = std::min(acc, e); break;
+              case Opcode::VREDAND_VS: acc &= e; break;
+              case Opcode::VREDOR_VS: acc |= e; break;
+              default: break;
+            }
+        }
+        vset(ctx.v[in.rd], sew, 0, static_cast<std::uint64_t>(acc));
+        break;
+      }
+      case Opcode::VFREDUSUM_VS: case Opcode::VFREDMAX_VS:
+      case Opcode::VFREDMIN_VS: {
+        checkV(in.rd); checkV(in.rs1); checkV(in.rs2);
+        double acc = vgetF(ctx.v[in.rs1], sew, 0);
+        for (unsigned i = 0; i < vl; ++i) {
+            if (!active(i))
+                continue;
+            double e = vgetF(ctx.v[in.rs2], sew, i);
+            switch (in.op) {
+              case Opcode::VFREDUSUM_VS: acc += e; break;
+              case Opcode::VFREDMAX_VS: acc = std::fmax(acc, e); break;
+              case Opcode::VFREDMIN_VS: acc = std::fmin(acc, e); break;
+              default: break;
+            }
+        }
+        vsetF(ctx.v[in.rd], sew, 0, acc);
+        break;
+      }
+
+      // ---------------------------------------------------------- compares
+      case Opcode::VMSEQ_VV:
+        vCompare([](std::int64_t a, std::int64_t b) { return a == b; }, 0,
+                 true, false);
+        break;
+      case Opcode::VMSEQ_VX:
+        vCompare([](std::int64_t a, std::int64_t b) { return a == b; },
+                 static_cast<std::int64_t>(rx(in.rs1)), false, false);
+        break;
+      case Opcode::VMSEQ_VI:
+        vCompare([](std::int64_t a, std::int64_t b) { return a == b; },
+                 in.imm, false, false);
+        break;
+      case Opcode::VMSNE_VV:
+        vCompare([](std::int64_t a, std::int64_t b) { return a != b; }, 0,
+                 true, false);
+        break;
+      case Opcode::VMSNE_VX:
+        vCompare([](std::int64_t a, std::int64_t b) { return a != b; },
+                 static_cast<std::int64_t>(rx(in.rs1)), false, false);
+        break;
+      case Opcode::VMSNE_VI:
+        vCompare([](std::int64_t a, std::int64_t b) { return a != b; },
+                 in.imm, false, false);
+        break;
+      case Opcode::VMSLT_VV:
+        vCompare([](std::int64_t a, std::int64_t b) { return a < b; }, 0,
+                 true, false);
+        break;
+      case Opcode::VMSLT_VX:
+        vCompare([](std::int64_t a, std::int64_t b) { return a < b; },
+                 static_cast<std::int64_t>(rx(in.rs1)), false, false);
+        break;
+      case Opcode::VMSLE_VV:
+        vCompare([](std::int64_t a, std::int64_t b) { return a <= b; }, 0,
+                 true, false);
+        break;
+      case Opcode::VMSLE_VX:
+        vCompare([](std::int64_t a, std::int64_t b) { return a <= b; },
+                 static_cast<std::int64_t>(rx(in.rs1)), false, false);
+        break;
+      case Opcode::VMSLE_VI:
+        vCompare([](std::int64_t a, std::int64_t b) { return a <= b; },
+                 in.imm, false, false);
+        break;
+      case Opcode::VMSGT_VX:
+        vCompare([](std::int64_t a, std::int64_t b) { return a > b; },
+                 static_cast<std::int64_t>(rx(in.rs1)), false, false);
+        break;
+      case Opcode::VMSGT_VI:
+        vCompare([](std::int64_t a, std::int64_t b) { return a > b; },
+                 in.imm, false, false);
+        break;
+      case Opcode::VMSGE_VX:
+        vCompare([](std::int64_t a, std::int64_t b) { return a >= b; },
+                 static_cast<std::int64_t>(rx(in.rs1)), false, false);
+        break;
+      case Opcode::VMSLTU_VV:
+        vCompare([](std::int64_t a, std::int64_t b) {
+                     return static_cast<std::uint64_t>(a) <
+                            static_cast<std::uint64_t>(b);
+                 },
+                 0, true, true);
+        break;
+      case Opcode::VMSLTU_VX:
+        vCompare([](std::int64_t a, std::int64_t b) {
+                     return static_cast<std::uint64_t>(a) <
+                            static_cast<std::uint64_t>(b);
+                 },
+                 static_cast<std::int64_t>(rx(in.rs1)), false, true);
+        break;
+      case Opcode::VMSGTU_VX:
+        vCompare([](std::int64_t a, std::int64_t b) {
+                     return static_cast<std::uint64_t>(a) >
+                            static_cast<std::uint64_t>(b);
+                 },
+                 static_cast<std::int64_t>(rx(in.rs1)), false, true);
+        break;
+      case Opcode::VMFLT_VF:
+        vfCompare([](double a, double b) { return a < b; });
+        break;
+      case Opcode::VMFLE_VF:
+        vfCompare([](double a, double b) { return a <= b; });
+        break;
+      case Opcode::VMFGT_VF:
+        vfCompare([](double a, double b) { return a > b; });
+        break;
+      case Opcode::VMFGE_VF:
+        vfCompare([](double a, double b) { return a >= b; });
+        break;
+      case Opcode::VMFEQ_VF:
+        vfCompare([](double a, double b) { return a == b; });
+        break;
+      case Opcode::VMFNE_VF:
+        vfCompare([](double a, double b) { return a != b; });
+        break;
+
+      // ----------------------------------------------------- mask ops
+      case Opcode::VMAND_MM: case Opcode::VMOR_MM: case Opcode::VMXOR_MM:
+      case Opcode::VMNAND_MM: {
+        checkV(in.rd); checkV(in.rs1); checkV(in.rs2);
+        for (unsigned i = 0; i < vl; ++i) {
+            bool a = ctx.v[in.rs2].maskBit(i);
+            bool b = ctx.v[in.rs1].maskBit(i);
+            bool r = false;
+            switch (in.op) {
+              case Opcode::VMAND_MM: r = a && b; break;
+              case Opcode::VMOR_MM: r = a || b; break;
+              case Opcode::VMXOR_MM: r = a != b; break;
+              case Opcode::VMNAND_MM: r = !(a && b); break;
+              default: break;
+            }
+            ctx.v[in.rd].setMaskBit(i, r);
+        }
+        break;
+      }
+      case Opcode::VMNOT_M: {
+        checkV(in.rd); checkV(in.rs2);
+        for (unsigned i = 0; i < vl; ++i)
+            ctx.v[in.rd].setMaskBit(i, !ctx.v[in.rs2].maskBit(i));
+        break;
+      }
+      case Opcode::VCPOP_M: {
+        checkV(in.rs2);
+        std::uint64_t count = 0;
+        for (unsigned i = 0; i < vl; ++i) {
+            if (ctx.v[in.rs2].maskBit(i))
+                ++count;
+        }
+        wx(in.rd, count);
+        break;
+      }
+      case Opcode::VFIRST_M: {
+        checkV(in.rs2);
+        std::int64_t first = -1;
+        for (unsigned i = 0; i < vl; ++i) {
+            if (ctx.v[in.rs2].maskBit(i)) {
+                first = i;
+                break;
+            }
+        }
+        wx(in.rd, static_cast<std::uint64_t>(first));
+        break;
+      }
+      case Opcode::VMERGE_VVM: case Opcode::VMERGE_VXM:
+      case Opcode::VMERGE_VIM: {
+        // vd[i] = v0.mask[i] ? src1 : vs2[i]
+        checkV(in.rd); checkV(in.rs2);
+        for (unsigned i = 0; i < vl; ++i) {
+            std::uint64_t val;
+            if (ctx.v[0].maskBit(i)) {
+                if (in.op == Opcode::VMERGE_VVM) {
+                    checkV(in.rs1);
+                    val = vget(ctx.v[in.rs1], sew, i);
+                } else if (in.op == Opcode::VMERGE_VXM) {
+                    val = rx(in.rs1);
+                } else {
+                    val = static_cast<std::uint64_t>(in.imm);
+                }
+            } else {
+                val = vget(ctx.v[in.rs2], sew, i);
+            }
+            vset(ctx.v[in.rd], sew, i, val);
+        }
+        break;
+      }
+
+      case Opcode::EXIT:
+        res.done = true;
+        break;
+    }
+
+    if (!pc_set)
+        ++ctx.pc;
+    if (ctx.pc >= code.size())
+        res.done = true;
+    return res;
+}
+
+std::uint64_t
+runToCompletion(UthreadContext &ctx, const std::vector<Instruction> &code,
+                MemoryIf &mem, std::uint64_t max_instructions)
+{
+    std::uint64_t executed = 0;
+    if (code.empty())
+        return 0;
+    while (executed < max_instructions) {
+        StepResult r = step(ctx, code, mem);
+        ++executed;
+        if (r.done)
+            return executed;
+    }
+    M2_PANIC("uthread exceeded instruction budget (", max_instructions,
+             "): infinite loop in kernel?");
+}
+
+} // namespace m2ndp::isa

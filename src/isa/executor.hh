@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Functional executor for M2NDP uthreads.
+ *
+ * Functional-first execution (see DESIGN.md): an instruction's architectural
+ * effects — including memory reads/writes via the MemoryIf — happen when the
+ * timing model issues it; the returned StepResult tells the timing layer
+ * which functional unit was used, the result latency, and which memory
+ * sectors were touched so it can model stalls and traffic.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/units.hh"
+#include "isa/inst.hh"
+#include "mem/sparse_memory.hh"
+
+namespace m2ndp::isa {
+
+/** One 256-bit vector register. */
+struct VecReg
+{
+    alignas(32) std::array<std::uint8_t, kVlenBytes> b{};
+
+    template <typename T>
+    T
+    get(unsigned i) const
+    {
+        T v;
+        std::memcpy(&v, b.data() + i * sizeof(T), sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    set(unsigned i, T v)
+    {
+        std::memcpy(b.data() + i * sizeof(T), &v, sizeof(T));
+    }
+
+    bool
+    maskBit(unsigned i) const
+    {
+        return (b[i / 8] >> (i % 8)) & 1;
+    }
+
+    void
+    setMaskBit(unsigned i, bool v)
+    {
+        if (v)
+            b[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+        else
+            b[i / 8] &= static_cast<std::uint8_t>(~(1u << (i % 8)));
+    }
+};
+
+/**
+ * Functional memory interface supplied by the NDP device: performs VA
+ * translation and routes to scratchpad or device DRAM contents.
+ */
+class MemoryIf
+{
+  public:
+    virtual ~MemoryIf() = default;
+    virtual void read(Addr va, void *out, unsigned size) = 0;
+    virtual void write(Addr va, const void *in, unsigned size) = 0;
+    virtual std::uint64_t amo(AmoOp op, Addr va, std::uint64_t operand,
+                              unsigned width) = 0;
+};
+
+/** One coalesced memory reference for the timing layer. */
+struct MemRef
+{
+    bool is_store;
+    Addr va;
+    std::uint8_t size;
+};
+
+/** Outcome of executing one instruction. */
+struct StepResult
+{
+    FuType fu = FuType::ScalarAlu;
+    unsigned latency = 1;       ///< result latency in cycles (non-memory)
+    bool done = false;          ///< uthread finished
+    bool blocking_mem = false;  ///< loads/AMOs: stall until data returns
+    std::vector<MemRef> mem;    ///< touched sectors (coalesced to 32 B)
+};
+
+/**
+ * Architectural state of one uthread. The arrays are full-size for
+ * simplicity; the *provisioned* counts (Section III-D: registers are
+ * allocated per SW-declared usage) are enforced — touching a register
+ * beyond the declared count is a kernel bug and panics.
+ */
+struct UthreadContext
+{
+    std::array<std::uint64_t, 32> x{};
+    std::array<std::uint64_t, 32> f{}; ///< raw bits, NaN-boxed for FP32
+    std::array<VecReg, 32> v{};
+
+    std::uint32_t pc = 0;
+    std::uint8_t sew = 4;  ///< current element width (bytes)
+    std::uint32_t vl = 8;  ///< current vector length (elements)
+
+    /** Provisioned register counts from kernel registration. */
+    std::uint8_t num_x = 32;
+    std::uint8_t num_f = 32;
+    std::uint8_t num_v = 32;
+
+    /** Mapped pool address and offset, stored at spawn (Section III-E). */
+    Addr mapped_addr = 0;
+    std::uint64_t mapped_offset = 0;
+
+    /** Dynamic instruction count (for stats). */
+    std::uint64_t instret = 0;
+};
+
+/**
+ * Execute the instruction at ctx.pc of @p code, advancing ctx.pc.
+ * Panics on malformed kernels (bad register indices, missing vsetvli,
+ * out-of-range PC are simulator-user kernel bugs).
+ */
+StepResult step(UthreadContext &ctx, const std::vector<Instruction> &code,
+                MemoryIf &mem);
+
+/**
+ * Convenience: run one uthread section to completion functionally (no
+ * timing), with an instruction budget to catch infinite loops.
+ * @return dynamic instruction count.
+ */
+std::uint64_t runToCompletion(UthreadContext &ctx,
+                              const std::vector<Instruction> &code,
+                              MemoryIf &mem,
+                              std::uint64_t max_instructions = 10'000'000);
+
+} // namespace m2ndp::isa

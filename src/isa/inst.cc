@@ -1,0 +1,156 @@
+#include "isa/inst.hh"
+
+#include "common/log.hh"
+
+namespace m2ndp::isa {
+
+FuType
+fuTypeOf(Opcode op)
+{
+    switch (op) {
+      // Scalar integer ALU and control flow.
+      case Opcode::LUI: case Opcode::LI: case Opcode::MV: case Opcode::NOP:
+      case Opcode::ADD: case Opcode::ADDI: case Opcode::ADDW:
+      case Opcode::ADDIW: case Opcode::SUB: case Opcode::SUBW:
+      case Opcode::AND: case Opcode::ANDI: case Opcode::OR: case Opcode::ORI:
+      case Opcode::XOR: case Opcode::XORI:
+      case Opcode::SLL: case Opcode::SLLI: case Opcode::SRL:
+      case Opcode::SRLI: case Opcode::SRA: case Opcode::SRAI:
+      case Opcode::SLT: case Opcode::SLTI: case Opcode::SLTU:
+      case Opcode::SLTIU:
+      case Opcode::MUL: case Opcode::MULW: case Opcode::MULH:
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT: case Opcode::BGE:
+      case Opcode::BLTU: case Opcode::BGEU: case Opcode::J: case Opcode::JAL:
+      // Scalar FP (simple ops share the scalar ALU pipes).
+      case Opcode::FADD_S: case Opcode::FADD_D: case Opcode::FSUB_S:
+      case Opcode::FSUB_D: case Opcode::FMUL_S: case Opcode::FMUL_D:
+      case Opcode::FMADD_S: case Opcode::FMADD_D:
+      case Opcode::FMIN_S: case Opcode::FMIN_D:
+      case Opcode::FMAX_S: case Opcode::FMAX_D:
+      case Opcode::FMV_S: case Opcode::FMV_D:
+      case Opcode::FMV_X_W: case Opcode::FMV_W_X:
+      case Opcode::FMV_X_D: case Opcode::FMV_D_X:
+      case Opcode::FCVT_S_W: case Opcode::FCVT_S_L: case Opcode::FCVT_D_W:
+      case Opcode::FCVT_D_L: case Opcode::FCVT_W_S: case Opcode::FCVT_L_S:
+      case Opcode::FCVT_W_D: case Opcode::FCVT_L_D:
+      case Opcode::FCVT_D_S: case Opcode::FCVT_S_D:
+      case Opcode::FEQ_S: case Opcode::FEQ_D: case Opcode::FLT_S:
+      case Opcode::FLT_D: case Opcode::FLE_S: case Opcode::FLE_D:
+        return FuType::ScalarAlu;
+
+      // Scalar SFU: division, sqrt.
+      case Opcode::DIV: case Opcode::DIVU: case Opcode::REM:
+      case Opcode::REMU:
+      case Opcode::FDIV_S: case Opcode::FDIV_D:
+      case Opcode::FSQRT_S: case Opcode::FSQRT_D:
+        return FuType::ScalarSfu;
+
+      // Scalar LSU.
+      case Opcode::LB: case Opcode::LBU: case Opcode::LH: case Opcode::LHU:
+      case Opcode::LW: case Opcode::LWU: case Opcode::LD:
+      case Opcode::SB: case Opcode::SH: case Opcode::SW: case Opcode::SD:
+      case Opcode::FLW: case Opcode::FLD: case Opcode::FSW: case Opcode::FSD:
+      case Opcode::AMOADD_W: case Opcode::AMOADD_D: case Opcode::AMOSWAP_W:
+      case Opcode::AMOSWAP_D: case Opcode::AMOMIN_W: case Opcode::AMOMIN_D:
+      case Opcode::AMOMAX_W: case Opcode::AMOMAX_D: case Opcode::AMOMINU_W:
+      case Opcode::AMOMINU_D: case Opcode::AMOMAXU_W: case Opcode::AMOMAXU_D:
+      case Opcode::AMOAND_W: case Opcode::AMOAND_D: case Opcode::AMOOR_W:
+      case Opcode::AMOOR_D: case Opcode::AMOXOR_W: case Opcode::AMOXOR_D:
+      case Opcode::FENCE:
+        return FuType::ScalarLsu;
+
+      // Vector LSU.
+      case Opcode::VLE8: case Opcode::VLE16: case Opcode::VLE32:
+      case Opcode::VLE64:
+      case Opcode::VSE8: case Opcode::VSE16: case Opcode::VSE32:
+      case Opcode::VSE64:
+      case Opcode::VLSE32: case Opcode::VLSE64:
+      case Opcode::VLUXEI32: case Opcode::VLUXEI64:
+      case Opcode::VSUXEI32: case Opcode::VSUXEI64:
+        return FuType::VectorLsu;
+
+      // Vector SFU.
+      case Opcode::VFDIV_VV: case Opcode::VFDIV_VF:
+        return FuType::VectorSfu;
+
+      // Configuration / termination.
+      case Opcode::VSETVLI: case Opcode::EXIT:
+        return FuType::None;
+
+      // Everything else vector runs on the vector ALU.
+      default:
+        return FuType::VectorAlu;
+    }
+}
+
+unsigned
+latencyOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::MUL: case Opcode::MULW: case Opcode::MULH:
+        return 3;
+      case Opcode::DIV: case Opcode::DIVU: case Opcode::REM:
+      case Opcode::REMU:
+        return 16;
+      case Opcode::FADD_S: case Opcode::FADD_D: case Opcode::FSUB_S:
+      case Opcode::FSUB_D: case Opcode::FMUL_S: case Opcode::FMUL_D:
+      case Opcode::FMADD_S: case Opcode::FMADD_D:
+        return 4;
+      case Opcode::FDIV_S: case Opcode::FDIV_D: case Opcode::FSQRT_S:
+      case Opcode::FSQRT_D:
+        return 16;
+      case Opcode::VFDIV_VV: case Opcode::VFDIV_VF:
+        return 16;
+      case Opcode::VFADD_VV: case Opcode::VFADD_VF: case Opcode::VFSUB_VV:
+      case Opcode::VFSUB_VF: case Opcode::VFMUL_VV: case Opcode::VFMUL_VF:
+      case Opcode::VFMACC_VV: case Opcode::VFMACC_VF:
+      case Opcode::VFMIN_VV: case Opcode::VFMAX_VV:
+        return 4;
+      case Opcode::VREDSUM_VS: case Opcode::VREDMAX_VS:
+      case Opcode::VREDMIN_VS: case Opcode::VREDAND_VS:
+      case Opcode::VREDOR_VS: case Opcode::VFREDUSUM_VS:
+      case Opcode::VFREDMAX_VS: case Opcode::VFREDMIN_VS:
+        return 4;
+      case Opcode::VMUL_VV: case Opcode::VMUL_VX:
+        return 3;
+      default:
+        if (isVector(op) && !isMemory(op))
+            return 2;
+        return 1;
+    }
+}
+
+bool
+isMemory(Opcode op)
+{
+    switch (op) {
+      case Opcode::LB: case Opcode::LBU: case Opcode::LH: case Opcode::LHU:
+      case Opcode::LW: case Opcode::LWU: case Opcode::LD:
+      case Opcode::SB: case Opcode::SH: case Opcode::SW: case Opcode::SD:
+      case Opcode::FLW: case Opcode::FLD: case Opcode::FSW: case Opcode::FSD:
+      case Opcode::AMOADD_W: case Opcode::AMOADD_D: case Opcode::AMOSWAP_W:
+      case Opcode::AMOSWAP_D: case Opcode::AMOMIN_W: case Opcode::AMOMIN_D:
+      case Opcode::AMOMAX_W: case Opcode::AMOMAX_D: case Opcode::AMOMINU_W:
+      case Opcode::AMOMINU_D: case Opcode::AMOMAXU_W: case Opcode::AMOMAXU_D:
+      case Opcode::AMOAND_W: case Opcode::AMOAND_D: case Opcode::AMOOR_W:
+      case Opcode::AMOOR_D: case Opcode::AMOXOR_W: case Opcode::AMOXOR_D:
+      case Opcode::VLE8: case Opcode::VLE16: case Opcode::VLE32:
+      case Opcode::VLE64:
+      case Opcode::VSE8: case Opcode::VSE16: case Opcode::VSE32:
+      case Opcode::VSE64:
+      case Opcode::VLSE32: case Opcode::VLSE64:
+      case Opcode::VLUXEI32: case Opcode::VLUXEI64:
+      case Opcode::VSUXEI32: case Opcode::VSUXEI64:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isVector(Opcode op)
+{
+    return op >= Opcode::VSETVLI && op <= Opcode::VMERGE_VIM;
+}
+
+} // namespace m2ndp::isa

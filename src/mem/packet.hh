@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Memory packet types shared by the timing path (caches, NoC, DRAM, CXL).
+ *
+ * A MemPacket describes one physical-address access of up to one cache line.
+ * Completion is signalled through a callback carrying the completion tick, so
+ * producers (LSUs, host models, the CXL port) can be woken without the
+ * memory system knowing about them.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/units.hh"
+
+namespace m2ndp {
+
+/** Kind of memory operation. */
+enum class MemOp : std::uint8_t {
+    Read,
+    Write,
+    /** Read-modify-write executed at the memory-side L2 (global atomics). */
+    Atomic,
+};
+
+/** Who generated a packet; used for traffic accounting (Fig. 6b, Fig. 15). */
+enum class MemSource : std::uint8_t {
+    NdpUnit,
+    Host,
+    DramTlb,
+    BackInvalidation,
+    Peer,
+};
+
+/** One physical memory access in flight. */
+struct MemPacket
+{
+    MemOp op = MemOp::Read;
+    Addr addr = 0;
+    std::uint32_t size = 0;
+    MemSource source = MemSource::NdpUnit;
+
+    /** Completion callback; invoked exactly once at completion tick. */
+    std::function<void(Tick)> onComplete;
+
+    /** Tick the packet entered the device memory system (for stats). */
+    Tick issued_at = 0;
+
+    /** Monotonic ID for debugging / deterministic ordering. */
+    std::uint64_t id = 0;
+};
+
+using MemPacketPtr = std::unique_ptr<MemPacket>;
+
+/** Interface implemented by anything that accepts memory packets. */
+class MemPort
+{
+  public:
+    virtual ~MemPort() = default;
+
+    /**
+     * Hand a packet to this component. Ownership transfers; the component
+     * must eventually invoke onComplete.
+     */
+    virtual void receive(MemPacketPtr pkt) = 0;
+};
+
+} // namespace m2ndp

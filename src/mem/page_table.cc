@@ -1,0 +1,78 @@
+#include "mem/page_table.hh"
+
+#include "common/bitutil.hh"
+
+namespace m2ndp {
+
+PageTable::PageTable(Asid asid, std::uint64_t page_size)
+    : asid_(asid), page_size_(page_size)
+{
+    M2_ASSERT(isPowerOfTwo(page_size), "page size must be a power of two");
+}
+
+void
+PageTable::map(Addr va, Addr pa)
+{
+    M2_ASSERT(va % page_size_ == 0 && pa % page_size_ == 0,
+              "unaligned mapping: va=", va, " pa=", pa);
+    std::uint64_t vpn = va / page_size_;
+    M2_ASSERT(map_.find(vpn) == map_.end(), "double mapping of va ", va);
+    map_.emplace(vpn, pa);
+}
+
+bool
+PageTable::unmap(Addr va)
+{
+    return map_.erase(va / page_size_) > 0;
+}
+
+std::optional<Addr>
+PageTable::translate(Addr va) const
+{
+    auto it = map_.find(va / page_size_);
+    if (it == map_.end())
+        return std::nullopt;
+    return it->second + (va % page_size_);
+}
+
+Addr
+PhysAllocator::allocate(std::uint64_t size, std::uint64_t align)
+{
+    M2_ASSERT(isPowerOfTwo(align), "alignment must be a power of two");
+    Addr start = alignUp(next_, align);
+    if (start + size > base_ + capacity_) {
+        M2_FATAL("device physical memory exhausted: requested ", size,
+                 " bytes, ", (base_ + capacity_) - next_, " available");
+    }
+    next_ = start + size;
+    return start;
+}
+
+ProcessAddressSpace::ProcessAddressSpace(Asid asid,
+                                         std::vector<PhysAllocator *> devices,
+                                         std::uint64_t page_size)
+    : table_(asid, page_size), devices_(std::move(devices))
+{
+    M2_ASSERT(!devices_.empty(), "address space needs at least one device");
+}
+
+Addr
+ProcessAddressSpace::allocate(std::uint64_t size, Placement placement,
+                              unsigned home_device)
+{
+    M2_ASSERT(home_device < devices_.size(), "bad home device");
+    const std::uint64_t page = table_.pageSize();
+    Addr va = alignUp(next_va_, page);
+    std::uint64_t npages = (size + page - 1) / page;
+    for (std::uint64_t i = 0; i < npages; ++i) {
+        unsigned dev = placement == Placement::Localized
+                           ? home_device
+                           : static_cast<unsigned>(i % devices_.size());
+        Addr pa = devices_[dev]->allocate(page, page);
+        table_.map(va + i * page, pa);
+    }
+    next_va_ = va + npages * page;
+    return va;
+}
+
+} // namespace m2ndp

@@ -1,0 +1,117 @@
+#include "mem/sparse_memory.hh"
+
+#include <algorithm>
+
+namespace m2ndp {
+
+SparseMemory::Frame &
+SparseMemory::frameFor(Addr addr)
+{
+    std::uint64_t frame_no = addr / kFrameSize;
+    auto it = frames_.find(frame_no);
+    if (it == frames_.end()) {
+        auto frame = std::make_unique<Frame>();
+        frame->fill(0);
+        it = frames_.emplace(frame_no, std::move(frame)).first;
+    }
+    return *it->second;
+}
+
+const SparseMemory::Frame *
+SparseMemory::frameForConst(Addr addr) const
+{
+    auto it = frames_.find(addr / kFrameSize);
+    return it == frames_.end() ? nullptr : it->second.get();
+}
+
+void
+SparseMemory::read(Addr addr, void *out, std::uint64_t size) const
+{
+    auto *dst = static_cast<std::uint8_t *>(out);
+    while (size > 0) {
+        std::uint64_t offset = addr % kFrameSize;
+        std::uint64_t chunk = std::min(size, kFrameSize - offset);
+        if (const Frame *frame = frameForConst(addr))
+            std::memcpy(dst, frame->data() + offset, chunk);
+        else
+            std::memset(dst, 0, chunk);
+        addr += chunk;
+        dst += chunk;
+        size -= chunk;
+    }
+}
+
+void
+SparseMemory::write(Addr addr, const void *in, std::uint64_t size)
+{
+    const auto *src = static_cast<const std::uint8_t *>(in);
+    while (size > 0) {
+        std::uint64_t offset = addr % kFrameSize;
+        std::uint64_t chunk = std::min(size, kFrameSize - offset);
+        std::memcpy(frameFor(addr).data() + offset, src, chunk);
+        addr += chunk;
+        src += chunk;
+        size -= chunk;
+    }
+}
+
+namespace {
+
+template <typename T>
+std::uint64_t
+amoTyped(SparseMemory &mem, AmoOp op, Addr addr, std::uint64_t operand)
+{
+    T old = mem.read<T>(addr);
+    auto rhs = static_cast<T>(operand);
+    T result = old;
+    using S = std::make_signed_t<T>;
+    switch (op) {
+      case AmoOp::Add:
+        result = static_cast<T>(old + rhs);
+        break;
+      case AmoOp::Swap:
+        result = rhs;
+        break;
+      case AmoOp::And:
+        result = old & rhs;
+        break;
+      case AmoOp::Or:
+        result = old | rhs;
+        break;
+      case AmoOp::Xor:
+        result = old ^ rhs;
+        break;
+      case AmoOp::Max:
+        result = static_cast<S>(old) > static_cast<S>(rhs) ? old : rhs;
+        break;
+      case AmoOp::Min:
+        result = static_cast<S>(old) < static_cast<S>(rhs) ? old : rhs;
+        break;
+      case AmoOp::MaxU:
+        result = old > rhs ? old : rhs;
+        break;
+      case AmoOp::MinU:
+        result = old < rhs ? old : rhs;
+        break;
+    }
+    mem.write<T>(addr, result);
+    return static_cast<std::uint64_t>(old);
+}
+
+} // namespace
+
+std::uint64_t
+amoExecute(SparseMemory &mem, AmoOp op, Addr addr, std::uint64_t operand,
+           unsigned width)
+{
+    switch (width) {
+      case 4:
+        return amoTyped<std::uint32_t>(mem, op, addr, operand);
+      case 8:
+        return amoTyped<std::uint64_t>(mem, op, addr, operand);
+      default:
+        M2_PANIC("unsupported AMO width: ", width);
+    }
+}
+
+} // namespace m2ndp

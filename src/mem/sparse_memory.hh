@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Sparse functional memory backend.
+ *
+ * Stores simulated memory contents in 4 KiB frames allocated on first touch,
+ * so a 256 GiB CXL expander costs host memory proportional to the bytes a
+ * workload actually touches. This is the *functional* half of the memory
+ * model; timing lives in dram/ and cache/.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "common/log.hh"
+#include "common/units.hh"
+
+namespace m2ndp {
+
+/** Byte-addressable sparse memory. Zero-filled on first touch. */
+class SparseMemory
+{
+  public:
+    static constexpr std::uint64_t kFrameSize = 4096;
+
+    void read(Addr addr, void *out, std::uint64_t size) const;
+    void write(Addr addr, const void *in, std::uint64_t size);
+
+    /** Typed scalar helpers. */
+    template <typename T>
+    T
+    read(Addr addr) const
+    {
+        T v;
+        read(addr, &v, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    write(Addr addr, const T &v)
+    {
+        write(addr, &v, sizeof(T));
+    }
+
+    /** Number of frames currently allocated (for footprint stats). */
+    std::size_t framesAllocated() const { return frames_.size(); }
+
+    /** Drop all contents. */
+    void clear() { frames_.clear(); }
+
+  private:
+    using Frame = std::array<std::uint8_t, kFrameSize>;
+
+    Frame &frameFor(Addr addr);
+    const Frame *frameForConst(Addr addr) const;
+
+    std::unordered_map<std::uint64_t, std::unique_ptr<Frame>> frames_;
+};
+
+/** Atomic memory operations executed at the memory-side L2 / scratchpad. */
+enum class AmoOp : std::uint8_t {
+    Add,
+    Swap,
+    And,
+    Or,
+    Xor,
+    Max,
+    Min,
+    MaxU,
+    MinU,
+};
+
+/**
+ * Perform a RISC-V style AMO of the given width (4 or 8 bytes) on @p mem.
+ * @return the original memory value (zero-extended to 64 bits).
+ */
+std::uint64_t amoExecute(SparseMemory &mem, AmoOp op, Addr addr,
+                         std::uint64_t operand, unsigned width);
+
+} // namespace m2ndp

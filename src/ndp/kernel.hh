@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Registered NDP kernels and running kernel instances (Sections III-B/C/G).
+ *
+ * A kernel is registered once (ndpRegisterKernel) with its resource
+ * declaration: scratchpad bytes and int/float/vector register counts, which
+ * drive uthread-slot provisioning (Section III-D). Each launch creates a
+ * KernelInstance bound to a uthread pool region; the instance walks through
+ * phases: initializer -> body(s) -> finalizer (Section III-G).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/units.hh"
+#include "isa/inst.hh"
+#include "mem/page_table.hh"
+
+namespace m2ndp {
+
+/** Resource declaration given at kernel registration (Table II). */
+struct KernelResources
+{
+    std::uint32_t scratchpad_bytes = 0;
+    std::uint8_t num_int_regs = 8;
+    std::uint8_t num_float_regs = 0;
+    std::uint8_t num_vector_regs = 0;
+
+    /** Register bytes per uthread (drives slot provisioning). */
+    std::uint64_t
+    registerBytes() const
+    {
+        return static_cast<std::uint64_t>(num_int_regs) * 8 +
+               static_cast<std::uint64_t>(num_float_regs) * 8 +
+               static_cast<std::uint64_t>(num_vector_regs) * isa::kVlenBytes;
+    }
+};
+
+/** A registered kernel. */
+struct NdpKernel
+{
+    std::int64_t id = -1;
+    Asid asid = 0;
+    isa::AssembledKernel code;
+    KernelResources resources;
+};
+
+/** Instance execution phase. */
+enum class InstancePhase : std::uint8_t {
+    Pending,     ///< queued, waiting for resources
+    Initializer,
+    Body,
+    Finalizer,
+    Draining,    ///< all uthreads done, posted stores still in flight
+    Done,
+};
+
+/** Status codes returned by ndpPollKernelStatus (Table II). */
+enum class KernelStatus : std::int64_t {
+    Finished = 0,
+    Running = 1,
+    Pending = 2,
+};
+
+/** One running (or queued) kernel launch. */
+struct KernelInstance
+{
+    std::int64_t id = -1;
+    const NdpKernel *kernel = nullptr;
+    Asid asid = 0;
+    bool synchronous = false;
+
+    Addr pool_base = 0;
+    Addr pool_bound = 0;
+    std::vector<std::uint8_t> args;
+
+    InstancePhase phase = InstancePhase::Pending;
+    std::size_t section_index = 0; ///< current section in kernel->code
+
+    /** Per-unit scratchpad data offset allocated for this instance. */
+    std::uint64_t spad_offset = 0;
+
+    /** Spawn bookkeeping for the current phase. */
+    std::vector<std::uint64_t> next_work; ///< per-unit next work index
+    std::uint64_t spawned = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t phase_target = 0;
+
+    /** Posted stores still in flight (kernel completes when drained). */
+    std::uint64_t outstanding_stores = 0;
+
+    /** Launch/finish ticks for stats. */
+    Tick launched_at = 0;
+    Tick started_at = 0;
+    Tick finished_at = 0;
+
+    /** Total dynamic instructions executed by this instance's uthreads. */
+    std::uint64_t instructions = 0;
+
+    /** Invoked exactly once when the instance reaches Done. */
+    std::function<void(Tick)> on_complete;
+
+    bool
+    isActive() const
+    {
+        return phase != InstancePhase::Pending && phase != InstancePhase::Done;
+    }
+};
+
+} // namespace m2ndp

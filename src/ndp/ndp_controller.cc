@@ -1,0 +1,540 @@
+#include "ndp/ndp_controller.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace m2ndp {
+
+NdpController::NdpController(NdpControllerEnv &env, Config cfg)
+    : env_(env), cfg_(cfg), requeued_(env.numUnits())
+{
+    // Whole per-unit scratchpad data space starts free.
+    spad_free_[0] = env_.unitScratchpadBytes();
+}
+
+// --------------------------------------------------------------------------
+// M2func entry points
+// --------------------------------------------------------------------------
+
+void
+NdpController::setReturn(Asid asid, std::uint64_t fn_index,
+                         std::int64_t value, bool ready)
+{
+    ReturnSlot &slot = returns_[slotKey(asid, fn_index)];
+    slot.value = value;
+    slot.ready = ready;
+}
+
+void
+NdpController::resolveReturn(Asid asid, std::uint64_t fn_index,
+                             std::int64_t value)
+{
+    ReturnSlot &slot = returns_[slotKey(asid, fn_index)];
+    slot.value = value;
+    slot.ready = true;
+    auto waiters = std::move(slot.waiters);
+    slot.waiters.clear();
+    for (auto &w : waiters)
+        w(value);
+}
+
+void
+NdpController::handleLaunchWrite(Asid asid, std::uint64_t fn_index,
+                                 const M2FuncPayload &payload)
+{
+    bool sync = payload.get<std::uint8_t>(0) != 0;
+    std::uint8_t argsize = payload.get<std::uint8_t>(1);
+    auto kernel_id = payload.get<std::int64_t>(8);
+    Addr base = payload.get<std::uint64_t>(16);
+    Addr bound = payload.get<std::uint64_t>(24);
+    std::vector<std::uint8_t> args;
+    for (unsigned i = 0; i < argsize; ++i)
+        args.push_back(payload.get<std::uint8_t>(32 + i));
+
+    // The *write* returns promptly; the launch return value is fetched by
+    // the subsequent read to the same offset (deferred if synchronous).
+    setReturn(asid, fn_index, kNdpErr, !sync);
+    std::int64_t iid = launch(asid, kernel_id, sync, base, bound, args, {});
+    if (iid < 0) {
+        resolveReturn(asid, fn_index, kNdpErr);
+        return;
+    }
+    if (sync) {
+        KernelInstance *inst = instances_by_id_.at(iid);
+        auto prev = std::move(inst->on_complete);
+        inst->on_complete = [this, asid, iid, fn_index,
+                             prev = std::move(prev)](Tick t) {
+            if (prev)
+                prev(t);
+            resolveReturn(asid, fn_index, iid);
+        };
+    } else {
+        resolveReturn(asid, fn_index, iid);
+    }
+}
+
+void
+NdpController::handleWrite(Asid asid, std::uint64_t offset,
+                           const M2FuncPayload &payload)
+{
+    if (payload.bytes.size() > cfg_.max_payload_bytes) {
+        M2_WARN("M2func payload exceeds 64 B; truncating semantics");
+    }
+    std::uint64_t fn_index = offset / kM2FuncStride;
+    if (fn_index >= kM2FuncLaunchSlotBase) {
+        handleLaunchWrite(asid, fn_index, payload);
+        return;
+    }
+    auto fn = static_cast<M2Func>(fn_index);
+    switch (fn) {
+      case M2Func::RegisterKernel: {
+        Addr code_loc = payload.get<std::uint64_t>(0);
+        std::uint32_t code_size = payload.get<std::uint32_t>(8);
+        KernelResources res;
+        res.scratchpad_bytes = payload.get<std::uint32_t>(12);
+        res.num_int_regs = payload.get<std::uint8_t>(16);
+        res.num_float_regs = payload.get<std::uint8_t>(17);
+        res.num_vector_regs = payload.get<std::uint8_t>(18);
+        std::string text;
+        if (!env_.readKernelText(asid, code_loc, code_size, text)) {
+            setReturn(asid, static_cast<std::uint64_t>(fn), kNdpErr, true);
+            return;
+        }
+        setReturn(asid, static_cast<std::uint64_t>(fn), registerKernel(asid, text, res), true);
+        return;
+      }
+      case M2Func::UnregisterKernel: {
+        auto id = payload.get<std::int64_t>(0);
+        auto it = kernels_.find(id);
+        if (it == kernels_.end() || it->second->asid != asid) {
+            setReturn(asid, static_cast<std::uint64_t>(fn), kNdpErr, true);
+            return;
+        }
+        kernels_.erase(it);
+        // Stale code must not be executed later (Section III-F).
+        env_.flushInstructionCaches();
+        setReturn(asid, static_cast<std::uint64_t>(fn), 0, true);
+        return;
+      }
+      case M2Func::LaunchKernel:
+        handleLaunchWrite(asid,
+                          static_cast<std::uint64_t>(M2Func::LaunchKernel),
+                          payload);
+        return;
+      case M2Func::PollKernelStatus: {
+        ++stats_.polls;
+        last_poll_target_[asid] = payload.get<std::int64_t>(0);
+        setReturn(asid, static_cast<std::uint64_t>(fn),
+                  static_cast<std::int64_t>(
+                      status(last_poll_target_[asid])),
+                  true);
+        return;
+      }
+      case M2Func::ShootdownTlbEntry: {
+        Addr va = payload.get<std::uint64_t>(0);
+        Asid target = payload.get<std::uint16_t>(8);
+        env_.shootdownTlb(target, va);
+        setReturn(asid, static_cast<std::uint64_t>(fn), 0, true);
+        return;
+      }
+    }
+    M2_WARN("M2func write to unknown offset ", offset);
+}
+
+void
+NdpController::handleRead(Asid asid, std::uint64_t offset,
+                          std::function<void(std::int64_t)> respond)
+{
+    std::uint64_t fn_index = offset / kM2FuncStride;
+    auto fn = static_cast<M2Func>(fn_index);
+    if (fn_index < kM2FuncLaunchSlotBase &&
+        fn == M2Func::PollKernelStatus) {
+        // Poll status is recomputed at read time so a spinning host sees
+        // progress without rewriting the function arguments.
+        auto it = last_poll_target_.find(asid);
+        std::int64_t v = it == last_poll_target_.end()
+                             ? kNdpErr
+                             : static_cast<std::int64_t>(status(it->second));
+        respond(v);
+        return;
+    }
+    ReturnSlot &slot = returns_[slotKey(asid, fn_index)];
+    if (slot.ready) {
+        respond(slot.value);
+    } else {
+        slot.waiters.push_back(std::move(respond));
+    }
+}
+
+// --------------------------------------------------------------------------
+// Registry and launches
+// --------------------------------------------------------------------------
+
+std::int64_t
+NdpController::registerKernel(Asid asid, const std::string &text,
+                              const KernelResources &res)
+{
+    if (res.registerBytes() == 0 || res.num_int_regs < 3) {
+        M2_WARN("kernel registration needs at least x0-x2");
+        return kNdpErr;
+    }
+    if (res.scratchpad_bytes > env_.unitScratchpadBytes()) {
+        M2_WARN("kernel scratchpad request exceeds unit scratchpad");
+        return kNdpErr;
+    }
+    auto kernel = std::make_unique<NdpKernel>();
+    kernel->id = next_kernel_id_++;
+    kernel->asid = asid;
+    kernel->code = assembler_.assemble(text);
+    kernel->resources = res;
+    ++stats_.kernels_registered;
+    std::int64_t id = kernel->id;
+    kernels_.emplace(id, std::move(kernel));
+    return id;
+}
+
+const NdpKernel *
+NdpController::kernelById(std::int64_t id) const
+{
+    auto it = kernels_.find(id);
+    return it == kernels_.end() ? nullptr : it->second.get();
+}
+
+std::int64_t
+NdpController::launch(Asid asid, std::int64_t kernel_id, bool synchronous,
+                      Addr pool_base, Addr pool_bound,
+                      const std::vector<std::uint8_t> &args,
+                      std::function<void(Tick)> on_complete)
+{
+    auto kit = kernels_.find(kernel_id);
+    if (kit == kernels_.end() || kit->second->asid != asid) {
+        ++stats_.launches_rejected;
+        return kNdpErr;
+    }
+    if (pending_.size() >= cfg_.launch_queue_capacity) {
+        // Launch buffer full: error code back to the host (Section III-C).
+        ++stats_.launches_rejected;
+        return kNdpErr;
+    }
+    if (pool_bound < pool_base) {
+        ++stats_.launches_rejected;
+        return kNdpErr;
+    }
+
+    auto inst = std::make_unique<KernelInstance>();
+    inst->id = next_instance_id_++;
+    inst->kernel = kit->second.get();
+    inst->asid = asid;
+    inst->synchronous = synchronous;
+    inst->pool_base = pool_base;
+    inst->pool_bound = pool_bound;
+    inst->args = args;
+    inst->args.resize(layout::kKernelArgWindow, 0);
+    inst->phase = InstancePhase::Pending;
+    inst->launched_at = env_.eventQueue().now();
+    inst->on_complete = std::move(on_complete);
+    inst->next_work.assign(env_.numUnits(), 0);
+
+    ++stats_.launches;
+    std::int64_t id = inst->id;
+    instances_by_id_.emplace(id, inst.get());
+    pending_.push_back(std::move(inst));
+    admitPending();
+    return id;
+}
+
+void
+NdpController::onInstanceComplete(std::int64_t instance_id,
+                                  std::function<void(Tick)> cb)
+{
+    auto done = completed_.find(instance_id);
+    if (done != completed_.end()) {
+        Tick now = env_.eventQueue().now();
+        env_.eventQueue().schedule(now, [cb = std::move(cb), now] {
+            cb(now);
+        });
+        return;
+    }
+    auto it = instances_by_id_.find(instance_id);
+    M2_ASSERT(it != instances_by_id_.end(),
+              "onInstanceComplete: unknown instance ", instance_id);
+    KernelInstance *inst = it->second;
+    auto prev = std::move(inst->on_complete);
+    inst->on_complete = [prev = std::move(prev),
+                         cb = std::move(cb)](Tick t) {
+        if (prev)
+            prev(t);
+        cb(t);
+    };
+}
+
+KernelStatus
+NdpController::status(std::int64_t instance_id) const
+{
+    if (completed_.count(instance_id))
+        return KernelStatus::Finished;
+    auto it = instances_by_id_.find(instance_id);
+    if (it == instances_by_id_.end())
+        return static_cast<KernelStatus>(kNdpErr);
+    return it->second->phase == InstancePhase::Pending
+               ? KernelStatus::Pending
+               : KernelStatus::Running;
+}
+
+void
+NdpController::admitPending()
+{
+    while (!pending_.empty() &&
+           active_.size() < cfg_.max_concurrent_instances) {
+        auto spad =
+            spadAllocate(pending_.front()->kernel->resources.scratchpad_bytes);
+        if (!spad)
+            return; // wait for scratchpad space to free up
+        auto inst = std::move(pending_.front());
+        pending_.pop_front();
+        inst->spad_offset = *spad;
+        activate(std::move(inst));
+    }
+}
+
+void
+NdpController::activate(std::unique_ptr<KernelInstance> inst)
+{
+    KernelInstance *p = inst.get();
+    active_.push_back(std::move(inst));
+    p->started_at = env_.eventQueue().now();
+
+    const auto &sections = p->kernel->code.sections;
+    M2_ASSERT(!sections.empty(), "kernel with no sections");
+    if (sections.front().kind == isa::SectionKind::Initializer)
+        beginPhase(p, InstancePhase::Initializer, 0);
+    else
+        beginPhase(p, InstancePhase::Body, 0);
+    env_.wakeAllUnits();
+}
+
+std::uint64_t
+NdpController::phaseTarget(const KernelInstance *inst) const
+{
+    switch (inst->phase) {
+      case InstancePhase::Initializer:
+      case InstancePhase::Finalizer:
+        // One uthread per slot with a unique ID (Section III-G).
+        return static_cast<std::uint64_t>(env_.numUnits()) *
+               env_.slotsPerUnit();
+      case InstancePhase::Body:
+        return (inst->pool_bound - inst->pool_base + isa::kVlenBytes - 1) /
+               isa::kVlenBytes;
+      default:
+        return 0;
+    }
+}
+
+void
+NdpController::beginPhase(KernelInstance *inst, InstancePhase phase,
+                          std::size_t section_index)
+{
+    inst->phase = phase;
+    inst->section_index = section_index;
+    inst->spawned = 0;
+    inst->completed = 0;
+    std::fill(inst->next_work.begin(), inst->next_work.end(), 0);
+    inst->phase_target = phaseTarget(inst);
+    if (inst->phase_target == 0) {
+        // Degenerate phase (e.g. empty pool region): skip forward.
+        maybeAdvancePhase(inst);
+    }
+}
+
+void
+NdpController::maybeAdvancePhase(KernelInstance *inst)
+{
+    if (inst->spawned < inst->phase_target ||
+        inst->completed < inst->phase_target)
+        return;
+
+    const auto &sections = inst->kernel->code.sections;
+    std::size_t next = inst->section_index + 1;
+    if (inst->phase == InstancePhase::Initializer ||
+        inst->phase == InstancePhase::Body) {
+        if (next < sections.size()) {
+            if (sections[next].kind == isa::SectionKind::Body) {
+                beginPhase(inst, InstancePhase::Body, next);
+                env_.wakeAllUnits();
+                return;
+            }
+            if (sections[next].kind == isa::SectionKind::Finalizer) {
+                beginPhase(inst, InstancePhase::Finalizer, next);
+                env_.wakeAllUnits();
+                return;
+            }
+        }
+    }
+    // No more sections: drain posted stores, then complete.
+    inst->phase = InstancePhase::Draining;
+    if (inst->outstanding_stores == 0)
+        completeInstance(inst, env_.eventQueue().now());
+}
+
+void
+NdpController::completeInstance(KernelInstance *inst, Tick when)
+{
+    inst->phase = InstancePhase::Done;
+    inst->finished_at = when;
+    ++stats_.instances_completed;
+    completed_.emplace(inst->id, when);
+    instances_by_id_.erase(inst->id);
+    spadFree(inst->spad_offset, inst->kernel->resources.scratchpad_bytes);
+
+    auto cb = std::move(inst->on_complete);
+
+    auto it = std::find_if(active_.begin(), active_.end(),
+                           [inst](const auto &p) { return p.get() == inst; });
+    M2_ASSERT(it != active_.end(), "completing unknown instance");
+    // Keep the instance alive through the callback.
+    auto holder = std::move(*it);
+    active_.erase(it);
+
+    admitPending();
+    if (cb)
+        cb(when);
+}
+
+// --------------------------------------------------------------------------
+// uthread generation (Section III-E: interleaved scheduling)
+// --------------------------------------------------------------------------
+
+std::optional<SpawnItem>
+NdpController::pullWork(unsigned unit)
+{
+    // Requeued items first (register-pressure bounce-backs).
+    auto &rq = requeued_[unit];
+    if (!rq.empty()) {
+        SpawnItem item = rq.back();
+        rq.pop_back();
+        return item;
+    }
+
+    for (auto &inst_ptr : active_) {
+        KernelInstance *inst = inst_ptr.get();
+        if (!inst->isActive() || inst->phase == InstancePhase::Draining)
+            continue;
+        const auto &section = inst->kernel->code.sections[inst->section_index];
+        switch (inst->phase) {
+          case InstancePhase::Initializer:
+          case InstancePhase::Finalizer: {
+            std::uint64_t k = inst->next_work[unit];
+            if (k >= env_.slotsPerUnit())
+                continue;
+            inst->next_work[unit] = k + 1;
+            ++inst->spawned;
+            SpawnItem item;
+            item.instance = inst;
+            item.section = &section;
+            item.x1 = layout::kScratchpadVaBase;
+            item.x2 = static_cast<std::uint64_t>(unit) *
+                          env_.slotsPerUnit() + k;
+            return item;
+          }
+          case InstancePhase::Body: {
+            // uthreads are interleaved across units at the 32 B mapping
+            // granularity: unit u runs offsets u, u+N, u+2N, ...
+            std::uint64_t idx =
+                inst->next_work[unit] * env_.numUnits() + unit;
+            Addr addr = inst->pool_base + idx * isa::kVlenBytes;
+            if (addr >= inst->pool_bound)
+                continue;
+            inst->next_work[unit] += 1;
+            ++inst->spawned;
+            SpawnItem item;
+            item.instance = inst;
+            item.section = &section;
+            item.x1 = addr;
+            item.x2 = idx * isa::kVlenBytes;
+            return item;
+          }
+          default:
+            continue;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+NdpController::requeueWork(unsigned unit, const SpawnItem &item)
+{
+    requeued_[unit].push_back(item);
+}
+
+void
+NdpController::uthreadFinished(KernelInstance *inst)
+{
+    ++inst->completed;
+    maybeAdvancePhase(inst);
+}
+
+void
+NdpController::storeIssued(KernelInstance *inst)
+{
+    ++inst->outstanding_stores;
+}
+
+void
+NdpController::storeDrained(KernelInstance *inst, Tick when)
+{
+    M2_ASSERT(inst->outstanding_stores > 0, "store drain underflow");
+    if (--inst->outstanding_stores == 0 &&
+        inst->phase == InstancePhase::Draining) {
+        completeInstance(inst, when);
+    }
+}
+
+// --------------------------------------------------------------------------
+// Scratchpad allocation (identical offset on every unit)
+// --------------------------------------------------------------------------
+
+std::optional<std::uint64_t>
+NdpController::spadAllocate(std::uint64_t size)
+{
+    if (size == 0)
+        return 0;
+    size = alignUp(size, 64);
+    for (auto it = spad_free_.begin(); it != spad_free_.end(); ++it) {
+        if (it->second >= size) {
+            std::uint64_t offset = it->first;
+            std::uint64_t remaining = it->second - size;
+            spad_free_.erase(it);
+            if (remaining > 0)
+                spad_free_[offset + size] = remaining;
+            return offset;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+NdpController::spadFree(std::uint64_t offset, std::uint64_t size)
+{
+    if (size == 0)
+        return;
+    size = alignUp(size, 64);
+    auto [it, inserted] = spad_free_.emplace(offset, size);
+    M2_ASSERT(inserted, "double free of scratchpad region");
+    // Merge with the next block.
+    auto next = std::next(it);
+    if (next != spad_free_.end() && it->first + it->second == next->first) {
+        it->second += next->second;
+        spad_free_.erase(next);
+    }
+    // Merge with the previous block.
+    if (it != spad_free_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->first + prev->second == it->first) {
+            prev->second += it->second;
+            spad_free_.erase(it);
+        }
+    }
+}
+
+} // namespace m2ndp

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * NDP controller: handles M2func calls (Table II), manages the kernel
+ * registry and kernel-instance lifecycle, and acts as the uthread
+ * generator distributing work to NDP units (Sections III-B/C/E/G).
+ *
+ * Implemented like the microcontrollers in GPUs [15]: a small command
+ * processor behind the packet filter. M2func writes carry the function
+ * arguments in the write-data payload; return values are written back to
+ * the M2func region so a subsequent read to the same address fetches them
+ * (synchronous launches defer that read's response until the kernel
+ * finishes).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hh"
+#include "isa/assembler.hh"
+#include "ndp/kernel.hh"
+#include "ndp/ndp_unit.hh"
+#include "sim/event_queue.hh"
+
+namespace m2ndp {
+
+/** M2func function indices (offset = index << 5, Table II). */
+enum class M2Func : std::uint32_t {
+    RegisterKernel = 0,
+    UnregisterKernel = 1,
+    LaunchKernel = 2,
+    PollKernelStatus = 3,
+    ShootdownTlbEntry = 4,
+};
+
+/** Byte stride between M2func entry points (1 << 5, Section III-B). */
+inline constexpr std::uint64_t kM2FuncStride = 32;
+
+/**
+ * Offsets at and beyond this function index are additional LaunchKernel
+ * slots, one return value each, so multiple host threads can have launches
+ * in flight concurrently (Section III-B: "the offsets can be strided...
+ * multiple arguments and return values can be communicated"; Section
+ * III-C: concurrent kernels from multiple host threads as with MPS).
+ */
+inline constexpr std::uint64_t kM2FuncLaunchSlotBase = 8;
+inline constexpr unsigned kM2FuncLaunchSlots = 56;
+
+/** Error return value (Table II: ERR is a negative value). */
+inline constexpr std::int64_t kNdpErr = -1;
+
+/** Wire format of an M2func write payload (little-endian, max 64 B). */
+struct M2FuncPayload
+{
+    std::vector<std::uint8_t> bytes;
+
+    template <typename T>
+    T
+    get(std::size_t offset) const
+    {
+        T v{};
+        if (offset + sizeof(T) <= bytes.size())
+            std::memcpy(&v, bytes.data() + offset, sizeof(T));
+        return v;
+    }
+};
+
+/** Environment provided by the device. */
+class NdpControllerEnv
+{
+  public:
+    virtual ~NdpControllerEnv() = default;
+    virtual EventQueue &eventQueue() = 0;
+    virtual unsigned numUnits() = 0;
+    virtual unsigned slotsPerUnit() = 0;
+    virtual std::uint64_t unitScratchpadBytes() = 0;
+    /** Wake every NDP unit (new work became available). */
+    virtual void wakeAllUnits() = 0;
+    /** Read kernel source text from (asid-translated) device memory. */
+    virtual bool readKernelText(Asid asid, Addr va, std::uint32_t size,
+                                std::string &out) = 0;
+    /** Flush NDP-unit instruction caches (on unregister, Section III-F). */
+    virtual void flushInstructionCaches() = 0;
+    /** TLB shootdown across units + DRAM-TLB (Table II, privileged). */
+    virtual void shootdownTlb(Asid asid, Addr va) = 0;
+};
+
+/** Controller statistics. */
+struct NdpControllerStats
+{
+    std::uint64_t kernels_registered = 0;
+    std::uint64_t launches = 0;
+    std::uint64_t launches_rejected = 0;
+    std::uint64_t polls = 0;
+    std::uint64_t instances_completed = 0;
+};
+
+/** Controller limits (Table IV: max 48 concurrent kernels). */
+struct NdpControllerConfig
+{
+    unsigned max_concurrent_instances = 48;
+    unsigned launch_queue_capacity = 4096;
+    std::uint64_t max_payload_bytes = 64;
+};
+
+/**
+ * The controller. The device routes filter-matched CXL.mem packets here
+ * and implements NdpUnitEnv::pullWork by delegating to this class.
+ */
+class NdpController
+{
+  public:
+    using Config = NdpControllerConfig;
+
+    NdpController(NdpControllerEnv &env, Config cfg = NdpControllerConfig{});
+
+    /**
+     * Handle an M2func *write* (function call). @p offset is the byte
+     * offset into the process' M2func region.
+     * @return the function's (possibly not-yet-readable) return value slot
+     * is updated internally; the write itself is acked by the device.
+     */
+    void handleWrite(Asid asid, std::uint64_t offset,
+                     const M2FuncPayload &payload);
+
+    /**
+     * Handle an M2func *read* (return-value fetch). @p respond is invoked
+     * (possibly later, for synchronous launches) with the value.
+     */
+    void handleRead(Asid asid, std::uint64_t offset,
+                    std::function<void(std::int64_t)> respond);
+
+    // ---- uthread generator interface (used by NdpUnitEnv) ----
+    std::optional<SpawnItem> pullWork(unsigned unit);
+    void requeueWork(unsigned unit, const SpawnItem &item);
+    void uthreadFinished(KernelInstance *inst);
+    void storeIssued(KernelInstance *inst);
+    void storeDrained(KernelInstance *inst, Tick when);
+
+    // ---- direct (driver-level) API used by tests and host runtime ----
+    std::int64_t registerKernel(Asid asid, const std::string &text,
+                                const KernelResources &res);
+    std::int64_t launch(Asid asid, std::int64_t kernel_id, bool synchronous,
+                        Addr pool_base, Addr pool_bound,
+                        const std::vector<std::uint8_t> &args,
+                        std::function<void(Tick)> on_complete = {});
+    KernelStatus status(std::int64_t instance_id) const;
+
+    /**
+     * Attach a completion observer to a live instance; fires immediately
+     * (same tick) if the instance already finished. Used by the host
+     * runtime to model completion notification.
+     */
+    void onInstanceComplete(std::int64_t instance_id,
+                            std::function<void(Tick)> cb);
+
+    const NdpControllerStats &stats() const { return stats_; }
+    unsigned activeInstances() const
+    {
+        return static_cast<unsigned>(active_.size());
+    }
+    std::size_t queuedLaunches() const { return pending_.size(); }
+
+    /** Access a registered kernel (for examples/tests). */
+    const NdpKernel *kernelById(std::int64_t id) const;
+
+  private:
+    struct ReturnSlot
+    {
+        std::int64_t value = kNdpErr;
+        bool ready = true;
+        std::vector<std::function<void(std::int64_t)>> waiters;
+    };
+
+    std::uint64_t
+    slotKey(Asid asid, std::uint64_t fn_index) const
+    {
+        return (static_cast<std::uint64_t>(asid) << 12) | fn_index;
+    }
+
+    void setReturn(Asid asid, std::uint64_t fn_index, std::int64_t value,
+                   bool ready);
+    void resolveReturn(Asid asid, std::uint64_t fn_index,
+                       std::int64_t value);
+    /** Launch entry point shared by the base offset and the extra slots. */
+    void handleLaunchWrite(Asid asid, std::uint64_t fn_index,
+                           const M2FuncPayload &payload);
+
+    /** Try to move pending launches into the active set. */
+    void admitPending();
+    void activate(std::unique_ptr<KernelInstance> inst);
+    void beginPhase(KernelInstance *inst, InstancePhase phase,
+                    std::size_t section_index);
+    void maybeAdvancePhase(KernelInstance *inst);
+    void completeInstance(KernelInstance *inst, Tick when);
+    std::uint64_t phaseTarget(const KernelInstance *inst) const;
+
+    /** Per-unit scratchpad data allocator (identical layout on all units). */
+    std::optional<std::uint64_t> spadAllocate(std::uint64_t size);
+    void spadFree(std::uint64_t offset, std::uint64_t size);
+
+    NdpControllerEnv &env_;
+    Config cfg_;
+    isa::Assembler assembler_;
+
+    std::int64_t next_kernel_id_ = 1;
+    std::int64_t next_instance_id_ = 1;
+    std::unordered_map<std::int64_t, std::unique_ptr<NdpKernel>> kernels_;
+
+    std::deque<std::unique_ptr<KernelInstance>> pending_;
+    std::vector<std::unique_ptr<KernelInstance>> active_;
+    std::unordered_map<std::int64_t, KernelInstance *> instances_by_id_;
+    /** Completed instance ids (for poll-after-completion). */
+    std::unordered_map<std::int64_t, Tick> completed_;
+
+    /** Work requeued by units (register-file pressure). */
+    std::vector<std::vector<SpawnItem>> requeued_;
+
+    std::unordered_map<std::uint64_t, ReturnSlot> returns_;
+    std::unordered_map<Asid, std::int64_t> last_poll_target_;
+
+    /** Free list over per-unit scratchpad data space. */
+    std::map<std::uint64_t, std::uint64_t> spad_free_; // offset -> size
+
+    NdpControllerStats stats_;
+};
+
+} // namespace m2ndp

@@ -1,0 +1,508 @@
+#include "ndp/ndp_unit.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace m2ndp {
+
+namespace {
+constexpr unsigned
+fuIndex(isa::FuType fu)
+{
+    return static_cast<unsigned>(fu);
+}
+} // namespace
+
+NdpUnit::NdpUnit(NdpUnitEnv &env, NdpUnitConfig cfg)
+    : env_(env), cfg_(cfg), subcores_(cfg.subcores),
+      spad_(cfg.spad_bytes, 0),
+      dtlb_(cfg.dtlb_entries, cfg.dtlb_assoc, env.translationPageSize())
+{
+    for (auto &sc : subcores_)
+        sc.slots.resize(cfg_.slots_per_subcore);
+}
+
+// --------------------------------------------------------------------------
+// Functional memory path (isa::MemoryIf)
+// --------------------------------------------------------------------------
+
+std::uint8_t *
+NdpUnit::spadPointer(Addr va, unsigned size)
+{
+    M2_ASSERT(current_slot_ != nullptr, "spad access outside step()");
+    KernelInstance *inst = current_slot_->instance;
+
+    if (va >= layout::kKernelArgVa &&
+        va + size <= layout::kKernelArgVa + layout::kKernelArgWindow) {
+        // Argument window: per-instance buffer (top 256 B of the window).
+        std::uint64_t off = va - layout::kKernelArgVa;
+        M2_ASSERT(off + size <= inst->args.size() || true,
+                  "arg window access past declared args");
+        if (inst->args.size() < off + size)
+            inst->args.resize(off + size, 0);
+        return inst->args.data() + off;
+    }
+
+    std::uint64_t off = va - layout::kScratchpadVaBase;
+    std::uint64_t limit = inst->kernel->resources.scratchpad_bytes;
+    M2_ASSERT(off + size <= limit, "scratchpad access at offset ", off,
+              " beyond declared size ", limit, " (kernel ",
+              inst->kernel->code.name, ")");
+    M2_ASSERT(inst->spad_offset + off + size <= spad_.size(),
+              "scratchpad overflow");
+    return spad_.data() + inst->spad_offset + off;
+}
+
+void
+NdpUnit::read(Addr va, void *out, unsigned size)
+{
+    if (layout::isScratchpadVa(va)) {
+        std::memcpy(out, spadPointer(va, size), size);
+        return;
+    }
+    M2_ASSERT(current_slot_ != nullptr, "memory access outside step()");
+    auto pa = env_.translateFunctional(current_slot_->instance->asid, va);
+    if (!pa) {
+        M2_FATAL("NDP kernel fault: unmapped VA 0x", std::hex, va,
+                 " (kernel ", current_slot_->instance->kernel->code.name, ")");
+    }
+    env_.funcRead(*pa, out, size);
+}
+
+void
+NdpUnit::write(Addr va, const void *in, unsigned size)
+{
+    if (layout::isScratchpadVa(va)) {
+        std::memcpy(spadPointer(va, size), in, size);
+        return;
+    }
+    M2_ASSERT(current_slot_ != nullptr, "memory access outside step()");
+    auto pa = env_.translateFunctional(current_slot_->instance->asid, va);
+    if (!pa) {
+        M2_FATAL("NDP kernel fault: unmapped VA 0x", std::hex, va,
+                 " (kernel ", current_slot_->instance->kernel->code.name, ")");
+    }
+    env_.funcWrite(*pa, in, size);
+}
+
+std::uint64_t
+NdpUnit::amo(AmoOp op, Addr va, std::uint64_t operand, unsigned width)
+{
+    if (layout::isScratchpadVa(va)) {
+        // Scratchpad LSU atomics (Section III-E).
+        std::uint8_t *p = spadPointer(va, width);
+        std::uint64_t old = 0;
+        std::memcpy(&old, p, width);
+        // Reuse the central AMO semantics via a scratch SparseMemory-free
+        // path: compute on the raw bytes.
+        SparseMemory tmp;
+        tmp.write(0, p, width);
+        std::uint64_t prev = amoExecute(tmp, op, 0, operand, width);
+        tmp.read(0, p, width);
+        return prev;
+    }
+    M2_ASSERT(current_slot_ != nullptr, "memory access outside step()");
+    auto pa = env_.translateFunctional(current_slot_->instance->asid, va);
+    if (!pa) {
+        M2_FATAL("NDP kernel fault: unmapped VA 0x", std::hex, va,
+                 " (kernel ", current_slot_->instance->kernel->code.name, ")");
+    }
+    return env_.funcAmo(op, *pa, operand, width);
+}
+
+// --------------------------------------------------------------------------
+// Timing
+// --------------------------------------------------------------------------
+
+void
+NdpUnit::wake()
+{
+    work_maybe_available_ = true;
+    scheduleTick(eqNextEdge());
+}
+
+void
+NdpUnit::scheduleTick(Tick at)
+{
+    if (tick_scheduled_ && scheduled_tick_at_ <= at)
+        return;
+    tick_scheduled_ = true;
+    scheduled_tick_at_ = at;
+    env_.eventQueue().schedule(at, [this, at] {
+        if (scheduled_tick_at_ == at) {
+            tick_scheduled_ = false;
+            scheduled_tick_at_ = kTickMax;
+            tick();
+        }
+        // else: superseded by an earlier reschedule; that event will run.
+    });
+}
+
+Tick
+NdpUnit::nextReadyTick(Tick now) const
+{
+    Tick next = kTickMax;
+    for (const auto &sc : subcores_) {
+        for (const auto &slot : sc.slots) {
+            if (slot.state == SlotState::Ready)
+                next = std::min(next, std::max(slot.ready_at, now));
+        }
+    }
+    return next;
+}
+
+void
+NdpUnit::tick()
+{
+    const Tick now = env_.eventQueue().now();
+    bool issued_any = false;
+
+    for (unsigned i = 0; i < subcores_.size(); ++i) {
+        auto &sc = subcores_[i];
+        if (work_maybe_available_)
+            trySpawn(sc, now);
+        if (issueOne(i, sc, now))
+            issued_any = true;
+    }
+
+    if (live_slots_ > 0) {
+        ++stats_.active_cycles;
+        stats_.occupancy_integral += live_slots_;
+    }
+    if (issued_any)
+        ++stats_.issue_cycles;
+
+    // Decide when to tick again: next cycle if anything is (or will be)
+    // ready or spawnable; otherwise sleep until a memory wake.
+    Tick next = nextReadyTick(now + 1);
+    if (work_maybe_available_ && hasIdleSlot())
+        next = std::min(next, now + cfg_.period);
+    if (next != kTickMax) {
+        Tick r = next % cfg_.period;
+        scheduleTick(r == 0 ? next : next + (cfg_.period - r));
+    }
+}
+
+bool
+NdpUnit::trySpawn(SubCore &sc, Tick now)
+{
+    // Coarse-grained ablation: behave like threadblock allocation — only
+    // refill when the whole sub-core drained (Fig. 12a).
+    if (!cfg_.fine_grained_spawn) {
+        bool all_idle = std::all_of(
+            sc.slots.begin(), sc.slots.end(),
+            [](const Slot &s) { return s.state == SlotState::Idle; });
+        if (!all_idle)
+            return false;
+    }
+
+    bool spawned = false;
+    for (auto &slot : sc.slots) {
+        if (slot.state != SlotState::Idle)
+            continue;
+        // Peek resource needs before pulling: we must not drop work.
+        auto item = env_.pullWork(cfg_.index);
+        if (!item) {
+            work_maybe_available_ = false;
+            return spawned;
+        }
+        const auto &need = item->instance->kernel->resources;
+        std::uint64_t bytes = need.registerBytes();
+        std::uint64_t budget = cfg_.regfile_bytes / cfg_.subcores;
+        if (sc.reg_bytes_used + bytes > budget) {
+            // Register file full on this sub-core: hand the work back by
+            // trying another sub-core later; conservative requeue.
+            env_.requeueWork(cfg_.index, *item);
+            return spawned;
+        }
+        sc.reg_bytes_used += bytes;
+
+        slot.state = SlotState::Ready;
+        slot.ctx = isa::UthreadContext{};
+        slot.ctx.num_x = std::max<std::uint8_t>(need.num_int_regs, 3);
+        slot.ctx.num_f = need.num_float_regs;
+        slot.ctx.num_v = need.num_vector_regs;
+        slot.ctx.x[1] = item->x1;
+        slot.ctx.x[2] = item->x2;
+        slot.ctx.mapped_addr = item->x1;
+        slot.ctx.mapped_offset = item->x2;
+        slot.instance = item->instance;
+        slot.section = item->section;
+        slot.ready_at = now + cfg_.period; // spawn takes one cycle
+        slot.outstanding_loads = 0;
+        slot.finish_pending = false;
+        ++live_slots_;
+        spawned = true;
+        if (!cfg_.fine_grained_spawn)
+            continue; // fill the whole sub-core in coarse mode
+        break;        // fine-grained: at most one spawn per cycle
+    }
+    return spawned;
+}
+
+bool
+NdpUnit::issueOne(unsigned sc_idx, SubCore &sc, Tick now)
+{
+    const unsigned n = static_cast<unsigned>(sc.slots.size());
+    for (unsigned k = 0; k < n; ++k) {
+        unsigned idx = (sc.rr_next + k) % n;
+        Slot &slot = sc.slots[idx];
+        if (slot.state != SlotState::Ready || slot.ready_at > now)
+            continue;
+        if (slot.section->code.empty()) {
+            // Degenerate empty section: finish immediately.
+            sc.rr_next = (idx + 1) % n;
+            finishThread(sc, slot);
+            return true;
+        }
+
+        // Determine the FU the next instruction needs.
+        const isa::Instruction &next_inst = slot.section->code[slot.ctx.pc];
+        isa::FuType fu = isa::fuTypeOf(next_inst.op);
+        // Ablation: no scalar pipes — scalar work contends for vector FUs
+        // like a SIMT-only GPU (redundant per-lane address calculation).
+        if (!cfg_.scalar_units) {
+            if (fu == isa::FuType::ScalarAlu)
+                fu = isa::FuType::VectorAlu;
+            else if (fu == isa::FuType::ScalarSfu)
+                fu = isa::FuType::VectorSfu;
+            else if (fu == isa::FuType::ScalarLsu)
+                fu = isa::FuType::VectorLsu;
+        }
+        if (fu != isa::FuType::None && sc.fu_free[fuIndex(fu)] > now)
+            continue; // FU busy: let another uthread issue (FGMT)
+
+        // Execute functionally.
+        current_slot_ = &slot;
+        isa::StepResult res = isa::step(slot.ctx, slot.section->code, *this);
+        current_slot_ = nullptr;
+
+        ++stats_.instructions;
+        ++slot.instance->instructions;
+        if (isa::isVector(next_inst.op))
+            ++stats_.vector_instructions;
+        else
+            ++stats_.scalar_instructions;
+
+        // FU occupancy: pipelined units take a new op next cycle; SFUs are
+        // unpipelined; LSUs are occupied one cycle per sector reference.
+        Tick occupancy = cfg_.period;
+        if (fu == isa::FuType::ScalarSfu || fu == isa::FuType::VectorSfu)
+            occupancy = res.latency * cfg_.period;
+        else if (fu == isa::FuType::ScalarLsu ||
+                 fu == isa::FuType::VectorLsu) {
+            occupancy =
+                std::max<Tick>(1, res.mem.size()) * cfg_.period;
+        }
+        if (fu != isa::FuType::None)
+            sc.fu_free[fuIndex(fu)] = now + occupancy;
+
+        // Transition to WaitMem before issuing refs so completion
+        // callbacks observe a consistent state.
+        if (res.blocking_mem)
+            slot.state = SlotState::WaitMem;
+        if (res.done)
+            slot.finish_pending = true;
+
+        if (!res.mem.empty())
+            handleMemRefs(sc_idx, sc, slot, res, now);
+
+        if (slot.outstanding_loads == 0) {
+            if (res.done) {
+                finishThread(sc, slot);
+            } else {
+                slot.state = SlotState::Ready;
+                slot.ready_at = now + res.latency * cfg_.period;
+            }
+        }
+
+        sc.rr_next = (idx + 1) % n;
+        return true;
+    }
+    return false;
+}
+
+void
+NdpUnit::completeBlockingAccess(Slot *slot, Tick when)
+{
+    M2_ASSERT(slot->outstanding_loads > 0, "blocking completion underflow");
+    if (--slot->outstanding_loads == 0 &&
+        slot->state == SlotState::WaitMem) {
+        slot->ready_at = when;
+        if (slot->finish_pending) {
+            finishThreadFromWake(slot);
+        } else {
+            slot->state = SlotState::Ready;
+            wake();
+        }
+    }
+}
+
+void
+NdpUnit::handleMemRefs(unsigned sc_idx, SubCore &sc, Slot &slot,
+                       const isa::StepResult &res, Tick now)
+{
+    for (const auto &ref : res.mem) {
+        if (layout::isScratchpadVa(ref.va)) {
+            // Scratchpad: short fixed latency, no global traffic.
+            ++stats_.spad_accesses;
+            stats_.spad_bytes += ref.size;
+            if (res.blocking_mem) {
+                ++slot.outstanding_loads;
+                Slot *s = &slot;
+                env_.eventQueue().scheduleAfter(
+                    cfg_.spad_latency_cycles * cfg_.period,
+                    [this, s] {
+                        completeBlockingAccess(s,
+                                               env_.eventQueue().now());
+                    });
+            }
+            continue;
+        }
+        issueGlobalAccess(sc, slot, ref, now, res.blocking_mem);
+    }
+}
+
+void
+NdpUnit::issueGlobalAccess(SubCore &sc, Slot &slot, const isa::MemRef &ref,
+                           Tick now, bool blocking)
+{
+    KernelInstance *inst = slot.instance;
+    const Asid asid = inst->asid;
+
+    // Translation timing: D-TLB hit is free; miss costs one DRAM-TLB read
+    // (a 16 B DRAM access); a cold DRAM-TLB entry costs an ATS round trip.
+    Tick ats_delay = 0;
+    bool need_dram_tlb = false;
+    if (!dtlb_.lookup(asid, ref.va)) {
+        need_dram_tlb = true;
+        if (!env_.dramTlbWarm(asid, ref.va)) {
+            ats_delay = cfg_.ats_latency;
+            env_.dramTlbRefill(asid, ref.va);
+        }
+    }
+
+    auto pa_opt = env_.translateFunctional(asid, ref.va);
+    M2_ASSERT(pa_opt.has_value(), "timing access to unmapped VA");
+    Addr pa = *pa_opt;
+    if (need_dram_tlb) {
+        dtlb_.insert(asid, ref.va,
+                     alignDown(pa, env_.translationPageSize()));
+    }
+
+    // Classify: within a blocking instruction, a store ref is an atomic
+    // (AMO); standalone stores are posted.
+    MemOp op;
+    if (ref.is_store && blocking) {
+        op = MemOp::Atomic;
+        ++stats_.global_atomics;
+    } else if (ref.is_store) {
+        op = MemOp::Write;
+        ++stats_.global_stores;
+    } else {
+        op = MemOp::Read;
+        ++stats_.global_loads;
+    }
+    stats_.global_bytes += ref.size;
+
+    Slot *s = &slot;
+    // Count blocking refs *now* so the issue path sees the thread as
+    // waiting even while the DRAM-TLB read is still in flight.
+    if (blocking)
+        ++s->outstanding_loads;
+
+    std::uint32_t size = ref.size;
+    Tick issued_at = now;
+    auto launch_access = [this, s, inst, op, pa, size, blocking,
+                          issued_at] {
+        if (op == MemOp::Write) {
+            env_.storeIssued(inst);
+            env_.unitMemAccess(cfg_.index, op, pa, size,
+                               [this, inst](Tick t) {
+                                   env_.storeDrained(inst, t);
+                               });
+            return;
+        }
+        env_.unitMemAccess(cfg_.index, op, pa, size,
+                           [this, s, blocking, op, inst, issued_at](Tick t) {
+            stats_.load_latency_ticks += t - issued_at;
+            ++stats_.load_samples;
+            if (op == MemOp::Atomic)
+                env_.storeDrained(inst, t); // atomics also write memory
+            if (blocking)
+                completeBlockingAccess(s, t);
+        });
+    };
+    if (op == MemOp::Atomic)
+        env_.storeIssued(inst);
+
+    if (need_dram_tlb) {
+        // One 16 B DRAM read to the hashed DRAM-TLB entry location, then
+        // (plus any ATS delay) the actual access.
+        Addr entry_pa = env_.dramTlbEntryPa(asid, ref.va);
+        env_.unitMemAccess(
+            cfg_.index, MemOp::Read, entry_pa, DramTlb::kEntryBytes,
+            [this, launch_access, ats_delay](Tick) {
+                if (ats_delay == 0) {
+                    launch_access();
+                } else {
+                    env_.eventQueue().scheduleAfter(ats_delay,
+                                                    launch_access);
+                }
+            });
+    } else {
+        launch_access();
+    }
+}
+
+void
+NdpUnit::finishThread(SubCore &sc, Slot &slot)
+{
+    sc.reg_bytes_used -= slot.instance->kernel->resources.registerBytes();
+    KernelInstance *inst = slot.instance;
+    slot.state = SlotState::Idle;
+    slot.instance = nullptr;
+    slot.section = nullptr;
+    --live_slots_;
+    ++stats_.uthreads_completed;
+    work_maybe_available_ = true; // a slot freed: maybe new spawn possible
+    env_.uthreadFinished(inst);
+}
+
+void
+NdpUnit::finishThreadFromWake(Slot *slot)
+{
+    // Locate the owning sub-core (slot pointers are stable).
+    for (auto &sc : subcores_) {
+        if (!sc.slots.empty() && slot >= sc.slots.data() &&
+            slot < sc.slots.data() + sc.slots.size()) {
+            finishThread(sc, *slot);
+            wake();
+            return;
+        }
+    }
+    M2_PANIC("finishThreadFromWake: slot not found");
+}
+
+bool
+NdpUnit::hasIdleSlot() const
+{
+    for (const auto &sc : subcores_) {
+        for (const auto &slot : sc.slots) {
+            if (slot.state == SlotState::Idle)
+                return true;
+        }
+    }
+    return false;
+}
+
+Tick
+NdpUnit::eqNextEdge() const
+{
+    Tick now = env_.eventQueue().now();
+    Tick r = now % cfg_.period;
+    return r == 0 ? now : now + (cfg_.period - r);
+}
+
+} // namespace m2ndp

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * NDP unit microarchitecture (Section III-E, Fig. 7).
+ *
+ * An NDP unit has 4 sub-cores; each sub-core has 16 uthread slots, issues
+ * one instruction per cycle (4-way dispatch per unit) with fine-grained
+ * multithreading over ready uthreads, and owns scalar ALU/SFU/LSU and
+ * 256-bit vector ALU/SFU/LSU pipes. Register-file capacity (48 KiB per
+ * unit) is provisioned per uthread according to the kernel's declared
+ * register usage, bounding concurrency exactly as in Section III-D.
+ *
+ * Execution is functional-first: the isa::step() call at issue performs the
+ * architectural effects; this class models when things happen — FU
+ * occupancy, FGMT scheduling, scratchpad vs L1D vs global-memory latency,
+ * TLB/DRAM-TLB translation delay, and posted-store draining.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/units.hh"
+#include "isa/executor.hh"
+#include "mem/packet.hh"
+#include "ndp/kernel.hh"
+#include "ndp/tlb.hh"
+#include "sim/event_queue.hh"
+
+namespace m2ndp {
+
+/** One uthread of work handed to a unit by the uthread generator. */
+struct SpawnItem
+{
+    KernelInstance *instance = nullptr;
+    const isa::KernelSection *section = nullptr;
+    Addr x1 = 0;          ///< mapped address (pool region) or scratchpad base
+    std::uint64_t x2 = 0; ///< offset from pool base, or unique ID
+};
+
+/** Static configuration of one NDP unit (Table IV defaults). */
+struct NdpUnitConfig
+{
+    unsigned index = 0;
+    unsigned subcores = 4;
+    unsigned slots_per_subcore = 16;
+    std::uint64_t regfile_bytes = 48 * kKiB;
+    std::uint64_t spad_bytes = 64 * kKiB; ///< data scratchpad (excl. args)
+    Tick period = 500;                    ///< 2 GHz
+    Tick spad_latency_cycles = 2;
+    unsigned dtlb_entries = 256;
+    unsigned dtlb_assoc = 8;
+    Tick ats_latency = 2 * kUs; ///< DRAM-TLB miss fallback (Section II-B)
+
+    /** Ablation: false = coarse spawning (all 16 slots of a sub-core at
+     *  once, threadblock-style; Fig. 12a "w/o Fine-grained thr"). */
+    bool fine_grained_spawn = true;
+    /** Ablation: false = no scalar pipes; scalar ops contend for the vector
+     *  ALU like SIMT-only GPUs (Fig. 12a "w/o Addr opt"). */
+    bool scalar_units = true;
+};
+
+/** Aggregate statistics for one NDP unit. */
+struct NdpUnitStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t scalar_instructions = 0;
+    std::uint64_t vector_instructions = 0;
+    std::uint64_t uthreads_completed = 0;
+    std::uint64_t global_loads = 0;
+    std::uint64_t global_stores = 0;
+    std::uint64_t global_atomics = 0;
+    std::uint64_t spad_accesses = 0;
+    std::uint64_t spad_bytes = 0;
+    std::uint64_t global_bytes = 0;
+    std::uint64_t issue_cycles = 0; ///< cycles with >=1 issue
+    std::uint64_t active_cycles = 0; ///< cycles unit had live uthreads
+    std::uint64_t occupancy_integral = 0; ///< sum of live slots per cycle
+    std::uint64_t load_latency_ticks = 0; ///< sum of blocking-access latency
+    std::uint64_t load_samples = 0;
+};
+
+/**
+ * Environment the unit lives in: implemented by the M2NDP device. Provides
+ * the timing path to memory, functional access, translation, and work.
+ */
+class NdpUnitEnv
+{
+  public:
+    virtual ~NdpUnitEnv() = default;
+
+    virtual EventQueue &eventQueue() = 0;
+
+    /** Timing access from unit @p unit to device-physical address @p pa. */
+    virtual void unitMemAccess(unsigned unit, MemOp op, Addr pa,
+                               std::uint32_t size,
+                               std::function<void(Tick)> done) = 0;
+
+    /** Functional VA translation (nullopt = unmapped: kernel fault). */
+    virtual std::optional<Addr> translateFunctional(Asid asid, Addr va) = 0;
+
+    /** Functional physical-memory access (routes P2P if needed). */
+    virtual void funcRead(Addr pa, void *out, unsigned size) = 0;
+    virtual void funcWrite(Addr pa, const void *in, unsigned size) = 0;
+    virtual std::uint64_t funcAmo(AmoOp op, Addr pa, std::uint64_t operand,
+                                  unsigned width) = 0;
+
+    /** DRAM-TLB support (Section III-H). */
+    virtual Addr dramTlbEntryPa(Asid asid, Addr va) = 0;
+    virtual bool dramTlbWarm(Asid asid, Addr va) = 0;
+    virtual void dramTlbRefill(Asid asid, Addr va) = 0;
+    virtual std::uint64_t translationPageSize() = 0;
+
+    /** Pull the next uthread for this unit (nullopt = no work). */
+    virtual std::optional<SpawnItem> pullWork(unsigned unit) = 0;
+
+    /** Hand back work pulled but not spawnable (register file full). */
+    virtual void requeueWork(unsigned unit, const SpawnItem &item) = 0;
+
+    /** A uthread of @p inst finished (at current tick). */
+    virtual void uthreadFinished(KernelInstance *inst) = 0;
+
+    /** Posted-store drain accounting for kernel completion. */
+    virtual void storeIssued(KernelInstance *inst) = 0;
+    virtual void storeDrained(KernelInstance *inst, Tick when) = 0;
+};
+
+/** The NDP unit proper. */
+class NdpUnit : public isa::MemoryIf
+{
+  public:
+    NdpUnit(NdpUnitEnv &env, NdpUnitConfig cfg);
+
+    /** Kick the unit: new work may be available (spawn + issue). */
+    void wake();
+
+    /** Number of currently live (non-idle) uthread slots. */
+    unsigned activeSlots() const { return live_slots_; }
+    unsigned totalSlots() const
+    {
+        return cfg_.subcores * cfg_.slots_per_subcore;
+    }
+
+    const NdpUnitStats &stats() const { return stats_; }
+    const NdpUnitConfig &config() const { return cfg_; }
+    const TlbStats &dtlbStats() const { return dtlb_.stats(); }
+
+    /** Invalidate one page translation (Table II, privileged path). */
+    void shootdownTlb(Asid asid, Addr va) { dtlb_.shootdown(asid, va); }
+
+    /** Scratchpad backing store (per unit; shared by all uthreads, A3). */
+    std::vector<std::uint8_t> &scratchpad() { return spad_; }
+
+    // isa::MemoryIf — functional path used by the executor at issue time.
+    // Routes scratchpad-window VAs to the unit scratchpad / argument
+    // window and everything else through translation to device memory.
+    void read(Addr va, void *out, unsigned size) override;
+    void write(Addr va, const void *in, unsigned size) override;
+    std::uint64_t amo(AmoOp op, Addr va, std::uint64_t operand,
+                      unsigned width) override;
+
+  private:
+    enum class SlotState : std::uint8_t { Idle, Ready, WaitMem };
+
+    struct Slot
+    {
+        SlotState state = SlotState::Idle;
+        isa::UthreadContext ctx;
+        KernelInstance *instance = nullptr;
+        const isa::KernelSection *section = nullptr;
+        Tick ready_at = 0;
+        unsigned outstanding_loads = 0;
+        bool finish_pending = false;
+    };
+
+    struct SubCore
+    {
+        std::vector<Slot> slots;
+        std::uint64_t reg_bytes_used = 0;
+        unsigned rr_next = 0;
+        /** Next-free tick per FuType (indexed by static_cast). */
+        std::array<Tick, 7> fu_free{};
+    };
+
+    void scheduleTick(Tick at);
+    void tick();
+    bool trySpawn(SubCore &sc, Tick now);
+    bool issueOne(unsigned sc_idx, SubCore &sc, Tick now);
+    void finishThread(SubCore &sc, Slot &slot);
+    void finishThreadFromWake(Slot *slot);
+    void handleMemRefs(unsigned sc_idx, SubCore &sc, Slot &slot,
+                       const isa::StepResult &res, Tick now);
+    /** Translation delay + global access for one ref; wakes slot. */
+    void issueGlobalAccess(SubCore &sc, Slot &slot, const isa::MemRef &ref,
+                           Tick now, bool blocking);
+    Tick nextReadyTick(Tick now) const;
+    bool hasIdleSlot() const;
+    Tick eqNextEdge() const;
+    /** Wake a slot after one outstanding blocking access completes. */
+    void completeBlockingAccess(Slot *slot, Tick when);
+
+    /** Functional scratchpad/arg-window routing helpers. */
+    std::uint8_t *spadPointer(Addr va, unsigned size);
+
+    NdpUnitEnv &env_;
+    NdpUnitConfig cfg_;
+    std::vector<SubCore> subcores_;
+    std::vector<std::uint8_t> spad_;
+    Tlb dtlb_;
+    unsigned live_slots_ = 0;
+    bool tick_scheduled_ = false;
+    Tick scheduled_tick_at_ = kTickMax;
+    bool work_maybe_available_ = true;
+    NdpUnitStats stats_;
+
+    /** Functional context of the uthread currently in step(). */
+    Slot *current_slot_ = nullptr;
+};
+
+} // namespace m2ndp

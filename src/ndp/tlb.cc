@@ -1,0 +1,138 @@
+#include "ndp/tlb.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace m2ndp {
+
+Tlb::Tlb(unsigned entries, unsigned assoc, std::uint64_t page_size)
+    : sets_(entries / assoc), assoc_(assoc), page_size_(page_size),
+      entries_(entries)
+{
+    M2_ASSERT(entries % assoc == 0, "TLB entries not divisible by assoc");
+    M2_ASSERT(isPowerOfTwo(page_size), "TLB page size must be a power of two");
+}
+
+std::uint64_t
+Tlb::setOf(Asid asid, std::uint64_t vpn) const
+{
+    return mixHash64(vpn * 65537 + asid) % sets_;
+}
+
+std::optional<Addr>
+Tlb::lookup(Asid asid, Addr va)
+{
+    std::uint64_t vpn = va / page_size_;
+    std::uint64_t set = setOf(asid, vpn);
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Entry &e = entries_[set * assoc_ + w];
+        if (e.valid && e.asid == asid && e.vpn == vpn) {
+            ++stats_.hits;
+            e.lru = ++lru_clock_;
+            return e.pa_page;
+        }
+    }
+    ++stats_.misses;
+    return std::nullopt;
+}
+
+void
+Tlb::insert(Asid asid, Addr va, Addr pa_page)
+{
+    std::uint64_t vpn = va / page_size_;
+    std::uint64_t set = setOf(asid, vpn);
+    Entry *victim = nullptr;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Entry &e = entries_[set * assoc_ + w];
+        if (e.valid && e.asid == asid && e.vpn == vpn) {
+            victim = &e; // refresh existing
+            break;
+        }
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (victim == nullptr || e.lru < victim->lru)
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->asid = asid;
+    victim->vpn = vpn;
+    victim->pa_page = pa_page;
+    victim->lru = ++lru_clock_;
+}
+
+void
+Tlb::shootdown(Asid asid, Addr va)
+{
+    std::uint64_t vpn = va / page_size_;
+    std::uint64_t set = setOf(asid, vpn);
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Entry &e = entries_[set * assoc_ + w];
+        if (e.valid && e.asid == asid && e.vpn == vpn) {
+            e.valid = false;
+            ++stats_.shootdowns;
+        }
+    }
+}
+
+void
+Tlb::flush()
+{
+    for (auto &e : entries_)
+        e.valid = false;
+}
+
+DramTlb::DramTlb(Addr region_base, std::uint64_t region_bytes,
+                 std::uint64_t page_size)
+    : region_base_(region_base), num_entries_(region_bytes / kEntryBytes),
+      page_size_(page_size)
+{
+    M2_ASSERT(num_entries_ > 0, "empty DRAM-TLB region");
+}
+
+std::uint64_t
+DramTlb::keyOf(Asid asid, Addr va) const
+{
+    return (va / page_size_) * 65537 + asid;
+}
+
+Addr
+DramTlb::entryAddress(Asid asid, Addr va) const
+{
+    // Hashed location so all NDP units in the device share entries
+    // (Section III-H).
+    std::uint64_t slot = mixHash64(keyOf(asid, va)) % num_entries_;
+    return region_base_ + slot * kEntryBytes;
+}
+
+bool
+DramTlb::contains(Asid asid, Addr va) const
+{
+    std::uint64_t key = keyOf(asid, va);
+    return std::find(invalidated_.begin(), invalidated_.end(), key) ==
+           invalidated_.end();
+}
+
+void
+DramTlb::shootdown(Asid asid, Addr va)
+{
+    std::uint64_t key = keyOf(asid, va);
+    if (std::find(invalidated_.begin(), invalidated_.end(), key) ==
+        invalidated_.end()) {
+        invalidated_.push_back(key);
+        ++stats_.shootdowns;
+    }
+}
+
+void
+DramTlb::refill(Asid asid, Addr va)
+{
+    std::uint64_t key = keyOf(asid, va);
+    invalidated_.erase(
+        std::remove(invalidated_.begin(), invalidated_.end(), key),
+        invalidated_.end());
+}
+
+} // namespace m2ndp

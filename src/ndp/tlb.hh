@@ -1,0 +1,129 @@
+/**
+ * @file
+ * On-chip TLBs and the DRAM-TLB (Section III-H).
+ *
+ * Each NDP unit has a 256-entry, 8-way D-TLB (and an I-TLB we do not model
+ * in timing because kernel code is tiny and I-cache resident). On-chip
+ * misses fall back to the DRAM-TLB: a hashed array of 16 B entries in
+ * device DRAM, giving one DRAM access of miss penalty. A DRAM-TLB miss
+ * falls back to ATS over CXL.io at microsecond cost — rare in steady state
+ * because the paper (and we) assume the DRAM-TLB is warmed for resident
+ * data.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bitutil.hh"
+#include "common/units.hh"
+#include "mem/page_table.hh"
+
+namespace m2ndp {
+
+/** Statistics for one TLB. */
+struct TlbStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t shootdowns = 0;
+
+    double
+    hitRate() const
+    {
+        std::uint64_t total = hits + misses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(total);
+    }
+};
+
+/**
+ * Set-associative LRU TLB keyed by (ASID, virtual page number).
+ * Timing-neutral: callers charge latency based on hit/miss.
+ */
+class Tlb
+{
+  public:
+    Tlb(unsigned entries, unsigned assoc, std::uint64_t page_size);
+
+    /** Look up a VA; fills stats. @return PA of page start if present. */
+    std::optional<Addr> lookup(Asid asid, Addr va);
+
+    /** Install a translation (page-aligned PA). */
+    void insert(Asid asid, Addr va, Addr pa_page);
+
+    /** Invalidate one page (TLB shootdown, Table II). */
+    void shootdown(Asid asid, Addr va);
+
+    /** Drop everything (process teardown). */
+    void flush();
+
+    const TlbStats &stats() const { return stats_; }
+    std::uint64_t pageSize() const { return page_size_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Asid asid = 0;
+        std::uint64_t vpn = 0;
+        Addr pa_page = 0;
+        std::uint64_t lru = 0;
+    };
+
+    std::uint64_t setOf(Asid asid, std::uint64_t vpn) const;
+
+    unsigned sets_;
+    unsigned assoc_;
+    std::uint64_t page_size_;
+    std::vector<Entry> entries_;
+    std::uint64_t lru_clock_ = 0;
+    TlbStats stats_;
+};
+
+/**
+ * The DRAM-TLB: 16 B entries at hashed locations in a reserved device DRAM
+ * region. We model its *contents* as "warm for all mapped pages" (the
+ * paper's steady-state assumption) and its *timing* as one DRAM access to
+ * the hashed entry address; shootdowns invalidate per-page so subsequent
+ * accesses take the ATS path until re-walked.
+ */
+class DramTlb
+{
+  public:
+    DramTlb(Addr region_base, std::uint64_t region_bytes,
+            std::uint64_t page_size);
+
+    /** PA of the entry that would hold (asid, va): for timing accesses. */
+    Addr entryAddress(Asid asid, Addr va) const;
+
+    /** True if (asid, va) currently resolves in the DRAM-TLB. */
+    bool contains(Asid asid, Addr va) const;
+
+    /** Invalidate a page (host-initiated shootdown). */
+    void shootdown(Asid asid, Addr va);
+
+    /** Re-validate after an ATS walk. */
+    void refill(Asid asid, Addr va);
+
+    const TlbStats &stats() const { return stats_; }
+    TlbStats &stats() { return stats_; }
+
+    /** Modeled storage overhead: 16 B per page (Section III-H). */
+    static constexpr std::uint64_t kEntryBytes = 16;
+
+  private:
+    std::uint64_t keyOf(Asid asid, Addr va) const;
+
+    Addr region_base_;
+    std::uint64_t num_entries_;
+    std::uint64_t page_size_;
+    /** Pages explicitly shot down (absent = warm). */
+    std::vector<std::uint64_t> invalidated_;
+    TlbStats stats_;
+};
+
+} // namespace m2ndp

@@ -1,0 +1,40 @@
+#include "noc/crossbar.hh"
+
+#include <algorithm>
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace m2ndp {
+
+Crossbar::Crossbar(EventQueue &eq, CrossbarConfig cfg)
+    : eq_(eq), cfg_(cfg),
+      port_free_(static_cast<std::size_t>(cfg.planes) * cfg.ports, 0)
+{
+    M2_ASSERT(cfg_.planes > 0 && cfg_.ports > 0, "empty crossbar");
+}
+
+Tick
+Crossbar::send(unsigned dst_port, std::uint32_t bytes,
+               std::uint64_t route_hash)
+{
+    M2_ASSERT(dst_port < cfg_.ports, "bad crossbar port ", dst_port);
+    unsigned plane = static_cast<unsigned>(mixHash64(route_hash) % cfg_.planes);
+    Tick &free = port_free_[static_cast<std::size_t>(plane) * cfg_.ports +
+                            dst_port];
+
+    unsigned flits = (bytes + cfg_.flit_bytes - 1) / cfg_.flit_bytes;
+    flits = std::max(flits, 1u);
+
+    Tick ready = eq_.now() + cfg_.hop_latency;
+    Tick start = std::max(ready, free);
+    Tick done = start + static_cast<Tick>(flits) * cfg_.cycle;
+    free = done;
+
+    stats_.flits += flits;
+    stats_.bytes += bytes;
+    stats_.total_queueing += start - ready;
+    return done;
+}
+
+} // namespace m2ndp

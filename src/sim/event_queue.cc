@@ -1,0 +1,34 @@
+#include "sim/event_queue.hh"
+
+namespace m2ndp {
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t executed = 0;
+    while (!heap_.empty() && heap_.top().when <= limit) {
+        // Copy out before pop: the callback may schedule new events.
+        Event ev = heap_.top();
+        heap_.pop();
+        now_ = ev.when;
+        ev.cb();
+        ++executed;
+    }
+    if (now_ < limit && limit != kTickMax)
+        now_ = limit;
+    return executed;
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.when;
+    ev.cb();
+    return true;
+}
+
+} // namespace m2ndp

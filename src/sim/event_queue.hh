@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Central discrete-event queue.
+ *
+ * All simulated components schedule callbacks at absolute ticks
+ * (picoseconds). Events at equal ticks execute in scheduling order
+ * (FIFO tie-break) so simulations are deterministic.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/units.hh"
+
+namespace m2ndp {
+
+/** Discrete-event simulation engine. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p cb at absolute tick @p when (must be >= now()). */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        M2_ASSERT(when >= now_, "scheduling in the past: ", when, " < ", now_);
+        heap_.push(Event{when, seq_++, std::move(cb)});
+    }
+
+    /** Schedule @p cb @p delay ticks from now. */
+    void
+    scheduleAfter(Tick delay, Callback cb)
+    {
+        schedule(now_ + delay, std::move(cb));
+    }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Tick of the next pending event (kTickMax if none). */
+    Tick
+    nextEventTick() const
+    {
+        return heap_.empty() ? kTickMax : heap_.top().when;
+    }
+
+    /**
+     * Execute events until the queue drains or @p limit is exceeded.
+     * @return number of events executed.
+     */
+    std::uint64_t run(Tick limit = kTickMax);
+
+    /** Execute a single event. @return false if the queue was empty. */
+    bool step();
+
+    /**
+     * Advance now() to @p when without executing events scheduled after it.
+     * Used by open-loop drivers to inject work mid-simulation.
+     */
+    void
+    advanceTo(Tick when)
+    {
+        M2_ASSERT(when >= now_, "advanceTo in the past");
+        M2_ASSERT(nextEventTick() >= when, "advanceTo would skip events");
+        now_ = when;
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Event &other) const
+        {
+            return when != other.when ? when > other.when : seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+/**
+ * A clock domain: converts between local cycles and global ticks.
+ * Cycle 0 begins at tick 0 for all domains.
+ */
+class ClockDomain
+{
+  public:
+    explicit ClockDomain(Tick period) : period_(period)
+    {
+        M2_ASSERT(period > 0, "zero clock period");
+    }
+
+    static ClockDomain fromGHz(double ghz) { return ClockDomain(periodFromGHz(ghz)); }
+    static ClockDomain fromMHz(double mhz) { return ClockDomain(periodFromMHz(mhz)); }
+
+    Tick period() const { return period_; }
+
+    /** Tick at the start of the given cycle. */
+    Tick cycleToTick(std::uint64_t cycle) const { return cycle * period_; }
+
+    /** Cycle containing the given tick. */
+    std::uint64_t tickToCycle(Tick t) const { return t / period_; }
+
+    /** First cycle boundary at or after @p t. */
+    Tick
+    nextEdge(Tick t) const
+    {
+        Tick r = t % period_;
+        return r == 0 ? t : t + (period_ - r);
+    }
+
+    double frequencyGHz() const { return 1000.0 / static_cast<double>(period_); }
+
+  private:
+    Tick period_;
+};
+
+} // namespace m2ndp

@@ -1,0 +1,127 @@
+#include "system/system.hh"
+
+#include "common/log.hh"
+
+namespace m2ndp {
+
+CxlLinkConfig
+SystemConfig::linkForLoadToUse(Tick ltu)
+{
+    // Idle read LtU decomposes as: 2x host overhead (20 ns total) +
+    // 2x (stack + wire) + device-internal L2/DRAM access (~55 ns).
+    // Solve for the one-way stack+wire latency.
+    CxlLinkConfig link;
+    Tick fixed = 20 * kNs + 55 * kNs;
+    M2_ASSERT(ltu > fixed, "load-to-use below physical floor");
+    link.oneway_latency = (ltu - fixed) / 2;
+    return link;
+}
+
+System::System(SystemConfig cfg) : cfg_(cfg)
+{
+    M2_ASSERT(cfg_.num_devices >= 1, "system needs at least one device");
+    for (unsigned d = 0; d < cfg_.num_devices; ++d) {
+        DeviceConfig dc = cfg_.device;
+        dc.index = d;
+        devices_.push_back(
+            std::make_unique<CxlMemoryExpander>(eq_, mem_, dc));
+
+        CxlLinkConfig lc = cfg_.link;
+        lc.oneway_latency += cfg_.switch_latency;
+        links_.push_back(std::make_unique<CxlLink>(eq_, lc));
+        host_ports_.push_back(std::make_unique<HostCxlPort>(
+            eq_, *links_.back(), *devices_.back(), cfg_.host));
+
+        allocators_.push_back(std::make_unique<PhysAllocator>(
+            layout::deviceBase(d),
+            dc.capacity - layout::kM2FuncReserve - 32 * kMiB));
+    }
+
+    // P2P routing through the switch (Section III-I).
+    for (auto &dev : devices_) {
+        dev->setPeerAccess([this](unsigned src, MemOp op, Addr pa,
+                                  std::uint32_t size,
+                                  std::function<void(Tick)> done) {
+            unsigned target = layout::deviceOf(pa);
+            M2_ASSERT(target < devices_.size(),
+                      "P2P to nonexistent device ", target);
+            M2_ASSERT(target != src, "P2P to self");
+            Tick hop = cfg_.p2p_oneway_latency;
+            eq_.scheduleAfter(hop, [this, target, op, pa, size, hop,
+                                    done = std::move(done)]() mutable {
+                devices_[target]->peerMemAccess(
+                    op, pa, size,
+                    [this, hop, done = std::move(done)](Tick t) {
+                        eq_.schedule(std::max(eq_.now(), t) + hop,
+                                     [done = std::move(done), t, hop] {
+                                         done(t + hop);
+                                     });
+                    });
+            });
+        });
+    }
+}
+
+System::~System() = default;
+
+ProcessAddressSpace &
+System::createProcess()
+{
+    std::vector<PhysAllocator *> allocs;
+    for (auto &a : allocators_)
+        allocs.push_back(a.get());
+    processes_.push_back(std::make_unique<ProcessAddressSpace>(
+        next_asid_++, std::move(allocs)));
+    for (auto &dev : devices_)
+        dev->attachProcess(&processes_.back()->pageTable());
+    return *processes_.back();
+}
+
+std::unique_ptr<NdpRuntime>
+System::createRuntime(ProcessAddressSpace &process, unsigned dev,
+                      NdpRuntimeConfig cfg)
+{
+    // One-time CXL.io initialization: allocate the M2func region and
+    // install the packet-filter entry (Section III-B).
+    Addr region = devices_[dev]->allocateM2FuncRegion(process.asid());
+    return std::make_unique<NdpRuntime>(*host_ports_[dev], process, region,
+                                        cfg);
+}
+
+void
+System::writeVirtual(const ProcessAddressSpace &process, Addr va,
+                     const void *data, std::uint64_t size)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    std::uint64_t page = process.pageTable().pageSize();
+    while (size > 0) {
+        auto pa = process.translate(va);
+        M2_ASSERT(pa.has_value(), "writeVirtual: unmapped VA ", va);
+        std::uint64_t chunk = std::min<std::uint64_t>(size,
+                                                      page - (va % page));
+        mem_.write(*pa, bytes, chunk);
+        va += chunk;
+        bytes += chunk;
+        size -= chunk;
+    }
+}
+
+void
+System::readVirtual(const ProcessAddressSpace &process, Addr va, void *out,
+                    std::uint64_t size) const
+{
+    auto *bytes = static_cast<std::uint8_t *>(out);
+    std::uint64_t page = process.pageTable().pageSize();
+    while (size > 0) {
+        auto pa = process.translate(va);
+        M2_ASSERT(pa.has_value(), "readVirtual: unmapped VA ", va);
+        std::uint64_t chunk = std::min<std::uint64_t>(size,
+                                                      page - (va % page));
+        mem_.read(*pa, bytes, chunk);
+        va += chunk;
+        bytes += chunk;
+        size -= chunk;
+    }
+}
+
+} // namespace m2ndp

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Top-level system assembly: host + CXL links + one or more CXL-M2NDP
+ * devices, following Table IV. Also wires cross-device P2P routing through
+ * the (optional) CXL switch (Sections III-I/J).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cxl/link.hh"
+#include "device/cxl_memory_expander.hh"
+#include "host/host.hh"
+#include "host/runtime.hh"
+#include "mem/page_table.hh"
+#include "mem/sparse_memory.hh"
+#include "sim/event_queue.hh"
+
+namespace m2ndp {
+
+/** System-level configuration. */
+struct SystemConfig
+{
+    unsigned num_devices = 1;
+    DeviceConfig device;   ///< template; index set per device
+    CxlLinkConfig link;    ///< per-device link
+    HostPortConfig host;
+
+    /** Extra one-way latency when a CXL switch sits on the path. */
+    Tick switch_latency = 0;
+    /** Device-to-device latency for P2P through the switch. */
+    Tick p2p_oneway_latency = 70 * kNs;
+
+    /**
+     * Build a link config whose idle load-to-use latency is @p ltu
+     * (Table IV: 150 / 300 / 600 ns). Calibrated against the measured
+     * breakdown: host overhead + 2x(stack+wire) + device-internal access.
+     */
+    static CxlLinkConfig linkForLoadToUse(Tick ltu);
+};
+
+/** The assembled system. */
+class System
+{
+  public:
+    explicit System(SystemConfig cfg);
+    ~System();
+
+    EventQueue &eq() { return eq_; }
+    SparseMemory &mem() { return mem_; }
+    unsigned numDevices() const { return static_cast<unsigned>(devices_.size()); }
+    CxlMemoryExpander &device(unsigned i = 0) { return *devices_[i]; }
+    HostCxlPort &host(unsigned i = 0) { return *host_ports_[i]; }
+    CxlLink &link(unsigned i = 0) { return *links_[i]; }
+    const SystemConfig &config() const { return cfg_; }
+
+    /** Create a process address space spanning all devices. */
+    ProcessAddressSpace &createProcess();
+
+    /**
+     * Create the user-level runtime for @p process against device @p dev:
+     * performs the one-time CXL.io initialization (M2func region
+     * allocation + packet-filter entry, Section III-B).
+     */
+    std::unique_ptr<NdpRuntime> createRuntime(ProcessAddressSpace &process,
+                                              unsigned dev = 0,
+                                              NdpRuntimeConfig cfg = {});
+
+    // ---- functional data movement for workload setup (no timing) ----
+    void writeVirtual(const ProcessAddressSpace &process, Addr va,
+                      const void *data, std::uint64_t size);
+    void readVirtual(const ProcessAddressSpace &process, Addr va, void *out,
+                     std::uint64_t size) const;
+
+    template <typename T>
+    void
+    writeVirtual(const ProcessAddressSpace &process, Addr va, const T &v)
+    {
+        writeVirtual(process, va, &v, sizeof(T));
+    }
+
+    template <typename T>
+    T
+    readVirtual(const ProcessAddressSpace &process, Addr va) const
+    {
+        T v{};
+        readVirtual(process, va, &v, sizeof(T));
+        return v;
+    }
+
+    /** Run until the event queue drains (or @p limit). */
+    void run(Tick limit = kTickMax) { eq_.run(limit); }
+
+  private:
+    SystemConfig cfg_;
+    EventQueue eq_;
+    SparseMemory mem_;
+    std::vector<std::unique_ptr<CxlMemoryExpander>> devices_;
+    std::vector<std::unique_ptr<CxlLink>> links_;
+    std::vector<std::unique_ptr<HostCxlPort>> host_ports_;
+    std::vector<std::unique_ptr<PhysAllocator>> allocators_;
+    std::vector<std::unique_ptr<ProcessAddressSpace>> processes_;
+    Asid next_asid_ = 1;
+};
+
+} // namespace m2ndp

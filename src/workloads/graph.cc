@@ -1,0 +1,600 @@
+#include "workloads/graph.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace m2ndp::workloads {
+
+CsrGraph
+generateRmat(std::uint32_t nodes, std::uint64_t edges, std::uint64_t seed)
+{
+    M2_ASSERT(nodes > 1, "graph needs nodes");
+    Rng rng(seed);
+    unsigned levels = ceilLog2(nodes);
+
+    std::vector<std::vector<std::uint32_t>> adj(nodes);
+    for (std::uint64_t e = 0; e < edges; ++e) {
+        std::uint32_t src = 0, dst = 0;
+        for (unsigned l = 0; l < levels; ++l) {
+            double p = rng.nextDouble();
+            // R-MAT quadrant probabilities a/b/c/d = .57/.19/.19/.05
+            unsigned q = p < 0.57 ? 0 : p < 0.76 ? 1 : p < 0.95 ? 2 : 3;
+            src = (src << 1) | (q >> 1);
+            dst = (dst << 1) | (q & 1);
+        }
+        src %= nodes;
+        dst %= nodes;
+        adj[src].push_back(dst);
+    }
+
+    CsrGraph g;
+    g.num_nodes = nodes;
+    // Pad the row count to a multiple of 8 so each 32 B uthread mapping
+    // covers whole rows, and append one extra row_ptr entry (+ padding) so
+    // kernels can always read ptr[i+1].
+    std::uint32_t padded = static_cast<std::uint32_t>(alignUp(nodes, 8));
+    g.row_ptr.reserve(padded + 8);
+    std::uint32_t nnz = 0;
+    for (std::uint32_t v = 0; v < nodes; ++v) {
+        g.row_ptr.push_back(nnz);
+        auto &list = adj[v];
+        std::sort(list.begin(), list.end());
+        for (std::uint32_t d : list) {
+            g.col_idx.push_back(d);
+            g.values.push_back(
+                0.25f + 0.5f * static_cast<float>((d * 2654435761u) %
+                                                  1000) /
+                            1000.0f);
+        }
+        nnz += static_cast<std::uint32_t>(list.size());
+    }
+    for (std::uint32_t v = nodes; v < padded + 8; ++v)
+        g.row_ptr.push_back(nnz); // empty padding rows
+    return g;
+}
+
+CsrGraph
+generateUniform(std::uint32_t nodes, std::uint64_t edges,
+                std::uint64_t seed)
+{
+    M2_ASSERT(nodes > 1, "graph needs nodes");
+    Rng rng(seed);
+    std::uint64_t avg = std::max<std::uint64_t>(1, edges / nodes);
+
+    CsrGraph g;
+    g.num_nodes = nodes;
+    std::uint32_t padded = static_cast<std::uint32_t>(alignUp(nodes, 8));
+    g.row_ptr.reserve(padded + 8);
+    std::uint32_t nnz = 0;
+    for (std::uint32_t v = 0; v < nodes; ++v) {
+        g.row_ptr.push_back(nnz);
+        // degree in [avg/2, 3*avg/2]
+        std::uint64_t deg = avg / 2 + rng.nextBounded(avg + 1);
+        for (std::uint64_t e = 0; e < deg; ++e) {
+            auto d = static_cast<std::uint32_t>(rng.nextBounded(nodes));
+            g.col_idx.push_back(d);
+            g.values.push_back(
+                0.25f + 0.5f * static_cast<float>((d * 2654435761u) %
+                                                  1000) /
+                            1000.0f);
+        }
+        nnz += static_cast<std::uint32_t>(deg);
+    }
+    for (std::uint32_t v = nodes; v < padded + 8; ++v)
+        g.row_ptr.push_back(nnz);
+    return g;
+}
+
+// ---------------------------------------------------------------- SPMV
+
+namespace {
+
+/** SPMV kernel: each uthread handles 8 rows (32 B of row pointers). */
+const char *kSpmvKernel = R"(
+    .name spmv
+    # x1 = &row_ptr[r], x2 = byte offset into row_ptr
+    # args: [0]=col_idx, [8]=values, [16]=x, [24]=y
+    li   x3, %args
+    ld   x4, 0(x3)
+    ld   x5, 8(x3)
+    ld   x6, 16(x3)
+    ld   x7, 24(x3)
+    add  x9, x7, x2        # &y[first_row] (4 B per row == 4 B per ptr)
+    li   x10, 8
+    mv   x11, x1
+row_loop:
+    lw   x12, 0(x11)
+    lw   x13, 4(x11)
+    vsetvli x0, x0, e32, m1
+    vmv.v.i v3, 0
+    sub  x14, x13, x12
+    slli x15, x12, 2
+    add  x16, x4, x15
+    add  x17, x5, x15
+nnz_loop:
+    beq  x14, x0, row_done
+    vsetvli x18, x14, e32, m1
+    vle32.v v1, (x16)
+    vsll.vi v1, v1, 2
+    vluxei32.v v2, (x6), v1
+    vle32.v v4, (x17)
+    vfmacc.vv v3, v2, v4
+    sub  x14, x14, x18
+    slli x19, x18, 2
+    add  x16, x16, x19
+    add  x17, x17, x19
+    j nnz_loop
+row_done:
+    vsetvli x0, x0, e32, m1
+    vmv.v.i v5, 0
+    vfredusum.vs v6, v3, v5
+    vfmv.f.s f1, v6
+    fsw  f1, 0(x9)
+    addi x9, x9, 4
+    addi x11, x11, 4
+    addi x10, x10, -1
+    bne  x10, x0, row_loop
+)";
+
+} // namespace
+
+SpmvWorkload::SpmvWorkload(System &sys, ProcessAddressSpace &proc,
+                           CsrGraph graph)
+    : sys_(sys), proc_(proc), graph_(std::move(graph))
+{
+}
+
+void
+SpmvWorkload::setup()
+{
+    Rng rng(11);
+    x_.resize(graph_.num_nodes);
+    for (auto &v : x_)
+        v = static_cast<float>(rng.nextDouble());
+    row_ptr_va_ = uploadArray(sys_, proc_, graph_.row_ptr);
+    col_va_ = uploadArray(sys_, proc_, graph_.col_idx);
+    val_va_ = uploadArray(sys_, proc_, graph_.values);
+    x_va_ = uploadArray(sys_, proc_, x_);
+    std::uint64_t padded_rows = alignUp(graph_.num_nodes, 8);
+    y_va_ = proc_.allocate(padded_rows * 4 + 64);
+}
+
+RunResult
+SpmvWorkload::runNdp(NdpRuntime &rt)
+{
+    KernelResources res;
+    res.num_int_regs = 20;
+    res.num_float_regs = 2;
+    res.num_vector_regs = 7;
+    std::int64_t kid = rt.registerKernel(kSpmvKernel, res);
+    M2_ASSERT(kid > 0, "spmv kernel registration failed");
+
+    std::uint64_t padded_rows = alignUp(graph_.num_nodes, 8);
+    Tick start = sys_.eq().now();
+    std::int64_t iid = rt.launchKernelSync(
+        kid, row_ptr_va_, row_ptr_va_ + padded_rows * 4,
+        packArgs({col_va_, val_va_, x_va_, y_va_}));
+    M2_ASSERT(iid > 0, "spmv launch failed");
+
+    RunResult r;
+    r.runtime = sys_.eq().now() - start;
+
+    // Verify against a host reference.
+    auto y = downloadArray<float>(sys_, proc_, y_va_, graph_.num_nodes);
+    r.verified = true;
+    for (std::uint32_t v = 0; v < graph_.num_nodes; ++v) {
+        float ref = 0.0f;
+        for (std::uint32_t e = graph_.row_ptr[v]; e < graph_.row_ptr[v + 1];
+             ++e)
+            ref += graph_.values[e] * x_[graph_.col_idx[e]];
+        if (std::abs(ref - y[v]) > 1e-3f * std::max(1.0f, std::abs(ref))) {
+            r.verified = false;
+            break;
+        }
+    }
+    r.dram_bytes = static_cast<double>(usefulBytes());
+    r.achieved_gbps = r.dram_bytes / ticksToSeconds(r.runtime) / 1e9;
+    return r;
+}
+
+std::uint64_t
+SpmvWorkload::usefulBytes() const
+{
+    // row_ptr + col + val reads, x gathers (32 B per access), y writes.
+    return graph_.row_ptr.size() * 4 + graph_.numEdges() * 8 +
+           graph_.numEdges() * 32 + graph_.num_nodes * 4;
+}
+
+GpuWorkloadDesc
+SpmvWorkload::gpuDesc() const
+{
+    GpuWorkloadDesc d;
+    d.name = "SPMV";
+    d.bytes_read = graph_.row_ptr.size() * 4 + graph_.numEdges() * 8 +
+                   graph_.numEdges() * 4;
+    d.bytes_written = graph_.num_nodes * 4;
+    d.coalescing = 0.45;    // x[] gathers waste most of each 128 B txn
+    d.active_lanes = 0.55;  // intra-warp divergence on row lengths (A4)
+    d.occupancy = 0.75;     // inter-warp divergence (A2)
+    d.ops_per_byte = 0.17;  // 2 flops per 12 B of edge data
+    d.warp_mlp = 2.0;
+    return d;
+}
+
+// ------------------------------------------------------------- PageRank
+
+namespace {
+
+/**
+ * PageRank iteration as a two-body kernel (Section III-G): body 1 computes
+ * per-node contributions rank/degree; after a global phase barrier, body 2
+ * gathers contributions along incoming edges. The damping factor and the
+ * teleport base term are baked into the kernel text as FP32 bit patterns
+ * at registration time (large/extra parameters travel in memory or code,
+ * not in the 64 B launch payload; Section III-C).
+ */
+std::string
+makePagerankKernel(float damping, float base_term)
+{
+    std::uint32_t d_bits, b_bits;
+    std::memcpy(&d_bits, &damping, 4);
+    std::memcpy(&b_bits, &base_term, 4);
+    std::string text = R"(
+    .name pgrank
+    # pool = row_ptr; args: [0]=col, [8]=rank, [16]=contrib, [24]=out
+    .body
+    li   x3, %args
+    ld   x5, 8(x3)         # rank base
+    ld   x6, 16(x3)        # contrib base
+    add  x5, x5, x2
+    add  x6, x6, x2
+    # contrib[n] = rank[n] / max(deg[n], 1), 8 nodes per uthread
+    li   x10, 8
+    mv   x11, x5
+    mv   x12, x1
+    mv   x13, x6
+contrib_loop:
+    flw  f1, 0(x11)
+    lw   x14, 0(x12)
+    lw   x15, 4(x12)
+    sub  x16, x15, x14
+    bne  x16, x0, have_deg
+    li   x16, 1
+have_deg:
+    fcvt.s.w f2, x16
+    fdiv.s f3, f1, f2
+    fsw  f3, 0(x13)
+    addi x11, x11, 4
+    addi x12, x12, 4
+    addi x13, x13, 4
+    addi x10, x10, -1
+    bne  x10, x0, contrib_loop
+    .body
+    # gather contributions along edges (same structure as SPMV)
+    li   x3, %args
+    ld   x4, 0(x3)         # col base
+    ld   x6, 16(x3)        # contrib base
+    ld   x7, 24(x3)        # out base
+    add  x9, x7, x2
+    li   x10, 8
+    mv   x11, x1
+prow_loop:
+    lw   x12, 0(x11)
+    lw   x13, 4(x11)
+    vsetvli x0, x0, e32, m1
+    vmv.v.i v3, 0
+    sub  x14, x13, x12
+    slli x15, x12, 2
+    add  x16, x4, x15
+pnnz_loop:
+    beq  x14, x0, prow_done
+    vsetvli x18, x14, e32, m1
+    vle32.v v1, (x16)
+    vsll.vi v1, v1, 2
+    vluxei32.v v2, (x6), v1
+    vfadd.vv v3, v3, v2
+    sub  x14, x14, x18
+    slli x19, x18, 2
+    add  x16, x16, x19
+    j pnnz_loop
+prow_done:
+    vsetvli x0, x0, e32, m1
+    vmv.v.i v5, 0
+    vfredusum.vs v6, v3, v5
+    vfmv.f.s f1, v6
+    li   x17, DAMPING_BITS
+    fmv.w.x f2, x17
+    fmul.s f1, f1, f2
+    li   x17, BASE_BITS
+    fmv.w.x f3, x17
+    fadd.s f1, f1, f3
+    fsw  f1, 0(x9)
+    addi x9, x9, 4
+    addi x11, x11, 4
+    addi x10, x10, -1
+    bne  x10, x0, prow_loop
+)";
+    auto replace_all = [&](const std::string &from, const std::string &to) {
+        std::size_t pos = 0;
+        while ((pos = text.find(from, pos)) != std::string::npos) {
+            text.replace(pos, from.size(), to);
+            pos += to.size();
+        }
+    };
+    replace_all("DAMPING_BITS", std::to_string(d_bits));
+    replace_all("BASE_BITS", std::to_string(b_bits));
+    return text;
+}
+
+} // namespace
+
+PagerankWorkload::PagerankWorkload(System &sys, ProcessAddressSpace &proc,
+                                   CsrGraph graph)
+    : sys_(sys), proc_(proc), graph_(std::move(graph))
+{
+}
+
+void
+PagerankWorkload::setup()
+{
+    std::uint64_t padded = alignUp(graph_.num_nodes, 8);
+    std::vector<float> rank(padded, 1.0f / graph_.num_nodes);
+    row_ptr_va_ = uploadArray(sys_, proc_, graph_.row_ptr);
+    col_va_ = uploadArray(sys_, proc_, graph_.col_idx);
+    rank_va_ = uploadArray(sys_, proc_, rank);
+    contrib_va_ = proc_.allocate(padded * 4 + 64);
+    out_va_ = proc_.allocate(padded * 4 + 64);
+}
+
+RunResult
+PagerankWorkload::runNdp(NdpRuntime &rt, unsigned iterations)
+{
+    KernelResources res;
+    res.num_int_regs = 20;
+    res.num_float_regs = 4;
+    res.num_vector_regs = 7;
+    float base = 0.15f / static_cast<float>(graph_.num_nodes);
+    std::int64_t kid =
+        rt.registerKernel(makePagerankKernel(0.85f, base), res);
+    M2_ASSERT(kid > 0, "pgrank kernel registration failed");
+
+    std::uint64_t padded_rows = alignUp(graph_.num_nodes, 8);
+    Tick start = sys_.eq().now();
+    for (unsigned it = 0; it < iterations; ++it) {
+        std::int64_t iid = rt.launchKernelSync(
+            kid, row_ptr_va_, row_ptr_va_ + padded_rows * 4,
+            packArgs({col_va_, rank_va_, contrib_va_, out_va_}));
+        M2_ASSERT(iid > 0, "pgrank launch failed");
+        std::swap(rank_va_, out_va_);
+    }
+
+    RunResult r;
+    r.runtime = sys_.eq().now() - start;
+
+    // Verify one iteration against the host reference (for iterations==1).
+    if (iterations == 1) {
+        auto got = downloadArray<float>(sys_, proc_, rank_va_,
+                                        graph_.num_nodes);
+        std::vector<float> contrib(graph_.num_nodes);
+        float init = 1.0f / graph_.num_nodes;
+        for (std::uint32_t v = 0; v < graph_.num_nodes; ++v) {
+            std::uint32_t deg = graph_.row_ptr[v + 1] - graph_.row_ptr[v];
+            contrib[v] = init / static_cast<float>(std::max(1u, deg));
+        }
+        float base_term = 0.15f / static_cast<float>(graph_.num_nodes);
+        r.verified = true;
+        for (std::uint32_t v = 0; v < graph_.num_nodes && r.verified; ++v) {
+            float sum = 0.0f;
+            for (std::uint32_t e = graph_.row_ptr[v];
+                 e < graph_.row_ptr[v + 1]; ++e)
+                sum += contrib[graph_.col_idx[e]];
+            float ref = base_term + 0.85f * sum;
+            if (std::abs(ref - got[v]) >
+                1e-3f * std::max(1e-6f, std::abs(ref)))
+                r.verified = false;
+        }
+    }
+    r.dram_bytes = static_cast<double>(usefulBytes()) * iterations;
+    r.achieved_gbps = r.dram_bytes / ticksToSeconds(r.runtime) / 1e9;
+    return r;
+}
+
+std::uint64_t
+PagerankWorkload::usefulBytes() const
+{
+    return graph_.row_ptr.size() * 8 + graph_.num_nodes * 12 +
+           graph_.numEdges() * 4 + graph_.numEdges() * 32;
+}
+
+GpuWorkloadDesc
+PagerankWorkload::gpuDesc() const
+{
+    GpuWorkloadDesc d;
+    d.name = "PGRANK";
+    d.bytes_read = graph_.row_ptr.size() * 8 + graph_.num_nodes * 8 +
+                   graph_.numEdges() * 8;
+    d.bytes_written = graph_.num_nodes * 8;
+    d.coalescing = 0.4;
+    d.active_lanes = 0.5;
+    d.occupancy = 0.62; // Fig. 6a: SM active-context ratio ~0.44-0.8
+    d.ops_per_byte = 0.25;
+    d.warp_mlp = 2.0;
+    d.launches = 2; // contribution + gather kernels
+    return d;
+}
+
+// ---------------------------------------------------------------- SSSP
+
+namespace {
+
+/**
+ * One relaxation sweep: for every node whose distance improved in the
+ * previous sweep, relax outgoing edges with AMOMIN on the neighbour
+ * distance and bump a global change counter.
+ */
+const char *kSsspKernel = R"(
+    .name sssp
+    # pool = row_ptr; args: [0]=col, [8]=wgt, [16]=dist, [24]=changed_ctr
+    li   x3, %args
+    ld   x4, 0(x3)
+    ld   x5, 8(x3)
+    ld   x6, 16(x3)
+    ld   x7, 24(x3)
+    add  x9, x6, x2        # &dist[first_row]
+    li   x10, 8
+    mv   x11, x1
+srow_loop:
+    lw   x20, 0(x9)        # my distance
+    li   x21, 0x7FFFFFFF
+    beq  x20, x21, srow_next   # unreached: nothing to relax
+    lw   x12, 0(x11)
+    lw   x13, 4(x11)
+sedge_loop:
+    bge  x12, x13, srow_next
+    slli x15, x12, 2
+    add  x16, x4, x15
+    lw   x17, 0(x16)       # neighbour id
+    add  x18, x5, x15
+    lw   x19, 0(x18)       # weight
+    add  x19, x19, x20     # cand = dist[me] + w
+    slli x17, x17, 2
+    add  x17, x6, x17
+    amomin.w x22, x19, (x17)
+    bge  x19, x22, no_improve
+    li   x23, 1
+    amoadd.w x23, x23, (x7)
+no_improve:
+    addi x12, x12, 1
+    j sedge_loop
+srow_next:
+    addi x9, x9, 4
+    addi x11, x11, 4
+    addi x10, x10, -1
+    bne  x10, x0, srow_loop
+)";
+
+} // namespace
+
+SsspWorkload::SsspWorkload(System &sys, ProcessAddressSpace &proc,
+                           CsrGraph graph)
+    : sys_(sys), proc_(proc), graph_(std::move(graph))
+{
+}
+
+void
+SsspWorkload::setup()
+{
+    std::uint64_t padded = alignUp(graph_.num_nodes, 8);
+    std::vector<std::int32_t> dist(padded, 0x7FFFFFFF);
+    dist[0] = 0; // source
+    std::vector<std::int32_t> weights(graph_.numEdges());
+    Rng rng(23);
+    for (auto &w : weights)
+        w = 1 + static_cast<std::int32_t>(rng.nextBounded(63));
+
+    row_ptr_va_ = uploadArray(sys_, proc_, graph_.row_ptr);
+    col_va_ = uploadArray(sys_, proc_, graph_.col_idx);
+    wgt_va_ = uploadArray(sys_, proc_, weights);
+    dist_va_ = uploadArray(sys_, proc_, dist);
+    changed_va_ = proc_.allocate(64);
+}
+
+RunResult
+SsspWorkload::runNdp(NdpRuntime &rt, unsigned max_iterations)
+{
+    KernelResources res;
+    res.num_int_regs = 24;
+    res.num_float_regs = 0;
+    res.num_vector_regs = 1;
+    std::int64_t kid = rt.registerKernel(kSsspKernel, res);
+    M2_ASSERT(kid > 0, "sssp kernel registration failed");
+
+    std::uint64_t padded_rows = alignUp(graph_.num_nodes, 8);
+    Tick start = sys_.eq().now();
+    iterations_run_ = 0;
+    for (unsigned it = 0; it < max_iterations; ++it) {
+        sys_.writeVirtual<std::int32_t>(proc_, changed_va_, 0);
+        std::int64_t iid = rt.launchKernelSync(
+            kid, row_ptr_va_, row_ptr_va_ + padded_rows * 4,
+            packArgs({col_va_, wgt_va_, dist_va_, changed_va_}));
+        M2_ASSERT(iid > 0, "sssp launch failed");
+        ++iterations_run_;
+        // Host checks the convergence flag (a CXL.mem read).
+        auto changed_pa = proc_.translate(changed_va_);
+        std::int32_t changed = 0;
+        rt.port().read(*changed_pa, &changed, 4);
+        if (changed == 0)
+            break;
+    }
+
+    RunResult r;
+    r.runtime = sys_.eq().now() - start;
+
+    // Verify with host Bellman-Ford.
+    std::vector<std::int64_t> ref(graph_.num_nodes, 0x7FFFFFFF);
+    ref[0] = 0;
+    std::vector<std::int32_t> weights(graph_.numEdges());
+    sys_.readVirtual(proc_, wgt_va_, weights.data(), weights.size() * 4);
+    bool any = true;
+    while (any) {
+        any = false;
+        for (std::uint32_t v = 0; v < graph_.num_nodes; ++v) {
+            if (ref[v] == 0x7FFFFFFF)
+                continue;
+            for (std::uint32_t e = graph_.row_ptr[v];
+                 e < graph_.row_ptr[v + 1]; ++e) {
+                std::int64_t cand = ref[v] + weights[e];
+                if (cand < ref[graph_.col_idx[e]]) {
+                    ref[graph_.col_idx[e]] = cand;
+                    any = true;
+                }
+            }
+        }
+    }
+    auto got = downloadArray<std::int32_t>(sys_, proc_, dist_va_,
+                                           graph_.num_nodes);
+    r.verified = true;
+    for (std::uint32_t v = 0; v < graph_.num_nodes; ++v) {
+        if (got[v] != ref[v]) {
+            r.verified = false;
+            break;
+        }
+    }
+    r.dram_bytes = static_cast<double>(usefulBytes()) * iterations_run_;
+    r.achieved_gbps = r.dram_bytes / ticksToSeconds(r.runtime) / 1e9;
+    return r;
+}
+
+std::uint64_t
+SsspWorkload::usefulBytes() const
+{
+    return graph_.row_ptr.size() * 8 + graph_.num_nodes * 4 +
+           graph_.numEdges() * 8 + graph_.numEdges() * 32;
+}
+
+GpuWorkloadDesc
+SsspWorkload::gpuDesc() const
+{
+    // The baseline runs the same number of relaxation sweeps; call after
+    // runNdp() so iterations_run_ is known.
+    unsigned sweeps = std::max(1u, iterations_run_);
+    GpuWorkloadDesc d;
+    d.name = "SSSP";
+    d.bytes_read = (graph_.row_ptr.size() * 8 + graph_.num_nodes * 4 +
+                    graph_.numEdges() * 8) *
+                   sweeps;
+    d.bytes_written =
+        static_cast<std::uint64_t>(graph_.num_nodes) * 4 * sweeps;
+    d.coalescing = 0.4;
+    d.active_lanes = 0.5;
+    d.occupancy = 0.6;
+    d.ops_per_byte = 0.15;
+    d.warp_mlp = 1.5;
+    d.launches = sweeps;
+    return d;
+}
+
+} // namespace m2ndp::workloads

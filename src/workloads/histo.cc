@@ -1,0 +1,161 @@
+#include "workloads/histo.hh"
+
+#include <string>
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace m2ndp::workloads {
+
+namespace {
+
+/**
+ * Build the histogram kernel for a bin count. Values are 16-bit uniform;
+ * bin = value >> (16 - log2(bins)). Each unit accumulates a scratchpad
+ * partial histogram; the finalizer flushes slot-striped bin ranges to the
+ * global histogram with AMOADD (one flusher set per unit).
+ */
+std::string
+makeHistoKernel(unsigned bins)
+{
+    unsigned shift = 16 - floorLog2(bins);
+    unsigned bins_per_slot = std::max(1u, bins / 64);
+    std::string text = R"(
+    .name histo
+    .init
+    # zero this slot's stripe of the scratchpad histogram
+    li   x3, %spad
+    andi x4, x2, 63        # unit-local slot id
+    li   x5, BPSx4
+    mul  x6, x4, x5
+    add  x6, x3, x6
+    li   x7, BPS
+zero_loop:
+    sw   x0, 0(x6)
+    addi x6, x6, 4
+    addi x7, x7, -1
+    bne  x7, x0, zero_loop
+    .body
+    li   x3, %spad
+    li   x4, 8
+    mv   x5, x1
+elem_loop:
+    lw   x6, 0(x5)
+    srli x6, x6, SHIFT
+    slli x6, x6, 2
+    add  x6, x3, x6
+    li   x7, 1
+    amoadd.w x7, x7, (x6)
+    addi x5, x5, 4
+    addi x4, x4, -1
+    bne  x4, x0, elem_loop
+    .fini
+    # each slot flushes its stripe into the global histogram
+    li   x3, %spad
+    li   x8, %args
+    ld   x8, 0(x8)         # global histogram base
+    andi x4, x2, 63
+    li   x5, BPSx4
+    mul  x6, x4, x5
+    add  x7, x3, x6        # spad stripe
+    add  x8, x8, x6        # global stripe
+    li   x9, BPS
+flush_loop:
+    lw   x10, 0(x7)
+    beq  x10, x0, skip_bin
+    amoadd.w x10, x10, (x8)
+skip_bin:
+    addi x7, x7, 4
+    addi x8, x8, 4
+    addi x9, x9, -1
+    bne  x9, x0, flush_loop
+)";
+    auto replace_all = [&](const std::string &from, const std::string &to) {
+        std::size_t pos = 0;
+        while ((pos = text.find(from, pos)) != std::string::npos) {
+            text.replace(pos, from.size(), to);
+            pos += to.size();
+        }
+    };
+    replace_all("BPSx4", std::to_string(bins_per_slot * 4));
+    replace_all("BPS", std::to_string(bins_per_slot));
+    replace_all("SHIFT", std::to_string(shift));
+    return text;
+}
+
+} // namespace
+
+HistoWorkload::HistoWorkload(System &sys, ProcessAddressSpace &proc,
+                             unsigned bins, std::uint64_t elements)
+    : sys_(sys), proc_(proc), bins_(bins), elements_(alignUp(elements, 8))
+{
+    M2_ASSERT(isPowerOfTwo(bins) && bins >= 64 && bins <= 65536,
+              "bins must be a power of two in [64, 65536]");
+}
+
+void
+HistoWorkload::setup()
+{
+    Rng rng(17);
+    std::vector<std::int32_t> input(elements_);
+    reference_.assign(bins_, 0);
+    unsigned shift = 16 - floorLog2(bins_);
+    for (auto &v : input) {
+        v = static_cast<std::int32_t>(rng.nextBounded(65536));
+        ++reference_[static_cast<std::uint32_t>(v) >> shift];
+    }
+    input_va_ = uploadArray(sys_, proc_, input);
+    hist_va_ = proc_.allocate(bins_ * 4 + 64);
+}
+
+RunResult
+HistoWorkload::runNdp(NdpRuntime &rt)
+{
+    KernelResources res;
+    res.num_int_regs = 11;
+    res.num_vector_regs = 1;
+    res.scratchpad_bytes = bins_ * 4;
+    std::int64_t kid = rt.registerKernel(makeHistoKernel(bins_), res);
+    M2_ASSERT(kid > 0, "histo kernel registration failed");
+
+    // Zero the global histogram.
+    std::vector<std::uint32_t> zeros(bins_, 0);
+    sys_.writeVirtual(proc_, hist_va_, zeros.data(), bins_ * 4);
+
+    Tick start = sys_.eq().now();
+    std::int64_t iid = rt.launchKernelSync(kid, input_va_,
+                                           input_va_ + elements_ * 4,
+                                           packArgs({hist_va_}));
+    M2_ASSERT(iid > 0, "histo launch failed");
+
+    RunResult r;
+    r.runtime = sys_.eq().now() - start;
+    auto hist = downloadArray<std::uint32_t>(sys_, proc_, hist_va_, bins_);
+    r.verified = hist == reference_;
+    r.dram_bytes = static_cast<double>(usefulBytes());
+    r.achieved_gbps = r.dram_bytes / ticksToSeconds(r.runtime) / 1e9;
+    return r;
+}
+
+GpuWorkloadDesc
+HistoWorkload::gpuDesc() const
+{
+    GpuWorkloadDesc d;
+    d.name = bins_ <= 256 ? "HISTO256" : "HISTO4096";
+    d.bytes_read = elements_ * 4;
+    d.bytes_written = bins_ * 4;
+    d.coalescing = 1.0; // streaming input
+    d.active_lanes = 0.85;
+    // Threadblock-scoped shared memory (A3): every threadblock keeps its
+    // own sub-histogram and flushes it, multiplying global traffic and
+    // adding intra-block synchronization. Much worse for 4096 bins (the
+    // sub-histograms are 16 KiB, limiting occupancy as well).
+    d.smem_scope_penalty = bins_ <= 256 ? 1.15 : 3.4;
+    d.occupancy = bins_ <= 256 ? 0.9 : 0.45;
+    d.ops_per_byte = 0.5;
+    d.warp_mlp = 2.0;
+    return d;
+}
+
+} // namespace m2ndp::workloads

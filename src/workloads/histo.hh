@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Histogram (HISTO, Table V): bin counts over a uniform INT32 stream,
+ * with per-unit partial histograms in the on-chip scratchpad (initializer
+ * zeroes them, finalizer flushes with global atomics — the Fig. 8 pattern,
+ * exercising scratchpad scope advantage A3).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace m2ndp::workloads {
+
+class HistoWorkload
+{
+  public:
+    /** @param bins 256 or 4096 (Table V); @param elements input size. */
+    HistoWorkload(System &sys, ProcessAddressSpace &proc, unsigned bins,
+                  std::uint64_t elements = 4'000'000);
+
+    void setup();
+    RunResult runNdp(NdpRuntime &rt);
+    GpuWorkloadDesc gpuDesc() const;
+    std::uint64_t usefulBytes() const { return elements_ * 4; }
+    unsigned bins() const { return bins_; }
+
+  private:
+    System &sys_;
+    ProcessAddressSpace &proc_;
+    unsigned bins_;
+    std::uint64_t elements_;
+    Addr input_va_ = 0, hist_va_ = 0;
+    std::vector<std::uint32_t> reference_;
+};
+
+} // namespace m2ndp::workloads

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * In-memory OLAP filtering (Table V): the Evaluate phase of TPC-H Q6/Q14
+ * and SSB Q1.1-Q1.3 over Arrow-style columnar tables in CXL memory.
+ *
+ * Each query is a conjunction of range predicates over int32 columns; the
+ * NDP offload sweeps the columns and produces a byte mask, one kernel per
+ * predicate column (Section IV-B: "To filter multiple columns, multiple
+ * NDP kernels are launched"). The host-side Filter and Etc phases are
+ * modeled with the CPU interval model (they are not offloaded).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "host/cpu_model.hh"
+#include "workloads/workload.hh"
+
+namespace m2ndp::workloads {
+
+/** One range predicate over an int32 column: lo <= v < hi. */
+struct Predicate
+{
+    std::string column;
+    std::int32_t lo;
+    std::int32_t hi;
+};
+
+/** Query definitions (predicate selectivities mirror the named queries). */
+struct OlapQuery
+{
+    std::string name;
+    std::vector<Predicate> predicates;
+
+    static OlapQuery tpchQ6();
+    static OlapQuery tpchQ14();
+    static OlapQuery ssbQ1_1();
+    static OlapQuery ssbQ1_2();
+    static OlapQuery ssbQ1_3();
+    static std::vector<OlapQuery> all();
+};
+
+/** Runtime breakdown matching Fig. 10a's bar segments. */
+struct OlapRunBreakdown
+{
+    Tick evaluate = 0;
+    Tick filter = 0;
+    Tick etc = 0;
+
+    Tick total() const { return evaluate + filter + etc; }
+};
+
+class OlapWorkload
+{
+  public:
+    /** @param rows table rows (the paper's tables scaled; default 4 M). */
+    OlapWorkload(System &sys, ProcessAddressSpace &proc,
+                 std::uint64_t rows = 4'000'000);
+
+    /** Generate columns with uniform value distributions in [0, 10000). */
+    void setup();
+
+    /** Offloaded Evaluate on the NDP units; returns breakdown + checks the
+     *  mask against a host reference. */
+    OlapRunBreakdown runNdp(NdpRuntime &rt, const OlapQuery &q,
+                            bool *verified = nullptr);
+
+    /** Host-baseline Evaluate (CPU over CXL, interval model). */
+    Tick evaluateBaseline(const OlapQuery &q, const CpuConfig &c) const;
+
+    /** Host-side Filter + Etc phases (same for every configuration). */
+    Tick filterPhase(const OlapQuery &q) const;
+    Tick etcPhase() const;
+
+    /** Ideal NDP: Evaluate bytes at 100% internal DRAM bandwidth. */
+    Tick evaluateIdeal(const OlapQuery &q, double peak_gbps = 409.6) const;
+
+    std::uint64_t evaluateBytes(const OlapQuery &q) const;
+    std::uint64_t rows() const { return rows_; }
+    double maskSelectivity(const OlapQuery &q) const;
+
+  private:
+    Addr columnVa(const std::string &name) const;
+
+    System &sys_;
+    ProcessAddressSpace &proc_;
+    std::uint64_t rows_;
+    std::vector<std::pair<std::string, Addr>> columns_;
+    std::vector<std::pair<std::string, std::vector<std::int32_t>>>
+        host_columns_;
+    Addr mask_va_ = 0;
+};
+
+} // namespace m2ndp::workloads

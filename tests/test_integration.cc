@@ -1,0 +1,349 @@
+/**
+ * @file
+ * End-to-end integration tests: host -> CXL link -> packet filter ->
+ * NDP controller -> uthreads on NDP units -> caches/NoC/DRAM, using real
+ * assembly kernels and the Table II user-level API.
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/system.hh"
+
+namespace m2ndp {
+namespace {
+
+/** Fig. 4's running example: C = A + B, one uthread per 32 B of A. */
+const char *kVecAddKernel = R"(
+    .name vecadd
+    # x1 = &A[i], x2 = byte offset; args: [0]=B base, [8]=C base
+    vsetvli x0, x0, e32, m1
+    li  x3, %args
+    ld  x4, 0(x3)
+    ld  x5, 8(x3)
+    vle32.v v1, (x1)
+    add x6, x4, x2
+    vle32.v v2, (x6)
+    vadd.vv v3, v1, v2
+    add x7, x5, x2
+    vse32.v v3, (x7)
+)";
+
+/** Fig. 8's example: global reduction with scratchpad + AMO. */
+const char *kReduceKernel = R"(
+    .name reduce64
+    .init
+        li x3, %spad
+        sd x0, 0(x3)
+    .body
+        vsetvli x0, x0, e64, m1
+        vle64.v v2, (x1)
+        vmv.v.i v1, 0
+        vredsum.vs v3, v2, v1
+        vmv.x.s x4, v3
+        li x3, %spad
+        amoadd.d x4, x4, (x3)
+    .fini
+        # one uthread per unit accumulates the unit-local sum globally
+        andi x5, x2, 63
+        bne  x5, x0, skip
+        li x3, %spad
+        ld x4, 0(x3)
+        li x6, %args
+        ld x7, 0(x6)
+        amoadd.d x4, x4, (x7)
+    skip:
+        exit
+)";
+
+std::vector<std::uint8_t>
+packArgs(std::initializer_list<std::uint64_t> vals)
+{
+    std::vector<std::uint8_t> out;
+    for (auto v : vals) {
+        for (int i = 0; i < 8; ++i)
+            out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+    return out;
+}
+
+class IntegrationTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        SystemConfig cfg;
+        cfg.link = SystemConfig::linkForLoadToUse(150 * kNs);
+        sys = std::make_unique<System>(cfg);
+        process = &sys->createProcess();
+        runtime = sys->createRuntime(*process);
+    }
+
+    std::unique_ptr<System> sys;
+    ProcessAddressSpace *process = nullptr;
+    std::unique_ptr<NdpRuntime> runtime;
+};
+
+TEST_F(IntegrationTest, LoadToUseLatencyCalibrated)
+{
+    Addr va = process->allocate(4 * kKiB);
+    Addr pa = *process->translate(va);
+    // Warm nothing: first read pays DRAM row activation; measure a few.
+    Histogram lat;
+    for (int i = 0; i < 20; ++i) {
+        Tick t0 = sys->eq().now();
+        std::uint64_t v;
+        sys->host().read(pa + i * 256, &v, 8);
+        lat.add(static_cast<double>(sys->eq().now() - t0) / kNs);
+    }
+    // Table IV: ~150 ns load-to-use.
+    EXPECT_GT(lat.mean(), 110.0);
+    EXPECT_LT(lat.mean(), 190.0);
+}
+
+TEST_F(IntegrationTest, VecAddEndToEnd)
+{
+    constexpr unsigned kN = 16384; // 64 KiB per array
+    Addr a = process->allocate(kN * 4);
+    Addr b = process->allocate(kN * 4);
+    Addr c = process->allocate(kN * 4);
+    std::vector<std::uint32_t> va(kN), vb(kN);
+    for (unsigned i = 0; i < kN; ++i) {
+        va[i] = i;
+        vb[i] = 1000000 + i;
+    }
+    sys->writeVirtual(*process, a, va.data(), kN * 4);
+    sys->writeVirtual(*process, b, vb.data(), kN * 4);
+
+    KernelResources res;
+    res.num_int_regs = 8;
+    res.num_vector_regs = 4;
+    std::int64_t kid = runtime->registerKernel(kVecAddKernel, res);
+    ASSERT_GT(kid, 0);
+
+    Tick start = sys->eq().now();
+    std::int64_t iid = runtime->launchKernelSync(kid, a, a + kN * 4,
+                                                 packArgs({b, c}));
+    ASSERT_GT(iid, 0);
+    Tick elapsed = sys->eq().now() - start;
+
+    // Results must be exact.
+    std::vector<std::uint32_t> vc(kN);
+    sys->readVirtual(*process, c, vc.data(), kN * 4);
+    for (unsigned i = 0; i < kN; ++i)
+        ASSERT_EQ(vc[i], va[i] + vb[i]) << "at index " << i;
+
+    // Timing sanity: 192 KiB of traffic at ~400 GB/s plus overheads ->
+    // between 0.5 us and 50 us.
+    EXPECT_GT(elapsed, 500u * kNs / 1000);
+    EXPECT_LT(elapsed, 50 * kUs);
+
+    // All 2048 uthreads ran (16384 elements / 8 per uthread).
+    auto stats = sys->device().aggregateUnitStats();
+    EXPECT_EQ(stats.uthreads_completed, kN / 8);
+    EXPECT_EQ(runtime->pollKernelStatus(iid), KernelStatus::Finished);
+}
+
+TEST_F(IntegrationTest, ReductionWithScratchpadAndAtomics)
+{
+    constexpr unsigned kN = 8192; // int64 elements
+    Addr data = process->allocate(kN * 8);
+    Addr result = process->allocate(64);
+    std::vector<std::int64_t> v(kN);
+    std::int64_t expected = 0;
+    for (unsigned i = 0; i < kN; ++i) {
+        v[i] = static_cast<std::int64_t>(i) - 1000;
+        expected += v[i];
+    }
+    sys->writeVirtual(*process, data, v.data(), kN * 8);
+    sys->writeVirtual<std::int64_t>(*process, result, 0);
+
+    KernelResources res;
+    res.num_int_regs = 8;
+    res.num_vector_regs = 4;
+    res.scratchpad_bytes = 64;
+    std::int64_t kid = runtime->registerKernel(kReduceKernel, res);
+    ASSERT_GT(kid, 0);
+
+    std::int64_t iid = runtime->launchKernelSync(kid, data, data + kN * 8,
+                                                 packArgs({result}));
+    ASSERT_GT(iid, 0);
+
+    EXPECT_EQ(sys->readVirtual<std::int64_t>(*process, result), expected);
+
+    // Scratchpad traffic happened; global atomics happened (one per unit
+    // in the finalizer plus per-uthread local AMOs are scratchpad-side).
+    auto stats = sys->device().aggregateUnitStats();
+    EXPECT_GT(stats.spad_accesses, 0u);
+    EXPECT_EQ(stats.global_atomics, 32u); // one per NDP unit (finalizer)
+}
+
+TEST_F(IntegrationTest, AsyncLaunchAndConcurrentKernels)
+{
+    constexpr unsigned kN = 4096;
+    Addr a = process->allocate(kN * 4);
+    Addr b = process->allocate(kN * 4);
+    std::vector<std::uint32_t> va(kN, 7), dummy(kN, 1);
+    sys->writeVirtual(*process, a, va.data(), kN * 4);
+    sys->writeVirtual(*process, b, dummy.data(), kN * 4);
+
+    KernelResources res;
+    res.num_int_regs = 8;
+    res.num_vector_regs = 4;
+    std::int64_t kid = runtime->registerKernel(kVecAddKernel, res);
+    ASSERT_GT(kid, 0);
+
+    // Launch 8 concurrent instances writing to distinct outputs.
+    int completed = 0;
+    std::vector<Addr> outs;
+    for (int k = 0; k < 8; ++k) {
+        Addr c = process->allocate(kN * 4);
+        outs.push_back(c);
+        runtime->launchKernelAsync(kid, a, a + kN * 4, packArgs({b, c}),
+                                   [&](std::int64_t iid, Tick) {
+                                       EXPECT_GT(iid, 0);
+                                       ++completed;
+                                   });
+    }
+    sys->run();
+    EXPECT_EQ(completed, 8);
+    for (Addr c : outs)
+        EXPECT_EQ(sys->readVirtual<std::uint32_t>(*process, c), 8u);
+}
+
+TEST_F(IntegrationTest, SyncLaunchOverheadIsTwoCxlMemTrips)
+{
+    // Empty-ish kernel over a tiny pool: end-to-end time should be close
+    // to kernel runtime + 2 one-way CXL.mem trips (Fig. 5a), far below
+    // the CXL.io alternatives.
+    constexpr unsigned kN = 64;
+    Addr a = process->allocate(kN * 4);
+    Addr b = process->allocate(kN * 4);
+    Addr c = process->allocate(kN * 4);
+
+    KernelResources res;
+    res.num_int_regs = 8;
+    res.num_vector_regs = 4;
+    std::int64_t kid = runtime->registerKernel(kVecAddKernel, res);
+
+    Tick start = sys->eq().now();
+    runtime->launchKernelSync(kid, a, a + kN * 4, packArgs({b, c}));
+    Tick m2func_time = sys->eq().now() - start;
+    // Must be well under the ring-buffer floor of ~4 us (Fig. 5).
+    EXPECT_LT(m2func_time, 2 * kUs);
+}
+
+TEST_F(IntegrationTest, OffloadSchemeLatencyOrdering)
+{
+    constexpr unsigned kN = 64;
+    Addr a = process->allocate(kN * 4);
+    Addr b = process->allocate(kN * 4);
+
+    auto run_scheme = [&](OffloadScheme scheme) {
+        NdpRuntimeConfig rc;
+        rc.scheme = scheme;
+        auto rt = sys->createRuntime(*process, 0, rc);
+        KernelResources res;
+        res.num_int_regs = 8;
+        res.num_vector_regs = 4;
+        std::int64_t kid = rt->registerKernel(kVecAddKernel, res);
+        Addr c = process->allocate(kN * 4);
+        Tick start = sys->eq().now();
+        std::int64_t iid =
+            rt->launchKernelSync(kid, a, a + kN * 4, packArgs({b, c}));
+        EXPECT_GT(iid, 0) << offloadSchemeName(scheme);
+        return sys->eq().now() - start;
+    };
+
+    Tick t_m2func = run_scheme(OffloadScheme::M2Func);
+    Tick t_dr = run_scheme(OffloadScheme::CxlIoDirect);
+    Tick t_rb = run_scheme(OffloadScheme::CxlIoRingBuffer);
+
+    // Fig. 5: z+2x < z+3y < z+8y.
+    EXPECT_LT(t_m2func, t_dr);
+    EXPECT_LT(t_dr, t_rb);
+    // Ring buffer pays ~4 us of offload overhead.
+    EXPECT_GT(t_rb, 4 * kUs);
+}
+
+TEST_F(IntegrationTest, PollAndStatusLifecycle)
+{
+    constexpr unsigned kN = 32768;
+    Addr a = process->allocate(kN * 4);
+    Addr b = process->allocate(kN * 4);
+    Addr c = process->allocate(kN * 4);
+
+    KernelResources res;
+    res.num_int_regs = 8;
+    res.num_vector_regs = 4;
+    std::int64_t kid = runtime->registerKernel(kVecAddKernel, res);
+
+    std::int64_t done_iid = -1;
+    runtime->launchKernelAsync(kid, a, a + kN * 4, packArgs({b, c}),
+                               [&](std::int64_t iid, Tick) {
+                                   done_iid = iid;
+                               });
+    // Drive a little: the instance should exist and be running or pending.
+    for (int i = 0; i < 2000 && done_iid < 0; ++i)
+        sys->eq().step();
+    ASSERT_LT(done_iid, 0) << "kernel finished suspiciously fast";
+    sys->run();
+    ASSERT_GT(done_iid, 0);
+    EXPECT_EQ(runtime->pollKernelStatus(done_iid), KernelStatus::Finished);
+    EXPECT_EQ(runtime->pollKernelStatus(99999),
+              static_cast<KernelStatus>(kNdpErr));
+}
+
+TEST_F(IntegrationTest, UnregisterAndErrors)
+{
+    KernelResources res;
+    res.num_int_regs = 8;
+    res.num_vector_regs = 4;
+    std::int64_t kid = runtime->registerKernel(kVecAddKernel, res);
+    ASSERT_GT(kid, 0);
+    EXPECT_EQ(runtime->unregisterKernel(kid), 0);
+    // Launching an unregistered kernel fails.
+    Addr a = process->allocate(4096);
+    EXPECT_LT(runtime->launchKernelSync(kid, a, a + 4096, {}), 0);
+    // Unregistering twice fails.
+    EXPECT_LT(runtime->unregisterKernel(kid), 0);
+}
+
+TEST_F(IntegrationTest, TlbShootdownPath)
+{
+    EXPECT_EQ(runtime->shootdownTlbEntry(process->asid(),
+                                         layout::kHeapVaBase),
+              0);
+}
+
+TEST_F(IntegrationTest, DramBandwidthUtilizationHigh)
+{
+    // A pure streaming kernel should drive DRAM near peak (Section IV-C
+    // reports ~90% utilization for OLAP Evaluate).
+    constexpr unsigned kN = 262144; // 1 MiB of int32
+    Addr a = process->allocate(kN * 4);
+    Addr b = process->allocate(kN * 4);
+    Addr c = process->allocate(kN * 4);
+
+    KernelResources res;
+    res.num_int_regs = 8;
+    res.num_vector_regs = 4;
+    std::int64_t kid = runtime->registerKernel(kVecAddKernel, res);
+
+    Tick start = sys->eq().now();
+    runtime->launchKernelSync(kid, a, a + kN * 4, packArgs({b, c}));
+    Tick elapsed = sys->eq().now() - start;
+
+    double bytes = 3.0 * kN * 4; // A + B reads, C writes
+    double achieved = bytes / ticksToSeconds(elapsed);
+    double peak = sys->device().dram().peakBandwidth();
+    // VecAdd is the worst case for FGMT latency hiding (two *dependent*
+    // loads per uthread); the structural ceiling with 64 single-
+    // outstanding-load uthreads per unit is ~0.4-0.5 of peak. Single-load
+    // streaming kernels (e.g. OLAP Evaluate) reach substantially higher.
+    EXPECT_GT(achieved / peak, 0.30)
+        << "streaming utilization too low: " << achieved / 1e9 << " GB/s";
+}
+
+} // namespace
+} // namespace m2ndp

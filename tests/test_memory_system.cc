@@ -1,0 +1,465 @@
+/**
+ * @file
+ * Tests for the memory subsystem: sparse memory, page tables, DRAM timing,
+ * caches, crossbar, and the CXL link.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "cxl/link.hh"
+#include "cxl/packet_filter.hh"
+#include "dram/dram.hh"
+#include "mem/page_table.hh"
+#include "mem/sparse_memory.hh"
+#include "noc/crossbar.hh"
+#include "sim/event_queue.hh"
+
+namespace m2ndp {
+namespace {
+
+// ---------------------------------------------------------------- memory
+
+TEST(SparseMemory, ZeroFilledAndSparse)
+{
+    SparseMemory mem;
+    EXPECT_EQ(mem.read<std::uint64_t>(0x123456789), 0u);
+    EXPECT_EQ(mem.framesAllocated(), 0u); // reads do not allocate
+    mem.write<std::uint32_t>(0x1000, 42);
+    EXPECT_EQ(mem.read<std::uint32_t>(0x1000), 42u);
+    EXPECT_EQ(mem.framesAllocated(), 1u);
+}
+
+TEST(SparseMemory, CrossFrameAccess)
+{
+    SparseMemory mem;
+    std::uint8_t data[64];
+    for (int i = 0; i < 64; ++i)
+        data[i] = static_cast<std::uint8_t>(i);
+    // Straddles the 4 KiB frame boundary.
+    mem.write(4096 - 32, data, 64);
+    std::uint8_t out[64] = {};
+    mem.read(4096 - 32, out, 64);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(out[i], i);
+    EXPECT_EQ(mem.framesAllocated(), 2u);
+}
+
+TEST(SparseMemory, AmoOps)
+{
+    SparseMemory mem;
+    mem.write<std::uint64_t>(0x100, 10);
+    EXPECT_EQ(amoExecute(mem, AmoOp::Add, 0x100, 5, 8), 10u);
+    EXPECT_EQ(mem.read<std::uint64_t>(0x100), 15u);
+    EXPECT_EQ(amoExecute(mem, AmoOp::Swap, 0x100, 99, 8), 15u);
+    EXPECT_EQ(mem.read<std::uint64_t>(0x100), 99u);
+    mem.write<std::uint32_t>(0x200, static_cast<std::uint32_t>(-5));
+    amoExecute(mem, AmoOp::Min, 0x200, static_cast<std::uint32_t>(-10), 4);
+    EXPECT_EQ(static_cast<std::int32_t>(mem.read<std::uint32_t>(0x200)), -10);
+    amoExecute(mem, AmoOp::MaxU, 0x200, 1, 4);
+    // -10 as unsigned is huge, so MaxU keeps it.
+    EXPECT_EQ(static_cast<std::int32_t>(mem.read<std::uint32_t>(0x200)), -10);
+}
+
+TEST(PageTable, MapTranslateUnmap)
+{
+    PageTable pt(7, 2 * kMiB);
+    pt.map(layout::kHeapVaBase, layout::deviceBase(0));
+    auto pa = pt.translate(layout::kHeapVaBase + 12345);
+    ASSERT_TRUE(pa.has_value());
+    EXPECT_EQ(*pa, layout::deviceBase(0) + 12345);
+    EXPECT_FALSE(pt.translate(layout::kHeapVaBase + 2 * kMiB).has_value());
+    EXPECT_TRUE(pt.unmap(layout::kHeapVaBase));
+    EXPECT_FALSE(pt.translate(layout::kHeapVaBase).has_value());
+}
+
+TEST(PageTable, DoubleMapPanics)
+{
+    PageTable pt(1, 2 * kMiB);
+    pt.map(layout::kHeapVaBase, layout::deviceBase(0));
+    EXPECT_THROW(pt.map(layout::kHeapVaBase, layout::deviceBase(0) + 2 * kMiB),
+                 std::logic_error);
+}
+
+TEST(AddressSpace, LocalizedAndInterleavedPlacement)
+{
+    PhysAllocator dev0(layout::deviceBase(0), 1 * kGiB);
+    PhysAllocator dev1(layout::deviceBase(1), 1 * kGiB);
+    ProcessAddressSpace as(3, {&dev0, &dev1});
+
+    Addr va = as.allocate(8 * kMiB, Placement::Localized, 0);
+    EXPECT_EQ(layout::deviceOf(*as.translate(va)), 0u);
+    EXPECT_EQ(layout::deviceOf(*as.translate(va + 6 * kMiB)), 0u);
+
+    Addr vb = as.allocate(8 * kMiB, Placement::InterleavedPages);
+    EXPECT_EQ(layout::deviceOf(*as.translate(vb)), 0u);
+    EXPECT_EQ(layout::deviceOf(*as.translate(vb + 2 * kMiB)), 1u);
+    EXPECT_EQ(layout::deviceOf(*as.translate(vb + 4 * kMiB)), 0u);
+}
+
+TEST(AddressSpace, ExhaustionIsFatal)
+{
+    PhysAllocator tiny(layout::deviceBase(0), 4 * kMiB);
+    ProcessAddressSpace as(4, {&tiny});
+    as.allocate(4 * kMiB);
+    EXPECT_THROW(as.allocate(2 * kMiB), std::runtime_error);
+}
+
+// ---------------------------------------------------------------- DRAM
+
+/** Drain @p n back-to-back reads through a DramDevice and return the
+ *  average achieved bandwidth in GB/s. */
+double
+streamBandwidth(const DramTiming &timing, unsigned channels, unsigned n,
+                std::uint64_t stride)
+{
+    EventQueue eq;
+    DramDevice dram(eq, timing, channels);
+    unsigned completed = 0;
+    Tick last = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        auto pkt = std::make_unique<MemPacket>();
+        pkt->op = MemOp::Read;
+        pkt->addr = static_cast<Addr>(i) * stride;
+        pkt->size = timing.access_bytes;
+        pkt->onComplete = [&](Tick t) {
+            ++completed;
+            last = std::max(last, t);
+        };
+        dram.receive(std::move(pkt));
+    }
+    eq.run();
+    EXPECT_EQ(completed, n);
+    auto stats = dram.totalStats();
+    EXPECT_EQ(stats.reads, n);
+    return bytesPerSecond(stats.bytes, last) / 1e9;
+}
+
+TEST(Dram, Lpddr5PeakBandwidthApproached)
+{
+    auto timing = DramTiming::lpddr5();
+    // Sequential stream over 32 channels: should achieve close to the
+    // 409.6 GB/s aggregate peak.
+    double bw = streamBandwidth(timing, 32, 40000, timing.access_bytes);
+    EXPECT_GT(bw, 0.80 * 409.6);
+    EXPECT_LE(bw, 410.0);
+}
+
+TEST(Dram, SingleChannelRowHitVsMissLatency)
+{
+    auto timing = DramTiming::lpddr5();
+    EventQueue eq;
+    DramDevice dram(eq, timing, 1);
+
+    Tick first = 0, second = 0, far = 0;
+    auto send = [&](Addr addr, Tick *out) {
+        auto pkt = std::make_unique<MemPacket>();
+        pkt->op = MemOp::Read;
+        pkt->addr = addr;
+        pkt->size = 32;
+        pkt->onComplete = [out](Tick t) { *out = t; };
+        dram.receive(std::move(pkt));
+        eq.run();
+    };
+    send(0, &first);            // row miss (empty bank)
+    send(32, &second);          // same row: hit
+    send(64 * kMiB, &far);      // different row in same bank set: miss
+
+    auto stats = dram.totalStats();
+    EXPECT_EQ(stats.row_hits, 1u);
+    EXPECT_EQ(stats.row_misses, 2u);
+    // Hit latency ~ tCL + burst; miss adds tRP + tRCD.
+    Tick hit_latency = second - first;
+    EXPECT_LT(hit_latency, timing.tck * (timing.n_cl + 4));
+}
+
+TEST(Dram, HashedInterleavingSpreadsChannels)
+{
+    auto timing = DramTiming::lpddr5();
+    DramAddressMap map(32, timing, 256);
+    std::vector<unsigned> counts(32, 0);
+    // Strided access at 8 KiB (would hammer one channel with naive modulo
+    // if stride aligned with channel count * interleave).
+    for (unsigned i = 0; i < 3200; ++i)
+        ++counts[map.decode(static_cast<Addr>(i) * 8192).channel];
+    for (unsigned c = 0; c < 32; ++c) {
+        EXPECT_GT(counts[c], 50u) << "channel " << c << " starved";
+        EXPECT_LT(counts[c], 200u) << "channel " << c << " hammered";
+    }
+}
+
+TEST(Dram, PeakBandwidthNumbers)
+{
+    EventQueue eq;
+    DramDevice lpddr5(eq, DramTiming::lpddr5(), 32);
+    EXPECT_NEAR(lpddr5.peakBandwidth() / 1e9, 409.6, 1.0);
+    DramDevice ddr5(eq, DramTiming::ddr5(), 8);
+    EXPECT_NEAR(ddr5.peakBandwidth() / 1e9, 409.6, 1.0);
+    DramDevice hbm2(eq, DramTiming::hbm2(), 32);
+    EXPECT_NEAR(hbm2.peakBandwidth() / 1e9, 1024.0, 2.0);
+}
+
+// ---------------------------------------------------------------- cache
+
+/** Terminal memory that completes everything after a fixed delay. */
+class FixedLatencyMem : public MemPort
+{
+  public:
+    FixedLatencyMem(EventQueue &eq, Tick latency) : eq_(eq), latency_(latency) {}
+
+    void
+    receive(MemPacketPtr pkt) override
+    {
+        ++accesses;
+        bytes += pkt->size;
+        auto *raw = pkt.release();
+        EventQueue &eq = eq_;
+        eq_.scheduleAfter(latency_, [raw, &eq] {
+            MemPacketPtr p(raw);
+            if (p->onComplete)
+                p->onComplete(eq.now());
+        });
+    }
+
+    std::uint64_t accesses = 0;
+    std::uint64_t bytes = 0;
+
+  private:
+    EventQueue &eq_;
+    Tick latency_;
+};
+
+CacheConfig
+testCacheConfig()
+{
+    CacheConfig cfg;
+    cfg.size = 8 * 1024;
+    cfg.assoc = 4;
+    cfg.line_bytes = 128;
+    cfg.sector_bytes = 32;
+    cfg.latency = 2000; // 4 cycles @ 2 GHz
+    cfg.port_cycle = 500;
+    return cfg;
+}
+
+Tick
+accessCache(EventQueue &eq, Cache &cache, MemOp op, Addr addr)
+{
+    Tick done = kTickMax;
+    auto pkt = std::make_unique<MemPacket>();
+    pkt->op = op;
+    pkt->addr = addr;
+    pkt->size = 32;
+    pkt->onComplete = [&](Tick t) { done = t; };
+    cache.receive(std::move(pkt));
+    eq.run();
+    return done;
+}
+
+TEST(Cache, HitAfterFill)
+{
+    EventQueue eq;
+    FixedLatencyMem mem(eq, 50000);
+    auto cfg = testCacheConfig();
+    Cache cache(eq, cfg, mem);
+
+    Tick miss_done = accessCache(eq, cache, MemOp::Read, 0x1000);
+    EXPECT_GE(miss_done, 50000u);
+    EXPECT_EQ(cache.stats().read_misses, 1u);
+
+    Tick t0 = eq.now();
+    Tick hit_done = accessCache(eq, cache, MemOp::Read, 0x1000);
+    EXPECT_EQ(cache.stats().read_hits, 1u);
+    EXPECT_LT(hit_done - t0, 10000u);
+}
+
+TEST(Cache, SectorGranularity)
+{
+    EventQueue eq;
+    FixedLatencyMem mem(eq, 50000);
+    Cache cache(eq, testCacheConfig(), mem);
+
+    accessCache(eq, cache, MemOp::Read, 0x1000); // sector 0 of line
+    // Different sector of the SAME line still misses (sectored fill).
+    accessCache(eq, cache, MemOp::Read, 0x1000 + 32);
+    EXPECT_EQ(cache.stats().read_misses, 2u);
+    EXPECT_EQ(mem.accesses, 2u);
+    EXPECT_EQ(mem.bytes, 64u); // two 32 B sector fills, not 2 x 128 B lines
+}
+
+TEST(Cache, MshrMergesDuplicateSectorMisses)
+{
+    EventQueue eq;
+    FixedLatencyMem mem(eq, 50000);
+    Cache cache(eq, testCacheConfig(), mem);
+
+    int completed = 0;
+    for (int i = 0; i < 4; ++i) {
+        auto pkt = std::make_unique<MemPacket>();
+        pkt->op = MemOp::Read;
+        pkt->addr = 0x2000;
+        pkt->size = 32;
+        pkt->onComplete = [&](Tick) { ++completed; };
+        cache.receive(std::move(pkt));
+    }
+    eq.run();
+    EXPECT_EQ(completed, 4);
+    EXPECT_EQ(mem.accesses, 1u); // one fill serves all four
+    EXPECT_EQ(cache.stats().mshr_merges, 3u);
+}
+
+TEST(Cache, WriteThroughForwardsWrites)
+{
+    EventQueue eq;
+    FixedLatencyMem mem(eq, 50000);
+    auto cfg = testCacheConfig();
+    cfg.write_through = true;
+    cfg.write_allocate = false;
+    Cache cache(eq, cfg, mem);
+
+    accessCache(eq, cache, MemOp::Write, 0x3000);
+    EXPECT_EQ(mem.accesses, 1u); // write went downstream
+    accessCache(eq, cache, MemOp::Read, 0x3000);
+    EXPECT_EQ(cache.stats().read_misses, 1u); // no write-allocate
+}
+
+TEST(Cache, WriteBackHoldsDirtyDataUntilEviction)
+{
+    EventQueue eq;
+    FixedLatencyMem mem(eq, 50000);
+    auto cfg = testCacheConfig();
+    cfg.write_through = false;
+    cfg.write_allocate = true;
+    Cache cache(eq, cfg, mem);
+
+    accessCache(eq, cache, MemOp::Write, 0x4000);
+    EXPECT_EQ(mem.accesses, 0u); // dirty data held (write-validate)
+
+    // Evict by touching far more distinct lines than the cache holds
+    // (set indices are hashed, so overflow every set with margin).
+    for (unsigned i = 1; i <= 512; ++i)
+        accessCache(eq, cache, MemOp::Read, 0x4000 + i * 128 * 16);
+    EXPECT_GE(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, AtomicsPassThroughWhenNotLocal)
+{
+    EventQueue eq;
+    FixedLatencyMem mem(eq, 50000);
+    auto cfg = testCacheConfig();
+    cfg.atomics_local = false; // NDP L1: atomics go to memory-side L2
+    Cache cache(eq, cfg, mem);
+    accessCache(eq, cache, MemOp::Atomic, 0x5000);
+    EXPECT_EQ(mem.accesses, 1u);
+
+    auto cfg2 = testCacheConfig();
+    cfg2.atomics_local = true; // memory-side L2 executes atomics
+    Cache l2(eq, cfg2, mem);
+    accessCache(eq, l2, MemOp::Atomic, 0x5000); // miss -> fill, then done
+    EXPECT_EQ(l2.stats().atomics, 1u);
+    Tick t0 = eq.now();
+    Tick done = accessCache(eq, l2, MemOp::Atomic, 0x5000); // now local
+    EXPECT_LT(done - t0, 10000u);
+}
+
+TEST(Cache, InvalidateAll)
+{
+    EventQueue eq;
+    FixedLatencyMem mem(eq, 1000);
+    Cache cache(eq, testCacheConfig(), mem);
+    accessCache(eq, cache, MemOp::Read, 0x6000);
+    cache.invalidateAll();
+    accessCache(eq, cache, MemOp::Read, 0x6000);
+    EXPECT_EQ(cache.stats().read_misses, 2u);
+}
+
+// ---------------------------------------------------------------- NoC
+
+TEST(Crossbar, BandwidthSerializationPerPort)
+{
+    EventQueue eq;
+    CrossbarConfig cfg;
+    cfg.planes = 1;
+    cfg.ports = 4;
+    cfg.flit_bytes = 32;
+    cfg.cycle = 500;
+    cfg.hop_latency = 2000;
+    Crossbar xbar(eq, cfg);
+
+    // Two 32 B sends to the same port serialize; to different ports do not.
+    Tick a = xbar.send(0, 32, 1);
+    Tick b = xbar.send(0, 32, 2);
+    Tick c = xbar.send(1, 32, 3);
+    EXPECT_EQ(a, 2000u + 500u);
+    EXPECT_EQ(b, a + 500);
+    EXPECT_EQ(c, a); // different port: no contention
+    EXPECT_EQ(xbar.stats().flits, 3u);
+}
+
+TEST(Crossbar, PlanesMultiplyBandwidth)
+{
+    EventQueue eq;
+    CrossbarConfig cfg;
+    cfg.planes = 4;
+    cfg.ports = 2;
+    Crossbar xbar(eq, cfg);
+    // With 4 planes, sends hashed across planes rarely all collide.
+    std::vector<Tick> times;
+    for (unsigned i = 0; i < 8; ++i)
+        times.push_back(xbar.send(0, 32, i * 977));
+    Tick max_time = *std::max_element(times.begin(), times.end());
+    // If it were a single plane, the last delivery would be >= 8 slots out.
+    EXPECT_LT(max_time, cfg.hop_latency + 8 * cfg.cycle);
+}
+
+// ---------------------------------------------------------------- CXL
+
+TEST(CxlLink, LatencyAndSerialization)
+{
+    EventQueue eq;
+    CxlLinkConfig cfg;
+    CxlLink link(eq, cfg);
+
+    // A read request is header-only.
+    Tick arrive = link.down().send(link.readReqBytes());
+    EXPECT_EQ(arrive, cfg.oneway_latency +
+                          serializationTicks(16, cfg.bandwidth_gbps));
+
+    // Bandwidth: pushing 1 MiB of 64 B responses takes ~ 1 MiB / 64 GB/s.
+    Tick last = 0;
+    for (int i = 0; i < 16384; ++i)
+        last = link.up().send(link.dataRespBytes(64));
+    double seconds = ticksToSeconds(last - cfg.oneway_latency);
+    double bytes = 16384.0 * 80; // 64 B payload + 16 B header
+    EXPECT_NEAR(bytes / seconds / 1e9, 64.0, 2.0);
+}
+
+TEST(PacketFilter, MatchAndIsolation)
+{
+    PacketFilter filter;
+    EXPECT_TRUE(filter.insert(0x10000, 0x20000, 7));
+    EXPECT_TRUE(filter.insert(0x20000, 0x30000, 10));
+    // Overlapping region rejected.
+    EXPECT_FALSE(filter.insert(0x15000, 0x18000, 11));
+    // Duplicate ASID rejected.
+    EXPECT_FALSE(filter.insert(0x40000, 0x50000, 7));
+
+    auto m = filter.match(0x10040);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->asid, 7);
+    EXPECT_EQ(m->offset, 0x40u);
+    EXPECT_FALSE(filter.match(0x30000).has_value()); // bound is exclusive
+    EXPECT_TRUE(filter.remove(7));
+    EXPECT_FALSE(filter.match(0x10040).has_value());
+    EXPECT_FALSE(filter.remove(7));
+}
+
+TEST(PacketFilter, StorageCost)
+{
+    PacketFilter filter(1024);
+    // 18 B per entry, 1024 processes = 18 KiB (Section III-B).
+    EXPECT_EQ(filter.storageBytes(), 18u * 1024u);
+}
+
+} // namespace
+} // namespace m2ndp
