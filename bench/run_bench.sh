@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Run the simulator-throughput microbenchmark and record the result as
+# BENCH_sim_throughput.json in the repository root, so the perf trajectory
+# is tracked across PRs (schema: docs/performance.md).
+#
+# Usage: bench/run_bench.sh [build_dir]
+#   build_dir defaults to ./build; the benchmark is built if missing.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+bin="$build_dir/bench/micro_sim_throughput"
+
+if [[ ! -x "$bin" ]]; then
+    cmake -B "$build_dir" -S "$repo_root"
+    cmake --build "$build_dir" --target micro_sim_throughput -j
+fi
+
+"$bin" --out="$repo_root/BENCH_sim_throughput.json"

@@ -75,7 +75,7 @@ Cache::allocLine(Addr line_addr, Tick now)
 
 void
 Cache::sendDownstream(MemOp op, Addr addr, std::uint32_t size,
-                      MemSource source, std::function<void(Tick)> cb)
+                      MemSource source, TickCallback cb)
 {
     auto pkt = std::make_unique<MemPacket>();
     pkt->op = op;

@@ -128,7 +128,7 @@ class Cache : public MemPort
     void touch(Line &line) { line.lru = ++lru_clock_; }
 
     void sendDownstream(MemOp op, Addr addr, std::uint32_t size,
-                        MemSource source, std::function<void(Tick)> cb);
+                        MemSource source, TickCallback cb);
 
     EventQueue &eq_;
     CacheConfig cfg_;

@@ -25,7 +25,7 @@ class CxlMemoryExpander::DramPort : public MemPort
         g_path_debug.l2 += t0 - pkt->issued_at;
         if (pkt->onComplete) {
             auto orig = std::move(pkt->onComplete);
-            pkt->onComplete = [orig = std::move(orig), t0](Tick t) {
+            pkt->onComplete = [orig = std::move(orig), t0](Tick t) mutable {
                 g_path_debug.dram += t - t0;
                 ++g_path_debug.ndram;
                 orig(t);
@@ -166,8 +166,7 @@ CxlMemoryExpander::~CxlMemoryExpander() = default;
 
 void
 CxlMemoryExpander::localMemAccess(MemOp op, Addr pa, std::uint32_t size,
-                                  MemSource source,
-                                  std::function<void(Tick)> done)
+                                  MemSource source, TickCallback done)
 {
     M2_ASSERT(ownsPa(pa), "localMemAccess outside device window");
     Addr local = pa - paBase();
@@ -202,8 +201,7 @@ CxlMemoryExpander::localMemAccess(MemOp op, Addr pa, std::uint32_t size,
 
 void
 CxlMemoryExpander::unitMemAccess(unsigned unit, MemOp op, Addr pa,
-                                 std::uint32_t size,
-                                 std::function<void(Tick)> done)
+                                 std::uint32_t size, TickCallback done)
 {
     // Cross-device P2P access (Section III-I).
     if (!ownsPa(pa)) {
@@ -243,11 +241,12 @@ CxlMemoryExpander::unitMemAccess(unsigned unit, MemOp op, Addr pa,
 
 void
 CxlMemoryExpander::peerMemAccess(MemOp op, Addr pa, std::uint32_t size,
-                                 std::function<void(Tick)> done)
+                                 TickCallback done)
 {
     auto wrapped = [this, size, done = std::move(done)](Tick t) mutable {
         Tick resp = resp_xbar_->send(peerRespPort(cfg_), size, t);
-        eq_.schedule(resp, [done = std::move(done), resp] { done(resp); });
+        eq_.schedule(resp,
+                     [done = std::move(done), resp]() mutable { done(resp); });
     };
     localMemAccess(op, pa, size, MemSource::Peer, std::move(wrapped));
 }
@@ -258,7 +257,7 @@ CxlMemoryExpander::peerMemAccess(MemOp op, Addr pa, std::uint32_t size,
 
 void
 CxlMemoryExpander::cxlWrite(Addr hpa, const std::vector<std::uint8_t> &data,
-                            std::function<void(Tick)> done)
+                            TickCallback done)
 {
     auto match = filter_.match(hpa);
     if (match) {
@@ -281,7 +280,8 @@ CxlMemoryExpander::cxlWrite(Addr hpa, const std::vector<std::uint8_t> &data,
     mem_.write(hpa, data.data(), data.size());
     auto wrapped = [this, done = std::move(done)](Tick t) mutable {
         Tick resp = resp_xbar_->send(hostRespPort(cfg_), 16, t);
-        eq_.schedule(resp, [done = std::move(done), resp] { done(resp); });
+        eq_.schedule(resp,
+                     [done = std::move(done), resp]() mutable { done(resp); });
     };
     localMemAccess(MemOp::Write, hpa,
                    static_cast<std::uint32_t>(data.size()),
@@ -290,7 +290,7 @@ CxlMemoryExpander::cxlWrite(Addr hpa, const std::vector<std::uint8_t> &data,
 
 void
 CxlMemoryExpander::cxlRead(Addr hpa, std::uint32_t size,
-                           std::function<void(Tick)> done)
+                           TickCallback done)
 {
     auto match = filter_.match(hpa);
     if (match) {
@@ -302,7 +302,8 @@ CxlMemoryExpander::cxlRead(Addr hpa, std::uint32_t size,
              done = std::move(done)]() mutable {
                 controller_->handleRead(
                     asid, offset,
-                    [this, hpa, done = std::move(done)](std::int64_t value) {
+                    [this, hpa,
+                     done = std::move(done)](std::int64_t value) mutable {
                         mem_.write<std::int64_t>(hpa, value);
                         done(eq_.now());
                     });
@@ -312,7 +313,8 @@ CxlMemoryExpander::cxlRead(Addr hpa, std::uint32_t size,
     ++dstats_.host_reads;
     auto wrapped = [this, size, done = std::move(done)](Tick t) mutable {
         Tick resp = resp_xbar_->send(hostRespPort(cfg_), size, t);
-        eq_.schedule(resp, [done = std::move(done), resp] { done(resp); });
+        eq_.schedule(resp,
+                     [done = std::move(done), resp]() mutable { done(resp); });
     };
     localMemAccess(MemOp::Read, hpa, size, MemSource::Host,
                    std::move(wrapped));

@@ -123,10 +123,10 @@ class CxlMemoryExpander : public NdpUnitEnv, public NdpControllerEnv
      * write. @p done fires when the NDR response may be sent.
      */
     void cxlWrite(Addr hpa, const std::vector<std::uint8_t> &data,
-                  std::function<void(Tick)> done);
+                  TickCallback done);
 
     /** A CXL.mem read (M2S Req) arrived. @p done carries the data tick. */
-    void cxlRead(Addr hpa, std::uint32_t size, std::function<void(Tick)> done);
+    void cxlRead(Addr hpa, std::uint32_t size, TickCallback done);
 
     // ---- driver-level (CXL.io) management ----
 
@@ -170,18 +170,18 @@ class CxlMemoryExpander : public NdpUnitEnv, public NdpControllerEnv
     /** Install the cross-device P2P access hook (set by the System). */
     using PeerAccessFn = std::function<void(unsigned src_device, MemOp op,
                                             Addr pa, std::uint32_t size,
-                                            std::function<void(Tick)>)>;
+                                            TickCallback)>;
     void setPeerAccess(PeerAccessFn fn) { peer_access_ = std::move(fn); }
 
     /** Timing access into this device's memory from a peer device or the
      *  switch (bypasses the packet filter). */
     void peerMemAccess(MemOp op, Addr pa, std::uint32_t size,
-                       std::function<void(Tick)> done);
+                       TickCallback done);
 
     // ---- NdpUnitEnv ----
     EventQueue &eventQueue() override { return eq_; }
     void unitMemAccess(unsigned unit, MemOp op, Addr pa, std::uint32_t size,
-                       std::function<void(Tick)> done) override;
+                       TickCallback done) override;
     std::optional<Addr> translateFunctional(Asid asid, Addr va) override;
     void funcRead(Addr pa, void *out, unsigned size) override;
     void funcWrite(Addr pa, const void *in, unsigned size) override;
@@ -216,7 +216,7 @@ class CxlMemoryExpander : public NdpUnitEnv, public NdpControllerEnv
   private:
     /** Timing access into this device's own memory path. */
     void localMemAccess(MemOp op, Addr pa, std::uint32_t size,
-                        MemSource source, std::function<void(Tick)> done);
+                        MemSource source, TickCallback done);
 
     EventQueue &eq_;
     DeviceConfig cfg_;

@@ -103,7 +103,8 @@ DramAddressMap::decode(Addr local_addr) const
 
 DramChannel::DramChannel(EventQueue &eq, const DramTiming &timing,
                          unsigned index)
-    : eq_(eq), timing_(timing), index_(index), banks_(timing.banks)
+    : eq_(eq), timing_(timing), index_(index), banks_(timing.banks),
+      scheduler_(eq, [this] { trySchedule(); })
 {
 }
 
@@ -111,23 +112,10 @@ void
 DramChannel::enqueue(MemPacketPtr pkt, unsigned bank, std::uint64_t row)
 {
     queue_.push_back(Pending{std::move(pkt), bank, row, eq_.now()});
-    armScheduler(eq_.now());
-}
-
-void
-DramChannel::armScheduler(Tick at)
-{
-    if (scheduler_armed_ && armed_at_ <= at)
-        return;
-    scheduler_armed_ = true;
-    armed_at_ = at;
-    eq_.schedule(std::max(at, eq_.now()), [this, at] {
-        if (!scheduler_armed_ || armed_at_ != at)
-            return; // superseded by an earlier arm
-        scheduler_armed_ = false;
-        armed_at_ = kTickMax;
-        trySchedule();
-    });
+    // Ticker coalesces repeated arms and asserts if a caller ever tries to
+    // arm in the past (the old hand-rolled path clamped with std::max,
+    // which would have silently masked such a bug).
+    scheduler_.armAt(eq_.now());
 }
 
 void

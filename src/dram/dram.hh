@@ -132,7 +132,6 @@ class DramChannel
     };
 
     void trySchedule();
-    void armScheduler(Tick at);
     Tick cycles(unsigned n) const { return static_cast<Tick>(n) * timing_.tck; }
 
     EventQueue &eq_;
@@ -141,8 +140,9 @@ class DramChannel
     std::deque<Pending> queue_;
     std::vector<BankState> banks_;
     Tick next_col_ = 0; ///< tCCD spacing between column commands
-    bool scheduler_armed_ = false;
-    Tick armed_at_ = kTickMax;
+    /** Coalesced scheduler wakeup (earliest-wins; asserts on past arming
+     *  instead of the old silent std::max clamp). */
+    Ticker scheduler_;
     DramStats stats_;
 };
 

@@ -12,7 +12,7 @@ HostCxlPort::HostCxlPort(EventQueue &eq, CxlLink &link,
 
 void
 HostCxlPort::writeAsync(Addr hpa, std::vector<std::uint8_t> data,
-                        std::function<void(Tick)> done)
+                        TickCallback done)
 {
     ++stats_.writes;
     Tick issue = eq_.now() + cfg_.host_overhead;
@@ -23,12 +23,13 @@ HostCxlPort::writeAsync(Addr hpa, std::vector<std::uint8_t> data,
                 static_cast<std::uint32_t>(data.size())));
         eq_.schedule(arrive, [this, hpa, data = std::move(data),
                               done = std::move(done)]() mutable {
-            dev_.cxlWrite(hpa, data, [this, done = std::move(done)](Tick t) {
+            dev_.cxlWrite(
+                hpa, data, [this, done = std::move(done)](Tick t) mutable {
                 Tick at = std::max(eq_.now(), t);
-                eq_.schedule(at, [this, done = std::move(done)] {
+                eq_.schedule(at, [this, done = std::move(done)]() mutable {
                     Tick back = link_.up().send(link_.ndrBytes());
                     eq_.schedule(back + cfg_.host_overhead,
-                                 [this, done = std::move(done)] {
+                                 [this, done = std::move(done)]() mutable {
                                      done(eq_.now());
                                  });
                 });
@@ -38,8 +39,7 @@ HostCxlPort::writeAsync(Addr hpa, std::vector<std::uint8_t> data,
 }
 
 void
-HostCxlPort::readAsync(Addr hpa, std::uint32_t size,
-                       std::function<void(Tick)> done)
+HostCxlPort::readAsync(Addr hpa, std::uint32_t size, TickCallback done)
 {
     ++stats_.reads;
     Tick start = eq_.now();
@@ -50,13 +50,14 @@ HostCxlPort::readAsync(Addr hpa, std::uint32_t size,
         eq_.schedule(arrive, [this, hpa, size, start,
                               done = std::move(done)]() mutable {
             dev_.cxlRead(hpa, size, [this, size, start,
-                                     done = std::move(done)](Tick t) {
+                                     done = std::move(done)](Tick t) mutable {
                 Tick at = std::max(eq_.now(), t);
                 eq_.schedule(at, [this, size, start,
-                                  done = std::move(done)] {
+                                  done = std::move(done)]() mutable {
                     Tick back = link_.up().send(link_.dataRespBytes(size));
                     eq_.schedule(back + cfg_.host_overhead,
-                                 [this, start, done = std::move(done)] {
+                                 [this, start,
+                                  done = std::move(done)]() mutable {
                                      stats_.read_latency.add(
                                          static_cast<double>(eq_.now() -
                                                              start) /

@@ -48,11 +48,10 @@ class HostCxlPort
 
     /** Async CXL.mem write (M2S RwD). @p done fires when the NDR returns. */
     void writeAsync(Addr hpa, std::vector<std::uint8_t> data,
-                    std::function<void(Tick)> done);
+                    TickCallback done);
 
     /** Async CXL.mem read (M2S Req). @p done fires when data arrives. */
-    void readAsync(Addr hpa, std::uint32_t size,
-                   std::function<void(Tick)> done);
+    void readAsync(Addr hpa, std::uint32_t size, TickCallback done);
 
     /** Blocking write: returns the completion tick. */
     Tick write(Addr hpa, const void *data, std::uint32_t size);

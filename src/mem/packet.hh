@@ -11,12 +11,19 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 
+#include "common/callback.hh"
 #include "common/units.hh"
 
 namespace m2ndp {
+
+/**
+ * Completion callback carrying the completion tick. Small-buffer optimized
+ * and move-only: the per-access callback chain (LSU -> L1 -> NoC -> L2 ->
+ * DRAM) allocates nothing for captures up to 48 B.
+ */
+using TickCallback = InlineCallback<void(Tick)>;
 
 /** Kind of memory operation. */
 enum class MemOp : std::uint8_t {
@@ -44,7 +51,7 @@ struct MemPacket
     MemSource source = MemSource::NdpUnit;
 
     /** Completion callback; invoked exactly once at completion tick. */
-    std::function<void(Tick)> onComplete;
+    TickCallback onComplete;
 
     /** Tick the packet entered the device memory system (for stats). */
     Tick issued_at = 0;

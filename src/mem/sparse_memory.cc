@@ -4,34 +4,14 @@
 
 namespace m2ndp {
 
-SparseMemory::Frame &
-SparseMemory::frameFor(Addr addr)
-{
-    std::uint64_t frame_no = addr / kFrameSize;
-    auto it = frames_.find(frame_no);
-    if (it == frames_.end()) {
-        auto frame = std::make_unique<Frame>();
-        frame->fill(0);
-        it = frames_.emplace(frame_no, std::move(frame)).first;
-    }
-    return *it->second;
-}
-
-const SparseMemory::Frame *
-SparseMemory::frameForConst(Addr addr) const
-{
-    auto it = frames_.find(addr / kFrameSize);
-    return it == frames_.end() ? nullptr : it->second.get();
-}
-
 void
-SparseMemory::read(Addr addr, void *out, std::uint64_t size) const
+SparseMemory::readSlow(Addr addr, void *out, std::uint64_t size) const
 {
     auto *dst = static_cast<std::uint8_t *>(out);
     while (size > 0) {
-        std::uint64_t offset = addr % kFrameSize;
+        std::uint64_t offset = addr & kFrameMask;
         std::uint64_t chunk = std::min(size, kFrameSize - offset);
-        if (const Frame *frame = frameForConst(addr))
+        if (const Frame *frame = findFrame(addr >> kFrameShift))
             std::memcpy(dst, frame->data() + offset, chunk);
         else
             std::memset(dst, 0, chunk);
@@ -42,13 +22,14 @@ SparseMemory::read(Addr addr, void *out, std::uint64_t size) const
 }
 
 void
-SparseMemory::write(Addr addr, const void *in, std::uint64_t size)
+SparseMemory::writeSlow(Addr addr, const void *in, std::uint64_t size)
 {
     const auto *src = static_cast<const std::uint8_t *>(in);
     while (size > 0) {
-        std::uint64_t offset = addr % kFrameSize;
+        std::uint64_t offset = addr & kFrameMask;
         std::uint64_t chunk = std::min(size, kFrameSize - offset);
-        std::memcpy(frameFor(addr).data() + offset, src, chunk);
+        std::memcpy(frameFor(addr >> kFrameShift).data() + offset, src,
+                    chunk);
         addr += chunk;
         src += chunk;
         size -= chunk;
@@ -59,9 +40,10 @@ namespace {
 
 template <typename T>
 std::uint64_t
-amoTyped(SparseMemory &mem, AmoOp op, Addr addr, std::uint64_t operand)
+amoTypedApply(void *p, AmoOp op, std::uint64_t operand)
 {
-    T old = mem.read<T>(addr);
+    T old;
+    std::memcpy(&old, p, sizeof(T));
     auto rhs = static_cast<T>(operand);
     T result = old;
     using S = std::make_signed_t<T>;
@@ -94,24 +76,34 @@ amoTyped(SparseMemory &mem, AmoOp op, Addr addr, std::uint64_t operand)
         result = old < rhs ? old : rhs;
         break;
     }
-    mem.write<T>(addr, result);
+    std::memcpy(p, &result, sizeof(T));
     return static_cast<std::uint64_t>(old);
 }
 
 } // namespace
 
 std::uint64_t
-amoExecute(SparseMemory &mem, AmoOp op, Addr addr, std::uint64_t operand,
-           unsigned width)
+amoApply(void *p, AmoOp op, std::uint64_t operand, unsigned width)
 {
     switch (width) {
       case 4:
-        return amoTyped<std::uint32_t>(mem, op, addr, operand);
+        return amoTypedApply<std::uint32_t>(p, op, operand);
       case 8:
-        return amoTyped<std::uint64_t>(mem, op, addr, operand);
+        return amoTypedApply<std::uint64_t>(p, op, operand);
       default:
         M2_PANIC("unsupported AMO width: ", width);
     }
+}
+
+std::uint64_t
+amoExecute(SparseMemory &mem, AmoOp op, Addr addr, std::uint64_t operand,
+           unsigned width)
+{
+    std::uint64_t buf = 0;
+    mem.read(addr, &buf, width);
+    std::uint64_t old = amoApply(&buf, op, operand, width);
+    mem.write(addr, &buf, width);
+    return old;
 }
 
 } // namespace m2ndp

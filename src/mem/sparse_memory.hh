@@ -6,6 +6,13 @@
  * so a 256 GiB CXL expander costs host memory proportional to the bytes a
  * workload actually touches. This is the *functional* half of the memory
  * model; timing lives in dram/ and cache/.
+ *
+ * Hot-path design: the frame size is a static-asserted power of two so
+ * offset/frame-number math is mask/shift; accesses that do not cross a
+ * frame boundary (virtually all of them — scalar and 32 B vector accesses)
+ * take an inline fast path; and a small direct-mapped cache of recently
+ * touched frames short-circuits the hash probe for the streaming access
+ * patterns NDP kernels generate.
  */
 
 #pragma once
@@ -26,11 +33,42 @@ class SparseMemory
 {
   public:
     static constexpr std::uint64_t kFrameSize = 4096;
+    static constexpr std::uint64_t kFrameShift = 12;
+    static constexpr std::uint64_t kFrameMask = kFrameSize - 1;
+    static_assert((kFrameSize & (kFrameSize - 1)) == 0,
+                  "frame size must be a power of two (mask/shift math)");
+    static_assert(kFrameSize == std::uint64_t(1) << kFrameShift,
+                  "frame shift inconsistent with frame size");
 
-    void read(Addr addr, void *out, std::uint64_t size) const;
-    void write(Addr addr, const void *in, std::uint64_t size);
+    void
+    read(Addr addr, void *out, std::uint64_t size) const
+    {
+        std::uint64_t offset = addr & kFrameMask;
+        if (offset + size <= kFrameSize) {
+            // Single-frame fast path: one (usually cached) lookup.
+            if (const Frame *frame = findFrame(addr >> kFrameShift))
+                std::memcpy(out, frame->data() + offset, size);
+            else
+                std::memset(out, 0, size);
+            return;
+        }
+        readSlow(addr, out, size);
+    }
 
-    /** Typed scalar helpers. */
+    void
+    write(Addr addr, const void *in, std::uint64_t size)
+    {
+        std::uint64_t offset = addr & kFrameMask;
+        if (offset + size <= kFrameSize) {
+            std::memcpy(frameFor(addr >> kFrameShift).data() + offset, in,
+                        size);
+            return;
+        }
+        writeSlow(addr, in, size);
+    }
+
+    /** Typed scalar helpers (never cross a frame: size divides alignment
+     *  only for aligned use, so they still route through the size check). */
     template <typename T>
     T
     read(Addr addr) const
@@ -51,15 +89,63 @@ class SparseMemory
     std::size_t framesAllocated() const { return frames_.size(); }
 
     /** Drop all contents. */
-    void clear() { frames_.clear(); }
+    void
+    clear()
+    {
+        frames_.clear();
+        cache_.fill(CacheEntry{});
+    }
 
   private:
     using Frame = std::array<std::uint8_t, kFrameSize>;
 
-    Frame &frameFor(Addr addr);
-    const Frame *frameForConst(Addr addr) const;
+    /** Direct-mapped cache of recent frame lookups (per access stream:
+     *  concurrent sequential streams index different ways as they advance,
+     *  so host setup, NDP units, and verification rarely thrash). */
+    static constexpr std::size_t kCacheWays = 8;
+
+    struct CacheEntry
+    {
+        std::uint64_t frame_no = ~std::uint64_t(0);
+        Frame *frame = nullptr; ///< stable: frames are unique_ptr-held
+    };
+
+    /** Lookup without allocating; nullptr if the frame does not exist. */
+    Frame *
+    findFrame(std::uint64_t frame_no) const
+    {
+        CacheEntry &e = cache_[frame_no & (kCacheWays - 1)];
+        if (e.frame_no == frame_no)
+            return e.frame;
+        auto it = frames_.find(frame_no);
+        if (it == frames_.end())
+            return nullptr;
+        e.frame_no = frame_no;
+        e.frame = it->second.get();
+        return e.frame;
+    }
+
+    /** Lookup, allocating a zero-filled frame on first touch. */
+    Frame &
+    frameFor(std::uint64_t frame_no)
+    {
+        if (Frame *f = findFrame(frame_no))
+            return *f;
+        auto frame = std::make_unique<Frame>();
+        frame->fill(0);
+        Frame *raw = frame.get();
+        frames_.emplace(frame_no, std::move(frame));
+        CacheEntry &e = cache_[frame_no & (kCacheWays - 1)];
+        e.frame_no = frame_no;
+        e.frame = raw;
+        return *raw;
+    }
+
+    void readSlow(Addr addr, void *out, std::uint64_t size) const;
+    void writeSlow(Addr addr, const void *in, std::uint64_t size);
 
     std::unordered_map<std::uint64_t, std::unique_ptr<Frame>> frames_;
+    mutable std::array<CacheEntry, kCacheWays> cache_{};
 };
 
 /** Atomic memory operations executed at the memory-side L2 / scratchpad. */
@@ -81,5 +167,13 @@ enum class AmoOp : std::uint8_t {
  */
 std::uint64_t amoExecute(SparseMemory &mem, AmoOp op, Addr addr,
                          std::uint64_t operand, unsigned width);
+
+/**
+ * Same AMO semantics applied to raw bytes at @p p (used for scratchpad
+ * atomics, which bypass the sparse backend entirely).
+ * @return the original value (zero-extended to 64 bits).
+ */
+std::uint64_t amoApply(void *p, AmoOp op, std::uint64_t operand,
+                       unsigned width);
 
 } // namespace m2ndp

@@ -144,7 +144,7 @@ NdpController::handleWrite(Asid asid, std::uint64_t offset,
 
 void
 NdpController::handleRead(Asid asid, std::uint64_t offset,
-                          std::function<void(std::int64_t)> respond)
+                          InlineCallback<void(std::int64_t)> respond)
 {
     std::uint64_t fn_index = offset / kM2FuncStride;
     auto fn = static_cast<M2Func>(fn_index);

@@ -137,7 +137,7 @@ class NdpController
      * (possibly later, for synchronous launches) with the value.
      */
     void handleRead(Asid asid, std::uint64_t offset,
-                    std::function<void(std::int64_t)> respond);
+                    InlineCallback<void(std::int64_t)> respond);
 
     // ---- uthread generator interface (used by NdpUnitEnv) ----
     std::optional<SpawnItem> pullWork(unsigned unit);
@@ -178,7 +178,7 @@ class NdpController
     {
         std::int64_t value = kNdpErr;
         bool ready = true;
-        std::vector<std::function<void(std::int64_t)>> waiters;
+        std::vector<InlineCallback<void(std::int64_t)>> waiters;
     };
 
     std::uint64_t

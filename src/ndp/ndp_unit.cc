@@ -17,7 +17,8 @@ fuIndex(isa::FuType fu)
 NdpUnit::NdpUnit(NdpUnitEnv &env, NdpUnitConfig cfg)
     : env_(env), cfg_(cfg), subcores_(cfg.subcores),
       spad_(cfg.spad_bytes, 0),
-      dtlb_(cfg.dtlb_entries, cfg.dtlb_assoc, env.translationPageSize())
+      dtlb_(cfg.dtlb_entries, cfg.dtlb_assoc, env.translationPageSize()),
+      tick_ticker_(env.eventQueue(), [this] { tick(); })
 {
     for (auto &sc : subcores_)
         sc.slots.resize(cfg_.slots_per_subcore);
@@ -90,17 +91,9 @@ std::uint64_t
 NdpUnit::amo(AmoOp op, Addr va, std::uint64_t operand, unsigned width)
 {
     if (layout::isScratchpadVa(va)) {
-        // Scratchpad LSU atomics (Section III-E).
-        std::uint8_t *p = spadPointer(va, width);
-        std::uint64_t old = 0;
-        std::memcpy(&old, p, width);
-        // Reuse the central AMO semantics via a scratch SparseMemory-free
-        // path: compute on the raw bytes.
-        SparseMemory tmp;
-        tmp.write(0, p, width);
-        std::uint64_t prev = amoExecute(tmp, op, 0, operand, width);
-        tmp.read(0, p, width);
-        return prev;
+        // Scratchpad LSU atomics (Section III-E): apply the shared AMO
+        // semantics in place on the scratchpad bytes.
+        return amoApply(spadPointer(va, width), op, operand, width);
     }
     M2_ASSERT(current_slot_ != nullptr, "memory access outside step()");
     auto pa = env_.translateFunctional(current_slot_->instance->asid, va);
@@ -125,18 +118,9 @@ NdpUnit::wake()
 void
 NdpUnit::scheduleTick(Tick at)
 {
-    if (tick_scheduled_ && scheduled_tick_at_ <= at)
-        return;
-    tick_scheduled_ = true;
-    scheduled_tick_at_ = at;
-    env_.eventQueue().schedule(at, [this, at] {
-        if (scheduled_tick_at_ == at) {
-            tick_scheduled_ = false;
-            scheduled_tick_at_ = kTickMax;
-            tick();
-        }
-        // else: superseded by an earlier reschedule; that event will run.
-    });
+    // Earliest-wins coalescing; a superseded arm is cancelled in place
+    // rather than left to fire as a stale no-op event.
+    tick_ticker_.armAt(at);
 }
 
 Tick

@@ -95,8 +95,7 @@ class NdpUnitEnv
 
     /** Timing access from unit @p unit to device-physical address @p pa. */
     virtual void unitMemAccess(unsigned unit, MemOp op, Addr pa,
-                               std::uint32_t size,
-                               std::function<void(Tick)> done) = 0;
+                               std::uint32_t size, TickCallback done) = 0;
 
     /** Functional VA translation (nullopt = unmapped: kernel fault). */
     virtual std::optional<Addr> translateFunctional(Asid asid, Addr va) = 0;
@@ -210,8 +209,8 @@ class NdpUnit : public isa::MemoryIf
     std::vector<std::uint8_t> spad_;
     Tlb dtlb_;
     unsigned live_slots_ = 0;
-    bool tick_scheduled_ = false;
-    Tick scheduled_tick_at_ = kTickMax;
+    /** Coalesced cycle wakeup: one pooled event, earliest arm wins. */
+    Ticker tick_ticker_;
     bool work_maybe_available_ = true;
     NdpUnitStats stats_;
 

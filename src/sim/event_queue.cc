@@ -1,17 +1,302 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+#include <bit>
+
 namespace m2ndp {
+
+EventQueue::~EventQueue() = default;
+
+EventQueue::Event *
+EventQueue::allocEvent()
+{
+    if (free_head_ == nullptr) {
+        slabs_.push_back(std::make_unique<Event[]>(kSlabEvents));
+        Event *slab = slabs_.back().get();
+        for (unsigned i = 0; i < kSlabEvents; ++i) {
+            slab[i].next = free_head_;
+            free_head_ = &slab[i];
+        }
+    }
+    Event *ev = free_head_;
+    free_head_ = ev->next;
+    return ev;
+}
+
+void
+EventQueue::recycle(Event *ev)
+{
+    ev->cb.reset();
+    ev->loc = Loc::Free;
+    ev->next = free_head_;
+    free_head_ = ev;
+}
+
+void
+EventQueue::setOccupied(unsigned bucket)
+{
+    occupied_[bucket >> 6] |= std::uint64_t(1) << (bucket & 63);
+}
+
+void
+EventQueue::clearOccupied(unsigned bucket)
+{
+    occupied_[bucket >> 6] &= ~(std::uint64_t(1) << (bucket & 63));
+}
+
+void
+EventQueue::pushBucket(Event *ev)
+{
+    unsigned b = bucketOf(dayOf(ev->when));
+    ev->next = nullptr;
+    ev->loc = Loc::Bucket;
+    Bucket &bk = buckets_[b];
+    if (bk.tail != nullptr) {
+        bk.tail->next = ev;
+    } else {
+        bk.head = ev;
+        setOccupied(b);
+    }
+    bk.tail = ev;
+    ++cal_count_;
+}
+
+EventQueue::Event *
+EventQueue::scheduleNode(Tick when)
+{
+    M2_ASSERT(when >= now_, "scheduling in the past: ", when, " < ", now_);
+    Event *ev = allocEvent();
+    ev->when = when;
+    ev->seq = seq_++;
+
+    std::uint64_t day = dayOf(when);
+    if (cal_count_ == 0)
+        cal_day_ = day; // empty calendar: re-anchor the window here
+    if (day >= cal_day_ && day - cal_day_ < kBucketCount) {
+        pushBucket(ev);
+    } else {
+        // Beyond the horizon — or, rarely, below a window re-anchored
+        // ahead of now() — the overflow tier holds it; the (when, seq)
+        // compare in peekMin keeps global ordering exact either way.
+        ev->loc = Loc::Overflow;
+        overflow_.push_back(ev);
+        std::push_heap(overflow_.begin(), overflow_.end(),
+                       [](const Event *a, const Event *b) {
+                           return before(b, a);
+                       });
+    }
+    ++size_;
+    return ev;
+}
+
+void
+EventQueue::cancelEvent(Event *ev)
+{
+    M2_ASSERT(ev->loc == Loc::Bucket || ev->loc == Loc::Overflow,
+              "cancel of a non-pending event");
+    if (ev->loc == Loc::Bucket) {
+        unsigned b = bucketOf(dayOf(ev->when));
+        Bucket &bk = buckets_[b];
+        Event *prev = nullptr;
+        Event *cur = bk.head;
+        while (cur != ev) {
+            M2_ASSERT(cur != nullptr, "cancelled event not in its bucket");
+            prev = cur;
+            cur = cur->next;
+        }
+        (prev != nullptr ? prev->next : bk.head) = ev->next;
+        if (bk.tail == ev)
+            bk.tail = prev;
+        if (bk.head == nullptr)
+            clearOccupied(b);
+        --cal_count_;
+        --size_;
+        recycle(ev);
+    } else {
+        // Overflow nodes sit mid-heap; mark dead and reap lazily when the
+        // node surfaces at the top. Release captured state promptly.
+        ev->loc = Loc::Dead;
+        ev->cb.reset();
+        --size_;
+        ++overflow_dead_;
+        pruneOverflowTop();
+    }
+}
+
+void
+EventQueue::pruneOverflowTop()
+{
+    if (overflow_dead_ == 0)
+        return;
+    auto after = [](const Event *a, const Event *b) { return before(b, a); };
+    while (!overflow_.empty() && overflow_.front()->loc == Loc::Dead) {
+        std::pop_heap(overflow_.begin(), overflow_.end(), after);
+        recycle(overflow_.back());
+        overflow_.pop_back();
+        --overflow_dead_;
+    }
+}
+
+void
+EventQueue::migrateOverflow()
+{
+    auto after = [](const Event *a, const Event *b) { return before(b, a); };
+    while (!overflow_.empty()) {
+        Event *top = overflow_.front();
+        std::uint64_t day = dayOf(top->when);
+        if (day < cal_day_ || day - cal_day_ >= kBucketCount)
+            break;
+        std::pop_heap(overflow_.begin(), overflow_.end(), after);
+        overflow_.pop_back();
+        pushBucket(top);
+        pruneOverflowTop();
+    }
+}
+
+namespace {
+
+/** First set bit at or cyclically after @p start; words*64 if none. */
+unsigned
+findOccupiedFrom(const std::vector<std::uint64_t> &bits, unsigned start)
+{
+    const unsigned words = static_cast<unsigned>(bits.size());
+    const unsigned word_mask = words - 1; // words is a power of two
+    unsigned w = start >> 6;
+    std::uint64_t word = bits[w] & (~std::uint64_t(0) << (start & 63));
+    for (unsigned i = 0; i <= words; ++i) {
+        if (word != 0) {
+            unsigned cw = (w + i) & word_mask;
+            return (cw << 6) + static_cast<unsigned>(std::countr_zero(word));
+        }
+        unsigned nw = (w + i + 1) & word_mask;
+        word = bits[nw];
+    }
+    return words * 64;
+}
+
+} // namespace
+
+EventQueue::Event *
+EventQueue::peekMin(unsigned *bucket) const
+{
+    Event *best = nullptr;
+    unsigned best_bucket = kBucketCount;
+    if (cal_count_ > 0) {
+        unsigned b = findOccupiedFrom(occupied_, bucketOf(cal_day_));
+        M2_ASSERT(b < kBucketCount, "calendar count / bitmap mismatch");
+        for (Event *e = buckets_[b].head; e != nullptr; e = e->next) {
+            if (best == nullptr || before(e, best))
+                best = e;
+        }
+        best_bucket = b;
+    }
+    if (!overflow_.empty()) {
+        Event *top = overflow_.front();
+        M2_ASSERT(top->loc == Loc::Overflow, "dead event at overflow top");
+        if (best == nullptr || before(top, best)) {
+            best = top;
+            best_bucket = kBucketCount;
+        }
+    }
+    if (bucket != nullptr)
+        *bucket = best_bucket;
+    return best;
+}
+
+EventQueue::Event *
+EventQueue::extractMin(Tick limit)
+{
+    if (size_ == 0)
+        return nullptr;
+    if (!overflow_.empty()) {
+        pruneOverflowTop();
+        if (!overflow_.empty()) {
+            if (cal_count_ == 0)
+                cal_day_ = dayOf(overflow_.front()->when); // re-anchor
+            // Migrate only when the top actually fits the window (the
+            // common case is "far future": one compare, no call).
+            std::uint64_t top_day = dayOf(overflow_.front()->when);
+            if (top_day >= cal_day_ && top_day - cal_day_ < kBucketCount)
+                migrateOverflow();
+        }
+    }
+
+    Event *best = nullptr;
+    Event *best_prev = nullptr;
+    unsigned bucket = kBucketCount;
+    if (cal_count_ > 0) {
+        bucket = findOccupiedFrom(occupied_, bucketOf(cal_day_));
+        M2_ASSERT(bucket < kBucketCount, "calendar count / bitmap mismatch");
+        Event *prev = nullptr;
+        for (Event *e = buckets_[bucket].head; e != nullptr;
+             prev = e, e = e->next) {
+            if (best == nullptr || before(e, best)) {
+                best = e;
+                best_prev = prev;
+            }
+        }
+    }
+    bool from_overflow = false;
+    if (!overflow_.empty() &&
+        (best == nullptr || before(overflow_.front(), best))) {
+        best = overflow_.front();
+        from_overflow = true;
+    }
+    M2_ASSERT(best != nullptr, "event count / tier bookkeeping mismatch");
+    if (best->when > limit)
+        return nullptr;
+
+    if (!from_overflow) {
+        Bucket &bk = buckets_[bucket];
+        (best_prev != nullptr ? best_prev->next : bk.head) = best->next;
+        if (bk.tail == best)
+            bk.tail = best_prev;
+        if (bk.head == nullptr)
+            clearOccupied(bucket);
+        --cal_count_;
+        // The window only ever advances: calendar events are never below
+        // cal_day_, so this keeps the scan anchored at the frontier.
+        cal_day_ = dayOf(best->when);
+    } else {
+        auto after = [](const Event *a, const Event *b) {
+            return before(b, a);
+        };
+        std::pop_heap(overflow_.begin(), overflow_.end(), after);
+        overflow_.pop_back();
+        // A cancelled node may surface now; reap it so the const peek
+        // paths can rely on the top being live.
+        pruneOverflowTop();
+    }
+    --size_;
+    return best;
+}
+
+void
+EventQueue::dispatch(Event *ev)
+{
+    // Invoke in place: the node is already unlinked from both tiers, so
+    // events scheduled from within the callback cannot alias it; it goes
+    // back to the freelist (callback destroyed) right after.
+    ev->cb();
+    recycle(ev);
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    if (size_ == 0)
+        return kTickMax;
+    const Event *best = peekMin(nullptr);
+    return best != nullptr ? best->when : kTickMax;
+}
 
 std::uint64_t
 EventQueue::run(Tick limit)
 {
     std::uint64_t executed = 0;
-    while (!heap_.empty() && heap_.top().when <= limit) {
-        // Copy out before pop: the callback may schedule new events.
-        Event ev = heap_.top();
-        heap_.pop();
-        now_ = ev.when;
-        ev.cb();
+    while (Event *ev = extractMin(limit)) {
+        now_ = ev->when;
+        dispatch(ev);
         ++executed;
     }
     if (now_ < limit && limit != kTickMax)
@@ -22,12 +307,11 @@ EventQueue::run(Tick limit)
 bool
 EventQueue::step()
 {
-    if (heap_.empty())
+    Event *ev = extractMin(kTickMax);
+    if (ev == nullptr)
         return false;
-    Event ev = heap_.top();
-    heap_.pop();
-    now_ = ev.when;
-    ev.cb();
+    now_ = ev->when;
+    dispatch(ev);
     return true;
 }
 

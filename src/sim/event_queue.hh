@@ -5,53 +5,83 @@
  * All simulated components schedule callbacks at absolute ticks
  * (picoseconds). Events at equal ticks execute in scheduling order
  * (FIFO tie-break) so simulations are deterministic.
+ *
+ * The engine is built for zero steady-state allocation on the hot path:
+ *
+ *  - Callbacks are `EventCallback` (InlineCallback<void()>): captures up to
+ *    48 B live inline in the event node, never on the heap.
+ *  - Event nodes come from a slab-backed freelist and are recycled as soon
+ *    as they execute or are cancelled.
+ *  - Pending events live in a two-level calendar queue: a power-of-two ring
+ *    of 32-tick buckets (~2 us horizon) absorbs the near-term events that
+ *    dominate cycle-level simulation in O(1), while events beyond the
+ *    horizon wait in a binary-heap overflow tier and migrate into the
+ *    calendar as time advances. Ordering is always by (tick, sequence), so
+ *    the deterministic FIFO tie-break holds across both tiers.
+ *  - `Ticker` gives components a single reusable self-wakeup event with
+ *    earliest-wins coalescing, replacing the hand-rolled
+ *    armed-flag/supersede patterns that used to leave stale closures in
+ *    the heap.
  */
 
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
+#include "common/callback.hh"
 #include "common/log.hh"
 #include "common/units.hh"
 
 namespace m2ndp {
 
+/** Move-only callback type used for scheduled events. */
+using EventCallback = InlineCallback<void()>;
+
+class Ticker;
+
 /** Discrete-event simulation engine. */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = EventCallback;
+
+    EventQueue() = default;
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
 
     /** Current simulated time. */
     Tick now() const { return now_; }
 
-    /** Schedule @p cb at absolute tick @p when (must be >= now()). */
+    /**
+     * Schedule @p cb at absolute tick @p when (must be >= now()).
+     * Templated so the callable is constructed directly into the pooled
+     * event node — no intermediate EventCallback moves.
+     */
+    template <typename F>
     void
-    schedule(Tick when, Callback cb)
+    schedule(Tick when, F &&cb)
     {
-        M2_ASSERT(when >= now_, "scheduling in the past: ", when, " < ", now_);
-        heap_.push(Event{when, seq_++, std::move(cb)});
+        scheduleEvent(when, std::forward<F>(cb));
     }
 
     /** Schedule @p cb @p delay ticks from now. */
+    template <typename F>
     void
-    scheduleAfter(Tick delay, Callback cb)
+    scheduleAfter(Tick delay, F &&cb)
     {
-        schedule(now_ + delay, std::move(cb));
+        scheduleEvent(now_ + delay, std::forward<F>(cb));
     }
 
-    bool empty() const { return heap_.empty(); }
-    std::size_t pending() const { return heap_.size(); }
+    bool empty() const { return size_ == 0; }
+    std::size_t pending() const { return size_; }
 
     /** Tick of the next pending event (kTickMax if none). */
-    Tick
-    nextEventTick() const
-    {
-        return heap_.empty() ? kTickMax : heap_.top().when;
-    }
+    Tick nextEventTick() const;
 
     /**
      * Execute events until the queue drains or @p limit is exceeded.
@@ -75,22 +105,190 @@ class EventQueue
     }
 
   private:
-    struct Event
-    {
-        Tick when;
-        std::uint64_t seq;
-        Callback cb;
+    friend class Ticker;
 
-        bool
-        operator>(const Event &other) const
-        {
-            return when != other.when ? when > other.when : seq > other.seq;
-        }
+    /**
+     * Calendar geometry: 65536 buckets of 32 ticks = ~2.1 us horizon.
+     * Buckets are much narrower than any modeled clock period (>= 500
+     * ticks), so even with hundreds of in-flight events the within-bucket
+     * ordering scan stays a handful of nodes. ~1 MiB of bucket headers per
+     * queue — one EventQueue exists per System, so this is cheap insurance
+     * against O(n) scans at high event density.
+     */
+    static constexpr unsigned kBucketShift = 5;
+    static constexpr unsigned kBucketBits = 16;
+    static constexpr unsigned kBucketCount = 1u << kBucketBits;
+    static constexpr std::uint64_t kBucketIndexMask = kBucketCount - 1;
+    static constexpr unsigned kSlabEvents = 256;
+
+    enum class Loc : std::uint8_t {
+        Free,     ///< on the freelist
+        Bucket,   ///< linked into a calendar bucket
+        Overflow, ///< in the overflow heap
+        Dead,     ///< cancelled while in the overflow heap; reaped lazily
     };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    struct Event
+    {
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        Event *next = nullptr;
+        Loc loc = Loc::Free;
+        EventCallback cb;
+    };
+
+    struct Bucket
+    {
+        Event *head = nullptr;
+        Event *tail = nullptr;
+    };
+
+    static std::uint64_t dayOf(Tick t) { return t >> kBucketShift; }
+    static unsigned bucketOf(std::uint64_t day)
+    {
+        return static_cast<unsigned>(day & kBucketIndexMask);
+    }
+
+    /** True iff @p a orders strictly before @p b (tick, then FIFO seq). */
+    static bool
+    before(const Event *a, const Event *b)
+    {
+        return a->when != b->when ? a->when < b->when : a->seq < b->seq;
+    }
+
+    Event *allocEvent();
+    void recycle(Event *ev);
+
+    /** Allocate, stamp (when, seq) and insert a node; cb assigned after. */
+    Event *scheduleNode(Tick when);
+
+    template <typename F>
+    Event *
+    scheduleEvent(Tick when, F &&cb)
+    {
+        Event *ev = scheduleNode(when);
+        ev->cb = std::forward<F>(cb);
+        return ev;
+    }
+
+    /** Remove a pending event scheduled by this queue (Ticker support). */
+    void cancelEvent(Event *ev);
+
+    void pushBucket(Event *ev);
+    void setOccupied(unsigned bucket);
+    void clearOccupied(unsigned bucket);
+
+    /** Drop cancelled events sitting at the top of the overflow heap. */
+    void pruneOverflowTop();
+    /** Pull overflow events that now fit in the calendar window. */
+    void migrateOverflow();
+
+    /**
+     * Find the earliest pending event without removing it. Returns the
+     * bucket index through @p bucket when the winner lives in the calendar
+     * (kBucketCount when it is the overflow top). Const: no migration.
+     */
+    Event *peekMin(unsigned *bucket) const;
+
+    /**
+     * Remove and return the earliest event if its tick is <= @p limit,
+     * nullptr otherwise. Performs overflow migration.
+     */
+    Event *extractMin(Tick limit);
+
+    /** Pop one event and run its callback (caller checked non-empty). */
+    void dispatch(Event *ev);
+
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
+    std::size_t size_ = 0;      ///< live pending events (both tiers)
+    std::size_t cal_count_ = 0; ///< live events in the calendar tier
+
+    /**
+     * Day index anchoring the calendar window: every bucketed event has
+     * dayOf(when) in [cal_day_, cal_day_ + kBucketCount), so each bucket
+     * holds events of exactly one day and never aliases.
+     */
+    std::uint64_t cal_day_ = 0;
+
+    /** Heap-held so EventQueue stays cheap to place on the stack. */
+    std::vector<Bucket> buckets_ = std::vector<Bucket>(kBucketCount);
+    /** One bit per bucket: set iff the bucket is non-empty. */
+    std::vector<std::uint64_t> occupied_ =
+        std::vector<std::uint64_t>(kBucketCount / 64, 0);
+
+    /** Min-heap on (when, seq) of events beyond the calendar horizon. */
+    std::vector<Event *> overflow_;
+    /** Cancelled-but-unreaped nodes in overflow_ (skip pruning when 0). */
+    std::size_t overflow_dead_ = 0;
+
+    Event *free_head_ = nullptr;
+    std::vector<std::unique_ptr<Event[]>> slabs_;
+};
+
+/**
+ * A component's single coalesced self-wakeup.
+ *
+ * Owns one callback (constructed once, so repeated arming allocates
+ * nothing) and at most one pending event in the queue. `armAt(t)` keeps
+ * the earliest requested tick: arming later than an existing arm is a
+ * no-op; arming earlier moves the pending event instead of abandoning a
+ * stale one in the queue. Arming in the past is a bug and asserts (the
+ * old DRAM scheduler silently clamped this case, masking errors).
+ */
+class Ticker
+{
+  public:
+    Ticker(EventQueue &eq, EventCallback cb) : eq_(eq), cb_(std::move(cb)) {}
+
+    ~Ticker() { disarm(); }
+
+    Ticker(const Ticker &) = delete;
+    Ticker &operator=(const Ticker &) = delete;
+
+    /** Fire at @p at, or earlier if an earlier arm is already pending. */
+    void
+    armAt(Tick at)
+    {
+        M2_ASSERT(at >= eq_.now(), "Ticker armed in the past: ", at, " < ",
+                  eq_.now());
+        if (ev_ != nullptr) {
+            if (armed_at_ <= at)
+                return; // existing arm fires first; coalesce
+            eq_.cancelEvent(ev_);
+            ev_ = nullptr;
+        }
+        armed_at_ = at;
+        ev_ = eq_.scheduleEvent(at, [this] { fired(); });
+    }
+
+    /** Cancel the pending arm (no-op if not armed). */
+    void
+    disarm()
+    {
+        if (ev_ != nullptr) {
+            eq_.cancelEvent(ev_);
+            ev_ = nullptr;
+        }
+    }
+
+    bool armed() const { return ev_ != nullptr; }
+
+    /** Tick of the pending arm (kTickMax when disarmed). */
+    Tick armedAt() const { return ev_ != nullptr ? armed_at_ : kTickMax; }
+
+  private:
+    void
+    fired()
+    {
+        ev_ = nullptr; // consumed by the queue; re-arming is now legal
+        cb_();
+    }
+
+    EventQueue &eq_;
+    EventCallback cb_;
+    EventQueue::Event *ev_ = nullptr;
+    Tick armed_at_ = kTickMax;
 };
 
 /**

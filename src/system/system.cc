@@ -40,8 +40,7 @@ System::System(SystemConfig cfg) : cfg_(cfg)
     // P2P routing through the switch (Section III-I).
     for (auto &dev : devices_) {
         dev->setPeerAccess([this](unsigned src, MemOp op, Addr pa,
-                                  std::uint32_t size,
-                                  std::function<void(Tick)> done) {
+                                  std::uint32_t size, TickCallback done) {
             unsigned target = layout::deviceOf(pa);
             M2_ASSERT(target < devices_.size(),
                       "P2P to nonexistent device ", target);
@@ -51,11 +50,10 @@ System::System(SystemConfig cfg) : cfg_(cfg)
                                     done = std::move(done)]() mutable {
                 devices_[target]->peerMemAccess(
                     op, pa, size,
-                    [this, hop, done = std::move(done)](Tick t) {
+                    [this, hop, done = std::move(done)](Tick t) mutable {
                         eq_.schedule(std::max(eq_.now(), t) + hop,
-                                     [done = std::move(done), t, hop] {
-                                         done(t + hop);
-                                     });
+                                     [done = std::move(done), t,
+                                      hop]() mutable { done(t + hop); });
                     });
             });
         });

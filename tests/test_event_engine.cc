@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Tests for the zero-allocation event engine: calendar/overflow tier
+ * ordering, FIFO tie-break determinism, Ticker coalescing semantics, and
+ * the InlineCallback small-buffer wrapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace m2ndp {
+namespace {
+
+// The calendar horizon is 2^21 ticks (~2.1 us); anything scheduled further
+// ahead than that lands in the overflow heap.
+constexpr Tick kBeyondHorizon = Tick(1) << 22;
+
+TEST(EventEngine, FifoTieBreakAtEqualTicks)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    // Interleave two ticks; within a tick, scheduling order must hold.
+    for (int i = 0; i < 64; ++i) {
+        eq.schedule(1000, [&order, i] { order.push_back(i); });
+        eq.schedule(500, [&order, i] { order.push_back(1000 + i); });
+    }
+    eq.run();
+    ASSERT_EQ(order.size(), 128u);
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_EQ(order[i], 1000 + i);    // tick 500 first, FIFO within
+        EXPECT_EQ(order[64 + i], i);      // then tick 1000, FIFO within
+    }
+}
+
+TEST(EventEngine, OverflowTierPreservesGlobalOrdering)
+{
+    EventQueue eq;
+    std::vector<Tick> fired;
+    // Far-future events (overflow tier), scheduled in scrambled order.
+    for (Tick t : {7, 3, 9, 1, 5})
+        eq.schedule(t * kBeyondHorizon, [&fired, &eq] {
+            fired.push_back(eq.now());
+        });
+    // Near-term events (calendar tier).
+    for (Tick t : {400, 100})
+        eq.schedule(t, [&fired, &eq] { fired.push_back(eq.now()); });
+    eq.run();
+    ASSERT_EQ(fired.size(), 7u);
+    EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+    EXPECT_EQ(fired.front(), 100u);
+    EXPECT_EQ(fired.back(), 9 * kBeyondHorizon);
+}
+
+TEST(EventEngine, FifoTieBreakAcrossTiers)
+{
+    // An event scheduled long in advance (overflow tier) and one scheduled
+    // for the same tick from close range (calendar tier) must still fire
+    // in scheduling order.
+    EventQueue eq;
+    std::vector<char> order;
+    const Tick target = kBeyondHorizon + 1000;
+    eq.schedule(10, [] {}); // anchors the calendar window near tick 0
+    eq.schedule(target, [&order] { order.push_back('A'); }); // overflow
+    eq.schedule(target - 500, [&order, &eq, target] {
+        eq.schedule(target, [&order] { order.push_back('B'); }); // calendar
+    });
+    eq.run();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 'A'); // scheduled first, wins the tie
+    EXPECT_EQ(order[1], 'B');
+}
+
+TEST(EventEngine, HighChurnRecyclingKeepsCountsConsistent)
+{
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    // Self-rescheduling chains churn the node pool far past one slab.
+    for (unsigned i = 0; i < 8; ++i) {
+        struct Chain
+        {
+            static void
+            step(EventQueue &eq, std::uint64_t &fired, unsigned hops)
+            {
+                ++fired;
+                if (hops > 0) {
+                    eq.scheduleAfter(17 + hops % 97,
+                                     [&eq, &fired, hops] {
+                                         step(eq, fired, hops - 1);
+                                     });
+                }
+            }
+        };
+        eq.schedule(i, [&eq, &fired] { Chain::step(eq, fired, 999); });
+    }
+    EXPECT_EQ(eq.pending(), 8u);
+    eq.run();
+    EXPECT_EQ(fired, 8u * 1000u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventEngine, RunWithLimitAndAdvanceTo)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { fired = 1; });
+    eq.schedule(100, [&] { fired = 2; });
+    EXPECT_EQ(eq.run(50), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 50u);
+    EXPECT_EQ(eq.nextEventTick(), 100u);
+    eq.advanceTo(90);
+    EXPECT_EQ(eq.now(), 90u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventEngine, MoveOnlyAndLargeCaptures)
+{
+    EventQueue eq;
+    int value = 0;
+    // Move-only capture (std::function would reject this).
+    auto owned = std::make_unique<int>(41);
+    eq.schedule(10, [&value, owned = std::move(owned)] { value = *owned; });
+    // Capture larger than the 48 B inline buffer (heap fallback path).
+    struct Big
+    {
+        std::uint64_t pad[12];
+    } big{};
+    big.pad[11] = 1;
+    eq.schedule(20, [&value, big] {
+        value += static_cast<int>(big.pad[11]);
+    });
+    eq.run();
+    EXPECT_EQ(value, 42);
+}
+
+TEST(Ticker, CoalescesAndSupersedes)
+{
+    EventQueue eq;
+    std::vector<Tick> fires;
+    Ticker ticker(eq, [&] { fires.push_back(eq.now()); });
+
+    // Later arm after earlier arm: coalesced into the earlier one.
+    ticker.armAt(100);
+    ticker.armAt(500);
+    EXPECT_EQ(ticker.armedAt(), 100u);
+    eq.run();
+    ASSERT_EQ(fires.size(), 1u);
+    EXPECT_EQ(fires[0], 100u);
+    EXPECT_FALSE(ticker.armed());
+    EXPECT_TRUE(eq.empty()); // no stale superseded event left behind
+
+    // Earlier arm after later arm: supersedes; fires exactly once.
+    ticker.armAt(900);
+    ticker.armAt(700);
+    EXPECT_EQ(ticker.armedAt(), 700u);
+    eq.run();
+    ASSERT_EQ(fires.size(), 2u);
+    EXPECT_EQ(fires[1], 700u);
+    EXPECT_TRUE(eq.empty()); // the 900 arm was cancelled, not abandoned
+}
+
+TEST(Ticker, DisarmAndRearmFromCallback)
+{
+    EventQueue eq;
+    int count = 0;
+    Ticker ticker(eq, [&] {
+        ++count;
+        if (count < 3)
+            ticker.armAt(eq.now() + 50); // re-arming from the callback
+    });
+    ticker.armAt(10);
+    eq.run();
+    EXPECT_EQ(count, 3);
+
+    ticker.armAt(eq.now() + 10);
+    ticker.disarm();
+    EXPECT_FALSE(ticker.armed());
+    eq.run();
+    EXPECT_EQ(count, 3); // disarmed arm never fired
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(Ticker, ArmingInThePastPanics)
+{
+    EventQueue eq;
+    Ticker ticker(eq, [] {});
+    eq.schedule(1000, [] {});
+    eq.run();
+    ASSERT_EQ(eq.now(), 1000u);
+    // The old DRAM arm path silently clamped this with std::max(at, now);
+    // it is a modeling bug and must be caught loudly.
+    EXPECT_THROW(ticker.armAt(500), std::logic_error);
+}
+
+TEST(Ticker, CancelledOverflowArmIsHarmless)
+{
+    EventQueue eq;
+    int fired = 0;
+    Ticker ticker(eq, [&] { ++fired; });
+    eq.schedule(10, [] {});           // anchors the calendar window
+    ticker.armAt(3 * kBeyondHorizon); // lands in the overflow heap
+    ticker.armAt(100);                // supersede: cancels mid-heap
+    eq.schedule(2 * kBeyondHorizon, [] {});
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventEngine, DifferentialStressAgainstReferenceModel)
+{
+    // Random schedules across both tiers, checked event-by-event against
+    // a trivially correct reference ((when, seq)-ordered multimap).
+    EventQueue eq;
+    std::multimap<std::pair<Tick, std::uint64_t>, int> model;
+    std::uint64_t next_seq = 0;
+    std::vector<int> fired_eq, fired_model;
+
+    std::uint64_t rng = 0x1234'5678'9ABC'DEF0ull;
+    auto next_rand = [&rng] {
+        rng ^= rng >> 12;
+        rng ^= rng << 25;
+        rng ^= rng >> 27;
+        return rng * 0x2545F4914F6CDD1Dull;
+    };
+
+    int tag = 0;
+    std::function<void()> schedule_random = [&] {
+        std::uint64_t r = next_rand();
+        Tick delay;
+        if ((r & 7) == 0)
+            delay = (r >> 8) % (8 * kBeyondHorizon); // overflow range
+        else if ((r & 7) == 1)
+            delay = 0; // same tick
+        else
+            delay = (r >> 8) % 5000; // calendar range
+        Tick when = eq.now() + delay;
+        int id = tag++;
+        bool respawn = (r & 63) != 63 && id < 20000;
+        eq.schedule(when, [&fired_eq, &schedule_random, id, respawn] {
+            fired_eq.push_back(id);
+            if (respawn)
+                schedule_random();
+        });
+        model.emplace(std::make_pair(when, next_seq++), id);
+    };
+
+    for (int i = 0; i < 200; ++i)
+        schedule_random();
+
+    // Drain the engine; replay the model with the same respawn decisions
+    // by re-generating: instead, drain the model lazily — every model pop
+    // must match the engine's next fired id, and respawned entries were
+    // added to the model at schedule time (same code path), so both sides
+    // see identical sets.
+    eq.run();
+    for (auto &kv : model)
+        fired_model.push_back(kv.second);
+
+    ASSERT_EQ(fired_eq.size(), fired_model.size());
+    EXPECT_EQ(fired_eq, fired_model);
+}
+
+} // namespace
+} // namespace m2ndp
