@@ -91,7 +91,7 @@ BM_DramStream(benchmark::State &state)
         DramDevice dram(eq, DramTiming::lpddr5(), 32);
         unsigned n = 4096;
         for (unsigned i = 0; i < n; ++i) {
-            auto pkt = std::make_unique<MemPacket>();
+            auto pkt = MemPacketPtr(MemPacketPool::alloc());
             pkt->op = MemOp::Read;
             pkt->addr = static_cast<Addr>(i) * 32;
             pkt->size = 32;

@@ -14,7 +14,12 @@
  *     determinism cross-check of the new engine against the reference.
  *
  *  2. End-to-end: the Fig. 4 vecadd kernel on a Table IV system, reporting
- *     simulated-instructions/sec and the sim-time/host-time ratio.
+ *     simulated-instructions/sec (median of three runs), the
+ *     sim-time/host-time ratio, the D-TLB last-translation fast-path hit
+ *     rate, and — via a counting operator new in this binary — heap
+ *     allocations per simulated instruction (includes one-time system
+ *     construction; the steady-state path itself is allocation-free, see
+ *     tests/test_alloc.cc).
  *
  * Output is JSON (schema documented in docs/performance.md), written to
  * stdout and to --out=<path> (default BENCH_sim_throughput.json) so the
@@ -25,13 +30,20 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <new>
 #include <queue>
 #include <string>
 #include <vector>
 
+// Counting operator new (common/counting_new.hh): measures allocations
+// per simulated instruction on the end-to-end path (zero-allocation
+// access-path tracking).
+#include "common/counting_new.hh"
+#include "ndp/tlb.hh"
 #include "sim/event_queue.hh"
 #include "system/system.hh"
 
@@ -207,6 +219,8 @@ struct EndToEndResult
     std::uint64_t instructions = 0;
     std::uint64_t uthreads = 0;
     double sim_seconds = 0.0;
+    TlbStats dtlb;
+    std::uint64_t heap_allocs = 0;
 };
 
 EndToEndResult
@@ -238,6 +252,7 @@ runEndToEnd(unsigned elems)
     std::memcpy(args.data() + 8, &c, 8);
 
     Tick sim0 = sys.eq().now();
+    std::uint64_t alloc0 = allocationCount();
     auto t0 = std::chrono::steady_clock::now();
     rt->launchKernelSync(kid, a, a + elems * 4, args);
     auto t1 = std::chrono::steady_clock::now();
@@ -248,6 +263,14 @@ runEndToEnd(unsigned elems)
     r.instructions = stats.instructions;
     r.uthreads = stats.uthreads_completed;
     r.sim_seconds = ticksToSeconds(sys.eq().now() - sim0);
+    r.heap_allocs = allocationCount() - alloc0;
+    for (unsigned u = 0; u < sys.device().config().num_units; ++u) {
+        const TlbStats &s = sys.device().unit(u).dtlbStats();
+        r.dtlb.hits += s.hits;
+        r.dtlb.misses += s.misses;
+        r.dtlb.fast_hits += s.fast_hits;
+        r.dtlb.evictions += s.evictions;
+    }
     return r;
 }
 
@@ -304,7 +327,18 @@ main(int argc, char **argv)
     double eps_legacy = rate(legacy.events, legacy.wall_seconds);
     double speedup = eps_legacy > 0.0 ? eps_new / eps_legacy : 0.0;
 
-    auto e2e = runEndToEnd(elems);
+    // End-to-end: median of three runs by wall time (the host box may be
+    // shared; a single run is too noisy to gate regressions on). The
+    // MemPacket pool is process-global, so the later runs also measure
+    // the warm, zero-allocation steady state.
+    EndToEndResult e2e_runs[3];
+    for (int i = 0; i < 3; ++i)
+        e2e_runs[i] = runEndToEnd(elems);
+    std::sort(e2e_runs, e2e_runs + 3,
+              [](const EndToEndResult &a, const EndToEndResult &b) {
+                  return a.wall_seconds < b.wall_seconds;
+              });
+    const EndToEndResult &e2e = e2e_runs[1];
     double ips = rate(e2e.instructions, e2e.wall_seconds);
 
     char json[2048];
@@ -329,7 +363,11 @@ main(int argc, char **argv)
         "    \"wall_seconds\": %.6f,\n"
         "    \"sim_instructions_per_sec\": %.0f,\n"
         "    \"sim_seconds\": %.9f,\n"
-        "    \"sim_to_host_time_ratio\": %.3e\n"
+        "    \"sim_to_host_time_ratio\": %.3e,\n"
+        "    \"dtlb_hit_rate\": %.6f,\n"
+        "    \"dtlb_fast_hit_rate\": %.6f,\n"
+        "    \"dtlb_evictions\": %llu,\n"
+        "    \"heap_allocs_per_inst\": %.4f\n"
         "  }\n"
         "}\n",
         static_cast<unsigned long long>(fresh.events), actors,
@@ -337,7 +375,15 @@ main(int argc, char **argv)
         speedup, checksums_match ? "true" : "false", elems,
         static_cast<unsigned long long>(e2e.instructions),
         static_cast<unsigned long long>(e2e.uthreads), e2e.wall_seconds,
-        ips, e2e.sim_seconds, e2e.sim_seconds / e2e.wall_seconds);
+        ips, e2e.sim_seconds, e2e.sim_seconds / e2e.wall_seconds,
+        e2e.dtlb.hitRate(),
+        e2e.dtlb.hits != 0 ? static_cast<double>(e2e.dtlb.fast_hits) /
+                                 static_cast<double>(e2e.dtlb.hits)
+                           : 0.0,
+        static_cast<unsigned long long>(e2e.dtlb.evictions),
+        e2e.instructions != 0 ? static_cast<double>(e2e.heap_allocs) /
+                                    static_cast<double>(e2e.instructions)
+                              : 0.0);
 
     std::fputs(json, stdout);
     if (!out_path.empty()) {

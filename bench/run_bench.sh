@@ -3,6 +3,10 @@
 # BENCH_sim_throughput.json in the repository root, so the perf trajectory
 # is tracked across PRs (schema: docs/performance.md).
 #
+# After the run, scripts/check_bench.py gates the result against the
+# last committed BENCH_sim_throughput.json (from git HEAD): a >10% drop
+# in engine speedup or end-to-end sim-instructions/sec fails the script.
+#
 # Usage: bench/run_bench.sh [build_dir]
 #   build_dir defaults to ./build; the benchmark is built if missing.
 set -euo pipefail
@@ -16,4 +20,30 @@ if [[ ! -x "$bin" ]]; then
     cmake --build "$build_dir" --target micro_sim_throughput -j
 fi
 
+# Snapshot the committed baseline BEFORE overwriting the tracked file.
+baseline=""
+if command -v git > /dev/null 2>&1 &&
+   git -C "$repo_root" rev-parse HEAD > /dev/null 2>&1; then
+    baseline="$(mktemp)"
+    if ! git -C "$repo_root" show HEAD:BENCH_sim_throughput.json \
+            > "$baseline" 2> /dev/null; then
+        rm -f "$baseline"
+        baseline=""
+    fi
+fi
+
 "$bin" --out="$repo_root/BENCH_sim_throughput.json"
+
+if [[ -n "$baseline" ]]; then
+    status=0
+    if command -v python3 > /dev/null 2>&1; then
+        python3 "$repo_root/scripts/check_bench.py" \
+            "$repo_root/BENCH_sim_throughput.json" "$baseline" || status=$?
+    else
+        echo "warning: python3 not found; skipping bench gate" >&2
+    fi
+    rm -f "$baseline"
+    exit $status
+else
+    echo "warning: no committed baseline; skipping bench gate" >&2
+fi

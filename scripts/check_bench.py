@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for BENCH_sim_throughput.json.
+
+Usage: check_bench.py NEW.json BASELINE.json [--tolerance FRAC]
+
+Fails (exit 1) when, relative to the committed baseline,
+  - engine.speedup_vs_legacy drops by more than the tolerance, or
+  - end_to_end.sim_instructions_per_sec drops by more than the tolerance, or
+  - engine.checksums_match is false in the new result.
+
+The default tolerance is 10% (the ROADMAP's "regressions block a PR" bar);
+anything inside it is treated as host noise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def gated_metrics(doc):
+    return {
+        "engine.speedup_vs_legacy": float(doc["engine"]["speedup_vs_legacy"]),
+        "end_to_end.sim_instructions_per_sec": float(
+            doc["end_to_end"]["sim_instructions_per_sec"]
+        ),
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("new_json")
+    parser.add_argument("baseline_json")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional drop (default 0.10)")
+    args = parser.parse_args()
+
+    with open(args.new_json) as f:
+        new = json.load(f)
+    with open(args.baseline_json) as f:
+        base = json.load(f)
+
+    failures = []
+
+    if not new["engine"]["checksums_match"]:
+        failures.append("engine.checksums_match is false: the event engine "
+                        "diverged from the reference implementation")
+
+    new_m = gated_metrics(new)
+    base_m = gated_metrics(base)
+    for name, base_v in base_m.items():
+        new_v = new_m[name]
+        if base_v <= 0:
+            continue
+        drop = (base_v - new_v) / base_v
+        status = "OK" if drop <= args.tolerance else "FAIL"
+        print(f"[{status}] {name}: baseline {base_v:.0f} -> new {new_v:.0f} "
+              f"({-drop * 100.0:+.1f}%)")
+        if drop > args.tolerance:
+            failures.append(
+                f"{name} dropped {drop * 100.0:.1f}% "
+                f"(baseline {base_v:.0f}, new {new_v:.0f}, "
+                f"tolerance {args.tolerance * 100.0:.0f}%)")
+
+    if failures:
+        print("\nBENCH REGRESSION GATE FAILED:", file=sys.stderr)
+        for msg in failures:
+            print(f"  - {msg}", file=sys.stderr)
+        return 1
+    print("bench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

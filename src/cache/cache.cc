@@ -17,23 +17,54 @@ Cache::Cache(EventQueue &eq, CacheConfig cfg, MemPort &downstream)
               "cache size not divisible into sets");
     num_sets_ = cfg_.size / (static_cast<std::uint64_t>(cfg_.assoc) *
                              cfg_.line_bytes);
-    sets_.assign(num_sets_, std::vector<Line>(cfg_.assoc));
+    // Mask indexing when possible (all device caches); host-model caches
+    // with non-power-of-two set counts fall back to modulo.
+    set_mask_ = isPowerOfTwo(num_sets_) ? num_sets_ - 1 : 0;
+    lines_.assign(num_sets_ * cfg_.assoc, Line{});
+    tags_.assign(num_sets_ * cfg_.assoc, kNoTag);
+
+    // MSHR table: power-of-two capacity at <= 50% load so linear probes
+    // stay short; occupancy is bounded by cfg_.mshrs (stalls gate above).
+    std::uint64_t cap = 1;
+    while (cap < 2 * static_cast<std::uint64_t>(cfg_.mshrs))
+        cap <<= 1;
+    mshr_table_.assign(cap, Mshr{});
+    mshr_mask_ = cap - 1;
+}
+
+Cache::~Cache()
+{
+    auto release_chain = [](MemPacket *p) {
+        while (p != nullptr) {
+            MemPacket *next = p->link;
+            p->link = nullptr;
+            MemPacketPool::release(p);
+            p = next;
+        }
+    };
+    for (Mshr &m : mshr_table_) {
+        if (m.valid)
+            release_chain(m.waiters_head);
+    }
+    release_chain(stalled_head_);
 }
 
 std::uint64_t
 Cache::setIndex(Addr line_addr) const
 {
     // Hash the set index so power-of-two strides do not alias into one set.
-    return mixHash64(line_addr / cfg_.line_bytes) % num_sets_;
+    std::uint64_t h = mixHash64(line_addr / cfg_.line_bytes);
+    return set_mask_ != 0 ? (h & set_mask_) : (h % num_sets_);
 }
 
 Cache::Line *
 Cache::findLine(Addr line_addr)
 {
-    auto &set = sets_[setIndex(line_addr)];
-    for (auto &line : set) {
-        if (line.valid && line.tag == line_addr)
-            return &line;
+    const std::size_t base = setIndex(line_addr) * cfg_.assoc;
+    const Addr *tags = tags_.data() + base;
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        if (tags[w] == line_addr)
+            return &lines_[base + w];
     }
     return nullptr;
 }
@@ -41,9 +72,10 @@ Cache::findLine(Addr line_addr)
 Cache::Line &
 Cache::allocLine(Addr line_addr, Tick now)
 {
-    auto &set = sets_[setIndex(line_addr)];
+    const std::size_t base = setIndex(line_addr) * cfg_.assoc;
     Line *victim = nullptr;
-    for (auto &line : set) {
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        Line &line = lines_[base + w];
         if (!line.valid) {
             victim = &line;
             break;
@@ -65,27 +97,82 @@ Cache::allocLine(Addr line_addr, Tick now)
             }
         }
     }
-    victim->valid = true;
     victim->dirty = false;
-    victim->tag = line_addr;
     victim->sector_valid = 0;
+    setWayTag(static_cast<std::size_t>(victim - lines_.data()), line_addr);
     touch(*victim);
     return *victim;
+}
+
+// --------------------------------------------------------------------------
+// MSHR table (open addressing, linear probing, backward-shift deletion)
+// --------------------------------------------------------------------------
+
+std::size_t
+Cache::mshrSlot(Addr sector) const
+{
+    return static_cast<std::size_t>(mixHash64(sector) & mshr_mask_);
+}
+
+Cache::Mshr *
+Cache::mshrFind(Addr sector)
+{
+    std::size_t i = mshrSlot(sector);
+    while (mshr_table_[i].valid) {
+        if (mshr_table_[i].sector == sector)
+            return &mshr_table_[i];
+        i = (i + 1) & mshr_mask_;
+    }
+    return nullptr;
+}
+
+Cache::Mshr *
+Cache::mshrInsert(Addr sector)
+{
+    M2_ASSERT(mshr_count_ < mshr_table_.size() / 2, "MSHR table overfull");
+    std::size_t i = mshrSlot(sector);
+    while (mshr_table_[i].valid)
+        i = (i + 1) & mshr_mask_;
+    Mshr &m = mshr_table_[i];
+    m.valid = true;
+    m.sector = sector;
+    m.waiters_head = nullptr;
+    m.waiters_tail = nullptr;
+    ++mshr_count_;
+    return &m;
+}
+
+void
+Cache::mshrErase(Mshr *m)
+{
+    std::size_t hole =
+        static_cast<std::size_t>(m - mshr_table_.data());
+    mshr_table_[hole].valid = false;
+    --mshr_count_;
+    // Backward-shift deletion keeps probe chains intact without
+    // tombstones: pull back any entry whose probe path crossed the hole.
+    std::size_t j = hole;
+    while (true) {
+        j = (j + 1) & mshr_mask_;
+        if (!mshr_table_[j].valid)
+            return;
+        std::size_t home = mshrSlot(mshr_table_[j].sector);
+        // Move iff the hole lies on the probe path from home to j.
+        if (((hole - home) & mshr_mask_) < ((j - home) & mshr_mask_)) {
+            mshr_table_[hole] = mshr_table_[j];
+            mshr_table_[j].valid = false;
+            hole = j;
+        }
+    }
 }
 
 void
 Cache::sendDownstream(MemOp op, Addr addr, std::uint32_t size,
                       MemSource source, TickCallback cb)
 {
-    auto pkt = std::make_unique<MemPacket>();
-    pkt->op = op;
-    pkt->addr = addr;
-    pkt->size = size;
-    pkt->source = source;
-    pkt->issued_at = eq_.now();
-    pkt->onComplete = std::move(cb);
     stats_.bytes_downstream += size;
-    downstream_.receive(std::move(pkt));
+    downstream_.receive(
+        makePacket(op, addr, size, source, eq_.now(), std::move(cb)));
 }
 
 void
@@ -116,8 +203,7 @@ Cache::lookup(MemPacketPtr pkt)
         sendDownstream(MemOp::Atomic, raw->addr, raw->size, raw->source,
                        [raw](Tick t) {
                            MemPacketPtr p(raw);
-                           if (p->onComplete)
-                               p->onComplete(t);
+                           p->complete(t);
                        });
         return;
     }
@@ -134,25 +220,37 @@ Cache::lookup(MemPacketPtr pkt)
             touch(*line);
             if (pkt->op == MemOp::Atomic)
                 line->dirty = true;
-            if (pkt->onComplete)
-                pkt->onComplete(now);
+            pkt->complete(now);
             return;
         }
         // Miss: merge into or allocate an MSHR for this sector.
-        auto it = mshrs_.find(sector_addr);
-        if (it != mshrs_.end()) {
+        if (Mshr *m = mshrFind(sector_addr)) {
             ++stats_.mshr_merges;
-            it->second.waiters.push_back(std::move(pkt));
+            MemPacket *raw = pkt.release();
+            raw->link = nullptr;
+            if (m->waiters_tail != nullptr)
+                m->waiters_tail->link = raw;
+            else
+                m->waiters_head = raw;
+            m->waiters_tail = raw;
             return;
         }
-        if (mshrs_.size() >= cfg_.mshrs) {
+        if (mshr_count_ >= cfg_.mshrs) {
             ++stats_.mshr_stalls;
-            stalled_.push_back(std::move(pkt));
+            MemPacket *raw = pkt.release();
+            raw->link = nullptr;
+            if (stalled_tail_ != nullptr)
+                stalled_tail_->link = raw;
+            else
+                stalled_head_ = raw;
+            stalled_tail_ = raw;
             return;
         }
-        auto &mshr = mshrs_[sector_addr];
-        mshr.waiters.push_back(std::move(pkt));
-        mshr.fill_outstanding = true;
+        Mshr *m = mshrInsert(sector_addr);
+        MemPacket *raw = pkt.release();
+        raw->link = nullptr;
+        m->waiters_head = raw;
+        m->waiters_tail = raw;
         sendDownstream(MemOp::Read, sector_addr, cfg_.sector_bytes,
                        MemSource::NdpUnit,
                        [this, sector_addr](Tick t) {
@@ -185,8 +283,7 @@ Cache::lookup(MemPacketPtr pkt)
             touch(l);
         }
         // Writes are posted: complete at the lookup point.
-        if (pkt->onComplete)
-            pkt->onComplete(now);
+        pkt->complete(now);
         return;
       }
     }
@@ -195,8 +292,8 @@ Cache::lookup(MemPacketPtr pkt)
 void
 Cache::handleFill(Addr sector_addr, Tick when)
 {
-    auto it = mshrs_.find(sector_addr);
-    M2_ASSERT(it != mshrs_.end(), "fill with no MSHR: addr=", sector_addr);
+    Mshr *m = mshrFind(sector_addr);
+    M2_ASSERT(m != nullptr, "fill with no MSHR: addr=", sector_addr);
     ++stats_.fills;
 
     const Addr line_addr = lineAddr(sector_addr);
@@ -206,34 +303,35 @@ Cache::handleFill(Addr sector_addr, Tick when)
     line->sector_valid |= (1ull << sectorIndex(sector_addr));
     touch(*line);
 
-    auto waiters = std::move(it->second.waiters);
-    mshrs_.erase(it);
+    MemPacket *w = m->waiters_head;
+    mshrErase(m); // table slot may be reused by the completions below
 
-    for (auto &w : waiters) {
+    while (w != nullptr) {
+        MemPacket *next = w->link;
+        w->link = nullptr;
         if (w->op == MemOp::Atomic)
             line->dirty = true;
-        if (w->onComplete)
-            w->onComplete(when);
+        MemPacketPtr holder(w); // recycled after completion
+        holder->complete(when);
+        w = next;
     }
 
     // Admit one stalled request per freed MSHR.
-    if (!stalled_.empty()) {
-        MemPacketPtr retry = std::move(stalled_.front());
-        stalled_.pop_front();
-        lookup(std::move(retry));
+    if (stalled_head_ != nullptr) {
+        MemPacket *retry = stalled_head_;
+        stalled_head_ = retry->link;
+        if (stalled_head_ == nullptr)
+            stalled_tail_ = nullptr;
+        retry->link = nullptr;
+        lookup(MemPacketPtr(retry));
     }
 }
 
 void
 Cache::invalidateAll()
 {
-    for (auto &set : sets_) {
-        for (auto &line : set) {
-            line.valid = false;
-            line.sector_valid = 0;
-            line.dirty = false;
-        }
-    }
+    for (std::size_t i = 0; i < lines_.size(); ++i)
+        invalidateWay(i);
 }
 
 } // namespace m2ndp

@@ -17,9 +17,7 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/units.hh"
@@ -83,6 +81,10 @@ class Cache : public MemPort
   public:
     Cache(EventQueue &eq, CacheConfig cfg, MemPort &downstream);
 
+    /** Releases packets still parked in MSHR-waiter / stalled chains, so
+     *  tearing a system down mid-flight does not strand pool nodes. */
+    ~Cache() override;
+
     void receive(MemPacketPtr pkt) override;
 
     const CacheStats &stats() const { return stats_; }
@@ -92,7 +94,7 @@ class Cache : public MemPort
     void invalidateAll();
 
     /** Outstanding misses (for quiesce checks). */
-    std::size_t outstandingMisses() const { return mshrs_.size(); }
+    std::size_t outstandingMisses() const { return mshr_count_; }
 
   private:
     struct Line
@@ -104,11 +106,26 @@ class Cache : public MemPort
         std::uint64_t lru = 0;
     };
 
+    /**
+     * One outstanding sector miss. Waiters are chained intrusively
+     * through MemPacket::link (FIFO), so merging a request into an MSHR
+     * allocates nothing. Slots live in a fixed open-addressing hash table
+     * sized at construction (linear probing, backward-shift deletion):
+     * the per-miss insert/erase cycle that an unordered_map would turn
+     * into node churn touches no allocator at all.
+     */
     struct Mshr
     {
-        std::vector<MemPacketPtr> waiters;
-        bool fill_outstanding = false;
+        bool valid = false;
+        Addr sector = 0;
+        MemPacket *waiters_head = nullptr;
+        MemPacket *waiters_tail = nullptr;
     };
+
+    Mshr *mshrFind(Addr sector);
+    Mshr *mshrInsert(Addr sector);
+    void mshrErase(Mshr *m);
+    std::size_t mshrSlot(Addr sector) const;
 
     void lookup(MemPacketPtr pkt);
     void handleFill(Addr sector_addr, Tick when);
@@ -134,9 +151,47 @@ class Cache : public MemPort
     CacheConfig cfg_;
     MemPort &downstream_;
     std::uint64_t num_sets_;
-    std::vector<std::vector<Line>> sets_;
-    std::unordered_map<Addr, Mshr> mshrs_; ///< keyed by sector address
-    std::deque<MemPacketPtr> stalled_;     ///< waiting for a free MSHR
+    std::uint64_t set_mask_ = 0; ///< num_sets_ - 1 when a power of two
+    /**
+     * Line metadata, flattened to [set * assoc + way]. The tag probe runs
+     * over the separate compact tags_ array (8 B per way instead of a
+     * 32 B Line), so a 16-way probe touches 2 cache lines, not 8.
+     */
+    std::vector<Line> lines_;
+    std::vector<Addr> tags_; ///< line tag per way; kNoTag when invalid
+    static constexpr Addr kNoTag = ~static_cast<Addr>(0);
+
+    /**
+     * Sole writers of the duplicated tag state: lines_[i].{valid,tag}
+     * and tags_[i] must always agree (findLine trusts tags_ alone), so
+     * every (in)validation goes through these.
+     */
+    void
+    setWayTag(std::size_t idx, Addr tag)
+    {
+        lines_[idx].valid = true;
+        lines_[idx].tag = tag;
+        tags_[idx] = tag;
+    }
+
+    void
+    invalidateWay(std::size_t idx)
+    {
+        lines_[idx].valid = false;
+        lines_[idx].dirty = false;
+        lines_[idx].sector_valid = 0;
+        tags_[idx] = kNoTag;
+    }
+
+    /** Open-addressing MSHR table (power-of-two capacity, <= 50% load). */
+    std::vector<Mshr> mshr_table_;
+    std::uint64_t mshr_mask_ = 0;
+    std::size_t mshr_count_ = 0;
+
+    /** Requests waiting for a free MSHR (intrusive FIFO via pkt->link). */
+    MemPacket *stalled_head_ = nullptr;
+    MemPacket *stalled_tail_ = nullptr;
+
     Tick port_free_ = 0;
     std::uint64_t lru_clock_ = 0;
     CacheStats stats_;

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Counting global operator new/delete replacements, shared by the
+ * binaries that track heap allocations on the simulation hot path
+ * (tests/test_alloc.cc, bench/micro_sim_throughput.cc).
+ *
+ * Include this header from exactly ONE translation unit per binary:
+ * replaceable allocation functions may not be inline, so a second
+ * inclusion in the same binary fails the link (which is the guard you
+ * want). Every allocation form the toolchain emits is covered — plain,
+ * array, and over-aligned — so metrics cannot silently miss
+ * `alignas`-driven allocations (VecReg containers and the like).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace m2ndp {
+
+/** Total operator-new invocations in this binary (monotonic). */
+inline std::uint64_t &
+allocationCount()
+{
+    static std::uint64_t count = 0;
+    return count;
+}
+
+} // namespace m2ndp
+
+void *
+operator new(std::size_t size)
+{
+    ++m2ndp::allocationCount();
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    ++m2ndp::allocationCount();
+    std::size_t a = static_cast<std::size_t>(align);
+    if (void *p = std::aligned_alloc(a, (size + a - 1) & ~(a - 1)))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return ::operator new(size, align);
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+void operator delete(void *p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}

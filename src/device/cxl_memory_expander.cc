@@ -24,12 +24,13 @@ class CxlMemoryExpander::DramPort : public MemPort
         Tick t0 = dev_.eq_.now();
         g_path_debug.l2 += t0 - pkt->issued_at;
         if (pkt->onComplete) {
-            auto orig = std::move(pkt->onComplete);
-            pkt->onComplete = [orig = std::move(orig), t0](Tick t) mutable {
+            // Interpose on the packet itself: wrapping the existing
+            // TickCallback in another one exceeds the 48 B inline buffer
+            // and used to heap-allocate once per DRAM access.
+            pkt->pushStage([t0](Tick t) {
                 g_path_debug.dram += t - t0;
                 ++g_path_debug.ndram;
-                orig(t);
-            };
+            });
         }
         dev_.dram_->receive(std::move(pkt));
     }
@@ -65,8 +66,7 @@ class CxlMemoryExpander::UnitPort : public MemPort
                 ++g_path_debug.n;
                 dev.eq_.schedule(resp, [raw, resp] {
                     MemPacketPtr p(raw);
-                    if (p->onComplete)
-                        p->onComplete(resp);
+                    p->complete(resp);
                 });
             });
     }
@@ -186,16 +186,13 @@ CxlMemoryExpander::localMemAccess(MemOp op, Addr pa, std::uint32_t size,
 
     Tick arrival = req_xbar_->send(channel, size, pa) + media_delay;
 
-    auto pkt = std::make_unique<MemPacket>();
-    pkt->op = op;
-    pkt->addr = local;
-    pkt->size = size;
-    pkt->source = source;
-    pkt->issued_at = eq_.now();
-    pkt->onComplete = std::move(done);
-
+    auto pkt = makePacket(op, local, size, source, eq_.now(), std::move(done));
     auto *raw = pkt.release();
     Cache *slice = l2_slices_[channel].get();
+    // Deliver via an event so the slice books its lookup port in arrival
+    // order: crossbar planes are hash-selected, so issue order and
+    // arrival order differ, and booking at issue time would serialize a
+    // fast-plane packet behind one that has not arrived yet.
     eq_.schedule(arrival, [slice, raw] { slice->receive(MemPacketPtr(raw)); });
 }
 
@@ -224,14 +221,8 @@ CxlMemoryExpander::unitMemAccess(unsigned unit, MemOp op, Addr pa,
     // (the UnitPort adapter books the response crossbar).
     auto launch = [this, unit, op, pa, size,
                    done = std::move(done)]() mutable {
-        auto pkt = std::make_unique<MemPacket>();
-        pkt->op = op;
-        pkt->addr = pa;
-        pkt->size = size;
-        pkt->source = MemSource::NdpUnit;
-        pkt->issued_at = eq_.now();
-        pkt->onComplete = std::move(done);
-        l1d_[unit]->receive(std::move(pkt));
+        l1d_[unit]->receive(makePacket(op, pa, size, MemSource::NdpUnit,
+                                       eq_.now(), std::move(done)));
     };
     if (bi_delay > 0)
         eq_.scheduleAfter(bi_delay, std::move(launch));

@@ -210,8 +210,7 @@ DramChannel::trySchedule()
         auto *raw = req.pkt.release();
         eq_.schedule(done, [raw, done] {
             MemPacketPtr pkt(raw);
-            if (pkt->onComplete)
-                pkt->onComplete(done);
+            pkt->complete(done);
         });
     }
 }

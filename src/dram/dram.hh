@@ -19,7 +19,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
@@ -137,7 +136,9 @@ class DramChannel
     EventQueue &eq_;
     DramTiming timing_;
     unsigned index_;
-    std::deque<Pending> queue_;
+    /** FCFS order; a vector (capacity retained) so steady-state enqueue/
+     *  dequeue cycles never touch the allocator, unlike deque chunks. */
+    std::vector<Pending> queue_;
     std::vector<BankState> banks_;
     Tick next_col_ = 0; ///< tCCD spacing between column commands
     /** Coalesced scheduler wakeup (earliest-wins; asserts on past arming

@@ -99,37 +99,57 @@ boxF64(double d)
     return v;
 }
 
-/** Coalesce element accesses into 32 B-sector MemRefs. */
-void
-coalesce(std::vector<MemRef> &out, bool is_store,
-         const std::vector<Addr> &addrs, unsigned width)
+/** Per-element addresses of one vector access (vl <= kVlenBytes). */
+struct AddrList
 {
-    std::vector<Addr> sectors;
-    sectors.reserve(addrs.size() * 2);
-    for (Addr a : addrs) {
-        sectors.push_back(alignDown(a, kVlenBytes));
-        if ((a + width - 1) / kVlenBytes != a / kVlenBytes)
-            sectors.push_back(alignDown(a + width - 1, kVlenBytes));
+    std::array<Addr, kVlenBytes> a;
+    unsigned n = 0;
+
+    void
+    push(Addr addr)
+    {
+        M2_ASSERT(n < a.size(), "AddrList overflow");
+        a[n++] = addr;
     }
-    std::sort(sectors.begin(), sectors.end());
-    sectors.erase(std::unique(sectors.begin(), sectors.end()), sectors.end());
-    for (Addr s : sectors)
-        out.push_back(MemRef{is_store, s, kVlenBytes});
+};
+
+/** Coalesce element accesses into 32 B-sector MemRefs (no allocation). */
+void
+coalesce(MemRefList &out, bool is_store, const AddrList &addrs,
+         unsigned width)
+{
+    // Each element spans at most two sectors before dedup.
+    std::array<Addr, 2 * kVlenBytes> sectors;
+    unsigned ns = 0;
+    for (unsigned i = 0; i < addrs.n; ++i) {
+        Addr a = addrs.a[i];
+        sectors[ns++] = alignDown(a, kVlenBytes);
+        if ((a + width - 1) / kVlenBytes != a / kVlenBytes)
+            sectors[ns++] = alignDown(a + width - 1, kVlenBytes);
+    }
+    std::sort(sectors.begin(), sectors.begin() + ns);
+    Addr last = 0;
+    for (unsigned i = 0; i < ns; ++i) {
+        if (i > 0 && sectors[i] == last)
+            continue;
+        last = sectors[i];
+        out.push(MemRef{is_store, sectors[i], kVlenBytes});
+    }
 }
 
-} // namespace
-
+/**
+ * Execute one decoded µop against @p ctx, advancing ctx.pc. @p code_size
+ * is the section length (end-of-section detection).
+ */
 StepResult
-step(UthreadContext &ctx, const std::vector<Instruction> &code, MemoryIf &mem)
+execDecoded(UthreadContext &ctx, const DecodedInst &in,
+            std::uint32_t code_size, MemoryIf &mem)
 {
-    M2_ASSERT(ctx.pc < code.size(), "PC out of range: ", ctx.pc, " of ",
-              code.size());
-    const Instruction &in = code[ctx.pc];
     ++ctx.instret;
 
     StepResult res;
-    res.fu = fuTypeOf(in.op);
-    res.latency = latencyOf(in.op);
+    res.fu = in.fu;
+    res.latency = in.latency;
 
     // Register provisioning checks (Section III-D): the kernel declared how
     // many registers it needs; exceeding that is a kernel bug.
@@ -171,37 +191,39 @@ step(UthreadContext &ctx, const std::vector<Instruction> &code, MemoryIf &mem)
         ctx.pc = taken ? static_cast<std::uint32_t>(in.target) : ctx.pc + 1;
     };
 
-    // Scalar loads/stores.
-    auto scalarLoad = [&](unsigned width, bool sign_extend_result,
-                          bool to_fp) {
+    // Scalar loads/stores: width and extension behaviour were pre-decoded.
+    auto scalarLoad = [&] {
+        const unsigned width = in.mem_width;
         Addr va = rx(in.rs1) + static_cast<std::uint64_t>(in.imm);
         std::uint64_t raw = 0;
         mem.read(va, &raw, width);
-        if (to_fp) {
+        if (in.mem_fp) {
             wf(in.rd, width == 4 ? (kNanBoxHigh | raw) : raw);
         } else {
-            wx(in.rd, sign_extend_result ? static_cast<std::uint64_t>(
-                                               signExtend(raw, width * 8))
-                                         : raw);
+            wx(in.rd, in.mem_sign ? static_cast<std::uint64_t>(
+                                        signExtend(raw, width * 8))
+                                  : raw);
         }
-        res.mem.push_back(MemRef{false, va, static_cast<std::uint8_t>(width)});
+        res.mem.push(MemRef{false, va, static_cast<std::uint8_t>(width)});
         res.blocking_mem = true;
     };
-    auto scalarStore = [&](unsigned width, bool from_fp) {
+    auto scalarStore = [&] {
+        const unsigned width = in.mem_width;
         Addr va = rx(in.rs1) + static_cast<std::uint64_t>(in.imm);
-        std::uint64_t raw = from_fp ? rf(in.rs2) : rx(in.rs2);
+        std::uint64_t raw = in.mem_fp ? rf(in.rs2) : rx(in.rs2);
         mem.write(va, &raw, width);
-        res.mem.push_back(MemRef{true, va, static_cast<std::uint8_t>(width)});
+        res.mem.push(MemRef{true, va, static_cast<std::uint8_t>(width)});
         // Stores are posted; the uthread does not stall.
     };
-    auto amo = [&](AmoOp op, unsigned width) {
+    auto amo = [&] {
+        const unsigned width = in.mem_width;
         Addr va = rx(in.rs1);
         M2_ASSERT(va % width == 0, "misaligned AMO at line ", in.line);
-        std::uint64_t old = mem.amo(op, va, rx(in.rs2), width);
+        std::uint64_t old = mem.amo(in.amo_op, va, rx(in.rs2), width);
         wx(in.rd, width == 4 ? static_cast<std::uint64_t>(
                                    signExtend(old, 32))
                              : old);
-        res.mem.push_back(MemRef{true, va, static_cast<std::uint8_t>(width)});
+        res.mem.push(MemRef{true, va, static_cast<std::uint8_t>(width)});
         res.blocking_mem = true;
     };
 
@@ -211,10 +233,30 @@ step(UthreadContext &ctx, const std::vector<Instruction> &code, MemoryIf &mem)
     auto active = [&](unsigned i) {
         return !in.masked || ctx.v[0].maskBit(i);
     };
+    /** Touched sectors of a dense byte range (ascending, like coalesce). */
+    auto denseSectors = [&](bool is_store, Addr base, unsigned bytes) {
+        Addr first = alignDown(base, kVlenBytes);
+        Addr last = alignDown(base + bytes - 1, kVlenBytes);
+        for (Addr s = first; s <= last; s += kVlenBytes)
+            res.mem.push(MemRef{is_store, s, kVlenBytes});
+    };
     auto vloadUnit = [&](unsigned eew) {
         checkV(in.rd);
         Addr base = rx(in.rs1) + static_cast<std::uint64_t>(in.imm);
-        std::vector<Addr> addrs;
+        if (!in.masked && vl > 0) {
+            // Unmasked unit-stride: the element data is one contiguous
+            // little-endian range, identical to the register layout — one
+            // bulk read instead of vl element reads.
+            unsigned bytes = vl * eew;
+            M2_ASSERT(bytes <= kVlenBytes,
+                      "vector access exceeds VLEN: vl=", vl, " eew=", eew,
+                      " at line ", in.line);
+            mem.read(base, ctx.v[in.rd].b.data(), bytes);
+            denseSectors(false, base, bytes);
+            res.blocking_mem = true;
+            return;
+        }
+        AddrList addrs;
         for (unsigned i = 0; i < vl; ++i) {
             if (!active(i))
                 continue;
@@ -222,22 +264,31 @@ step(UthreadContext &ctx, const std::vector<Instruction> &code, MemoryIf &mem)
             std::uint64_t raw = 0;
             mem.read(va, &raw, eew);
             vset(ctx.v[in.rd], eew, i, raw);
-            addrs.push_back(va);
+            addrs.push(va);
         }
         coalesce(res.mem, false, addrs, eew);
-        res.blocking_mem = !addrs.empty();
+        res.blocking_mem = addrs.n != 0;
     };
     auto vstoreUnit = [&](unsigned eew) {
         checkV(in.rs3);
         Addr base = rx(in.rs1) + static_cast<std::uint64_t>(in.imm);
-        std::vector<Addr> addrs;
+        if (!in.masked && vl > 0) {
+            unsigned bytes = vl * eew;
+            M2_ASSERT(bytes <= kVlenBytes,
+                      "vector access exceeds VLEN: vl=", vl, " eew=", eew,
+                      " at line ", in.line);
+            mem.write(base, ctx.v[in.rs3].b.data(), bytes);
+            denseSectors(true, base, bytes);
+            return;
+        }
+        AddrList addrs;
         for (unsigned i = 0; i < vl; ++i) {
             if (!active(i))
                 continue;
             Addr va = base + static_cast<std::uint64_t>(i) * eew;
             std::uint64_t raw = vget(ctx.v[in.rs3], eew, i);
             mem.write(va, &raw, eew);
-            addrs.push_back(va);
+            addrs.push(va);
         }
         coalesce(res.mem, true, addrs, eew);
     };
@@ -245,7 +296,7 @@ step(UthreadContext &ctx, const std::vector<Instruction> &code, MemoryIf &mem)
         checkV(in.rd);
         Addr base = rx(in.rs1) + static_cast<std::uint64_t>(in.imm);
         std::uint64_t stride = rx(in.rs2);
-        std::vector<Addr> addrs;
+        AddrList addrs;
         for (unsigned i = 0; i < vl; ++i) {
             if (!active(i))
                 continue;
@@ -253,16 +304,16 @@ step(UthreadContext &ctx, const std::vector<Instruction> &code, MemoryIf &mem)
             std::uint64_t raw = 0;
             mem.read(va, &raw, eew);
             vset(ctx.v[in.rd], eew, i, raw);
-            addrs.push_back(va);
+            addrs.push(va);
         }
         coalesce(res.mem, false, addrs, eew);
-        res.blocking_mem = !addrs.empty();
+        res.blocking_mem = addrs.n != 0;
     };
     auto vgather = [&](unsigned index_eew) {
         checkV(in.rd);
         checkV(in.rs2);
         Addr base = rx(in.rs1) + static_cast<std::uint64_t>(in.imm);
-        std::vector<Addr> addrs;
+        AddrList addrs;
         for (unsigned i = 0; i < vl; ++i) {
             if (!active(i))
                 continue;
@@ -270,23 +321,23 @@ step(UthreadContext &ctx, const std::vector<Instruction> &code, MemoryIf &mem)
             std::uint64_t raw = 0;
             mem.read(va, &raw, sew);
             vset(ctx.v[in.rd], sew, i, raw);
-            addrs.push_back(va);
+            addrs.push(va);
         }
         coalesce(res.mem, false, addrs, sew);
-        res.blocking_mem = !addrs.empty();
+        res.blocking_mem = addrs.n != 0;
     };
     auto vscatter = [&](unsigned index_eew) {
         checkV(in.rs3);
         checkV(in.rs2);
         Addr base = rx(in.rs1) + static_cast<std::uint64_t>(in.imm);
-        std::vector<Addr> addrs;
+        AddrList addrs;
         for (unsigned i = 0; i < vl; ++i) {
             if (!active(i))
                 continue;
             Addr va = base + vget(ctx.v[in.rs2], index_eew, i);
             std::uint64_t raw = vget(ctx.v[in.rs3], sew, i);
             mem.write(va, &raw, sew);
-            addrs.push_back(va);
+            addrs.push(va);
         }
         coalesce(res.mem, true, addrs, sew);
     };
@@ -496,40 +547,27 @@ step(UthreadContext &ctx, const std::vector<Instruction> &code, MemoryIf &mem)
         break;
 
       // ------------------------------------------------------ scalar memory
-      case Opcode::LB: scalarLoad(1, true, false); break;
-      case Opcode::LBU: scalarLoad(1, false, false); break;
-      case Opcode::LH: scalarLoad(2, true, false); break;
-      case Opcode::LHU: scalarLoad(2, false, false); break;
-      case Opcode::LW: scalarLoad(4, true, false); break;
-      case Opcode::LWU: scalarLoad(4, false, false); break;
-      case Opcode::LD: scalarLoad(8, false, false); break;
-      case Opcode::SB: scalarStore(1, false); break;
-      case Opcode::SH: scalarStore(2, false); break;
-      case Opcode::SW: scalarStore(4, false); break;
-      case Opcode::SD: scalarStore(8, false); break;
-      case Opcode::FLW: scalarLoad(4, false, true); break;
-      case Opcode::FLD: scalarLoad(8, false, true); break;
-      case Opcode::FSW: scalarStore(4, true); break;
-      case Opcode::FSD: scalarStore(8, true); break;
+      case Opcode::LB: case Opcode::LBU: case Opcode::LH: case Opcode::LHU:
+      case Opcode::LW: case Opcode::LWU: case Opcode::LD:
+      case Opcode::FLW: case Opcode::FLD:
+        scalarLoad();
+        break;
+      case Opcode::SB: case Opcode::SH: case Opcode::SW: case Opcode::SD:
+      case Opcode::FSW: case Opcode::FSD:
+        scalarStore();
+        break;
 
-      case Opcode::AMOADD_W: amo(AmoOp::Add, 4); break;
-      case Opcode::AMOADD_D: amo(AmoOp::Add, 8); break;
-      case Opcode::AMOSWAP_W: amo(AmoOp::Swap, 4); break;
-      case Opcode::AMOSWAP_D: amo(AmoOp::Swap, 8); break;
-      case Opcode::AMOMIN_W: amo(AmoOp::Min, 4); break;
-      case Opcode::AMOMIN_D: amo(AmoOp::Min, 8); break;
-      case Opcode::AMOMAX_W: amo(AmoOp::Max, 4); break;
-      case Opcode::AMOMAX_D: amo(AmoOp::Max, 8); break;
-      case Opcode::AMOMINU_W: amo(AmoOp::MinU, 4); break;
-      case Opcode::AMOMINU_D: amo(AmoOp::MinU, 8); break;
-      case Opcode::AMOMAXU_W: amo(AmoOp::MaxU, 4); break;
-      case Opcode::AMOMAXU_D: amo(AmoOp::MaxU, 8); break;
-      case Opcode::AMOAND_W: amo(AmoOp::And, 4); break;
-      case Opcode::AMOAND_D: amo(AmoOp::And, 8); break;
-      case Opcode::AMOOR_W: amo(AmoOp::Or, 4); break;
-      case Opcode::AMOOR_D: amo(AmoOp::Or, 8); break;
-      case Opcode::AMOXOR_W: amo(AmoOp::Xor, 4); break;
-      case Opcode::AMOXOR_D: amo(AmoOp::Xor, 8); break;
+      case Opcode::AMOADD_W: case Opcode::AMOADD_D:
+      case Opcode::AMOSWAP_W: case Opcode::AMOSWAP_D:
+      case Opcode::AMOMIN_W: case Opcode::AMOMIN_D:
+      case Opcode::AMOMAX_W: case Opcode::AMOMAX_D:
+      case Opcode::AMOMINU_W: case Opcode::AMOMINU_D:
+      case Opcode::AMOMAXU_W: case Opcode::AMOMAXU_D:
+      case Opcode::AMOAND_W: case Opcode::AMOAND_D:
+      case Opcode::AMOOR_W: case Opcode::AMOOR_D:
+      case Opcode::AMOXOR_W: case Opcode::AMOXOR_D:
+        amo();
+        break;
 
       case Opcode::FENCE:
         // Functional-first: stores already applied; timing layer may drain.
@@ -618,20 +656,23 @@ step(UthreadContext &ctx, const std::vector<Instruction> &code, MemoryIf &mem)
       }
 
       // ---------------------------------------------------- vector memory
-      case Opcode::VLE8: vloadUnit(1); break;
-      case Opcode::VLE16: vloadUnit(2); break;
-      case Opcode::VLE32: vloadUnit(4); break;
-      case Opcode::VLE64: vloadUnit(8); break;
-      case Opcode::VSE8: vstoreUnit(1); break;
-      case Opcode::VSE16: vstoreUnit(2); break;
-      case Opcode::VSE32: vstoreUnit(4); break;
-      case Opcode::VSE64: vstoreUnit(8); break;
-      case Opcode::VLSE32: vloadStrided(4); break;
-      case Opcode::VLSE64: vloadStrided(8); break;
-      case Opcode::VLUXEI32: vgather(4); break;
-      case Opcode::VLUXEI64: vgather(8); break;
-      case Opcode::VSUXEI32: vscatter(4); break;
-      case Opcode::VSUXEI64: vscatter(8); break;
+      case Opcode::VLE8: case Opcode::VLE16: case Opcode::VLE32:
+      case Opcode::VLE64:
+        vloadUnit(in.mem_width);
+        break;
+      case Opcode::VSE8: case Opcode::VSE16: case Opcode::VSE32:
+      case Opcode::VSE64:
+        vstoreUnit(in.mem_width);
+        break;
+      case Opcode::VLSE32: case Opcode::VLSE64:
+        vloadStrided(in.mem_width);
+        break;
+      case Opcode::VLUXEI32: case Opcode::VLUXEI64:
+        vgather(in.mem_width);
+        break;
+      case Opcode::VSUXEI32: case Opcode::VSUXEI64:
+        vscatter(in.mem_width);
+        break;
 
       // ------------------------------------------------------- vector int
       case Opcode::VADD_VV:
@@ -1076,9 +1117,133 @@ step(UthreadContext &ctx, const std::vector<Instruction> &code, MemoryIf &mem)
 
     if (!pc_set)
         ++ctx.pc;
-    if (ctx.pc >= code.size())
+    if (ctx.pc >= code_size)
         res.done = true;
     return res;
+}
+
+} // namespace
+
+// --------------------------------------------------------------------------
+// Decoding
+// --------------------------------------------------------------------------
+
+DecodedInst
+decodeInst(const Instruction &in)
+{
+    DecodedInst d;
+    d.op = in.op;
+    d.fu = fuTypeOf(in.op);
+    unsigned lat = latencyOf(in.op);
+    M2_ASSERT(lat <= 0xFF, "latency overflows decoded field");
+    d.latency = static_cast<std::uint8_t>(lat);
+    d.rd = in.rd;
+    d.rs1 = in.rs1;
+    d.rs2 = in.rs2;
+    d.rs3 = in.rs3;
+    d.masked = in.masked;
+    d.is_vector = isVector(in.op);
+    d.sew = in.sew;
+    d.target = in.target;
+    d.imm = in.imm;
+    d.line = in.line;
+
+    switch (in.op) {
+      // Scalar loads: width, extension, destination file.
+      case Opcode::LB: d.mem_width = 1; d.mem_sign = true; break;
+      case Opcode::LBU: d.mem_width = 1; break;
+      case Opcode::LH: d.mem_width = 2; d.mem_sign = true; break;
+      case Opcode::LHU: d.mem_width = 2; break;
+      case Opcode::LW: d.mem_width = 4; d.mem_sign = true; break;
+      case Opcode::LWU: d.mem_width = 4; break;
+      case Opcode::LD: d.mem_width = 8; break;
+      case Opcode::FLW: d.mem_width = 4; d.mem_fp = true; break;
+      case Opcode::FLD: d.mem_width = 8; d.mem_fp = true; break;
+      // Scalar stores.
+      case Opcode::SB: d.mem_width = 1; break;
+      case Opcode::SH: d.mem_width = 2; break;
+      case Opcode::SW: d.mem_width = 4; break;
+      case Opcode::SD: d.mem_width = 8; break;
+      case Opcode::FSW: d.mem_width = 4; d.mem_fp = true; break;
+      case Opcode::FSD: d.mem_width = 8; d.mem_fp = true; break;
+      // Atomics: op + width.
+      case Opcode::AMOADD_W: d.amo_op = AmoOp::Add; d.mem_width = 4; break;
+      case Opcode::AMOADD_D: d.amo_op = AmoOp::Add; d.mem_width = 8; break;
+      case Opcode::AMOSWAP_W: d.amo_op = AmoOp::Swap; d.mem_width = 4; break;
+      case Opcode::AMOSWAP_D: d.amo_op = AmoOp::Swap; d.mem_width = 8; break;
+      case Opcode::AMOMIN_W: d.amo_op = AmoOp::Min; d.mem_width = 4; break;
+      case Opcode::AMOMIN_D: d.amo_op = AmoOp::Min; d.mem_width = 8; break;
+      case Opcode::AMOMAX_W: d.amo_op = AmoOp::Max; d.mem_width = 4; break;
+      case Opcode::AMOMAX_D: d.amo_op = AmoOp::Max; d.mem_width = 8; break;
+      case Opcode::AMOMINU_W: d.amo_op = AmoOp::MinU; d.mem_width = 4; break;
+      case Opcode::AMOMINU_D: d.amo_op = AmoOp::MinU; d.mem_width = 8; break;
+      case Opcode::AMOMAXU_W: d.amo_op = AmoOp::MaxU; d.mem_width = 4; break;
+      case Opcode::AMOMAXU_D: d.amo_op = AmoOp::MaxU; d.mem_width = 8; break;
+      case Opcode::AMOAND_W: d.amo_op = AmoOp::And; d.mem_width = 4; break;
+      case Opcode::AMOAND_D: d.amo_op = AmoOp::And; d.mem_width = 8; break;
+      case Opcode::AMOOR_W: d.amo_op = AmoOp::Or; d.mem_width = 4; break;
+      case Opcode::AMOOR_D: d.amo_op = AmoOp::Or; d.mem_width = 8; break;
+      case Opcode::AMOXOR_W: d.amo_op = AmoOp::Xor; d.mem_width = 4; break;
+      case Opcode::AMOXOR_D: d.amo_op = AmoOp::Xor; d.mem_width = 8; break;
+      // Vector memory: EEW (or index EEW for indexed forms).
+      case Opcode::VLE8: case Opcode::VSE8: d.mem_width = 1; break;
+      case Opcode::VLE16: case Opcode::VSE16: d.mem_width = 2; break;
+      case Opcode::VLE32: case Opcode::VSE32: case Opcode::VLSE32:
+      case Opcode::VLUXEI32: case Opcode::VSUXEI32:
+        d.mem_width = 4;
+        break;
+      case Opcode::VLE64: case Opcode::VSE64: case Opcode::VLSE64:
+      case Opcode::VLUXEI64: case Opcode::VSUXEI64:
+        d.mem_width = 8;
+        break;
+      default:
+        break;
+    }
+    return d;
+}
+
+DecodedSection
+decodeSection(const std::vector<Instruction> &code)
+{
+    DecodedSection sec;
+    sec.code.reserve(code.size());
+    for (const Instruction &in : code)
+        sec.code.push_back(decodeInst(in));
+    return sec;
+}
+
+DecodedKernel
+DecodedKernel::decode(const AssembledKernel &kernel)
+{
+    DecodedKernel d;
+    d.sections.reserve(kernel.sections.size());
+    for (const KernelSection &sec : kernel.sections) {
+        DecodedSection ds = decodeSection(sec.code);
+        ds.kind = sec.kind;
+        d.sections.push_back(std::move(ds));
+    }
+    return d;
+}
+
+// --------------------------------------------------------------------------
+// Execution entry points
+// --------------------------------------------------------------------------
+
+StepResult
+step(UthreadContext &ctx, const DecodedSection &section, MemoryIf &mem)
+{
+    const auto size = static_cast<std::uint32_t>(section.code.size());
+    M2_ASSERT(ctx.pc < size, "PC out of range: ", ctx.pc, " of ", size);
+    return execDecoded(ctx, section.code[ctx.pc], size, mem);
+}
+
+StepResult
+step(UthreadContext &ctx, const std::vector<Instruction> &code, MemoryIf &mem)
+{
+    M2_ASSERT(ctx.pc < code.size(), "PC out of range: ", ctx.pc, " of ",
+              code.size());
+    DecodedInst d = decodeInst(code[ctx.pc]);
+    return execDecoded(ctx, d, static_cast<std::uint32_t>(code.size()), mem);
 }
 
 std::uint64_t
@@ -1088,8 +1253,9 @@ runToCompletion(UthreadContext &ctx, const std::vector<Instruction> &code,
     std::uint64_t executed = 0;
     if (code.empty())
         return 0;
+    DecodedSection sec = decodeSection(code);
     while (executed < max_instructions) {
-        StepResult r = step(ctx, code, mem);
+        StepResult r = step(ctx, sec, mem);
         ++executed;
         if (r.done)
             return executed;

@@ -11,12 +11,15 @@
 
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <cstring>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/units.hh"
+#include "isa/decoded.hh"
 #include "isa/inst.hh"
 #include "mem/sparse_memory.hh"
 
@@ -81,6 +84,35 @@ struct MemRef
     std::uint8_t size;
 };
 
+/**
+ * Fixed-capacity list of memory references touched by one instruction.
+ * Capacity covers the worst case (32 one-byte gather elements, or wider
+ * elements each straddling two 32 B sectors before dedup), so the hot
+ * path never heap-allocates a std::vector per instruction.
+ */
+struct MemRefList
+{
+    /** Each of up to kVlenBytes one-byte elements can touch a sector,
+     *  and wider elements can straddle two before dedup. */
+    static constexpr unsigned kCapacity = 2 * kVlenBytes;
+
+    std::array<MemRef, kCapacity> refs;
+    std::uint8_t count = 0;
+
+    void
+    push(const MemRef &r)
+    {
+        M2_ASSERT(count < kCapacity, "MemRefList overflow");
+        refs[count++] = r;
+    }
+
+    bool empty() const { return count == 0; }
+    std::size_t size() const { return count; }
+    const MemRef &operator[](std::size_t i) const { return refs[i]; }
+    const MemRef *begin() const { return refs.data(); }
+    const MemRef *end() const { return refs.data() + count; }
+};
+
 /** Outcome of executing one instruction. */
 struct StepResult
 {
@@ -88,7 +120,7 @@ struct StepResult
     unsigned latency = 1;       ///< result latency in cycles (non-memory)
     bool done = false;          ///< uthread finished
     bool blocking_mem = false;  ///< loads/AMOs: stall until data returns
-    std::vector<MemRef> mem;    ///< touched sectors (coalesced to 32 B)
+    MemRefList mem;             ///< touched sectors (coalesced to 32 B)
 };
 
 /**
@@ -118,19 +150,54 @@ struct UthreadContext
 
     /** Dynamic instruction count (for stats). */
     std::uint64_t instret = 0;
+
+    /**
+     * Re-arm this context for a fresh uthread. Zeroes only the registers
+     * the kernel can touch (the provisioned counts) instead of copying a
+     * default-constructed 1.3 KiB context; registers beyond the
+     * provisioned counts are unreachable (enforced by the executor).
+     */
+    void
+    resetFor(std::uint8_t nx, std::uint8_t nf, std::uint8_t nv)
+    {
+        std::fill_n(x.begin(), nx, 0);
+        std::fill_n(f.begin(), nf, 0);
+        for (unsigned i = 0; i < nv; ++i)
+            v[i].b.fill(0);
+        pc = 0;
+        sew = 4;
+        vl = 8;
+        num_x = nx;
+        num_f = nf;
+        num_v = nv;
+        mapped_addr = 0;
+        mapped_offset = 0;
+        instret = 0;
+    }
 };
 
 /**
- * Execute the instruction at ctx.pc of @p code, advancing ctx.pc.
- * Panics on malformed kernels (bad register indices, missing vsetvli,
- * out-of-range PC are simulator-user kernel bugs).
+ * Execute the µop at ctx.pc of @p section, advancing ctx.pc. This is the
+ * timing-layer hot path: the section was decoded once at kernel
+ * registration and execution performs no per-issue operand parsing and no
+ * heap allocation. Panics on malformed kernels (bad register indices,
+ * missing vsetvli, out-of-range PC are simulator-user kernel bugs).
+ */
+StepResult step(UthreadContext &ctx, const DecodedSection &section,
+                MemoryIf &mem);
+
+/**
+ * Legacy single-step API over raw instructions (tests, debugging): decodes
+ * the current instruction on the fly, then executes it. Semantically
+ * identical to the decoded path; not for hot loops.
  */
 StepResult step(UthreadContext &ctx, const std::vector<Instruction> &code,
                 MemoryIf &mem);
 
 /**
  * Convenience: run one uthread section to completion functionally (no
- * timing), with an instruction budget to catch infinite loops.
+ * timing), with an instruction budget to catch infinite loops. Decodes
+ * the section once up front.
  * @return dynamic instruction count.
  */
 std::uint64_t runToCompletion(UthreadContext &ctx,

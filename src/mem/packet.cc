@@ -1,0 +1,71 @@
+#include "mem/packet.hh"
+
+#include <vector>
+
+namespace m2ndp {
+
+namespace {
+
+constexpr std::size_t kSlabPackets = 256;
+
+struct PoolState
+{
+    MemPacket *free_head = nullptr;
+    std::vector<std::unique_ptr<MemPacket[]>> slabs;
+    std::size_t outstanding = 0;
+    std::uint64_t next_id = 0;
+};
+
+PoolState &
+pool()
+{
+    static PoolState state;
+    return state;
+}
+
+} // namespace
+
+MemPacket *
+MemPacketPool::alloc()
+{
+    PoolState &p = pool();
+    if (p.free_head == nullptr) {
+        auto slab = std::make_unique<MemPacket[]>(kSlabPackets);
+        for (std::size_t i = 0; i < kSlabPackets; ++i) {
+            slab[i].link = p.free_head;
+            p.free_head = &slab[i];
+        }
+        p.slabs.push_back(std::move(slab));
+    }
+    MemPacket *pkt = p.free_head;
+    p.free_head = pkt->link;
+    pkt->link = nullptr;
+    pkt->id = p.next_id++;
+    ++p.outstanding;
+    return pkt;
+}
+
+void
+MemPacketPool::release(MemPacket *pkt)
+{
+    if (pkt == nullptr)
+        return;
+    // Drop any held captures before the node goes back on the free list.
+    pkt->onComplete.reset();
+    for (unsigned i = 0; i < pkt->num_stages; ++i)
+        pkt->stages[i].reset();
+    pkt->num_stages = 0;
+    pkt->issued_at = 0;
+    PoolState &p = pool();
+    pkt->link = p.free_head;
+    p.free_head = pkt;
+    --p.outstanding;
+}
+
+std::size_t
+MemPacketPool::outstanding()
+{
+    return pool().outstanding;
+}
+
+} // namespace m2ndp

@@ -6,6 +6,15 @@
  * Completion is signalled through a callback carrying the completion tick, so
  * producers (LSUs, host models, the CXL port) can be woken without the
  * memory system knowing about them.
+ *
+ * Packets are slab-pooled: `MemPacketPool::alloc()` hands out recycled
+ * nodes and the `MemPacketPtr` deleter returns them, so steady-state
+ * traffic performs zero heap allocations per access. Interposers (path
+ * instrumentation, protocol adapters) that previously wrapped `onComplete`
+ * inside another callback — overflowing the 48 B inline buffer and heap-
+ * allocating once per wrap — instead push an extra *stage* onto the packet
+ * with `pushStage()`; `complete()` runs stages LIFO and then the original
+ * callback.
  */
 
 #pragma once
@@ -14,6 +23,7 @@
 #include <memory>
 
 #include "common/callback.hh"
+#include "common/log.hh"
 #include "common/units.hh"
 
 namespace m2ndp {
@@ -45,6 +55,9 @@ enum class MemSource : std::uint8_t {
 /** One physical memory access in flight. */
 struct MemPacket
 {
+    /** Interposed completion stages chained on the packet itself. */
+    static constexpr unsigned kMaxStages = 2;
+
     MemOp op = MemOp::Read;
     Addr addr = 0;
     std::uint32_t size = 0;
@@ -58,9 +71,79 @@ struct MemPacket
 
     /** Monotonic ID for debugging / deterministic ordering. */
     std::uint64_t id = 0;
+
+    /**
+     * Intrusive link. While pooled: the free-list chain. While in flight:
+     * available to the current owner as a wait-queue link (cache MSHR
+     * waiter chains, stalled queues) — a packet sits in at most one such
+     * queue at a time.
+     */
+    MemPacket *link = nullptr;
+
+    /** Completion stages interposed between the memory system and
+     *  onComplete (run LIFO: last pushed fires first). */
+    TickCallback stages[kMaxStages];
+    std::uint8_t num_stages = 0;
+
+    /** Interpose a completion stage without wrapping (zero-allocation). */
+    template <typename F>
+    void
+    pushStage(F &&f)
+    {
+        M2_ASSERT(num_stages < kMaxStages, "MemPacket stage overflow");
+        stages[num_stages++] = std::forward<F>(f);
+    }
+
+    /** Run interposed stages (LIFO), then the completion callback. */
+    void
+    complete(Tick t)
+    {
+        for (unsigned i = num_stages; i-- > 0;)
+            stages[i](t);
+        if (onComplete)
+            onComplete(t);
+    }
 };
 
-using MemPacketPtr = std::unique_ptr<MemPacket>;
+/**
+ * Slab-backed free list of MemPackets. Single-threaded like the rest of
+ * the simulator; slabs are retained for the process lifetime so steady-
+ * state alloc/release cycles never touch the heap.
+ */
+class MemPacketPool
+{
+  public:
+    /** Pop a recycled packet (fields reset, callbacks empty). */
+    static MemPacket *alloc();
+
+    /** Reset @p pkt and push it back on the free list. */
+    static void release(MemPacket *pkt);
+
+    /** Packets currently live (for leak checks in tests). */
+    static std::size_t outstanding();
+};
+
+struct MemPacketDeleter
+{
+    void operator()(MemPacket *pkt) const { MemPacketPool::release(pkt); }
+};
+
+using MemPacketPtr = std::unique_ptr<MemPacket, MemPacketDeleter>;
+
+/** Allocate and fill a pooled packet. */
+inline MemPacketPtr
+makePacket(MemOp op, Addr addr, std::uint32_t size, MemSource source,
+           Tick issued_at, TickCallback cb)
+{
+    MemPacket *pkt = MemPacketPool::alloc();
+    pkt->op = op;
+    pkt->addr = addr;
+    pkt->size = size;
+    pkt->source = source;
+    pkt->issued_at = issued_at;
+    pkt->onComplete = std::move(cb);
+    return MemPacketPtr(pkt);
+}
 
 /** Interface implemented by anything that accepts memory packets. */
 class MemPort
@@ -70,7 +153,8 @@ class MemPort
 
     /**
      * Hand a packet to this component. Ownership transfers; the component
-     * must eventually invoke onComplete.
+     * must eventually invoke complete() (directly or through a peer) and
+     * release the packet.
      */
     virtual void receive(MemPacketPtr pkt) = 0;
 };

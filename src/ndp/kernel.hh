@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/units.hh"
+#include "isa/decoded.hh"
 #include "isa/inst.hh"
 #include "mem/page_table.hh"
 
@@ -45,6 +46,8 @@ struct NdpKernel
     std::int64_t id = -1;
     Asid asid = 0;
     isa::AssembledKernel code;
+    /** µop form, decoded once at registration; what the units execute. */
+    isa::DecodedKernel decoded;
     KernelResources resources;
 };
 

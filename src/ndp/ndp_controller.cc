@@ -187,6 +187,7 @@ NdpController::registerKernel(Asid asid, const std::string &text,
     kernel->id = next_kernel_id_++;
     kernel->asid = asid;
     kernel->code = assembler_.assemble(text);
+    kernel->decoded = isa::DecodedKernel::decode(kernel->code);
     kernel->resources = res;
     ++stats_.kernels_registered;
     std::int64_t id = kernel->id;
@@ -420,7 +421,8 @@ NdpController::pullWork(unsigned unit)
         KernelInstance *inst = inst_ptr.get();
         if (!inst->isActive() || inst->phase == InstancePhase::Draining)
             continue;
-        const auto &section = inst->kernel->code.sections[inst->section_index];
+        const auto &section =
+            inst->kernel->decoded.sections[inst->section_index];
         switch (inst->phase) {
           case InstancePhase::Initializer:
           case InstancePhase::Finalizer: {

@@ -20,8 +20,40 @@ NdpUnit::NdpUnit(NdpUnitEnv &env, NdpUnitConfig cfg)
       dtlb_(cfg.dtlb_entries, cfg.dtlb_assoc, env.translationPageSize()),
       tick_ticker_(env.eventQueue(), [this] { tick(); })
 {
-    for (auto &sc : subcores_)
+    for (auto &sc : subcores_) {
         sc.slots.resize(cfg_.slots_per_subcore);
+        sc.idle_count = cfg_.slots_per_subcore;
+        for (auto &slot : sc.slots)
+            slot.owner = &sc;
+    }
+    std::uint64_t page = env.translationPageSize();
+    M2_ASSERT(isPowerOfTwo(page), "translation page size must be pow2");
+    page_mask_ = page - 1;
+    page_shift_ = floorLog2(page);
+}
+
+Addr
+NdpUnit::translateCached(Asid asid, Addr va)
+{
+    std::uint64_t vpn = va & ~page_mask_;
+    // Direct-mapped by low page-number bits: streaming kernels touch a
+    // handful of distinct buffers whose pages land in distinct slots.
+    FuncTcacheEntry &e =
+        func_tcache_[(va >> page_shift_) & (kFuncTcacheEntries - 1)];
+    if (e.valid && e.vpn == vpn && e.asid == asid)
+        return e.pa_page + (va & page_mask_);
+    auto pa = env_.translateFunctional(asid, va);
+    if (!pa) {
+        M2_FATAL("NDP kernel fault: unmapped VA 0x", std::hex, va,
+                 " (asid ", std::dec, asid, ")");
+    }
+    e.valid = true;
+    e.asid = asid;
+    e.vpn = vpn;
+    // PA of the page start, reconstructed from the in-page offset so we
+    // do not rely on physical pages being size-aligned.
+    e.pa_page = *pa - (va & page_mask_);
+    return *pa;
 }
 
 // --------------------------------------------------------------------------
@@ -63,12 +95,23 @@ NdpUnit::read(Addr va, void *out, unsigned size)
         return;
     }
     M2_ASSERT(current_slot_ != nullptr, "memory access outside step()");
-    auto pa = env_.translateFunctional(current_slot_->instance->asid, va);
-    if (!pa) {
-        M2_FATAL("NDP kernel fault: unmapped VA 0x", std::hex, va,
-                 " (kernel ", current_slot_->instance->kernel->code.name, ")");
+    const Asid asid = current_slot_->instance->asid;
+    std::uint64_t in_page = (page_mask_ + 1) - (va & page_mask_);
+    if (size <= in_page) {
+        env_.funcRead(translateCached(asid, va), out, size);
+        return;
     }
-    env_.funcRead(*pa, out, size);
+    // Page-straddling bulk access (vector fast path): split per page.
+    auto *dst = static_cast<std::uint8_t *>(out);
+    while (size > 0) {
+        unsigned chunk = static_cast<unsigned>(
+            std::min<std::uint64_t>(size, in_page));
+        env_.funcRead(translateCached(asid, va), dst, chunk);
+        va += chunk;
+        dst += chunk;
+        size -= chunk;
+        in_page = page_mask_ + 1;
+    }
 }
 
 void
@@ -79,12 +122,22 @@ NdpUnit::write(Addr va, const void *in, unsigned size)
         return;
     }
     M2_ASSERT(current_slot_ != nullptr, "memory access outside step()");
-    auto pa = env_.translateFunctional(current_slot_->instance->asid, va);
-    if (!pa) {
-        M2_FATAL("NDP kernel fault: unmapped VA 0x", std::hex, va,
-                 " (kernel ", current_slot_->instance->kernel->code.name, ")");
+    const Asid asid = current_slot_->instance->asid;
+    std::uint64_t in_page = (page_mask_ + 1) - (va & page_mask_);
+    if (size <= in_page) {
+        env_.funcWrite(translateCached(asid, va), in, size);
+        return;
     }
-    env_.funcWrite(*pa, in, size);
+    auto *src = static_cast<const std::uint8_t *>(in);
+    while (size > 0) {
+        unsigned chunk = static_cast<unsigned>(
+            std::min<std::uint64_t>(size, in_page));
+        env_.funcWrite(translateCached(asid, va), src, chunk);
+        va += chunk;
+        src += chunk;
+        size -= chunk;
+        in_page = page_mask_ + 1;
+    }
 }
 
 std::uint64_t
@@ -96,12 +149,9 @@ NdpUnit::amo(AmoOp op, Addr va, std::uint64_t operand, unsigned width)
         return amoApply(spadPointer(va, width), op, operand, width);
     }
     M2_ASSERT(current_slot_ != nullptr, "memory access outside step()");
-    auto pa = env_.translateFunctional(current_slot_->instance->asid, va);
-    if (!pa) {
-        M2_FATAL("NDP kernel fault: unmapped VA 0x", std::hex, va,
-                 " (kernel ", current_slot_->instance->kernel->code.name, ")");
-    }
-    return env_.funcAmo(op, *pa, operand, width);
+    return env_.funcAmo(
+        op, translateCached(current_slot_->instance->asid, va), operand,
+        width);
 }
 
 // --------------------------------------------------------------------------
@@ -123,31 +173,20 @@ NdpUnit::scheduleTick(Tick at)
     tick_ticker_.armAt(at);
 }
 
-Tick
-NdpUnit::nextReadyTick(Tick now) const
-{
-    Tick next = kTickMax;
-    for (const auto &sc : subcores_) {
-        for (const auto &slot : sc.slots) {
-            if (slot.state == SlotState::Ready)
-                next = std::min(next, std::max(slot.ready_at, now));
-        }
-    }
-    return next;
-}
-
 void
 NdpUnit::tick()
 {
     const Tick now = env_.eventQueue().now();
     bool issued_any = false;
+    Tick next = kTickMax;
 
     for (unsigned i = 0; i < subcores_.size(); ++i) {
         auto &sc = subcores_[i];
         if (work_maybe_available_)
             trySpawn(sc, now);
-        if (issueOne(i, sc, now))
-            issued_any = true;
+        bool issued = false;
+        next = std::min(next, issueOne(i, sc, now, issued));
+        issued_any |= issued;
     }
 
     if (live_slots_ > 0) {
@@ -159,7 +198,6 @@ NdpUnit::tick()
 
     // Decide when to tick again: next cycle if anything is (or will be)
     // ready or spawnable; otherwise sleep until a memory wake.
-    Tick next = nextReadyTick(now + 1);
     if (work_maybe_available_ && hasIdleSlot())
         next = std::min(next, now + cfg_.period);
     if (next != kTickMax) {
@@ -171,15 +209,13 @@ NdpUnit::tick()
 bool
 NdpUnit::trySpawn(SubCore &sc, Tick now)
 {
+    if (sc.idle_count == 0)
+        return false;
     // Coarse-grained ablation: behave like threadblock allocation — only
     // refill when the whole sub-core drained (Fig. 12a).
-    if (!cfg_.fine_grained_spawn) {
-        bool all_idle = std::all_of(
-            sc.slots.begin(), sc.slots.end(),
-            [](const Slot &s) { return s.state == SlotState::Idle; });
-        if (!all_idle)
-            return false;
-    }
+    if (!cfg_.fine_grained_spawn &&
+        sc.idle_count != sc.slots.size())
+        return false;
 
     bool spawned = false;
     for (auto &slot : sc.slots) {
@@ -203,10 +239,10 @@ NdpUnit::trySpawn(SubCore &sc, Tick now)
         sc.reg_bytes_used += bytes;
 
         slot.state = SlotState::Ready;
-        slot.ctx = isa::UthreadContext{};
-        slot.ctx.num_x = std::max<std::uint8_t>(need.num_int_regs, 3);
-        slot.ctx.num_f = need.num_float_regs;
-        slot.ctx.num_v = need.num_vector_regs;
+        // Zero only the provisioned registers instead of copying a fresh
+        // 1.3 KiB context per spawn (millions of spawns per sweep).
+        slot.ctx.resetFor(std::max<std::uint8_t>(need.num_int_regs, 3),
+                          need.num_float_regs, need.num_vector_regs);
         slot.ctx.x[1] = item->x1;
         slot.ctx.x[2] = item->x2;
         slot.ctx.mapped_addr = item->x1;
@@ -217,6 +253,8 @@ NdpUnit::trySpawn(SubCore &sc, Tick now)
         slot.outstanding_loads = 0;
         slot.finish_pending = false;
         ++live_slots_;
+        --sc.idle_count;
+        ++sc.ready_count;
         spawned = true;
         if (!cfg_.fine_grained_spawn)
             continue; // fill the whole sub-core in coarse mode
@@ -225,25 +263,37 @@ NdpUnit::trySpawn(SubCore &sc, Tick now)
     return spawned;
 }
 
-bool
-NdpUnit::issueOne(unsigned sc_idx, SubCore &sc, Tick now)
+Tick
+NdpUnit::issueOne(unsigned sc_idx, SubCore &sc, Tick now, bool &issued)
 {
+    issued = false;
+    if (sc.ready_count == 0)
+        return kTickMax; // every uthread is idle or waiting on memory
     const unsigned n = static_cast<unsigned>(sc.slots.size());
+    const unsigned base = sc.rr_next; // snapshot: rr_next moves on issue
+    Tick min_ready = kTickMax;
     for (unsigned k = 0; k < n; ++k) {
-        unsigned idx = (sc.rr_next + k) % n;
+        unsigned idx = (base + k) % n;
         Slot &slot = sc.slots[idx];
-        if (slot.state != SlotState::Ready || slot.ready_at > now)
+        if (slot.state != SlotState::Ready)
             continue;
+        if (issued || slot.ready_at > now) {
+            // Not eligible this cycle (or one µop already issued): this
+            // slot next wants service at its ready tick.
+            min_ready = std::min(min_ready, std::max(slot.ready_at, now + 1));
+            continue;
+        }
         if (slot.section->code.empty()) {
             // Degenerate empty section: finish immediately.
             sc.rr_next = (idx + 1) % n;
             finishThread(sc, slot);
-            return true;
+            issued = true;
+            continue;
         }
 
-        // Determine the FU the next instruction needs.
-        const isa::Instruction &next_inst = slot.section->code[slot.ctx.pc];
-        isa::FuType fu = isa::fuTypeOf(next_inst.op);
+        // Determine the FU the next µop needs (pre-decoded).
+        const isa::DecodedInst &next_inst = slot.section->code[slot.ctx.pc];
+        isa::FuType fu = next_inst.fu;
         // Ablation: no scalar pipes — scalar work contends for vector FUs
         // like a SIMT-only GPU (redundant per-lane address calculation).
         if (!cfg_.scalar_units) {
@@ -254,17 +304,20 @@ NdpUnit::issueOne(unsigned sc_idx, SubCore &sc, Tick now)
             else if (fu == isa::FuType::ScalarLsu)
                 fu = isa::FuType::VectorLsu;
         }
-        if (fu != isa::FuType::None && sc.fu_free[fuIndex(fu)] > now)
-            continue; // FU busy: let another uthread issue (FGMT)
+        if (fu != isa::FuType::None && sc.fu_free[fuIndex(fu)] > now) {
+            // FU busy: let another uthread issue (FGMT); retry next cycle.
+            min_ready = std::min(min_ready, now + 1);
+            continue;
+        }
 
         // Execute functionally.
         current_slot_ = &slot;
-        isa::StepResult res = isa::step(slot.ctx, slot.section->code, *this);
+        isa::StepResult res = isa::step(slot.ctx, *slot.section, *this);
         current_slot_ = nullptr;
 
         ++stats_.instructions;
         ++slot.instance->instructions;
-        if (isa::isVector(next_inst.op))
+        if (next_inst.is_vector)
             ++stats_.vector_instructions;
         else
             ++stats_.scalar_instructions;
@@ -284,27 +337,37 @@ NdpUnit::issueOne(unsigned sc_idx, SubCore &sc, Tick now)
 
         // Transition to WaitMem before issuing refs so completion
         // callbacks observe a consistent state.
-        if (res.blocking_mem)
+        if (res.blocking_mem) {
             slot.state = SlotState::WaitMem;
+            --sc.ready_count;
+        }
         if (res.done)
             slot.finish_pending = true;
 
+        Tick spad_ready = 0;
         if (!res.mem.empty())
-            handleMemRefs(sc_idx, sc, slot, res, now);
+            spad_ready = handleMemRefs(sc_idx, sc, slot, res, now);
 
         if (slot.outstanding_loads == 0) {
             if (res.done) {
                 finishThread(sc, slot);
             } else {
-                slot.state = SlotState::Ready;
-                slot.ready_at = now + res.latency * cfg_.period;
+                if (slot.state != SlotState::Ready) {
+                    slot.state = SlotState::Ready;
+                    ++sc.ready_count;
+                }
+                slot.ready_at = spad_ready != 0
+                                    ? spad_ready
+                                    : now + res.latency * cfg_.period;
+                min_ready = std::min(min_ready,
+                                     std::max(slot.ready_at, now + 1));
             }
         }
 
         sc.rr_next = (idx + 1) % n;
-        return true;
+        issued = true;
     }
-    return false;
+    return min_ready;
 }
 
 void
@@ -318,34 +381,50 @@ NdpUnit::completeBlockingAccess(Slot *slot, Tick when)
             finishThreadFromWake(slot);
         } else {
             slot->state = SlotState::Ready;
+            ++slot->owner->ready_count;
             wake();
         }
     }
 }
 
-void
+Tick
 NdpUnit::handleMemRefs(unsigned sc_idx, SubCore &sc, Slot &slot,
                        const isa::StepResult &res, Tick now)
 {
+    // First pass: issue global refs (these need real completion
+    // callbacks) and count blocking scratchpad refs.
+    unsigned spad_blocking = 0;
     for (const auto &ref : res.mem) {
         if (layout::isScratchpadVa(ref.va)) {
-            // Scratchpad: short fixed latency, no global traffic.
             ++stats_.spad_accesses;
             stats_.spad_bytes += ref.size;
-            if (res.blocking_mem) {
-                ++slot.outstanding_loads;
-                Slot *s = &slot;
-                env_.eventQueue().scheduleAfter(
-                    cfg_.spad_latency_cycles * cfg_.period,
-                    [this, s] {
-                        completeBlockingAccess(s,
-                                               env_.eventQueue().now());
-                    });
-            }
+            if (res.blocking_mem)
+                ++spad_blocking;
             continue;
         }
         issueGlobalAccess(sc, slot, ref, now, res.blocking_mem);
     }
+    if (spad_blocking == 0)
+        return 0;
+
+    const Tick spad_done = now + cfg_.spad_latency_cycles * cfg_.period;
+    if (slot.outstanding_loads == 0 && !slot.finish_pending) {
+        // Pure scratchpad wait: the latency is fixed and known now, so
+        // the slot can simply become ready at the completion tick — no
+        // completion event, no wake. The caller (issueOne) applies the
+        // returned tick as the slot's ready_at.
+        return spad_done;
+    }
+    // Mixed with global refs (or a finishing uthread): fall back to real
+    // completions so the slot wakes only when everything returned.
+    Slot *s = &slot;
+    for (unsigned i = 0; i < spad_blocking; ++i) {
+        ++slot.outstanding_loads;
+        env_.eventQueue().schedule(spad_done, [this, s] {
+            completeBlockingAccess(s, env_.eventQueue().now());
+        });
+    }
+    return 0;
 }
 
 void
@@ -367,13 +446,9 @@ NdpUnit::issueGlobalAccess(SubCore &sc, Slot &slot, const isa::MemRef &ref,
         }
     }
 
-    auto pa_opt = env_.translateFunctional(asid, ref.va);
-    M2_ASSERT(pa_opt.has_value(), "timing access to unmapped VA");
-    Addr pa = *pa_opt;
-    if (need_dram_tlb) {
-        dtlb_.insert(asid, ref.va,
-                     alignDown(pa, env_.translationPageSize()));
-    }
+    Addr pa = translateCached(asid, ref.va);
+    if (need_dram_tlb)
+        dtlb_.insert(asid, ref.va, pa & ~page_mask_);
 
     // Classify: within a blocking instruction, a store ref is an atomic
     // (AMO); standalone stores are posted.
@@ -445,10 +520,13 @@ NdpUnit::finishThread(SubCore &sc, Slot &slot)
 {
     sc.reg_bytes_used -= slot.instance->kernel->resources.registerBytes();
     KernelInstance *inst = slot.instance;
+    if (slot.state == SlotState::Ready)
+        --sc.ready_count;
     slot.state = SlotState::Idle;
     slot.instance = nullptr;
     slot.section = nullptr;
     --live_slots_;
+    ++sc.idle_count;
     ++stats_.uthreads_completed;
     work_maybe_available_ = true; // a slot freed: maybe new spawn possible
     env_.uthreadFinished(inst);
@@ -457,26 +535,16 @@ NdpUnit::finishThread(SubCore &sc, Slot &slot)
 void
 NdpUnit::finishThreadFromWake(Slot *slot)
 {
-    // Locate the owning sub-core (slot pointers are stable).
-    for (auto &sc : subcores_) {
-        if (!sc.slots.empty() && slot >= sc.slots.data() &&
-            slot < sc.slots.data() + sc.slots.size()) {
-            finishThread(sc, *slot);
-            wake();
-            return;
-        }
-    }
-    M2_PANIC("finishThreadFromWake: slot not found");
+    finishThread(*slot->owner, *slot);
+    wake();
 }
 
 bool
 NdpUnit::hasIdleSlot() const
 {
     for (const auto &sc : subcores_) {
-        for (const auto &slot : sc.slots) {
-            if (slot.state == SlotState::Idle)
-                return true;
-        }
+        if (sc.idle_count > 0)
+            return true;
     }
     return false;
 }

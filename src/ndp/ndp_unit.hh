@@ -17,6 +17,7 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -35,7 +36,7 @@ namespace m2ndp {
 struct SpawnItem
 {
     KernelInstance *instance = nullptr;
-    const isa::KernelSection *section = nullptr;
+    const isa::DecodedSection *section = nullptr;
     Addr x1 = 0;          ///< mapped address (pool region) or scratchpad base
     std::uint64_t x2 = 0; ///< offset from pool base, or unique ID
 };
@@ -147,7 +148,13 @@ class NdpUnit : public isa::MemoryIf
     const TlbStats &dtlbStats() const { return dtlb_.stats(); }
 
     /** Invalidate one page translation (Table II, privileged path). */
-    void shootdownTlb(Asid asid, Addr va) { dtlb_.shootdown(asid, va); }
+    void
+    shootdownTlb(Asid asid, Addr va)
+    {
+        dtlb_.shootdown(asid, va);
+        for (auto &e : func_tcache_)
+            e.valid = false;
+    }
 
     /** Scratchpad backing store (per unit; shared by all uthreads, A3). */
     std::vector<std::uint8_t> &scratchpad() { return spad_; }
@@ -163,12 +170,16 @@ class NdpUnit : public isa::MemoryIf
   private:
     enum class SlotState : std::uint8_t { Idle, Ready, WaitMem };
 
+    struct SubCore;
+
     struct Slot
     {
         SlotState state = SlotState::Idle;
         isa::UthreadContext ctx;
         KernelInstance *instance = nullptr;
-        const isa::KernelSection *section = nullptr;
+        const isa::DecodedSection *section = nullptr;
+        /** Owning sub-core (stable; set once at construction). */
+        SubCore *owner = nullptr;
         Tick ready_at = 0;
         unsigned outstanding_loads = 0;
         bool finish_pending = false;
@@ -179,6 +190,11 @@ class NdpUnit : public isa::MemoryIf
         std::vector<Slot> slots;
         std::uint64_t reg_bytes_used = 0;
         unsigned rr_next = 0;
+        /** Idle slots (kept incrementally so spawn/issue need no scan). */
+        unsigned idle_count = 0;
+        /** Slots in Ready state: lets a tick skip the whole issue walk
+         *  for sub-cores whose uthreads are all waiting on memory. */
+        unsigned ready_count = 0;
         /** Next-free tick per FuType (indexed by static_cast). */
         std::array<Tick, 7> fu_free{};
     };
@@ -186,15 +202,30 @@ class NdpUnit : public isa::MemoryIf
     void scheduleTick(Tick at);
     void tick();
     bool trySpawn(SubCore &sc, Tick now);
-    bool issueOne(unsigned sc_idx, SubCore &sc, Tick now);
+    /**
+     * One fused round-robin pass over @p sc's slots: issues at most one
+     * eligible µop and, in the same walk, computes the earliest tick any
+     * Ready slot next wants service (kTickMax if none). @p issued reports
+     * whether an issue happened. Folding the next-ready computation into
+     * the issue scan removes two further full-slot scans per sub-core per
+     * cycle.
+     */
+    Tick issueOne(unsigned sc_idx, SubCore &sc, Tick now, bool &issued);
     void finishThread(SubCore &sc, Slot &slot);
     void finishThreadFromWake(Slot *slot);
-    void handleMemRefs(unsigned sc_idx, SubCore &sc, Slot &slot,
+    /**
+     * Issue the timing side of one instruction's memory references.
+     * Global refs get real completion callbacks; blocking scratchpad
+     * refs have a fixed, known latency, so when they are the only thing
+     * the uthread waits on the method schedules nothing and instead
+     * returns the tick the slot becomes ready (0 = no pure-scratchpad
+     * wait; the caller applies it to ready_at).
+     */
+    Tick handleMemRefs(unsigned sc_idx, SubCore &sc, Slot &slot,
                        const isa::StepResult &res, Tick now);
     /** Translation delay + global access for one ref; wakes slot. */
     void issueGlobalAccess(SubCore &sc, Slot &slot, const isa::MemRef &ref,
                            Tick now, bool blocking);
-    Tick nextReadyTick(Tick now) const;
     bool hasIdleSlot() const;
     Tick eqNextEdge() const;
     /** Wake a slot after one outstanding blocking access completes. */
@@ -203,11 +234,38 @@ class NdpUnit : public isa::MemoryIf
     /** Functional scratchpad/arg-window routing helpers. */
     std::uint8_t *spadPointer(Addr va, unsigned size);
 
+    /**
+     * Functional VA->PA translation with a one-entry last-page cache:
+     * translation runs per element on the functional path *and* per sector
+     * on the timing path, and both are strongly page-local. Invalidated on
+     * TLB shootdown (page unmap must be accompanied by a shootdown,
+     * Table II). Fatals on unmapped VAs (kernel bug).
+     */
+    Addr translateCached(Asid asid, Addr va);
+
     NdpUnitEnv &env_;
     NdpUnitConfig cfg_;
     std::vector<SubCore> subcores_;
     std::vector<std::uint8_t> spad_;
     Tlb dtlb_;
+
+    /**
+     * Small direct-mapped functional translation cache (see
+     * translateCached). A few entries instead of one: kernels commonly
+     * stream from 2-3 distinct buffers (distinct pages) per iteration,
+     * which would thrash a single entry every access.
+     */
+    struct FuncTcacheEntry
+    {
+        bool valid = false;
+        Asid asid = 0;
+        std::uint64_t vpn = 0;
+        Addr pa_page = 0;
+    };
+    static constexpr unsigned kFuncTcacheEntries = 8;
+    std::array<FuncTcacheEntry, kFuncTcacheEntries> func_tcache_;
+    std::uint64_t page_mask_ = 0; ///< translationPageSize() - 1
+    unsigned page_shift_ = 0;     ///< log2(translationPageSize())
     unsigned live_slots_ = 0;
     /** Coalesced cycle wakeup: one pooled event, earliest arm wins. */
     Ticker tick_ticker_;

@@ -11,25 +11,54 @@ Tlb::Tlb(unsigned entries, unsigned assoc, std::uint64_t page_size)
       entries_(entries)
 {
     M2_ASSERT(entries % assoc == 0, "TLB entries not divisible by assoc");
+    M2_ASSERT(isPowerOfTwo(sets_),
+              "TLB set count must be a power of two (mask indexing)");
     M2_ASSERT(isPowerOfTwo(page_size), "TLB page size must be a power of two");
+    set_mask_ = sets_ - 1;
+    page_shift_ = floorLog2(page_size);
 }
 
 std::uint64_t
 Tlb::setOf(Asid asid, std::uint64_t vpn) const
 {
-    return mixHash64(vpn * 65537 + asid) % sets_;
+    return mixHash64(vpn * 65537 + asid) & set_mask_;
+}
+
+std::uint64_t
+Tlb::nextLruStamp()
+{
+    if (++lru_clock_ == 0) {
+        // 2^64 lookups would be needed to get here, but a wrapped clock
+        // would silently invert the entire LRU order; renormalize instead.
+        for (auto &e : entries_)
+            e.lru = 0;
+        lru_clock_ = 1;
+    }
+    return lru_clock_;
 }
 
 std::optional<Addr>
 Tlb::lookup(Asid asid, Addr va)
 {
-    std::uint64_t vpn = va / page_size_;
+    std::uint64_t vpn = va >> page_shift_;
+
+    // Last-translation fast path: no hash, no probe loop.
+    if (last_entry_ != nullptr && last_vpn_ == vpn && last_asid_ == asid) {
+        ++stats_.hits;
+        ++stats_.fast_hits;
+        last_entry_->lru = nextLruStamp();
+        return last_entry_->pa_page;
+    }
+
     std::uint64_t set = setOf(asid, vpn);
     for (unsigned w = 0; w < assoc_; ++w) {
         Entry &e = entries_[set * assoc_ + w];
         if (e.valid && e.asid == asid && e.vpn == vpn) {
             ++stats_.hits;
-            e.lru = ++lru_clock_;
+            e.lru = nextLruStamp();
+            last_entry_ = &e;
+            last_asid_ = asid;
+            last_vpn_ = vpn;
             return e.pa_page;
         }
     }
@@ -40,13 +69,15 @@ Tlb::lookup(Asid asid, Addr va)
 void
 Tlb::insert(Asid asid, Addr va, Addr pa_page)
 {
-    std::uint64_t vpn = va / page_size_;
+    std::uint64_t vpn = va >> page_shift_;
     std::uint64_t set = setOf(asid, vpn);
     Entry *victim = nullptr;
+    bool refresh = false;
     for (unsigned w = 0; w < assoc_; ++w) {
         Entry &e = entries_[set * assoc_ + w];
         if (e.valid && e.asid == asid && e.vpn == vpn) {
             victim = &e; // refresh existing
+            refresh = true;
             break;
         }
         if (!e.valid) {
@@ -56,23 +87,37 @@ Tlb::insert(Asid asid, Addr va, Addr pa_page)
         if (victim == nullptr || e.lru < victim->lru)
             victim = &e;
     }
+    if (victim->valid && !refresh) {
+        ++stats_.evictions;
+        // Coherence: the displaced translation must not survive in the
+        // fast path.
+        if (victim == last_entry_)
+            last_entry_ = nullptr;
+    }
     victim->valid = true;
     victim->asid = asid;
     victim->vpn = vpn;
     victim->pa_page = pa_page;
-    victim->lru = ++lru_clock_;
+    victim->lru = nextLruStamp();
+    // The just-installed translation is about to be used; prime the fast
+    // path with it.
+    last_entry_ = victim;
+    last_asid_ = asid;
+    last_vpn_ = vpn;
 }
 
 void
 Tlb::shootdown(Asid asid, Addr va)
 {
-    std::uint64_t vpn = va / page_size_;
+    std::uint64_t vpn = va >> page_shift_;
     std::uint64_t set = setOf(asid, vpn);
     for (unsigned w = 0; w < assoc_; ++w) {
         Entry &e = entries_[set * assoc_ + w];
         if (e.valid && e.asid == asid && e.vpn == vpn) {
             e.valid = false;
             ++stats_.shootdowns;
+            if (&e == last_entry_)
+                last_entry_ = nullptr;
         }
     }
 }
@@ -82,6 +127,7 @@ Tlb::flush()
 {
     for (auto &e : entries_)
         e.valid = false;
+    last_entry_ = nullptr;
 }
 
 DramTlb::DramTlb(Addr region_base, std::uint64_t region_bytes,

@@ -29,6 +29,11 @@ struct TlbStats
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t shootdowns = 0;
+    /** Hits served by the one-entry last-translation cache (subset of
+     *  hits): these skip the set-associative probe entirely. */
+    std::uint64_t fast_hits = 0;
+    /** Valid entries displaced by insert() (capacity/conflict evictions). */
+    std::uint64_t evictions = 0;
 
     double
     hitRate() const
@@ -43,6 +48,14 @@ struct TlbStats
 /**
  * Set-associative LRU TLB keyed by (ASID, virtual page number).
  * Timing-neutral: callers charge latency based on hit/miss.
+ *
+ * A one-entry last-translation cache sits in front of the probe:
+ * translation is queried on every global memory reference and references
+ * are strongly page-local, so most lookups resolve with two compares and
+ * no hashing. The fast-path entry points into the backing array (so LRU
+ * stamps stay exact) and is invalidated coherently on eviction,
+ * shootdown, and flush. The number of sets must be a power of two; set
+ * selection is mask-indexed (no division on the hot path).
  */
 class Tlb
 {
@@ -76,11 +89,24 @@ class Tlb
 
     std::uint64_t setOf(Asid asid, std::uint64_t vpn) const;
 
+    /** Advance the LRU clock, renormalizing on (theoretical) wrap so
+     *  replacement never sees stamps from both sides of the wrap. */
+    std::uint64_t nextLruStamp();
+
     unsigned sets_;
     unsigned assoc_;
+    std::uint64_t set_mask_;
     std::uint64_t page_size_;
+    unsigned page_shift_;
     std::vector<Entry> entries_;
     std::uint64_t lru_clock_ = 0;
+
+    /** Last-translation fast path: points at the entry that served the
+     *  previous hit (entries_ storage is stable). */
+    Entry *last_entry_ = nullptr;
+    Asid last_asid_ = 0;
+    std::uint64_t last_vpn_ = 0;
+
     TlbStats stats_;
 };
 

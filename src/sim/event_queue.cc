@@ -47,17 +47,33 @@ EventQueue::clearOccupied(unsigned bucket)
 void
 EventQueue::pushBucket(Event *ev)
 {
+    // Chains are kept sorted by (when, seq) so the bucket minimum is
+    // always the head and extraction is O(1). The append fast path
+    // covers nearly all traffic: same-tick events arrive in seq order,
+    // and scheduling is mostly time-monotone within a 32-tick bucket.
     unsigned b = bucketOf(dayOf(ev->when));
-    ev->next = nullptr;
     ev->loc = Loc::Bucket;
     Bucket &bk = buckets_[b];
-    if (bk.tail != nullptr) {
-        bk.tail->next = ev;
-    } else {
-        bk.head = ev;
+    if (bk.tail == nullptr) {
+        ev->next = nullptr;
+        bk.head = bk.tail = ev;
         setOccupied(b);
+    } else if (!before(ev, bk.tail)) {
+        ev->next = nullptr;
+        bk.tail->next = ev;
+        bk.tail = ev;
+    } else {
+        Event *prev = nullptr;
+        Event *cur = bk.head;
+        while (cur != nullptr && !before(ev, cur)) {
+            prev = cur;
+            cur = cur->next;
+        }
+        ev->next = cur;
+        (prev != nullptr ? prev->next : bk.head) = ev;
+        // cur != nullptr here (the tail ordered after ev), so tail is
+        // unchanged.
     }
-    bk.tail = ev;
     ++cal_count_;
 }
 
@@ -184,10 +200,7 @@ EventQueue::peekMin(unsigned *bucket) const
     if (cal_count_ > 0) {
         unsigned b = findOccupiedFrom(occupied_, bucketOf(cal_day_));
         M2_ASSERT(b < kBucketCount, "calendar count / bitmap mismatch");
-        for (Event *e = buckets_[b].head; e != nullptr; e = e->next) {
-            if (best == nullptr || before(e, best))
-                best = e;
-        }
+        best = buckets_[b].head; // chains are sorted: head is the minimum
         best_bucket = b;
     }
     if (!overflow_.empty()) {
@@ -222,19 +235,11 @@ EventQueue::extractMin(Tick limit)
     }
 
     Event *best = nullptr;
-    Event *best_prev = nullptr;
     unsigned bucket = kBucketCount;
     if (cal_count_ > 0) {
         bucket = findOccupiedFrom(occupied_, bucketOf(cal_day_));
         M2_ASSERT(bucket < kBucketCount, "calendar count / bitmap mismatch");
-        Event *prev = nullptr;
-        for (Event *e = buckets_[bucket].head; e != nullptr;
-             prev = e, e = e->next) {
-            if (best == nullptr || before(e, best)) {
-                best = e;
-                best_prev = prev;
-            }
-        }
+        best = buckets_[bucket].head; // sorted chain: head is the minimum
     }
     bool from_overflow = false;
     if (!overflow_.empty() &&
@@ -248,9 +253,9 @@ EventQueue::extractMin(Tick limit)
 
     if (!from_overflow) {
         Bucket &bk = buckets_[bucket];
-        (best_prev != nullptr ? best_prev->next : bk.head) = best->next;
+        bk.head = best->next;
         if (bk.tail == best)
-            bk.tail = best_prev;
+            bk.tail = nullptr;
         if (bk.head == nullptr)
             clearOccupied(bucket);
         --cal_count_;

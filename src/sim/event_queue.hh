@@ -110,10 +110,14 @@ class EventQueue
     /**
      * Calendar geometry: 65536 buckets of 32 ticks = ~2.1 us horizon.
      * Buckets are much narrower than any modeled clock period (>= 500
-     * ticks), so even with hundreds of in-flight events the within-bucket
-     * ordering scan stays a handful of nodes. ~1 MiB of bucket headers per
-     * queue — one EventQueue exists per System, so this is cheap insurance
-     * against O(n) scans at high event density.
+     * ticks), so a bucket holds at most one cycle-edge tick. Chains are
+     * kept sorted by (when, seq) — see pushBucket — so extraction pops
+     * the head in O(1); the old unsorted chains cost an O(chain) min-scan
+     * per extract, which went quadratic at cycle edges where all units'
+     * tick events pile into one bucket. The ~2 us horizon keeps every
+     * dense latency in the model (DRAM chains, NoC, links) in the O(1)
+     * calendar tier; only sparse outliers (ATS walks) use the overflow
+     * heap. ~1 MiB of headers per queue — one EventQueue per System.
      */
     static constexpr unsigned kBucketShift = 5;
     static constexpr unsigned kBucketBits = 16;

@@ -121,7 +121,7 @@ streamBandwidth(const DramTiming &timing, unsigned channels, unsigned n,
     unsigned completed = 0;
     Tick last = 0;
     for (unsigned i = 0; i < n; ++i) {
-        auto pkt = std::make_unique<MemPacket>();
+        auto pkt = MemPacketPtr(MemPacketPool::alloc());
         pkt->op = MemOp::Read;
         pkt->addr = static_cast<Addr>(i) * stride;
         pkt->size = timing.access_bytes;
@@ -156,7 +156,7 @@ TEST(Dram, SingleChannelRowHitVsMissLatency)
 
     Tick first = 0, second = 0, far = 0;
     auto send = [&](Addr addr, Tick *out) {
-        auto pkt = std::make_unique<MemPacket>();
+        auto pkt = MemPacketPtr(MemPacketPool::alloc());
         pkt->op = MemOp::Read;
         pkt->addr = addr;
         pkt->size = 32;
@@ -249,7 +249,7 @@ Tick
 accessCache(EventQueue &eq, Cache &cache, MemOp op, Addr addr)
 {
     Tick done = kTickMax;
-    auto pkt = std::make_unique<MemPacket>();
+    auto pkt = MemPacketPtr(MemPacketPool::alloc());
     pkt->op = op;
     pkt->addr = addr;
     pkt->size = 32;
@@ -298,7 +298,7 @@ TEST(Cache, MshrMergesDuplicateSectorMisses)
 
     int completed = 0;
     for (int i = 0; i < 4; ++i) {
-        auto pkt = std::make_unique<MemPacket>();
+        auto pkt = MemPacketPtr(MemPacketPool::alloc());
         pkt->op = MemOp::Read;
         pkt->addr = 0x2000;
         pkt->size = 32;

@@ -191,7 +191,7 @@ TEST_P(DramPresetTest, StreamApproachesPeakAndNeverExceeds)
     unsigned n = 20000;
     Tick last = 0;
     for (unsigned i = 0; i < n; ++i) {
-        auto pkt = std::make_unique<MemPacket>();
+        auto pkt = MemPacketPtr(MemPacketPool::alloc());
         pkt->op = MemOp::Read;
         pkt->addr = static_cast<Addr>(i) * p.timing.access_bytes;
         pkt->size = p.timing.access_bytes;
@@ -256,7 +256,7 @@ TEST_P(CacheSweepTest, FillThenHitInvariant)
 
     // Fill.
     for (Addr a : addrs) {
-        auto pkt = std::make_unique<MemPacket>();
+        auto pkt = MemPacketPtr(MemPacketPool::alloc());
         pkt->op = MemOp::Read;
         pkt->addr = a;
         pkt->size = 32;
@@ -267,7 +267,7 @@ TEST_P(CacheSweepTest, FillThenHitInvariant)
     // for the most recent accesses that cannot have been evicted.
     std::uint64_t hits_before = cache.stats().read_hits;
     for (int i = 0; i < 4; ++i) {
-        auto pkt = std::make_unique<MemPacket>();
+        auto pkt = MemPacketPtr(MemPacketPool::alloc());
         pkt->op = MemOp::Read;
         pkt->addr = addrs[addrs.size() - 1 - i];
         pkt->size = 32;
@@ -310,6 +310,109 @@ TEST(PropertyTlb, LookupAfterInsertAndShootdown)
         }
     }
     EXPECT_GT(tlb.stats().hits, 400u);
+}
+
+TEST(PropertyTlb, HitMissAndEvictionAccounting)
+{
+    const std::uint64_t page = 2 * kMiB;
+    Tlb tlb(16, 2, page); // 8 sets x 2 ways: easy to fill
+    const Asid asid = 3;
+
+    // Cold lookups miss.
+    for (Addr va = 0; va < 4 * page; va += page)
+        EXPECT_FALSE(tlb.lookup(asid, va).has_value());
+    EXPECT_EQ(tlb.stats().misses, 4u);
+    EXPECT_EQ(tlb.stats().hits, 0u);
+
+    // Insert and re-lookup: hits, no evictions while capacity lasts.
+    for (Addr va = 0; va < 4 * page; va += page)
+        tlb.insert(asid, va, 0x1000000 + va);
+    EXPECT_EQ(tlb.stats().evictions, 0u);
+    for (Addr va = 0; va < 4 * page; va += page) {
+        auto hit = tlb.lookup(asid, va);
+        ASSERT_TRUE(hit.has_value());
+        EXPECT_EQ(*hit, 0x1000000 + va);
+    }
+    EXPECT_EQ(tlb.stats().hits, 4u);
+
+    // Re-inserting an existing translation refreshes, never evicts.
+    tlb.insert(asid, 0, 0x1000000);
+    EXPECT_EQ(tlb.stats().evictions, 0u);
+
+    // Overfilling forces evictions of valid entries.
+    for (Addr va = 0; va < 64 * page; va += page)
+        tlb.insert(asid, va, 0x2000000 + va);
+    EXPECT_GT(tlb.stats().evictions, 0u);
+}
+
+TEST(PropertyTlb, FastPathCountsAndAsidIsolation)
+{
+    const std::uint64_t page = 2 * kMiB;
+    Tlb tlb(64, 8, page);
+    const Asid a = 1, b = 2;
+    tlb.insert(a, 0, 0x10000000);
+    tlb.insert(b, 0, 0x20000000);
+
+    // Repeated same-page lookups ride the last-translation fast path.
+    std::uint64_t fast0 = tlb.stats().fast_hits;
+    for (int i = 0; i < 10; ++i) {
+        auto hit = tlb.lookup(a, 64u * i);
+        ASSERT_TRUE(hit.has_value());
+        EXPECT_EQ(*hit, 0x10000000u);
+    }
+    EXPECT_GE(tlb.stats().fast_hits - fast0, 9u);
+
+    // The fast path is keyed by ASID: the same VPN under another ASID
+    // must resolve to the other mapping, not the cached one.
+    auto hb = tlb.lookup(b, 0);
+    ASSERT_TRUE(hb.has_value());
+    EXPECT_EQ(*hb, 0x20000000u);
+    auto ha = tlb.lookup(a, 0);
+    ASSERT_TRUE(ha.has_value());
+    EXPECT_EQ(*ha, 0x10000000u);
+}
+
+TEST(PropertyTlb, FastPathInvalidatedOnShootdownEvictAndFlush)
+{
+    const std::uint64_t page = 2 * kMiB;
+    const Asid asid = 7;
+
+    // Shootdown right after a fast-path hit: the next lookup must miss.
+    {
+        Tlb tlb(64, 8, page);
+        tlb.insert(asid, 0, 0x1000000);
+        ASSERT_TRUE(tlb.lookup(asid, 0).has_value());
+        ASSERT_TRUE(tlb.lookup(asid, 0).has_value()); // primes fast path
+        tlb.shootdown(asid, 0);
+        EXPECT_FALSE(tlb.lookup(asid, 0).has_value());
+    }
+
+    // Flush: everything gone, including the fast-path entry.
+    {
+        Tlb tlb(64, 8, page);
+        tlb.insert(asid, 0, 0x1000000);
+        ASSERT_TRUE(tlb.lookup(asid, 0).has_value());
+        tlb.flush();
+        EXPECT_FALSE(tlb.lookup(asid, 0).has_value());
+    }
+
+    // Eviction: hammer a tiny TLB until the fast-path entry's slot is
+    // recycled; stale translations must never be returned.
+    {
+        Tlb tlb(4, 1, page); // direct-mapped, 4 sets
+        tlb.insert(asid, 0, 0x1000000);
+        ASSERT_TRUE(tlb.lookup(asid, 0).has_value());
+        for (Addr va = page; va < 64 * page; va += page)
+            tlb.insert(asid, va, 0x2000000 + va);
+        // The entry for VPN 0 was displaced at some point; a lookup must
+        // either miss or return the correct (re-inserted) translation —
+        // never 0x1000000 from a stale fast-path pointer.
+        auto hit = tlb.lookup(asid, 0);
+        if (hit.has_value()) {
+            EXPECT_NE(*hit, 0x1000000u);
+        }
+        EXPECT_GT(tlb.stats().evictions, 0u);
+    }
 }
 
 TEST(PropertyTlb, DramTlbShootdownAndRefill)
