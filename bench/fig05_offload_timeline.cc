@@ -41,13 +41,13 @@ main(int argc, char **argv)
         auto &proc = sys.createProcess();
         NdpRuntimeConfig rc;
         rc.scheme = scheme;
-        auto rt = sys.createRuntime(proc, 0, rc);
+        auto rt = sys.createRuntime(proc, rc);
         KernelResources res;
         res.num_int_regs = 4;
         std::int64_t kid = rt->registerKernel("nop\n", res);
         Addr a = proc.allocate(4096);
         Tick start = sys.eq().now();
-        rt->launchKernelSync(kid, a, a + 256, {});
+        rt->launchKernelSync(LaunchDesc(kid, a, a + 256));
         Tick elapsed = sys.eq().now() - start;
         row(offloadSchemeName(scheme),
             static_cast<double>(elapsed) / kNs, "ns");

@@ -49,7 +49,7 @@ main(int argc, char **argv)
         for (const auto &s : schemes) {
             NdpRuntimeConfig rc;
             rc.scheme = s.scheme;
-            auto rt = sys.createRuntime(proc, 0, rc);
+            auto rt = sys.createRuntime(proc, rc);
             auto r = kvs.runNdp(*rt);
             double improvement =
                 base_p95 / r.latency_ns.percentile(95);

@@ -104,8 +104,7 @@ main(int argc, char **argv)
                 dc.table_rows = static_cast<std::uint64_t>(50e3 * scale);
                 DlrmWorkload w(sys, proc, dc);
                 w.setup();
-                std::vector<NdpRuntime *> rts{&rt};
-                auto r = w.runNdp(rts);
+                auto r = w.runNdp(rt);
                 double paper = batch == 4 ? 4.0 : batch == 32 ? 6.4 : 6.7;
                 return Entry{"DLRM(SLS)-B" + std::to_string(batch),
                              w.gpuDesc(), r.runtime, paper};
@@ -120,8 +119,7 @@ main(int argc, char **argv)
                 oc.sim_layers = 1;
                 OptWorkload w(sys, proc, oc);
                 w.setup();
-                std::vector<NdpRuntime *> rts{&rt};
-                auto r = w.runNdp(rts);
+                auto r = w.runNdp(rt);
                 // Extrapolate the slice to the full model per token.
                 Tick token = w.extrapolatedTokenTime(r.runtime);
                 return Entry{oc.model.name + "(Gen)", w.gpuDesc(), token,

@@ -43,7 +43,7 @@ main(int argc, char **argv)
             kvs.setup();
             NdpRuntimeConfig rc;
             rc.scheme = scheme;
-            auto rt = sys.createRuntime(proc, 0, rc);
+            auto rt = sys.createRuntime(proc, rc);
             auto r = kvs.runNdp(*rt);
             double p95_us = r.latency_ns.percentile(95) / 1000.0;
             if (p95_us > 999.0)
@@ -72,7 +72,7 @@ main(int argc, char **argv)
         NdpRuntimeConfig rc;
         rc.scheme = scheme;
         rc.io.oneway_latency = 300 * kNs; // CXL.io one-way == CXL.mem-ish
-        auto rt = sys.createRuntime(proc, 0, rc);
+        auto rt = sys.createRuntime(proc, rc);
         auto r = kvs.runNdp(*rt);
         char label[80];
         std::snprintf(label, sizeof(label), "KVS_A p95 @1M rps, %s",

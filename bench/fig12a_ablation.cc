@@ -38,7 +38,7 @@ runHisto(const Variant &v, std::uint64_t elems)
     auto &proc = sys.createProcess();
     NdpRuntimeConfig rc;
     rc.scheme = v.scheme;
-    auto rt = sys.createRuntime(proc, 0, rc);
+    auto rt = sys.createRuntime(proc, rc);
     HistoWorkload w(sys, proc, 4096, elems);
     w.setup();
     return w.runNdp(*rt).runtime;
@@ -54,7 +54,7 @@ runSpmv(const Variant &v, std::uint32_t nodes)
     auto &proc = sys.createProcess();
     NdpRuntimeConfig rc;
     rc.scheme = v.scheme;
-    auto rt = sys.createRuntime(proc, 0, rc);
+    auto rt = sys.createRuntime(proc, rc);
     SpmvWorkload w(sys, proc, generateUniform(nodes, nodes * 24, 7));
     w.setup();
     return w.runNdp(*rt).runtime;
@@ -70,14 +70,13 @@ runDlrm(const Variant &v, unsigned batch)
     auto &proc = sys.createProcess();
     NdpRuntimeConfig rc;
     rc.scheme = v.scheme;
-    auto rt = sys.createRuntime(proc, 0, rc);
+    auto rt = sys.createRuntime(proc, rc);
     DlrmConfig dc;
     dc.batch = batch;
     dc.table_rows = 30000;
     DlrmWorkload w(sys, proc, dc);
     w.setup();
-    std::vector<NdpRuntime *> rts{rt.get()};
-    return w.runNdp(rts).runtime;
+    return w.runNdp(*rt).runtime;
 }
 
 } // namespace

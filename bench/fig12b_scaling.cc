@@ -32,12 +32,7 @@ main(int argc, char **argv)
             sc.num_devices = d;
             System sys(sc);
             auto &proc = sys.createProcess();
-            std::vector<std::unique_ptr<NdpRuntime>> rts;
-            std::vector<NdpRuntime *> rt_ptrs;
-            for (unsigned i = 0; i < d; ++i) {
-                rts.push_back(sys.createRuntime(proc, i));
-                rt_ptrs.push_back(rts.back().get());
-            }
+            auto rt = sys.createRuntime(proc);
             DlrmConfig dc;
             dc.batch = args.full ? 256 : 64;
             dc.table_rows =
@@ -45,7 +40,7 @@ main(int argc, char **argv)
             dc.devices = d;
             DlrmWorkload w(sys, proc, dc);
             w.setup();
-            auto r = w.runNdp(rt_ptrs);
+            auto r = w.runNdp(*rt);
             // Per-device shard is constant => scaling = throughput ratio.
             double thpt = r.dram_bytes / ticksToSeconds(r.runtime);
             if (base == 0)
@@ -64,12 +59,7 @@ main(int argc, char **argv)
             sc.num_devices = d;
             System sys(sc);
             auto &proc = sys.createProcess();
-            std::vector<std::unique_ptr<NdpRuntime>> rts;
-            std::vector<NdpRuntime *> rt_ptrs;
-            for (unsigned i = 0; i < d; ++i) {
-                rts.push_back(sys.createRuntime(proc, i));
-                rt_ptrs.push_back(rts.back().get());
-            }
+            auto rt = sys.createRuntime(proc);
             OptConfig oc;
             oc.model = big ? OptModel::opt30b() : OptModel::opt2_7b();
             oc.sim_hidden = args.full ? 512 : 256;
@@ -77,7 +67,7 @@ main(int argc, char **argv)
             oc.devices = d;
             OptWorkload w(sys, proc, oc);
             w.setup();
-            auto r = w.runNdp(rt_ptrs);
+            auto r = w.runNdp(*rt);
             Tick token =
                 w.extrapolatedTokenTime(r.runtime) + w.allReduceTime();
             double tokens_per_s = 1.0 / ticksToSeconds(token);

@@ -46,8 +46,7 @@ main(int argc, char **argv)
         dc.table_rows = static_cast<std::uint64_t>(40e3 * args.scale);
         DlrmWorkload w(sys, proc, dc);
         w.setup();
-        std::vector<NdpRuntime *> rts{rt.get()};
-        auto r = w.runNdp(rts);
+        auto r = w.runNdp(*rt);
         sls_util = r.achieved_gbps / 409.6;
     }
     // HISTO / CMS-style scan+filter.

@@ -117,9 +117,8 @@ BM_EndToEndKernel(benchmark::State &state)
         std::int64_t kid = rt->registerKernel(kKernel, res);
         Addr a = proc.allocate(64 * kKiB);
         Addr c = proc.allocate(64 * kKiB);
-        std::vector<std::uint8_t> args(8);
-        std::memcpy(args.data(), &c, 8);
-        rt->launchKernelSync(kid, a, a + 64 * kKiB, args);
+        rt->launchKernelSync(
+            LaunchDesc(kid, a, a + 64 * kKiB).arg(c));
         benchmark::DoNotOptimize(sys.eq().now());
     }
 }

@@ -59,7 +59,7 @@ main(int argc, char **argv)
 
     NdpRuntimeConfig rb;
     rb.scheme = OffloadScheme::CxlIoRingBuffer;
-    auto rt_rb = sys.createRuntime(proc, 0, rb);
+    auto rt_rb = sys.createRuntime(proc, rb);
     auto res_rb = kvs.runNdp(*rt_rb);
     report("NDP via CXL.io ring buf", res_rb);
 

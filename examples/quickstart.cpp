@@ -1,7 +1,7 @@
 /**
  * @file
  * Quickstart: the Fig. 4 running example — C = A + B offloaded to the
- * CXL memory expander with M2NDP.
+ * CXL memory expander with M2NDP, driven through the stream API.
  *
  * Walks through the full user-level flow:
  *   1. build a Table IV system (host + CXL link + CXL-M2NDP device),
@@ -9,13 +9,16 @@
  *      M2func region and installs the packet-filter entry via CXL.io),
  *   3. place data in CXL memory,
  *   4. register an NDP kernel written in RISC-V+RVV assembly,
- *   5. launch it synchronously over CXL.mem (M2func) and check results.
+ *   5. launch it on a command stream (`NdpStream::launch` returns an
+ *      `NdpEvent` to poll or wait on) — each launch is one CXL.mem store
+ *      plus a deferred load (Fig. 5a), and independent streams run their
+ *      kernels concurrently,
+ *   6. wait on the event and check results.
  *
  * Build: cmake --build build && ./build/examples/quickstart
  */
 
 #include <cstdio>
-#include <cstring>
 #include <vector>
 
 #include "system/system.hh"
@@ -52,9 +55,11 @@ main()
     cfg.link = SystemConfig::linkForLoadToUse(150 * kNs);
     System sys(cfg);
 
-    // 2. Process + runtime (one-time CXL.io init happens here).
+    // 2. Process + runtime (one-time CXL.io init happens here). The
+    //    runtime spans every device; streams bind to one device each.
     auto &proc = sys.createProcess();
     auto rt = sys.createRuntime(proc);
+    NdpStream &stream = rt->createStream();
 
     // 3. Data in CXL memory.
     constexpr unsigned kN = 65536;
@@ -79,12 +84,15 @@ main()
                 sys.device().controller().kernelById(kid)->code
                     .staticInstructionCount());
 
-    // 5. Launch synchronously: uthread pool region = array A.
-    std::vector<std::uint8_t> args(16);
-    std::memcpy(args.data(), &b, 8);
-    std::memcpy(args.data() + 8, &c, 8);
+    // 5. Launch on the stream: uthread pool region = array A, two 64-bit
+    //    arguments packed straight into the 64 B M2func payload.
     Tick t0 = sys.eq().now();
-    std::int64_t iid = rt->launchKernelSync(kid, a, a + kN * 4, args);
+    NdpEvent ev = stream.launch(
+        LaunchDesc(kid, a, a + kN * 4).arg(b).arg(c));
+
+    // 6. The event is pollable (ev.done()) or awaitable; wait() drives
+    //    the simulation until the deferred return-value read arrives.
+    std::int64_t iid = ev.wait();
     Tick elapsed = sys.eq().now() - t0;
 
     std::vector<float> vc(kN);

@@ -6,10 +6,16 @@ Usage: check_bench.py NEW.json BASELINE.json [--tolerance FRAC]
 Fails (exit 1) when, relative to the committed baseline,
   - engine.speedup_vs_legacy drops by more than the tolerance, or
   - end_to_end.sim_instructions_per_sec drops by more than the tolerance, or
+  - launch_throughput.launches_per_sec drops by more than the tolerance, or
   - engine.checksums_match is false in the new result.
 
+A gated metric missing from the baseline (e.g. the first run after the
+metric was introduced) is skipped with a note; missing from the NEW result
+it fails — the benchmark must keep reporting every gated headline.
+
 The default tolerance is 10% (the ROADMAP's "regressions block a PR" bar);
-anything inside it is treated as host noise.
+anything inside it is treated as host noise. launches_per_sec is measured
+in simulated time and is deterministic, but shares the same gate.
 """
 
 import argparse
@@ -18,12 +24,22 @@ import sys
 
 
 def gated_metrics(doc):
-    return {
-        "engine.speedup_vs_legacy": float(doc["engine"]["speedup_vs_legacy"]),
-        "end_to_end.sim_instructions_per_sec": float(
-            doc["end_to_end"]["sim_instructions_per_sec"]
-        ),
-    }
+    """Gated headline metrics present in *doc* (dotted path -> value)."""
+    paths = [
+        "engine.speedup_vs_legacy",
+        "end_to_end.sim_instructions_per_sec",
+        "launch_throughput.launches_per_sec",
+    ]
+    out = {}
+    for path in paths:
+        node = doc
+        try:
+            for key in path.split("."):
+                node = node[key]
+        except (KeyError, TypeError):
+            continue
+        out[path] = float(node)
+    return out
 
 
 def main():
@@ -47,7 +63,13 @@ def main():
 
     new_m = gated_metrics(new)
     base_m = gated_metrics(base)
+    for name in new_m:
+        if name not in base_m:
+            print(f"[SKIP] {name}: not in baseline (new metric)")
     for name, base_v in base_m.items():
+        if name not in new_m:
+            failures.append(f"{name} missing from the new result")
+            continue
         new_v = new_m[name]
         if base_v <= 0:
             continue

@@ -230,16 +230,56 @@ CxlMemoryExpander::unitMemAccess(unsigned unit, MemOp op, Addr pa,
         launch();
 }
 
+CxlMemoryExpander::PayloadNode *
+CxlMemoryExpander::allocPayload()
+{
+    if (free_payloads_ == nullptr) {
+        constexpr unsigned kSlab = 64;
+        payload_slabs_.push_back(std::make_unique<PayloadNode[]>(kSlab));
+        PayloadNode *slab = payload_slabs_.back().get();
+        for (unsigned i = 0; i < kSlab; ++i) {
+            slab[i].next = free_payloads_;
+            free_payloads_ = &slab[i];
+        }
+    }
+    PayloadNode *node = free_payloads_;
+    free_payloads_ = node->next;
+    node->next = nullptr;
+    return node;
+}
+
+void
+CxlMemoryExpander::releasePayload(PayloadNode *node)
+{
+    node->next = free_payloads_;
+    free_payloads_ = node;
+}
+
+TickCallback
+CxlMemoryExpander::respondThrough(unsigned resp_port,
+                                  std::uint32_t xbar_size,
+                                  TickCallback done)
+{
+    MemPacket *carrier =
+        makePacket(MemOp::Read, 0, xbar_size, MemSource::Host, eq_.now(),
+                   std::move(done))
+            .release();
+    return [this, carrier, resp_port, xbar_size](Tick t) {
+        Tick resp = resp_xbar_->send(resp_port, xbar_size, t);
+        eq_.schedule(resp, [carrier, resp] {
+            MemPacketPtr p(carrier);
+            p->complete(resp);
+        });
+    };
+}
+
 void
 CxlMemoryExpander::peerMemAccess(MemOp op, Addr pa, std::uint32_t size,
                                  TickCallback done)
 {
-    auto wrapped = [this, size, done = std::move(done)](Tick t) mutable {
-        Tick resp = resp_xbar_->send(peerRespPort(cfg_), size, t);
-        eq_.schedule(resp,
-                     [done = std::move(done), resp]() mutable { done(resp); });
-    };
-    localMemAccess(op, pa, size, MemSource::Peer, std::move(wrapped));
+    localMemAccess(op, pa, size, MemSource::Peer,
+                   respondThrough(peerRespPort(cfg_), size,
+                                  std::move(done)));
 }
 
 // --------------------------------------------------------------------------
@@ -247,36 +287,46 @@ CxlMemoryExpander::peerMemAccess(MemOp op, Addr pa, std::uint32_t size,
 // --------------------------------------------------------------------------
 
 void
-CxlMemoryExpander::cxlWrite(Addr hpa, const std::vector<std::uint8_t> &data,
+CxlMemoryExpander::cxlWrite(Addr hpa, const void *data, std::uint32_t size,
                             TickCallback done)
 {
     auto match = filter_.match(hpa);
     if (match) {
         ++dstats_.m2func_calls;
-        // Store the payload functionally in the M2func region, then invoke
-        // the controller after its processing latency.
-        mem_.write(hpa, data.data(), data.size());
-        M2FuncPayload payload{data};
+        // Store the payload functionally in the M2func region and stage a
+        // copy in a pooled buffer for the controller. The staging copy is
+        // required for correctness, not just allocation-freedom: launch
+        // slots are strided 32 B apart (Section III-B), so a 64 B payload
+        // in the region overlaps the next slot and a concurrent launch
+        // there would clobber this one's argument bytes before the
+        // controller handles them. The event captures only the node
+        // pointer (fits the inline buffer).
+        mem_.write(hpa, data, size);
+        if (size > M2FuncPayload::kMaxBytes) {
+            // The controller only ever sees the staged (clamped) copy, so
+            // the oversize diagnostic must fire here.
+            M2_WARN("M2func payload exceeds 64 B; truncating semantics");
+        }
         Asid asid = match->asid;
         std::uint64_t offset = match->offset;
+        PayloadNode *node = allocPayload();
+        node->payload.size = static_cast<std::uint8_t>(
+            std::min<std::uint32_t>(size, M2FuncPayload::kMaxBytes));
+        std::memcpy(node->payload.bytes.data(), data, node->payload.size);
         eq_.scheduleAfter(cfg_.m2func_latency,
-                          [this, asid, offset, payload = std::move(payload)] {
-                              controller_->handleWrite(asid, offset, payload);
+                          [this, asid, offset, node] {
+                              controller_->handleWrite(asid, offset,
+                                                       node->payload);
+                              releasePayload(node);
                           });
         // The write itself is acked immediately (Fig. 5a).
         done(eq_.now() + cfg_.m2func_latency);
         return;
     }
     ++dstats_.host_writes;
-    mem_.write(hpa, data.data(), data.size());
-    auto wrapped = [this, done = std::move(done)](Tick t) mutable {
-        Tick resp = resp_xbar_->send(hostRespPort(cfg_), 16, t);
-        eq_.schedule(resp,
-                     [done = std::move(done), resp]() mutable { done(resp); });
-    };
-    localMemAccess(MemOp::Write, hpa,
-                   static_cast<std::uint32_t>(data.size()),
-                   MemSource::Host, std::move(wrapped));
+    mem_.write(hpa, data, size);
+    localMemAccess(MemOp::Write, hpa, size, MemSource::Host,
+                   respondThrough(hostRespPort(cfg_), 16, std::move(done)));
 }
 
 void
@@ -287,28 +337,30 @@ CxlMemoryExpander::cxlRead(Addr hpa, std::uint32_t size,
     if (match) {
         ++dstats_.m2func_calls;
         Asid asid = match->asid;
+        // Carrier packet trick (see respondThrough): the deferred
+        // return-value responder must hold the completion callback without
+        // overflowing inline capture buffers.
+        MemPacket *carrier = makePacket(MemOp::Read, hpa, size,
+                                        MemSource::Host, eq_.now(),
+                                        std::move(done))
+                                 .release();
         eq_.scheduleAfter(
             cfg_.m2func_latency,
-            [this, asid, offset = match->offset, hpa,
-             done = std::move(done)]() mutable {
+            [this, asid, offset = match->offset, hpa, carrier] {
                 controller_->handleRead(
                     asid, offset,
-                    [this, hpa,
-                     done = std::move(done)](std::int64_t value) mutable {
+                    [this, hpa, carrier](std::int64_t value) {
                         mem_.write<std::int64_t>(hpa, value);
-                        done(eq_.now());
+                        MemPacketPtr p(carrier);
+                        p->complete(eq_.now());
                     });
             });
         return;
     }
     ++dstats_.host_reads;
-    auto wrapped = [this, size, done = std::move(done)](Tick t) mutable {
-        Tick resp = resp_xbar_->send(hostRespPort(cfg_), size, t);
-        eq_.schedule(resp,
-                     [done = std::move(done), resp]() mutable { done(resp); });
-    };
     localMemAccess(MemOp::Read, hpa, size, MemSource::Host,
-                   std::move(wrapped));
+                   respondThrough(hostRespPort(cfg_), size,
+                                  std::move(done)));
 }
 
 // --------------------------------------------------------------------------
@@ -370,6 +422,20 @@ void
 CxlMemoryExpander::funcWrite(Addr pa, const void *in, unsigned size)
 {
     mem_.write(pa, in, size);
+}
+
+void
+CxlMemoryExpander::funcRead(Addr pa, void *out, unsigned size,
+                            SparseMemory::FrameHint &hint)
+{
+    mem_.read(pa, out, size, hint);
+}
+
+void
+CxlMemoryExpander::funcWrite(Addr pa, const void *in, unsigned size,
+                             SparseMemory::FrameHint &hint)
+{
+    mem_.write(pa, in, size, hint);
 }
 
 std::uint64_t

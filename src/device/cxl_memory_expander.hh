@@ -120,9 +120,11 @@ class CxlMemoryExpander : public NdpUnitEnv, public NdpControllerEnv
     /**
      * A CXL.mem write (M2S RwD) arrived. Passes through the packet filter;
      * M2func hits go to the NDP controller, everything else is a memory
-     * write. @p done fires when the NDR response may be sent.
+     * write. @p done fires when the NDR response may be sent. The payload
+     * is consumed (written to functional memory) before this returns, so
+     * the caller's buffer need not outlive the call.
      */
-    void cxlWrite(Addr hpa, const std::vector<std::uint8_t> &data,
+    void cxlWrite(Addr hpa, const void *data, std::uint32_t size,
                   TickCallback done);
 
     /** A CXL.mem read (M2S Req) arrived. @p done carries the data tick. */
@@ -185,6 +187,10 @@ class CxlMemoryExpander : public NdpUnitEnv, public NdpControllerEnv
     std::optional<Addr> translateFunctional(Asid asid, Addr va) override;
     void funcRead(Addr pa, void *out, unsigned size) override;
     void funcWrite(Addr pa, const void *in, unsigned size) override;
+    void funcRead(Addr pa, void *out, unsigned size,
+                  SparseMemory::FrameHint &hint) override;
+    void funcWrite(Addr pa, const void *in, unsigned size,
+                   SparseMemory::FrameHint &hint) override;
     std::uint64_t funcAmo(AmoOp op, Addr pa, std::uint64_t operand,
                           unsigned width) override;
     Addr dramTlbEntryPa(Asid asid, Addr va) override;
@@ -217,6 +223,31 @@ class CxlMemoryExpander : public NdpUnitEnv, public NdpControllerEnv
     /** Timing access into this device's own memory path. */
     void localMemAccess(MemOp op, Addr pa, std::uint32_t size,
                         MemSource source, TickCallback done);
+
+    /**
+     * Wrap @p done so the completion additionally books @p xbar_size bytes
+     * on response-crossbar port @p resp_port before firing. The original
+     * callback rides on a pooled carrier packet — a TickCallback is 56 B,
+     * so capturing it in a lambda would overflow the 48 B inline buffer
+     * and heap-allocate per access; the carrier keeps the wrap at zero
+     * allocations.
+     */
+    TickCallback respondThrough(unsigned resp_port, std::uint32_t xbar_size,
+                                TickCallback done);
+
+    /**
+     * Pooled staging buffer for an M2func payload in flight between the
+     * CXL.mem ingress and the controller (see cxlWrite for why staging is
+     * required and why events carry only the node pointer).
+     */
+    struct PayloadNode
+    {
+        PayloadNode *next = nullptr;
+        M2FuncPayload payload;
+    };
+
+    PayloadNode *allocPayload();
+    void releasePayload(PayloadNode *node);
 
     EventQueue &eq_;
     DeviceConfig cfg_;
@@ -251,6 +282,9 @@ class CxlMemoryExpander : public NdpUnitEnv, public NdpControllerEnv
     Rng bi_rng_;
     PeerAccessFn peer_access_;
     DeviceStats dstats_;
+
+    PayloadNode *free_payloads_ = nullptr;
+    std::vector<std::unique_ptr<PayloadNode[]>> payload_slabs_;
 };
 
 } // namespace m2ndp

@@ -10,65 +10,151 @@ HostCxlPort::HostCxlPort(EventQueue &eq, CxlLink &link,
 {
 }
 
+HostCxlPort::~HostCxlPort() = default;
+
+HostCxlPort::HostAccess *
+HostCxlPort::allocAccess()
+{
+    if (free_accesses_ == nullptr) {
+        constexpr unsigned kSlab = 64;
+        access_slabs_.push_back(std::make_unique<HostAccess[]>(kSlab));
+        HostAccess *slab = access_slabs_.back().get();
+        for (unsigned i = 0; i < kSlab; ++i) {
+            slab[i].next = free_accesses_;
+            free_accesses_ = &slab[i];
+        }
+    }
+    HostAccess *a = free_accesses_;
+    free_accesses_ = a->next;
+    a->next = nullptr;
+    a->port = this;
+    a->big_data.reset();
+    a->done.reset();
+    return a;
+}
+
 void
-HostCxlPort::writeAsync(Addr hpa, std::vector<std::uint8_t> data,
+HostCxlPort::releaseAccess(HostAccess *a)
+{
+    a->done.reset();
+    a->big_data.reset();
+    a->next = free_accesses_;
+    free_accesses_ = a;
+}
+
+// --------------------------------------------------------------------------
+// Write chain (M2S RwD -> S2M NDR)
+// --------------------------------------------------------------------------
+
+void
+HostCxlPort::writeAsync(Addr hpa, const void *data, std::uint32_t size,
                         TickCallback done)
 {
     ++stats_.writes;
-    Tick issue = eq_.now() + cfg_.host_overhead;
-    eq_.schedule(issue, [this, hpa, data = std::move(data),
-                         done = std::move(done)]() mutable {
-        Tick arrive =
-            link_.down().send(link_.writeReqBytes(
-                static_cast<std::uint32_t>(data.size())));
-        eq_.schedule(arrive, [this, hpa, data = std::move(data),
-                              done = std::move(done)]() mutable {
-            dev_.cxlWrite(
-                hpa, data, [this, done = std::move(done)](Tick t) mutable {
-                Tick at = std::max(eq_.now(), t);
-                eq_.schedule(at, [this, done = std::move(done)]() mutable {
-                    Tick back = link_.up().send(link_.ndrBytes());
-                    eq_.schedule(back + cfg_.host_overhead,
-                                 [this, done = std::move(done)]() mutable {
-                                     done(eq_.now());
-                                 });
-                });
-            });
-        });
-    });
+    HostAccess *a = allocAccess();
+    a->hpa = hpa;
+    a->size = size;
+    a->start = eq_.now();
+    a->is_write = true;
+    a->done = std::move(done);
+    if (size <= HostAccess::kInlineBytes) {
+        std::memcpy(a->inline_data, data, size);
+    } else {
+        a->big_data = std::make_unique<std::uint8_t[]>(size);
+        std::memcpy(a->big_data.get(), data, size);
+    }
+    eq_.scheduleAfter(cfg_.host_overhead, [a] { a->port->wDeliver(a); });
 }
+
+void
+HostCxlPort::wDeliver(HostAccess *a)
+{
+    Tick arrive = link_.down().send(link_.writeReqBytes(a->size));
+    eq_.schedule(arrive, [a] { a->port->wAtDevice(a); });
+}
+
+void
+HostCxlPort::wAtDevice(HostAccess *a)
+{
+    dev_.cxlWrite(a->hpa, a->data(), a->size,
+                  [a](Tick t) { a->port->wDeviceDone(a, t); });
+}
+
+void
+HostCxlPort::wDeviceDone(HostAccess *a, Tick t)
+{
+    Tick at = std::max(eq_.now(), t);
+    eq_.schedule(at, [a] { a->port->wSendNdr(a); });
+}
+
+void
+HostCxlPort::wSendNdr(HostAccess *a)
+{
+    Tick back = link_.up().send(link_.ndrBytes());
+    eq_.schedule(back + cfg_.host_overhead, [a] { a->port->finish(a); });
+}
+
+// --------------------------------------------------------------------------
+// Read chain (M2S Req -> S2M DRS)
+// --------------------------------------------------------------------------
 
 void
 HostCxlPort::readAsync(Addr hpa, std::uint32_t size, TickCallback done)
 {
     ++stats_.reads;
-    Tick start = eq_.now();
-    Tick issue = start + cfg_.host_overhead;
-    eq_.schedule(issue, [this, hpa, size, start,
-                         done = std::move(done)]() mutable {
-        Tick arrive = link_.down().send(link_.readReqBytes());
-        eq_.schedule(arrive, [this, hpa, size, start,
-                              done = std::move(done)]() mutable {
-            dev_.cxlRead(hpa, size, [this, size, start,
-                                     done = std::move(done)](Tick t) mutable {
-                Tick at = std::max(eq_.now(), t);
-                eq_.schedule(at, [this, size, start,
-                                  done = std::move(done)]() mutable {
-                    Tick back = link_.up().send(link_.dataRespBytes(size));
-                    eq_.schedule(back + cfg_.host_overhead,
-                                 [this, start,
-                                  done = std::move(done)]() mutable {
-                                     stats_.read_latency.add(
-                                         static_cast<double>(eq_.now() -
-                                                             start) /
-                                         kNs);
-                                     done(eq_.now());
-                                 });
-                });
-            });
-        });
-    });
+    HostAccess *a = allocAccess();
+    a->hpa = hpa;
+    a->size = size;
+    a->start = eq_.now();
+    a->is_write = false;
+    a->done = std::move(done);
+    eq_.scheduleAfter(cfg_.host_overhead, [a] { a->port->rDeliver(a); });
 }
+
+void
+HostCxlPort::rDeliver(HostAccess *a)
+{
+    Tick arrive = link_.down().send(link_.readReqBytes());
+    eq_.schedule(arrive, [a] { a->port->rAtDevice(a); });
+}
+
+void
+HostCxlPort::rAtDevice(HostAccess *a)
+{
+    dev_.cxlRead(a->hpa, a->size,
+                 [a](Tick t) { a->port->rDeviceDone(a, t); });
+}
+
+void
+HostCxlPort::rDeviceDone(HostAccess *a, Tick t)
+{
+    Tick at = std::max(eq_.now(), t);
+    eq_.schedule(at, [a] { a->port->rSendData(a); });
+}
+
+void
+HostCxlPort::rSendData(HostAccess *a)
+{
+    Tick back = link_.up().send(link_.dataRespBytes(a->size));
+    eq_.schedule(back + cfg_.host_overhead, [a] { a->port->finish(a); });
+}
+
+void
+HostCxlPort::finish(HostAccess *a)
+{
+    Tick now = eq_.now();
+    if (!a->is_write) {
+        stats_.read_latency.add(static_cast<double>(now - a->start) / kNs);
+    }
+    TickCallback done = std::move(a->done);
+    releaseAccess(a);
+    if (done)
+        done(now);
+}
+
+// --------------------------------------------------------------------------
+// Blocking helpers
+// --------------------------------------------------------------------------
 
 void
 HostCxlPort::runUntil(const bool &flag)
@@ -82,11 +168,9 @@ HostCxlPort::runUntil(const bool &flag)
 Tick
 HostCxlPort::write(Addr hpa, const void *data, std::uint32_t size)
 {
-    std::vector<std::uint8_t> bytes(size);
-    std::memcpy(bytes.data(), data, size);
     bool done = false;
     Tick when = 0;
-    writeAsync(hpa, std::move(bytes), [&](Tick t) {
+    writeAsync(hpa, data, size, [&](Tick t) {
         done = true;
         when = t;
     });

@@ -8,6 +8,14 @@
  * cost calibrated so that the idle load-to-use latency matches Table IV
  * (150 ns default; 300/600 ns variants).
  *
+ * Accesses in flight are carried by slab-pooled `HostAccess` records: the
+ * write payload (up to 64 B inline — the M2func maximum) and the completion
+ * callback live on the record, so every event scheduled along the
+ * issue -> link -> device -> link -> completion chain captures only the
+ * record pointer and stays within the 48 B inline buffer. A warm host
+ * access performs zero heap allocations end to end; payloads larger than
+ * the inline buffer (bulk setup traffic) fall back to a heap copy.
+ *
  * Blocking helpers drive the event queue until the access completes, so
  * examples read as ordinary sequential host code.
  */
@@ -15,7 +23,8 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <cstring>
+#include <memory>
 #include <vector>
 
 #include "common/stats.hh"
@@ -45,9 +54,17 @@ class HostCxlPort
   public:
     HostCxlPort(EventQueue &eq, CxlLink &link, CxlMemoryExpander &dev,
                 HostPortConfig cfg = {});
+    ~HostCxlPort();
 
-    /** Async CXL.mem write (M2S RwD). @p done fires when the NDR returns. */
-    void writeAsync(Addr hpa, std::vector<std::uint8_t> data,
+    HostCxlPort(const HostCxlPort &) = delete;
+    HostCxlPort &operator=(const HostCxlPort &) = delete;
+
+    /**
+     * Async CXL.mem write (M2S RwD). The payload is copied onto a pooled
+     * access record (inline up to 64 B). @p done (optional) fires when the
+     * NDR returns.
+     */
+    void writeAsync(Addr hpa, const void *data, std::uint32_t size,
                     TickCallback done);
 
     /** Async CXL.mem read (M2S Req). @p done fires when data arrives. */
@@ -85,11 +102,56 @@ class HostCxlPort
     const HostPortConfig &config() const { return cfg_; }
 
   private:
+    /**
+     * One host access in flight. Pool-recycled; all chained events capture
+     * only the record pointer.
+     */
+    struct HostAccess
+    {
+        /** Payload bytes stored inline (M2func payloads are <= 64 B). */
+        static constexpr std::uint32_t kInlineBytes = 64;
+
+        HostAccess *next = nullptr; ///< freelist link
+        HostCxlPort *port = nullptr;
+        Addr hpa = 0;
+        std::uint32_t size = 0;
+        Tick start = 0;
+        bool is_write = false;
+        TickCallback done;
+        std::uint8_t inline_data[kInlineBytes];
+        /** Cold fallback for bulk writes (setup traffic). */
+        std::unique_ptr<std::uint8_t[]> big_data;
+
+        const std::uint8_t *
+        data() const
+        {
+            return big_data ? big_data.get() : inline_data;
+        }
+    };
+
+    HostAccess *allocAccess();
+    void releaseAccess(HostAccess *a);
+
+    // Write chain: issue -> link -> device -> NDR -> completion.
+    void wDeliver(HostAccess *a);
+    void wAtDevice(HostAccess *a);
+    void wDeviceDone(HostAccess *a, Tick t);
+    void wSendNdr(HostAccess *a);
+    // Read chain: issue -> link -> device -> data response -> completion.
+    void rDeliver(HostAccess *a);
+    void rAtDevice(HostAccess *a);
+    void rDeviceDone(HostAccess *a, Tick t);
+    void rSendData(HostAccess *a);
+    void finish(HostAccess *a);
+
     EventQueue &eq_;
     CxlLink &link_;
     CxlMemoryExpander &dev_;
     HostPortConfig cfg_;
     HostPortStats stats_;
+
+    HostAccess *free_accesses_ = nullptr;
+    std::vector<std::unique_ptr<HostAccess[]>> access_slabs_;
 };
 
 } // namespace m2ndp

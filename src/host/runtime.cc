@@ -17,39 +17,159 @@ offloadSchemeName(OffloadScheme scheme)
     return "?";
 }
 
-NdpRuntime::NdpRuntime(HostCxlPort &port, ProcessAddressSpace &process,
-                       Addr m2func_region_pa, NdpRuntimeConfig cfg)
-    : port_(port), process_(process), m2func_pa_(m2func_region_pa), cfg_(cfg)
+// --------------------------------------------------------------------------
+// NdpEvent
+// --------------------------------------------------------------------------
+
+bool
+NdpEvent::done() const
 {
+    return rec_ == nullptr || rec_->done;
+}
+
+unsigned
+NdpEvent::device() const
+{
+    return rec_ != nullptr ? rec_->device : 0;
+}
+
+std::int64_t
+NdpEvent::instanceId() const
+{
+    return rec_ != nullptr ? rec_->instance_id : kNdpErr;
+}
+
+Tick
+NdpEvent::completedAt() const
+{
+    return rec_ != nullptr ? rec_->completed_at : 0;
+}
+
+std::int64_t
+NdpEvent::wait()
+{
+    if (rec_ == nullptr)
+        return kNdpErr;
+    rt_->waitFor(rec_);
+    return rec_->instance_id;
+}
+
+void
+NdpEvent::onComplete(LaunchCallback cb)
+{
+    M2_ASSERT(rec_ != nullptr, "onComplete on an empty event");
+    if (rec_->done) {
+        if (cb)
+            cb(rec_->instance_id, rec_->completed_at);
+        return;
+    }
+    M2_ASSERT(!rec_->on_complete, "launch already has a completion hook");
+    rec_->on_complete = std::move(cb);
+}
+
+void
+NdpEvent::release()
+{
+    if (rec_ != nullptr) {
+        rt_->releaseRecordRef(rec_);
+        rec_ = nullptr;
+        rt_ = nullptr;
+    }
+}
+
+// --------------------------------------------------------------------------
+// NdpStream
+// --------------------------------------------------------------------------
+
+NdpEvent
+NdpStream::launch(const LaunchDesc &desc)
+{
+    LaunchRecord *rec = rt_.makeRecord(desc, device_, false);
+    ++launched_;
+    if (rec->done) {
+        // Rejected at submit time (bad kernel handle): the event carries
+        // the error; nothing enters the queue.
+        ++completed_;
+        return NdpEvent(&rt_, rec);
+    }
+    rec->stream = this;
+    rec->next = nullptr;
+    if (queue_tail_ != nullptr)
+        queue_tail_->next = rec;
+    else
+        queue_head_ = rec;
+    queue_tail_ = rec;
+    pump();
+    return NdpEvent(&rt_, rec);
+}
+
+void
+NdpStream::pump()
+{
+    if (in_flight_ || queue_head_ == nullptr)
+        return;
+    LaunchRecord *rec = queue_head_;
+    queue_head_ = rec->next;
+    if (queue_head_ == nullptr)
+        queue_tail_ = nullptr;
+    rec->next = nullptr;
+    in_flight_ = true;
+    rt_.issueRecord(rec);
+}
+
+void
+NdpStream::recordCompleted(LaunchRecord *rec)
+{
+    (void)rec;
+    ++completed_;
+    in_flight_ = false;
+    pump();
+}
+
+void
+NdpStream::synchronize()
+{
+    auto &eq = rt_.port(device_).eventQueue();
+    while (!idle()) {
+        if (!eq.step())
+            M2_PANIC("event queue drained with stream launches pending");
+    }
+}
+
+// --------------------------------------------------------------------------
+// NdpRuntime — construction, registry, management calls
+// --------------------------------------------------------------------------
+
+NdpRuntime::NdpRuntime(std::vector<HostCxlPort *> ports,
+                       ProcessAddressSpace &process,
+                       std::vector<Addr> m2func_region_pas,
+                       NdpRuntimeConfig cfg)
+    : eq_(ports.at(0)->eventQueue()), process_(process), cfg_(cfg)
+{
+    M2_ASSERT(ports.size() == m2func_region_pas.size(),
+              "one M2func region per device port required");
+    devs_.resize(ports.size());
+    for (std::size_t d = 0; d < ports.size(); ++d) {
+        devs_[d].port = ports[d];
+        devs_[d].m2func_pa = m2func_region_pas[d];
+        devs_[d].slot_busy.assign(kM2FuncLaunchSlots, false);
+        devs_[d].kernel_ids.push_back(kNdpErr); // handle 0 is invalid
+    }
     // Staging buffer for kernel source text (written once per register).
     code_staging_va_ = process_.allocate(256 * kKiB);
 }
 
-std::vector<std::uint8_t>
-NdpRuntime::packLaunchPayload(std::int64_t kernel_id, bool sync,
-                              Addr pool_base, Addr pool_bound,
-                              const std::vector<std::uint8_t> &args) const
-{
-    M2_ASSERT(args.size() <= 32,
-              "kernel args exceed the 64 B launch payload; pass a pointer "
-              "to memory instead (Section III-C)");
-    std::vector<std::uint8_t> p(32 + args.size(), 0);
-    p[0] = sync ? 1 : 0;
-    p[1] = static_cast<std::uint8_t>(args.size());
-    std::memcpy(p.data() + 8, &kernel_id, 8);
-    std::memcpy(p.data() + 16, &pool_base, 8);
-    std::memcpy(p.data() + 24, &pool_bound, 8);
-    std::memcpy(p.data() + 32, args.data(), args.size());
-    return p;
-}
+NdpRuntime::~NdpRuntime() = default;
 
 std::int64_t
 NdpRuntime::registerKernel(const std::string &source,
                            const KernelResources &res)
 {
     // 1) Place the kernel text in CXL memory (normal CXL.mem writes; large
-    //    inputs travel as data, not as function arguments).
-    auto &dev = port_.device();
+    //    inputs travel as data, not as function arguments). The staging
+    //    buffer is in the shared address space, so one upload serves every
+    //    device's register call.
+    auto &dev0 = devs_[0].port->device();
     for (std::uint64_t off = 0; off < source.size();
          off += SparseMemory::kFrameSize) {
         auto pa = process_.translate(code_staging_va_ + off);
@@ -59,264 +179,425 @@ NdpRuntime::registerKernel(const std::string &source,
         // Functional content write; timing for the bulk copy is not on the
         // offloading critical path (done once at setup).
         std::string piece = source.substr(off, chunk);
-        // route through device functional port
-        dev.funcWrite(*pa, piece.data(), piece.size());
+        dev0.funcWrite(*pa, piece.data(), piece.size());
     }
 
-    // 2) Call the register function.
-    std::vector<std::uint8_t> payload(19, 0);
+    // 2) Call the register function on every device; the runtime handle
+    //    maps to the per-device kernel ids.
+    std::uint8_t payload[19] = {};
     std::uint64_t loc = code_staging_va_;
     auto size32 = static_cast<std::uint32_t>(source.size());
-    std::memcpy(payload.data() + 0, &loc, 8);
-    std::memcpy(payload.data() + 8, &size32, 4);
-    std::memcpy(payload.data() + 12, &res.scratchpad_bytes, 4);
+    std::memcpy(payload + 0, &loc, 8);
+    std::memcpy(payload + 8, &size32, 4);
+    std::memcpy(payload + 12, &res.scratchpad_bytes, 4);
     payload[16] = res.num_int_regs;
     payload[17] = res.num_float_regs;
     payload[18] = res.num_vector_regs;
 
-    Addr addr = funcAddr(M2Func::RegisterKernel);
-    port_.write(addr, payload.data(), payload.size());
-    // fence (store->load ordering) is implicit in the blocking calls
-    return port_.read<std::int64_t>(addr);
+    std::vector<std::int64_t> ids;
+    for (auto &dev : devs_) {
+        Addr addr = funcAddr(dev, M2Func::RegisterKernel);
+        dev.port->write(addr, payload, sizeof(payload));
+        // fence (store->load ordering) is implicit in the blocking calls
+        std::int64_t id = dev.port->read<std::int64_t>(addr);
+        if (id < 0) {
+            // Roll back the devices that already accepted the kernel so
+            // a failed registration leaks nothing and can be retried.
+            for (std::size_t d = 0; d < ids.size(); ++d) {
+                Addr ua = funcAddr(devs_[d], M2Func::UnregisterKernel);
+                devs_[d].port->write(ua, &ids[d], 8);
+                devs_[d].port->read<std::int64_t>(ua);
+            }
+            return kNdpErr;
+        }
+        ids.push_back(id);
+    }
+    std::int64_t handle = next_kernel_handle_++;
+    for (std::size_t d = 0; d < devs_.size(); ++d)
+        devs_[d].kernel_ids.push_back(ids[d]);
+    return handle;
 }
 
 std::int64_t
 NdpRuntime::unregisterKernel(std::int64_t kernel_id)
 {
-    Addr addr = funcAddr(M2Func::UnregisterKernel);
-    port_.write(addr, &kernel_id, 8);
-    return port_.read<std::int64_t>(addr);
-}
-
-std::int64_t
-NdpRuntime::launchKernelSync(std::int64_t kernel_id, Addr pool_base,
-                             Addr pool_bound,
-                             const std::vector<std::uint8_t> &args)
-{
-    ++stats_.launches;
-    ++stats_.sync_launches;
-
-    if (cfg_.scheme == OffloadScheme::M2Func) {
-        auto payload =
-            packLaunchPayload(kernel_id, true, pool_base, pool_bound, args);
-        Addr addr = funcAddr(M2Func::LaunchKernel);
-        port_.write(addr, payload.data(), payload.size());
-        // The read response is deferred by the device until the kernel
-        // terminates (Section III-C).
-        return port_.read<std::int64_t>(addr);
+    std::int64_t result = 0;
+    for (auto &dev : devs_) {
+        std::int64_t dev_id = deviceKernelId(dev, kernel_id);
+        if (dev_id < 0)
+            return kNdpErr;
+        Addr addr = funcAddr(dev, M2Func::UnregisterKernel);
+        dev.port->write(addr, &dev_id, 8);
+        std::int64_t r = dev.port->read<std::int64_t>(addr);
+        if (r < 0)
+            result = r;
     }
-
-    // Baseline CXL.io schemes: issue async, then block.
-    bool done = false;
-    std::int64_t result = kNdpErr;
-    issueLaunch(kernel_id, true, pool_base, pool_bound, args,
-                [&](std::int64_t iid, Tick) {
-                    result = iid;
-                    done = true;
-                });
-    port_.runUntil(done);
+    if (result == 0 &&
+        kernel_id > 0 &&
+        static_cast<std::size_t>(kernel_id) < devs_[0].kernel_ids.size()) {
+        for (auto &dev : devs_)
+            dev.kernel_ids[static_cast<std::size_t>(kernel_id)] = kNdpErr;
+    }
     return result;
 }
 
-void
-NdpRuntime::launchKernelAsync(std::int64_t kernel_id, Addr pool_base,
-                              Addr pool_bound,
-                              const std::vector<std::uint8_t> &args,
-                              std::function<void(std::int64_t, Tick)>
-                                  on_complete)
+NdpStream &
+NdpRuntime::createStream(unsigned device)
 {
-    ++stats_.launches;
-    issueLaunch(kernel_id, false, pool_base, pool_bound, args,
-                std::move(on_complete));
-}
-
-void
-NdpRuntime::issueLaunch(std::int64_t kernel_id, bool sync, Addr pool_base,
-                        Addr pool_bound,
-                        const std::vector<std::uint8_t> &args,
-                        std::function<void(std::int64_t, Tick)> on_complete)
-{
-    auto &eq = port_.eventQueue();
-    auto &dev = port_.device();
-
-    switch (cfg_.scheme) {
-      case OffloadScheme::M2Func: {
-        m2func_queue_.push_back(DirectLaunch{kernel_id, pool_base,
-                                             pool_bound, args,
-                                             std::move(on_complete)});
-        pumpM2FuncQueue();
-        return;
-      }
-      case OffloadScheme::CxlIoRingBuffer: {
-        // Fig. 5b: CMD enqueue + doorbell + command fetch: kernel starts
-        // 5y after the host initiates; completion (CMP + host check)
-        // reaches the host 3y after kernel end.
-        Tick y = cfg_.io.oneway_latency;
-        auto &ctrl = dev.controller();
-        Asid asid = process_.asid();
-        eq.scheduleAfter(5 * y, [this, &ctrl, &eq, asid, kernel_id,
-                                 pool_base, pool_bound, args,
-                                 cb = std::move(on_complete), y]() mutable {
-            std::int64_t iid = ctrl.launch(asid, kernel_id, false, pool_base,
-                                           pool_bound, args, {});
-            if (iid < 0) {
-                if (cb)
-                    cb(iid, eq.now());
-                return;
-            }
-            hookCompletion(iid, 3 * y, std::move(cb));
-        });
-        return;
-      }
-      case OffloadScheme::CxlIoDirect: {
-        direct_queue_.push_back(DirectLaunch{kernel_id, pool_base, pool_bound,
-                                             args, std::move(on_complete)});
-        pumpDirectQueue();
-        return;
-      }
-    }
-}
-
-void
-NdpRuntime::pumpM2FuncQueue()
-{
-    if (slot_busy_.empty())
-        slot_busy_.assign(kM2FuncLaunchSlots, false);
-    while (!m2func_queue_.empty()) {
-        // Find a free launch slot (round robin).
-        unsigned slot = kM2FuncLaunchSlots;
-        for (unsigned k = 0; k < kM2FuncLaunchSlots; ++k) {
-            unsigned cand = (rr_slot_ + k) % kM2FuncLaunchSlots;
-            if (!slot_busy_[cand]) {
-                slot = cand;
-                break;
-            }
-        }
-        if (slot == kM2FuncLaunchSlots)
-            return; // all slots have a launch in flight; retry on free
-        rr_slot_ = (slot + 1) % kM2FuncLaunchSlots;
-        slot_busy_[slot] = true;
-        DirectLaunch launch = std::move(m2func_queue_.front());
-        m2func_queue_.pop_front();
-        m2funcLaunchOn(slot, launch);
-    }
-}
-
-void
-NdpRuntime::m2funcLaunchOn(unsigned slot, const DirectLaunch &launch)
-{
-    // Synchronous-launch protocol on a private slot (Fig. 5a): the write
-    // carries the arguments, and the return-value read is *deferred by the
-    // device until the kernel terminates* — so its arrival doubles as the
-    // completion notification, with no extra poll round trip.
-    auto payload = packLaunchPayload(launch.kernel_id, true, launch.base,
-                                     launch.bound, launch.args);
-    Addr addr = m2func_pa_ +
-                (kM2FuncLaunchSlotBase + slot) * kM2FuncStride;
-    port_.writeAsync(addr, std::move(payload), [](Tick) {});
-    port_.readAsync(addr, 8,
-                    [this, addr, slot,
-                     cb = launch.on_complete](Tick t) mutable {
-                        std::int64_t iid = 0;
-                        port_.device().funcRead(addr, &iid, 8);
-                        slot_busy_[slot] = false;
-                        pumpM2FuncQueue();
-                        if (cb)
-                            cb(iid, t);
-                    });
-}
-
-void
-NdpRuntime::pumpDirectQueue()
-{
-    if (direct_busy_ || direct_queue_.empty())
-        return;
-    direct_busy_ = true;
-    DirectLaunch launch = std::move(direct_queue_.front());
-    direct_queue_.pop_front();
-
-    auto &eq = port_.eventQueue();
-    auto &ctrl = port_.device().controller();
-    Tick y = cfg_.io.oneway_latency;
-    Asid asid = process_.asid();
-    // Fig. 5c: MMIO doorbell: kernel starts 2y after initiation; the
-    // result register read costs another y after kernel end.
-    eq.scheduleAfter(2 * y, [this, &ctrl, &eq, asid, launch = std::move(launch),
-                             y]() mutable {
-        std::int64_t iid =
-            ctrl.launch(asid, launch.kernel_id, false, launch.base,
-                        launch.bound, launch.args, {});
-        if (iid < 0) {
-            direct_busy_ = false;
-            if (launch.on_complete)
-                launch.on_complete(iid, eq.now());
-            pumpDirectQueue();
-            return;
-        }
-        hookCompletion(iid, y,
-                       [this, cb = std::move(launch.on_complete)](
-                           std::int64_t id, Tick t) {
-                           direct_busy_ = false;
-                           if (cb)
-                               cb(id, t);
-                           pumpDirectQueue();
-                       });
-    });
-}
-
-void
-NdpRuntime::hookCompletion(std::int64_t iid, Tick extra_delay,
-                           std::function<void(std::int64_t, Tick)> cb)
-{
-    auto &eq = port_.eventQueue();
-    port_.device().controller().onInstanceComplete(
-        iid, [this, iid, extra_delay, &eq,
-              cb = std::move(cb)](Tick t) mutable {
-            if (!cb)
-                return;
-            if (cfg_.scheme == OffloadScheme::M2Func) {
-                // Completion notification costs one CXL.mem read (the
-                // deferred ndpPollKernelStatus fetch).
-                port_.readAsync(funcAddr(M2Func::PollKernelStatus), 8,
-                                [iid, cb = std::move(cb)](Tick rt) {
-                                    cb(iid, rt);
-                                });
-            } else {
-                eq.scheduleAfter(extra_delay,
-                                 [iid, t, extra_delay,
-                                  cb = std::move(cb)]() mutable {
-                                     cb(iid, t + extra_delay);
-                                 });
-            }
-        });
+    M2_ASSERT(device < devs_.size(), "stream bound to nonexistent device");
+    ++stats_.streams_created;
+    streams_.push_back(
+        std::unique_ptr<NdpStream>(new NdpStream(*this, device)));
+    return *streams_.back();
 }
 
 KernelStatus
-NdpRuntime::pollKernelStatus(std::int64_t instance_id)
+NdpRuntime::pollKernelStatus(std::int64_t instance_id, unsigned device)
 {
     ++stats_.polls;
+    DeviceState &dev = devs_.at(device);
     if (cfg_.scheme == OffloadScheme::M2Func) {
-        Addr addr = funcAddr(M2Func::PollKernelStatus);
-        port_.write(addr, &instance_id, 8);
-        return static_cast<KernelStatus>(port_.read<std::int64_t>(addr));
+        Addr addr = funcAddr(dev, M2Func::PollKernelStatus);
+        dev.port->write(addr, &instance_id, 8);
+        return static_cast<KernelStatus>(dev.port->read<std::int64_t>(addr));
     }
     // CXL.io poll: one expensive MMIO/polling round trip (Section II-C).
     bool done = false;
-    port_.eventQueue().scheduleAfter(cfg_.io.poll_latency,
-                                     [&done] { done = true; });
-    port_.runUntil(done);
-    return port_.device().controller().status(instance_id);
+    eq_.scheduleAfter(cfg_.io.poll_latency, [&done] { done = true; });
+    dev.port->runUntil(done);
+    return dev.port->device().controller().status(instance_id);
 }
 
 std::int64_t
 NdpRuntime::shootdownTlbEntry(Asid asid, Addr va)
 {
-    std::vector<std::uint8_t> payload(10, 0);
-    std::memcpy(payload.data(), &va, 8);
-    std::memcpy(payload.data() + 8, &asid, 2);
-    Addr addr = funcAddr(M2Func::ShootdownTlbEntry);
-    port_.write(addr, payload.data(), payload.size());
-    return port_.read<std::int64_t>(addr);
+    std::uint8_t payload[10] = {};
+    std::memcpy(payload, &va, 8);
+    std::memcpy(payload + 8, &asid, 2);
+    std::int64_t result = 0;
+    for (auto &dev : devs_) {
+        Addr addr = funcAddr(dev, M2Func::ShootdownTlbEntry);
+        dev.port->write(addr, payload, sizeof(payload));
+        std::int64_t r = dev.port->read<std::int64_t>(addr);
+        if (r < 0)
+            result = r;
+    }
+    return result;
+}
+
+void
+NdpRuntime::synchronize()
+{
+    for (auto &s : streams_)
+        s->synchronize();
+}
+
+std::int64_t
+NdpRuntime::deviceKernelId(const DeviceState &dev,
+                           std::int64_t kernel) const
+{
+    if (kernel <= 0 ||
+        static_cast<std::size_t>(kernel) >= dev.kernel_ids.size())
+        return kNdpErr;
+    return dev.kernel_ids[static_cast<std::size_t>(kernel)];
+}
+
+// --------------------------------------------------------------------------
+// Launch-record pool
+// --------------------------------------------------------------------------
+
+LaunchRecord *
+NdpRuntime::allocRecord()
+{
+    if (free_records_ == nullptr) {
+        constexpr unsigned kSlab = 64;
+        record_slabs_.push_back(std::make_unique<LaunchRecord[]>(kSlab));
+        LaunchRecord *slab = record_slabs_.back().get();
+        for (unsigned i = 0; i < kSlab; ++i) {
+            slab[i].next = free_records_;
+            free_records_ = &slab[i];
+        }
+    }
+    LaunchRecord *rec = free_records_;
+    free_records_ = rec->next;
+    rec->next = nullptr;
+    rec->stream = nullptr;
+    rec->rt = this;
+    rec->device = 0;
+    rec->slot = 0;
+    rec->refs = 0;
+    rec->done = false;
+    rec->sync = false;
+    rec->instance_id = kNdpErr;
+    rec->issued_at = 0;
+    rec->completed_at = 0;
+    rec->on_complete.reset();
+    return rec;
+}
+
+void
+NdpRuntime::releaseRecordRef(LaunchRecord *rec)
+{
+    M2_ASSERT(rec->refs > 0, "launch record refcount underflow");
+    if (--rec->refs == 0) {
+        rec->on_complete.reset();
+        rec->next = free_records_;
+        free_records_ = rec;
+    }
+}
+
+LaunchRecord *
+NdpRuntime::makeRecord(const LaunchDesc &desc, unsigned device, bool sync)
+{
+    M2_ASSERT(device < devs_.size(), "launch to nonexistent device");
+    LaunchRecord *rec = allocRecord();
+    rec->desc = desc;
+    rec->device = device;
+    rec->sync = sync;
+    rec->refs = 2; // runtime (until completion) + event handle
+    if (deviceKernelId(devs_[device], desc.kernel()) < 0) {
+        // Reject unknown kernel handles at submit time, mirroring the
+        // device's own validation; the event completes immediately with
+        // the error code.
+        rec->done = true;
+        rec->instance_id = kNdpErr;
+        rec->completed_at = eq_.now();
+        releaseRecordRef(rec); // runtime side is already finished
+    }
+    return rec;
+}
+
+// --------------------------------------------------------------------------
+// Issue paths
+// --------------------------------------------------------------------------
+
+void
+NdpRuntime::issueRecord(LaunchRecord *rec)
+{
+    ++stats_.launches;
+    ++stats_.in_flight;
+    stats_.peak_in_flight = std::max(stats_.peak_in_flight,
+                                     stats_.in_flight);
+    rec->issued_at = eq_.now();
+    switch (cfg_.scheme) {
+      case OffloadScheme::M2Func: issueM2Func(rec); return;
+      case OffloadScheme::CxlIoRingBuffer: issueRingBuffer(rec); return;
+      case OffloadScheme::CxlIoDirect: issueDirect(rec); return;
+    }
+}
+
+void
+NdpRuntime::completeRecord(LaunchRecord *rec, std::int64_t iid, Tick t)
+{
+    rec->done = true;
+    rec->instance_id = iid;
+    rec->completed_at = t;
+    ++stats_.completions;
+    --stats_.in_flight;
+    if (rec->on_complete) {
+        auto cb = std::move(rec->on_complete);
+        cb(iid, t);
+    }
+    if (rec->stream != nullptr)
+        rec->stream->recordCompleted(rec);
+    releaseRecordRef(rec);
+}
+
+void
+NdpRuntime::waitFor(LaunchRecord *rec)
+{
+    while (!rec->done) {
+        if (!eq_.step())
+            M2_PANIC("event queue drained while waiting for a launch");
+    }
+}
+
+std::int64_t
+NdpRuntime::launchKernelSync(const LaunchDesc &desc, unsigned device)
+{
+    LaunchRecord *rec = makeRecord(desc, device, true);
+    if (!rec->done) {
+        // Submit-time rejections count in neither launches nor
+        // sync_launches, keeping sync_launches <= launches == issued.
+        ++stats_.sync_launches;
+        issueRecord(rec);
+    }
+    NdpEvent ev(this, rec);
+    return ev.wait();
+}
+
+// ---- M2func (Fig. 5a): store args, deferred return-value load ----
+
+void
+NdpRuntime::issueM2Func(LaunchRecord *rec)
+{
+    DeviceState &dev = devs_[rec->device];
+    // Queue, then drain: the pump owns the free-slot scan, so launches
+    // that find a slot immediately and launches that waited share one
+    // assignment path.
+    rec->next = nullptr;
+    if (dev.m2f_wait_tail != nullptr)
+        dev.m2f_wait_tail->next = rec;
+    else
+        dev.m2f_wait_head = rec;
+    dev.m2f_wait_tail = rec;
+    pumpM2FuncQueue(dev);
+}
+
+void
+NdpRuntime::pumpM2FuncQueue(DeviceState &dev)
+{
+    while (dev.m2f_wait_head != nullptr) {
+        unsigned slot = kM2FuncLaunchSlots;
+        for (unsigned k = 0; k < kM2FuncLaunchSlots; ++k) {
+            unsigned cand = (dev.rr_slot + k) % kM2FuncLaunchSlots;
+            if (!dev.slot_busy[cand]) {
+                slot = cand;
+                break;
+            }
+        }
+        if (slot == kM2FuncLaunchSlots)
+            return;
+        LaunchRecord *rec = dev.m2f_wait_head;
+        dev.m2f_wait_head = rec->next;
+        if (dev.m2f_wait_head == nullptr)
+            dev.m2f_wait_tail = nullptr;
+        rec->next = nullptr;
+        dev.rr_slot = (slot + 1) % kM2FuncLaunchSlots;
+        dev.slot_busy[slot] = true;
+        m2funcLaunchOn(dev, slot, rec);
+    }
+}
+
+void
+NdpRuntime::m2funcLaunchOn(DeviceState &dev, unsigned slot,
+                           LaunchRecord *rec)
+{
+    // Synchronous-launch protocol on a private slot (Fig. 5a): the write
+    // carries the arguments, and the return-value read is *deferred by the
+    // device until the kernel terminates* — so its arrival doubles as the
+    // completion notification, with no extra poll round trip.
+    rec->slot = slot;
+    static_assert(LaunchDesc::kPayloadBytes <=
+                      kM2FuncLaunchSlotStride * kM2FuncStride,
+                  "launch payload must fit the launch-slot stride");
+    std::uint8_t payload[LaunchDesc::kPayloadBytes];
+    unsigned len = rec->desc.pack(
+        payload, true, deviceKernelId(dev, rec->desc.kernel()));
+    Addr addr = dev.m2func_pa +
+                (kM2FuncLaunchSlotBase +
+                 slot * kM2FuncLaunchSlotStride) * kM2FuncStride;
+    dev.port->writeAsync(addr, payload, len, {});
+    dev.port->readAsync(addr, 8, [rec](Tick t) {
+        rec->rt->m2funcReturned(rec, t);
+    });
+}
+
+void
+NdpRuntime::m2funcReturned(LaunchRecord *rec, Tick t)
+{
+    DeviceState &dev = devs_[rec->device];
+    Addr addr = dev.m2func_pa +
+                (kM2FuncLaunchSlotBase +
+                 rec->slot * kM2FuncLaunchSlotStride) * kM2FuncStride;
+    std::int64_t iid = 0;
+    dev.port->device().funcRead(addr, &iid, 8);
+    dev.slot_busy[rec->slot] = false;
+    pumpM2FuncQueue(dev);
+    completeRecord(rec, iid, t);
+}
+
+// ---- CXL.io ring buffer (Fig. 5b) ----
+
+void
+NdpRuntime::issueRingBuffer(LaunchRecord *rec)
+{
+    // CMD enqueue + doorbell + command fetch: kernel starts 5y after the
+    // host initiates; completion (CMP + host check) reaches the host 3y
+    // after kernel end.
+    Tick y = cfg_.io.oneway_latency;
+    eq_.scheduleAfter(5 * y,
+                      [rec] { rec->rt->ringBufferArrived(rec); });
+}
+
+void
+NdpRuntime::ringBufferArrived(LaunchRecord *rec)
+{
+    DeviceState &dev = devs_[rec->device];
+    auto &ctrl = dev.port->device().controller();
+    std::int64_t iid = ctrl.launch(
+        process_.asid(), deviceKernelId(dev, rec->desc.kernel()), false,
+        rec->desc.poolBase(), rec->desc.poolBound(), rec->desc.argData(),
+        rec->desc.argSize());
+    if (iid < 0) {
+        completeRecord(rec, iid, eq_.now());
+        return;
+    }
+    Tick y = cfg_.io.oneway_latency;
+    ctrl.onInstanceComplete(iid, [rec, iid, y](Tick) {
+        rec->rt->eq_.scheduleAfter(3 * y, [rec, iid] {
+            rec->rt->completeRecord(rec, iid, rec->rt->eq_.now());
+        });
+    });
+}
+
+// ---- CXL.io direct MMIO (Fig. 5c): device-wide serialization ----
+
+void
+NdpRuntime::issueDirect(LaunchRecord *rec)
+{
+    DeviceState &dev = devs_[rec->device];
+    rec->next = nullptr;
+    if (dev.direct_tail != nullptr)
+        dev.direct_tail->next = rec;
+    else
+        dev.direct_head = rec;
+    dev.direct_tail = rec;
+    pumpDirectQueue(dev);
+}
+
+void
+NdpRuntime::pumpDirectQueue(DeviceState &dev)
+{
+    if (dev.direct_busy || dev.direct_head == nullptr)
+        return;
+    dev.direct_busy = true;
+    LaunchRecord *rec = dev.direct_head;
+    dev.direct_head = rec->next;
+    if (dev.direct_head == nullptr)
+        dev.direct_tail = nullptr;
+    rec->next = nullptr;
+    // Fig. 5c: MMIO doorbell: kernel starts 2y after initiation; the
+    // result register read costs another y after kernel end.
+    Tick y = cfg_.io.oneway_latency;
+    eq_.scheduleAfter(2 * y, [rec] { rec->rt->directArrived(rec); });
+}
+
+void
+NdpRuntime::directArrived(LaunchRecord *rec)
+{
+    DeviceState &dev = devs_[rec->device];
+    auto &ctrl = dev.port->device().controller();
+    std::int64_t iid = ctrl.launch(
+        process_.asid(), deviceKernelId(dev, rec->desc.kernel()), false,
+        rec->desc.poolBase(), rec->desc.poolBound(), rec->desc.argData(),
+        rec->desc.argSize());
+    if (iid < 0) {
+        dev.direct_busy = false;
+        completeRecord(rec, iid, eq_.now());
+        pumpDirectQueue(dev);
+        return;
+    }
+    Tick y = cfg_.io.oneway_latency;
+    ctrl.onInstanceComplete(iid, [rec, iid, y](Tick) {
+        rec->rt->eq_.scheduleAfter(y, [rec, iid] {
+            NdpRuntime *rt = rec->rt;
+            DeviceState &d = rt->devs_[rec->device];
+            d.direct_busy = false;
+            rt->completeRecord(rec, iid, rt->eq_.now());
+            rt->pumpDirectQueue(d);
+        });
+    });
 }
 
 } // namespace m2ndp

@@ -9,6 +9,14 @@
  * exactly the protocol of Section III-B. The user never sees offsets or
  * packet formats, mirroring the paper's API design goal.
  *
+ * Launches go through command streams (`NdpStream`, host/stream.hh): an
+ * in-order queue per stream, concurrency across streams, and pollable
+ * `NdpEvent` completion handles. One runtime spans every device in the
+ * system; streams route launches to their bound device, so multi-expander
+ * workloads drive all devices from a single runtime. Launch records are
+ * slab-pooled and every hot-path callback fits the 48 B inline buffer, so
+ * a warm launch burst performs zero heap allocations on the host side.
+ *
  * The CXL.io ring-buffer (RB) and direct-MMIO (DR) schemes charge the
  * observed end-to-end latencies of the conventional mechanisms; DR
  * additionally serializes kernels (dedicated device registers cannot be
@@ -18,12 +26,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "host/host.hh"
+#include "host/stream.hh"
 #include "mem/page_table.hh"
 #include "ndp/kernel.hh"
 #include "ndp/ndp_controller.hh"
@@ -51,109 +59,150 @@ struct NdpRuntimeStats
 {
     std::uint64_t launches = 0;
     std::uint64_t sync_launches = 0;
+    std::uint64_t completions = 0;
     std::uint64_t polls = 0;
-    Histogram launch_overhead_ns; ///< host-observed non-kernel overhead
+    std::uint64_t streams_created = 0;
+    /** Launches in flight right now / high-water mark. */
+    std::uint64_t in_flight = 0;
+    std::uint64_t peak_in_flight = 0;
 };
 
 /**
- * The user-level runtime bound to (process, device). Construct via
- * System::createRuntime so the M2func region is installed first.
+ * The user-level runtime bound to one process, spanning every device in
+ * the system. Construct via System::createRuntime so the per-device
+ * M2func regions are installed first.
  */
 class NdpRuntime
 {
   public:
-    NdpRuntime(HostCxlPort &port, ProcessAddressSpace &process,
-               Addr m2func_region_pa, NdpRuntimeConfig cfg = {});
+    /** One (port, M2func region) pair per device. */
+    NdpRuntime(std::vector<HostCxlPort *> ports,
+               ProcessAddressSpace &process,
+               std::vector<Addr> m2func_region_pas,
+               NdpRuntimeConfig cfg = {});
+    ~NdpRuntime();
+
+    NdpRuntime(const NdpRuntime &) = delete;
+    NdpRuntime &operator=(const NdpRuntime &) = delete;
 
     /**
      * Table II: ndpRegisterKernel. Writes the kernel source text into CXL
-     * memory, then calls the register function. Blocking.
-     * @return kernel id, or negative on error.
+     * memory, then calls the register function — on every device, so the
+     * returned kernel handle is launchable from any stream. Blocking.
+     * @return kernel handle, or negative on error.
      */
     std::int64_t registerKernel(const std::string &source,
                                 const KernelResources &res);
 
-    /** Table II: ndpUnregisterKernel. Blocking. */
+    /** Table II: ndpUnregisterKernel (all devices). Blocking. */
     std::int64_t unregisterKernel(std::int64_t kernel_id);
+
+    /**
+     * Create an in-order command stream bound to @p device. The stream is
+     * owned by the runtime and lives as long as it.
+     */
+    NdpStream &createStream(unsigned device = 0);
 
     /**
      * Table II: ndpLaunchKernel (synchronous). Blocks until the kernel
      * completes (the return-value read is held by the device).
      * @return kernel instance id, or negative on error.
      */
-    std::int64_t launchKernelSync(std::int64_t kernel_id, Addr pool_base,
-                                  Addr pool_bound,
-                                  const std::vector<std::uint8_t> &args = {});
-
-    /**
-     * Table II: ndpLaunchKernel (asynchronous). Returns after the launch
-     * write is acknowledged; @p on_complete fires when the kernel instance
-     * finishes (host-side completion notification included).
-     */
-    void launchKernelAsync(std::int64_t kernel_id, Addr pool_base,
-                           Addr pool_bound,
-                           const std::vector<std::uint8_t> &args,
-                           std::function<void(std::int64_t, Tick)> on_complete);
+    std::int64_t launchKernelSync(const LaunchDesc &desc,
+                                  unsigned device = 0);
 
     /** Table II: ndpPollKernelStatus. Blocking. */
-    KernelStatus pollKernelStatus(std::int64_t instance_id);
+    KernelStatus pollKernelStatus(std::int64_t instance_id,
+                                  unsigned device = 0);
 
-    /** Table II: ndpShootdownTlbEntry (privileged). Blocking. */
+    /** Table II: ndpShootdownTlbEntry (privileged, all devices). */
     std::int64_t shootdownTlbEntry(Asid asid, Addr va);
 
+    /** Drive the simulation until every stream of this runtime is idle. */
+    void synchronize();
+
+    unsigned numDevices() const
+    {
+        return static_cast<unsigned>(devs_.size());
+    }
     const NdpRuntimeStats &stats() const { return stats_; }
     ProcessAddressSpace &process() { return process_; }
-    HostCxlPort &port() { return port_; }
+    HostCxlPort &port(unsigned device = 0) { return *devs_[device].port; }
     const NdpRuntimeConfig &config() const { return cfg_; }
 
   private:
-    /** Pack+issue a launch via the configured scheme. */
-    void issueLaunch(std::int64_t kernel_id, bool sync, Addr pool_base,
-                     Addr pool_bound, const std::vector<std::uint8_t> &args,
-                     std::function<void(std::int64_t, Tick)> on_complete);
+    friend class NdpStream;
+    friend class NdpEvent;
 
-    std::vector<std::uint8_t> packLaunchPayload(
-        std::int64_t kernel_id, bool sync, Addr pool_base, Addr pool_bound,
-        const std::vector<std::uint8_t> &args) const;
-
-    /** Arrange host-side completion notification for instance @p iid. */
-    void hookCompletion(std::int64_t iid, Tick extra_delay,
-                        std::function<void(std::int64_t, Tick)> cb);
-
-    Addr funcAddr(M2Func fn) const
+    struct DeviceState
     {
-        return m2func_pa_ + static_cast<std::uint64_t>(fn) * kM2FuncStride;
+        HostCxlPort *port = nullptr;
+        Addr m2func_pa = 0;
+        /** Runtime kernel handle -> this device's kernel id. */
+        std::vector<std::int64_t> kernel_ids;
+        /** M2func launch-slot occupancy (Section III-B slot striding). */
+        std::vector<bool> slot_busy;
+        unsigned rr_slot = 0;
+        /** Records waiting for a free M2func slot (intrusive FIFO). */
+        LaunchRecord *m2f_wait_head = nullptr;
+        LaunchRecord *m2f_wait_tail = nullptr;
+        /** CXL.io direct scheme: one kernel at a time (Section III-C). */
+        bool direct_busy = false;
+        LaunchRecord *direct_head = nullptr;
+        LaunchRecord *direct_tail = nullptr;
+    };
+
+    // ---- launch-record pool ----
+    LaunchRecord *allocRecord();
+    void releaseRecordRef(LaunchRecord *rec);
+
+    /** Create a record for @p desc on @p device (refs = 2). */
+    LaunchRecord *makeRecord(const LaunchDesc &desc, unsigned device,
+                             bool sync);
+
+    // ---- issue path (called by streams and sync launches) ----
+    void issueRecord(LaunchRecord *rec);
+    void issueM2Func(LaunchRecord *rec);
+    void m2funcLaunchOn(DeviceState &dev, unsigned slot, LaunchRecord *rec);
+    void m2funcReturned(LaunchRecord *rec, Tick t);
+    void pumpM2FuncQueue(DeviceState &dev);
+    void issueRingBuffer(LaunchRecord *rec);
+    void ringBufferArrived(LaunchRecord *rec);
+    void issueDirect(LaunchRecord *rec);
+    void pumpDirectQueue(DeviceState &dev);
+    void directArrived(LaunchRecord *rec);
+
+    /** Mark @p rec complete, notify event/stream, release runtime ref. */
+    void completeRecord(LaunchRecord *rec, std::int64_t iid, Tick t);
+
+    /** Drive the event queue until @p rec completes. */
+    void waitFor(LaunchRecord *rec);
+
+    /** Resolve the runtime kernel handle for a device (kNdpErr if bad). */
+    std::int64_t deviceKernelId(const DeviceState &dev,
+                                std::int64_t kernel) const;
+
+    Addr
+    funcAddr(const DeviceState &dev, M2Func fn) const
+    {
+        return dev.m2func_pa +
+               static_cast<std::uint64_t>(fn) * kM2FuncStride;
     }
 
-    /** CXL.io direct scheme: one kernel at a time. */
-    void pumpDirectQueue();
-
-    HostCxlPort &port_;
+    EventQueue &eq_;
     ProcessAddressSpace &process_;
-    Addr m2func_pa_;
     NdpRuntimeConfig cfg_;
     NdpRuntimeStats stats_;
+    std::vector<DeviceState> devs_;
+    std::vector<std::unique_ptr<NdpStream>> streams_;
 
     /** Staging area in CXL memory for kernel source text. */
     Addr code_staging_va_ = 0;
+    std::int64_t next_kernel_handle_ = 1;
 
-    struct DirectLaunch
-    {
-        std::int64_t kernel_id;
-        Addr base, bound;
-        std::vector<std::uint8_t> args;
-        std::function<void(std::int64_t, Tick)> on_complete;
-    };
-    std::deque<DirectLaunch> direct_queue_;
-    bool direct_busy_ = false;
-
-    /** M2func async launches use a pool of launch-slot offsets so each
-     *  write->read return-value pair has a private slot (Section III-B). */
-    void m2funcLaunchOn(unsigned slot, const DirectLaunch &launch);
-    void pumpM2FuncQueue();
-    std::vector<bool> slot_busy_;
-    std::deque<DirectLaunch> m2func_queue_;
-    unsigned rr_slot_ = 0;
+    /** Slab-pooled launch records (retained for the runtime lifetime). */
+    LaunchRecord *free_records_ = nullptr;
+    std::vector<std::unique_ptr<LaunchRecord[]>> record_slabs_;
 };
 
 } // namespace m2ndp

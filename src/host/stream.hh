@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Stream-based offload API: typed launch descriptors, pollable completion
+ * events, and in-order command streams.
+ *
+ * The paper's launch path is cheap enough (Fig. 5a: one CXL.mem store plus
+ * one deferred load) that the host-side software stack becomes the
+ * bottleneck if it allocates or round-trips per launch. This layer keeps
+ * the host side allocation-free in steady state:
+ *
+ *  - `LaunchDesc` packs kernel id, pool region and up to 32 B of arguments
+ *    directly into the 64 B M2func payload format — no intermediate
+ *    std::vector, no copies beyond the final payload store.
+ *  - `NdpStream` is an in-order launch queue bound to (runtime, device).
+ *    A stream issues one launch at a time; the next queued launch is
+ *    released when the previous kernel instance completes. Concurrency
+ *    comes from using multiple streams (Section III-C: concurrent kernels
+ *    from multiple host threads, as with MPS).
+ *  - `NdpEvent` is a pollable/awaitable completion handle returned by
+ *    `NdpStream::launch`. It replaces the old
+ *    `std::function<void(int64_t, Tick)>` completion callback. Launch
+ *    records backing events are slab-pooled and recycled once the kernel
+ *    completed and the handle was dropped.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "common/callback.hh"
+#include "common/log.hh"
+#include "common/units.hh"
+
+namespace m2ndp {
+
+class NdpRuntime;
+class NdpStream;
+struct LaunchRecord;
+
+/**
+ * Typed builder for the 64 B launch payload (Section III-B wire format:
+ * [0] sync flag, [1] arg size, [8] kernel id, [16] pool base,
+ * [24] pool bound, [32..63] inline arguments).
+ */
+class LaunchDesc
+{
+  public:
+    /** Arguments beyond 32 B must travel through memory (Section III-C). */
+    static constexpr unsigned kMaxArgBytes = 32;
+    /** Total payload size: 32 B header + inline arguments. */
+    static constexpr unsigned kPayloadBytes = 64;
+
+    LaunchDesc() = default;
+
+    LaunchDesc(std::int64_t kernel, Addr pool_base, Addr pool_bound)
+        : kernel_(kernel), base_(pool_base), bound_(pool_bound)
+    {
+    }
+
+    /** Append one little-endian 64-bit argument. */
+    LaunchDesc &
+    arg(std::uint64_t v)
+    {
+        return args(&v, 8);
+    }
+
+    /** Append raw argument bytes. */
+    LaunchDesc &
+    args(const void *data, std::size_t size)
+    {
+        M2_ASSERT(nargs_ + size <= kMaxArgBytes,
+                  "kernel args exceed the 64 B launch payload; pass a "
+                  "pointer to memory instead (Section III-C)");
+        std::memcpy(arg_bytes_.data() + nargs_, data, size);
+        nargs_ += static_cast<std::uint8_t>(size);
+        return *this;
+    }
+
+    std::int64_t kernel() const { return kernel_; }
+    Addr poolBase() const { return base_; }
+    Addr poolBound() const { return bound_; }
+    const std::uint8_t *argData() const { return arg_bytes_.data(); }
+    std::uint8_t argSize() const { return nargs_; }
+
+    /**
+     * Serialize into the M2func wire format. @p out must hold
+     * kPayloadBytes. @p device_kernel_id is the id the target device knows
+     * the kernel by. @return payload length in bytes.
+     */
+    unsigned
+    pack(std::uint8_t *out, bool sync, std::int64_t device_kernel_id) const
+    {
+        std::memset(out, 0, 32);
+        out[0] = sync ? 1 : 0;
+        out[1] = nargs_;
+        std::memcpy(out + 8, &device_kernel_id, 8);
+        std::memcpy(out + 16, &base_, 8);
+        std::memcpy(out + 24, &bound_, 8);
+        std::memcpy(out + 32, arg_bytes_.data(), nargs_);
+        return 32 + nargs_;
+    }
+
+  private:
+    std::int64_t kernel_ = -1;
+    Addr base_ = 0;
+    Addr bound_ = 0;
+    std::uint8_t nargs_ = 0;
+    std::array<std::uint8_t, kMaxArgBytes> arg_bytes_{};
+};
+
+/** Completion notification: (instance id or error, completion tick). */
+using LaunchCallback = InlineCallback<void(std::int64_t, Tick)>;
+
+/**
+ * One launch in flight (or queued, or completed). Slab-pooled by the
+ * runtime; reached through `NdpEvent` handles and the stream FIFO.
+ * Reference-counted: one reference held by the runtime until completion,
+ * one by the event handle until it is dropped.
+ */
+struct LaunchRecord
+{
+    LaunchRecord *next = nullptr; ///< stream FIFO / slot-wait / freelist
+    NdpRuntime *rt = nullptr;
+    NdpStream *stream = nullptr; ///< null for direct sync launches
+    LaunchDesc desc;
+    unsigned device = 0;
+    unsigned slot = 0; ///< M2func launch slot while in flight
+    std::uint8_t refs = 0;
+    bool done = false;
+    bool sync = false;
+    std::int64_t instance_id = -1;
+    Tick issued_at = 0;
+    Tick completed_at = 0;
+    /** Optional completion hook (fires once, at completion tick). */
+    LaunchCallback on_complete;
+};
+
+/**
+ * Pollable/awaitable handle for one launch. Move-only; dropping the handle
+ * releases the underlying pooled record (once the launch also completed).
+ */
+class NdpEvent
+{
+  public:
+    NdpEvent() = default;
+    ~NdpEvent() { release(); }
+
+    NdpEvent(NdpEvent &&other) noexcept
+        : rt_(other.rt_), rec_(other.rec_)
+    {
+        other.rt_ = nullptr;
+        other.rec_ = nullptr;
+    }
+
+    NdpEvent &
+    operator=(NdpEvent &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            rt_ = other.rt_;
+            rec_ = other.rec_;
+            other.rt_ = nullptr;
+            other.rec_ = nullptr;
+        }
+        return *this;
+    }
+
+    NdpEvent(const NdpEvent &) = delete;
+    NdpEvent &operator=(const NdpEvent &) = delete;
+
+    /** True if this handle refers to a launch. */
+    bool valid() const { return rec_ != nullptr; }
+
+    /** Non-blocking completion poll. */
+    bool done() const;
+
+    /** Device the launch was routed to. */
+    unsigned device() const;
+
+    /** Kernel instance id (or negative error); valid once done(). */
+    std::int64_t instanceId() const;
+
+    /** Tick the kernel instance completed at; valid once done(). */
+    Tick completedAt() const;
+
+    /**
+     * Drive the simulation until the launch completes.
+     * @return the instance id (or negative error code).
+     */
+    std::int64_t wait();
+
+    /**
+     * Attach a completion hook: fires with (instance id, tick) when the
+     * kernel completes — immediately if it already did. At most one hook
+     * per launch. The hook capture must fit the 48 B inline buffer for
+     * the host path to stay allocation-free.
+     */
+    void onComplete(LaunchCallback cb);
+
+  private:
+    friend class NdpRuntime;
+    friend class NdpStream;
+    NdpEvent(NdpRuntime *rt, LaunchRecord *rec) : rt_(rt), rec_(rec) {}
+
+    void release();
+
+    NdpRuntime *rt_ = nullptr;
+    LaunchRecord *rec_ = nullptr;
+};
+
+/**
+ * In-order launch queue bound to (runtime, device). Launches submitted to
+ * the same stream execute one after another; launches on different streams
+ * (or different devices) run concurrently. Create via
+ * `NdpRuntime::createStream`.
+ */
+class NdpStream
+{
+  public:
+    /** Enqueue a launch; returns its completion event. */
+    NdpEvent launch(const LaunchDesc &desc);
+
+    /** Drive the simulation until every launch on this stream completed. */
+    void synchronize();
+
+    unsigned device() const { return device_; }
+    std::uint64_t launched() const { return launched_; }
+    std::uint64_t completed() const { return completed_; }
+
+    /** Launches accepted but not yet completed (queued + in flight). */
+    std::uint64_t pending() const { return launched_ - completed_; }
+
+    /** True when no launch is queued or in flight. */
+    bool idle() const { return launched_ == completed_; }
+
+    NdpStream(const NdpStream &) = delete;
+    NdpStream &operator=(const NdpStream &) = delete;
+
+  private:
+    friend class NdpRuntime;
+    NdpStream(NdpRuntime &rt, unsigned device) : rt_(rt), device_(device) {}
+
+    /** Issue the queue head if nothing from this stream is in flight. */
+    void pump();
+
+    /** Completion notification from the runtime. */
+    void recordCompleted(LaunchRecord *rec);
+
+    NdpRuntime &rt_;
+    unsigned device_;
+    LaunchRecord *queue_head_ = nullptr; ///< not yet issued
+    LaunchRecord *queue_tail_ = nullptr;
+    bool in_flight_ = false;
+    std::uint64_t launched_ = 0;
+    std::uint64_t completed_ = 0;
+};
+
+} // namespace m2ndp

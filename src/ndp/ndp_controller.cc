@@ -48,14 +48,16 @@ NdpController::handleLaunchWrite(Asid asid, std::uint64_t fn_index,
     auto kernel_id = payload.get<std::int64_t>(8);
     Addr base = payload.get<std::uint64_t>(16);
     Addr bound = payload.get<std::uint64_t>(24);
-    std::vector<std::uint8_t> args;
-    for (unsigned i = 0; i < argsize; ++i)
-        args.push_back(payload.get<std::uint8_t>(32 + i));
+    std::uint32_t avail =
+        payload.size > 32 ? static_cast<std::uint32_t>(payload.size) - 32
+                          : 0;
+    std::uint32_t args_size = std::min<std::uint32_t>(argsize, avail);
 
     // The *write* returns promptly; the launch return value is fetched by
     // the subsequent read to the same offset (deferred if synchronous).
     setReturn(asid, fn_index, kNdpErr, !sync);
-    std::int64_t iid = launch(asid, kernel_id, sync, base, bound, args, {});
+    std::int64_t iid = launch(asid, kernel_id, sync, base, bound,
+                              payload.bytes.data() + 32, args_size, {});
     if (iid < 0) {
         resolveReturn(asid, fn_index, kNdpErr);
         return;
@@ -78,9 +80,9 @@ void
 NdpController::handleWrite(Asid asid, std::uint64_t offset,
                            const M2FuncPayload &payload)
 {
-    if (payload.bytes.size() > cfg_.max_payload_bytes) {
-        M2_WARN("M2func payload exceeds 64 B; truncating semantics");
-    }
+    // Oversize payloads are diagnosed at the CXL.mem ingress (cxlWrite),
+    // where the unclamped size is still known; here payload.size is
+    // already <= the 64 B wire maximum.
     std::uint64_t fn_index = offset / kM2FuncStride;
     if (fn_index >= kM2FuncLaunchSlotBase) {
         handleLaunchWrite(asid, fn_index, payload);
@@ -205,7 +207,7 @@ NdpController::kernelById(std::int64_t id) const
 std::int64_t
 NdpController::launch(Asid asid, std::int64_t kernel_id, bool synchronous,
                       Addr pool_base, Addr pool_bound,
-                      const std::vector<std::uint8_t> &args,
+                      const std::uint8_t *args, std::uint32_t args_size,
                       std::function<void(Tick)> on_complete)
 {
     auto kit = kernels_.find(kernel_id);
@@ -230,7 +232,7 @@ NdpController::launch(Asid asid, std::int64_t kernel_id, bool synchronous,
     inst->synchronous = synchronous;
     inst->pool_base = pool_base;
     inst->pool_bound = pool_bound;
-    inst->args = args;
+    inst->args.assign(args, args + args_size);
     inst->args.resize(layout::kKernelArgWindow, 0);
     inst->phase = InstancePhase::Pending;
     inst->launched_at = env_.eventQueue().now();

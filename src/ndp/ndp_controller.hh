@@ -14,6 +14,7 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <deque>
@@ -55,20 +56,37 @@ inline constexpr std::uint64_t kM2FuncStride = 32;
 inline constexpr std::uint64_t kM2FuncLaunchSlotBase = 8;
 inline constexpr unsigned kM2FuncLaunchSlots = 56;
 
+/**
+ * Launch slots are spaced two stride units (64 B) apart: a launch payload
+ * is up to 64 B, so at the base 32 B stride a full payload written to
+ * slot k would alias slot k+1's offset — clobbering its staged return
+ * value while that slot's deferred read is still in flight. The 64 KiB
+ * M2func region has room to spare (Section III-B: "the offsets can be
+ * strided").
+ */
+inline constexpr std::uint64_t kM2FuncLaunchSlotStride = 2;
+
 /** Error return value (Table II: ERR is a negative value). */
 inline constexpr std::int64_t kNdpErr = -1;
 
-/** Wire format of an M2func write payload (little-endian, max 64 B). */
+/**
+ * Wire format of an M2func write payload (little-endian, max 64 B). Fixed
+ * inline storage: payloads are staged and passed by value on the launch
+ * path without touching the heap.
+ */
 struct M2FuncPayload
 {
-    std::vector<std::uint8_t> bytes;
+    static constexpr std::size_t kMaxBytes = 64;
+
+    std::array<std::uint8_t, kMaxBytes> bytes{};
+    std::uint8_t size = 0;
 
     template <typename T>
     T
     get(std::size_t offset) const
     {
         T v{};
-        if (offset + sizeof(T) <= bytes.size())
+        if (offset + sizeof(T) <= size)
             std::memcpy(&v, bytes.data() + offset, sizeof(T));
         return v;
     }
@@ -151,8 +169,20 @@ class NdpController
                                 const KernelResources &res);
     std::int64_t launch(Asid asid, std::int64_t kernel_id, bool synchronous,
                         Addr pool_base, Addr pool_bound,
-                        const std::vector<std::uint8_t> &args,
+                        const std::uint8_t *args, std::uint32_t args_size,
                         std::function<void(Tick)> on_complete = {});
+
+    /** Convenience overload for tests/drivers holding args in a vector. */
+    std::int64_t
+    launch(Asid asid, std::int64_t kernel_id, bool synchronous,
+           Addr pool_base, Addr pool_bound,
+           const std::vector<std::uint8_t> &args,
+           std::function<void(Tick)> on_complete = {})
+    {
+        return launch(asid, kernel_id, synchronous, pool_base, pool_bound,
+                      args.data(), static_cast<std::uint32_t>(args.size()),
+                      std::move(on_complete));
+    }
     KernelStatus status(std::int64_t instance_id) const;
 
     /**

@@ -98,7 +98,8 @@ NdpUnit::read(Addr va, void *out, unsigned size)
     const Asid asid = current_slot_->instance->asid;
     std::uint64_t in_page = (page_mask_ + 1) - (va & page_mask_);
     if (size <= in_page) {
-        env_.funcRead(translateCached(asid, va), out, size);
+        env_.funcRead(translateCached(asid, va), out, size,
+                      frame_hint_);
         return;
     }
     // Page-straddling bulk access (vector fast path): split per page.
@@ -106,7 +107,7 @@ NdpUnit::read(Addr va, void *out, unsigned size)
     while (size > 0) {
         unsigned chunk = static_cast<unsigned>(
             std::min<std::uint64_t>(size, in_page));
-        env_.funcRead(translateCached(asid, va), dst, chunk);
+        env_.funcRead(translateCached(asid, va), dst, chunk, frame_hint_);
         va += chunk;
         dst += chunk;
         size -= chunk;
@@ -125,14 +126,16 @@ NdpUnit::write(Addr va, const void *in, unsigned size)
     const Asid asid = current_slot_->instance->asid;
     std::uint64_t in_page = (page_mask_ + 1) - (va & page_mask_);
     if (size <= in_page) {
-        env_.funcWrite(translateCached(asid, va), in, size);
+        env_.funcWrite(translateCached(asid, va), in, size,
+                       frame_hint_);
         return;
     }
     auto *src = static_cast<const std::uint8_t *>(in);
     while (size > 0) {
         unsigned chunk = static_cast<unsigned>(
             std::min<std::uint64_t>(size, in_page));
-        env_.funcWrite(translateCached(asid, va), src, chunk);
+        env_.funcWrite(translateCached(asid, va), src, chunk,
+                       frame_hint_);
         va += chunk;
         src += chunk;
         size -= chunk;
@@ -470,49 +473,60 @@ NdpUnit::issueGlobalAccess(SubCore &sc, Slot &slot, const isa::MemRef &ref,
     // waiting even while the DRAM-TLB read is still in flight.
     if (blocking)
         ++s->outstanding_loads;
-
-    std::uint32_t size = ref.size;
-    Tick issued_at = now;
-    auto launch_access = [this, s, inst, op, pa, size, blocking,
-                          issued_at] {
-        if (op == MemOp::Write) {
-            env_.storeIssued(inst);
-            env_.unitMemAccess(cfg_.index, op, pa, size,
-                               [this, inst](Tick t) {
-                                   env_.storeDrained(inst, t);
-                               });
-            return;
-        }
-        env_.unitMemAccess(cfg_.index, op, pa, size,
-                           [this, s, blocking, op, inst, issued_at](Tick t) {
-            stats_.load_latency_ticks += t - issued_at;
-            ++stats_.load_samples;
-            if (op == MemOp::Atomic)
-                env_.storeDrained(inst, t); // atomics also write memory
-            if (blocking)
-                completeBlockingAccess(s, t);
-        });
-    };
-    if (op == MemOp::Atomic)
+    // Posted stores and atomics register with the drain accounting at
+    // issue time (not after the TLB fill): the instance must not be able
+    // to complete while a store is still waiting on translation.
+    if (op != MemOp::Read)
         env_.storeIssued(inst);
 
-    if (need_dram_tlb) {
-        // One 16 B DRAM read to the hashed DRAM-TLB entry location, then
-        // (plus any ATS delay) the actual access.
-        Addr entry_pa = env_.dramTlbEntryPa(asid, ref.va);
-        env_.unitMemAccess(
-            cfg_.index, MemOp::Read, entry_pa, DramTlb::kEntryBytes,
-            [this, launch_access, ats_delay](Tick) {
-                if (ats_delay == 0) {
-                    launch_access();
-                } else {
-                    env_.eventQueue().scheduleAfter(ats_delay,
-                                                    launch_access);
-                }
-            });
-    } else {
-        launch_access();
+    std::uint32_t size = ref.size;
+    if (!need_dram_tlb) {
+        launchGlobalAccess(s, inst, op, blocking, pa, size, now);
+        return;
     }
+
+    // One 16 B DRAM read to the hashed DRAM-TLB entry location, then
+    // (plus any ATS delay for cold entries) the actual access. Captures
+    // carry scalars only (<= 48 B inline, see launchGlobalAccess).
+    const bool cold = ats_delay != 0;
+    KernelInstance *inst_p = inst;
+    Addr entry_pa = env_.dramTlbEntryPa(asid, ref.va);
+    env_.unitMemAccess(
+        cfg_.index, MemOp::Read, entry_pa, DramTlb::kEntryBytes,
+        [this, s, inst_p, pa, now, size, op, blocking, cold](Tick) {
+            if (!cold) {
+                launchGlobalAccess(s, inst_p, op, blocking, pa, size, now);
+                return;
+            }
+            env_.eventQueue().scheduleAfter(
+                cfg_.ats_latency,
+                [this, s, inst_p, pa, now, size, op, blocking] {
+                    launchGlobalAccess(s, inst_p, op, blocking, pa, size,
+                                       now);
+                });
+        });
+}
+
+void
+NdpUnit::launchGlobalAccess(Slot *s, KernelInstance *inst, MemOp op,
+                            bool blocking, Addr pa, std::uint32_t size,
+                            Tick issued_at)
+{
+    if (op == MemOp::Write) {
+        env_.unitMemAccess(cfg_.index, op, pa, size, [this, inst](Tick t) {
+            env_.storeDrained(inst, t);
+        });
+        return;
+    }
+    env_.unitMemAccess(cfg_.index, op, pa, size,
+                       [this, s, blocking, op, inst, issued_at](Tick t) {
+        stats_.load_latency_ticks += t - issued_at;
+        ++stats_.load_samples;
+        if (op == MemOp::Atomic)
+            env_.storeDrained(inst, t); // atomics also write memory
+        if (blocking)
+            completeBlockingAccess(s, t);
+    });
 }
 
 void

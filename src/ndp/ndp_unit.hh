@@ -26,6 +26,7 @@
 #include "common/units.hh"
 #include "isa/executor.hh"
 #include "mem/packet.hh"
+#include "mem/sparse_memory.hh"
 #include "ndp/kernel.hh"
 #include "ndp/tlb.hh"
 #include "sim/event_queue.hh"
@@ -104,6 +105,24 @@ class NdpUnitEnv
     /** Functional physical-memory access (routes P2P if needed). */
     virtual void funcRead(Addr pa, void *out, unsigned size) = 0;
     virtual void funcWrite(Addr pa, const void *in, unsigned size) = 0;
+
+    /**
+     * Hinted variants for per-unit access streams: @p hint is a caller-
+     * owned frame-lookup cache consulted before the shared one (wide
+     * sweeps thrash the shared cache across 32 units). Defaults forward
+     * to the unhinted path.
+     */
+    virtual void
+    funcRead(Addr pa, void *out, unsigned size, SparseMemory::FrameHint &)
+    {
+        funcRead(pa, out, size);
+    }
+    virtual void
+    funcWrite(Addr pa, const void *in, unsigned size,
+              SparseMemory::FrameHint &)
+    {
+        funcWrite(pa, in, size);
+    }
     virtual std::uint64_t funcAmo(AmoOp op, Addr pa, std::uint64_t operand,
                                   unsigned width) = 0;
 
@@ -226,6 +245,15 @@ class NdpUnit : public isa::MemoryIf
     /** Translation delay + global access for one ref; wakes slot. */
     void issueGlobalAccess(SubCore &sc, Slot &slot, const isa::MemRef &ref,
                            Tick now, bool blocking);
+    /**
+     * Issue the timing access itself (after any DRAM-TLB fill delay).
+     * Split out so the D-TLB fill continuation captures only scalars —
+     * capturing a ready-made closure used to overflow the 48 B inline
+     * buffer and heap-allocate once per fill.
+     */
+    void launchGlobalAccess(Slot *slot, KernelInstance *inst, MemOp op,
+                            bool blocking, Addr pa, std::uint32_t size,
+                            Tick issued_at);
     bool hasIdleSlot() const;
     Tick eqNextEdge() const;
     /** Wake a slot after one outstanding blocking access completes. */
@@ -264,6 +292,8 @@ class NdpUnit : public isa::MemoryIf
     };
     static constexpr unsigned kFuncTcacheEntries = 8;
     std::array<FuncTcacheEntry, kFuncTcacheEntries> func_tcache_;
+    /** Per-unit frame-lookup hint for the functional memory path. */
+    SparseMemory::FrameHint frame_hint_;
     std::uint64_t page_mask_ = 0; ///< translationPageSize() - 1
     unsigned page_shift_ = 0;     ///< log2(translationPageSize())
     unsigned live_slots_ = 0;

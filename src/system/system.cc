@@ -76,14 +76,18 @@ System::createProcess()
 }
 
 std::unique_ptr<NdpRuntime>
-System::createRuntime(ProcessAddressSpace &process, unsigned dev,
-                      NdpRuntimeConfig cfg)
+System::createRuntime(ProcessAddressSpace &process, NdpRuntimeConfig cfg)
 {
-    // One-time CXL.io initialization: allocate the M2func region and
-    // install the packet-filter entry (Section III-B).
-    Addr region = devices_[dev]->allocateM2FuncRegion(process.asid());
-    return std::make_unique<NdpRuntime>(*host_ports_[dev], process, region,
-                                        cfg);
+    // One-time CXL.io initialization on every device: allocate the M2func
+    // region and install the packet-filter entry (Section III-B).
+    std::vector<HostCxlPort *> ports;
+    std::vector<Addr> regions;
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+        ports.push_back(host_ports_[d].get());
+        regions.push_back(devices_[d]->allocateM2FuncRegion(process.asid()));
+    }
+    return std::make_unique<NdpRuntime>(std::move(ports), process,
+                                        std::move(regions), cfg);
 }
 
 void

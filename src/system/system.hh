@@ -61,12 +61,13 @@ class System
     ProcessAddressSpace &createProcess();
 
     /**
-     * Create the user-level runtime for @p process against device @p dev:
-     * performs the one-time CXL.io initialization (M2func region
-     * allocation + packet-filter entry, Section III-B).
+     * Create the user-level runtime for @p process, spanning every device
+     * in the system: performs the one-time CXL.io initialization (M2func
+     * region allocation + packet-filter entry, Section III-B) on each
+     * device. Streams created from the runtime route launches to their
+     * bound device.
      */
     std::unique_ptr<NdpRuntime> createRuntime(ProcessAddressSpace &process,
-                                              unsigned dev = 0,
                                               NdpRuntimeConfig cfg = {});
 
     // ---- functional data movement for workload setup (no timing) ----

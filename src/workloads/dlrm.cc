@@ -118,10 +118,10 @@ DlrmWorkload::setup()
 }
 
 RunResult
-DlrmWorkload::runNdp(std::vector<NdpRuntime *> runtimes)
+DlrmWorkload::runNdp(NdpRuntime &rt)
 {
-    M2_ASSERT(runtimes.size() == cfg_.devices,
-              "need one runtime per device shard");
+    M2_ASSERT(rt.numDevices() >= cfg_.devices,
+              "runtime spans fewer devices than the table shards");
     const std::uint64_t row_bytes = cfg_.dim * 4ull;
     const std::uint64_t out_bytes =
         static_cast<std::uint64_t>(cfg_.batch) * row_bytes;
@@ -129,29 +129,21 @@ DlrmWorkload::runNdp(std::vector<NdpRuntime *> runtimes)
     KernelResources res;
     res.num_int_regs = 14;
     res.num_vector_regs = 3;
-
-    std::vector<std::int64_t> kids;
-    for (auto *rt : runtimes) {
-        std::int64_t kid = rt->registerKernel(kSlsKernel, res);
-        M2_ASSERT(kid > 0, "sls kernel registration failed");
-        kids.push_back(kid);
-    }
+    std::int64_t kid = rt.registerKernel(kSlsKernel, res);
+    M2_ASSERT(kid > 0, "sls kernel registration failed");
 
     Tick start = sys_.eq().now();
-    unsigned done = 0;
+    std::vector<NdpEvent> events;
     for (unsigned dev = 0; dev < cfg_.devices; ++dev) {
         Addr out = out_va_ + dev * out_bytes;
-        runtimes[dev]->launchKernelAsync(
-            kids[dev], out, out + out_bytes,
-            packArgs({table_va_[dev], indices_va_[dev], lookups_per_dev_,
-                      row_bytes}),
-            [&done](std::int64_t iid, Tick) {
-                M2_ASSERT(iid > 0, "sls launch failed");
-                ++done;
-            });
+        events.push_back(rt.createStream(dev).launch(
+            makeLaunch(kid, out, out + out_bytes,
+                       {table_va_[dev], indices_va_[dev], lookups_per_dev_,
+                        row_bytes})));
     }
     sys_.run();
-    M2_ASSERT(done == cfg_.devices, "sls launches incomplete");
+    for (auto &ev : events)
+        M2_ASSERT(ev.done() && ev.instanceId() > 0, "sls launch failed");
 
     RunResult r;
     r.runtime = sys_.eq().now() - start;

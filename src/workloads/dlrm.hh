@@ -35,8 +35,9 @@ class DlrmWorkload
     void setup();
 
     /** One SLS batch on the NDP units. For multi-device sharding, one
-     *  kernel per device is launched concurrently (Section III-I). */
-    RunResult runNdp(std::vector<NdpRuntime *> runtimes);
+     *  stream per device launches its shard's kernel concurrently
+     *  (Section III-I); the runtime spans every device. */
+    RunResult runNdp(NdpRuntime &rt);
 
     GpuWorkloadDesc gpuDesc() const;
     std::uint64_t usefulBytes() const;

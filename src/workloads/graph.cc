@@ -175,8 +175,8 @@ SpmvWorkload::runNdp(NdpRuntime &rt)
     std::uint64_t padded_rows = alignUp(graph_.num_nodes, 8);
     Tick start = sys_.eq().now();
     std::int64_t iid = rt.launchKernelSync(
-        kid, row_ptr_va_, row_ptr_va_ + padded_rows * 4,
-        packArgs({col_va_, val_va_, x_va_, y_va_}));
+        makeLaunch(kid, row_ptr_va_, row_ptr_va_ + padded_rows * 4,
+                   {col_va_, val_va_, x_va_, y_va_}));
     M2_ASSERT(iid > 0, "spmv launch failed");
 
     RunResult r;
@@ -365,8 +365,8 @@ PagerankWorkload::runNdp(NdpRuntime &rt, unsigned iterations)
     Tick start = sys_.eq().now();
     for (unsigned it = 0; it < iterations; ++it) {
         std::int64_t iid = rt.launchKernelSync(
-            kid, row_ptr_va_, row_ptr_va_ + padded_rows * 4,
-            packArgs({col_va_, rank_va_, contrib_va_, out_va_}));
+            makeLaunch(kid, row_ptr_va_, row_ptr_va_ + padded_rows * 4,
+                       {col_va_, rank_va_, contrib_va_, out_va_}));
         M2_ASSERT(iid > 0, "pgrank launch failed");
         std::swap(rank_va_, out_va_);
     }
@@ -518,8 +518,8 @@ SsspWorkload::runNdp(NdpRuntime &rt, unsigned max_iterations)
     for (unsigned it = 0; it < max_iterations; ++it) {
         sys_.writeVirtual<std::int32_t>(proc_, changed_va_, 0);
         std::int64_t iid = rt.launchKernelSync(
-            kid, row_ptr_va_, row_ptr_va_ + padded_rows * 4,
-            packArgs({col_va_, wgt_va_, dist_va_, changed_va_}));
+            makeLaunch(kid, row_ptr_va_, row_ptr_va_ + padded_rows * 4,
+                       {col_va_, wgt_va_, dist_va_, changed_va_}));
         M2_ASSERT(iid > 0, "sssp launch failed");
         ++iterations_run_;
         // Host checks the convergence flag (a CXL.mem read).

@@ -124,9 +124,9 @@ HistoWorkload::runNdp(NdpRuntime &rt)
     sys_.writeVirtual(proc_, hist_va_, zeros.data(), bins_ * 4);
 
     Tick start = sys_.eq().now();
-    std::int64_t iid = rt.launchKernelSync(kid, input_va_,
-                                           input_va_ + elements_ * 4,
-                                           packArgs({hist_va_}));
+    std::int64_t iid = rt.launchKernelSync(
+        makeLaunch(kid, input_va_, input_va_ + elements_ * 4,
+                   {hist_va_}));
     M2_ASSERT(iid > 0, "histo launch failed");
 
     RunResult r;

@@ -211,6 +211,14 @@ KvstoreWorkload::runNdp(NdpRuntime &rt)
     unsigned next_req = 0;
     unsigned in_flight = 0;
 
+    // One stream per client connection: requests round-robin over the
+    // pool, so up to kStreams kernels are in flight concurrently while
+    // each stream stays in order (Section III-C, MPS-style concurrency).
+    constexpr unsigned kStreams = kM2FuncLaunchSlots;
+    std::vector<NdpStream *> streams;
+    for (unsigned s = 0; s < kStreams; ++s)
+        streams.push_back(&rt.createStream());
+
     std::function<void()> launch_next = [&]() {
         while (next_req < trace.size() &&
                (cfg_.arrival_rate > 0.0 || in_flight < kClosedLoopWindow)) {
@@ -234,9 +242,9 @@ KvstoreWorkload::runNdp(NdpRuntime &rt)
             // Host computes the hash, then issues the offload.
             eq.schedule(t0 + kHashCost, [&, idx, slot, key, bucket, t0,
                                          is_get, rank] {
-                auto args = packArgs({bucket, key[0], key[1], key[2]});
-                auto on_done = [&, idx, slot, t0, is_get,
-                                rank](std::int64_t iid, Tick) {
+                NdpStream &stream = *streams[idx % streams.size()];
+                auto on_done = [&, slot, t0, is_get](std::int64_t iid,
+                                                     Tick) {
                     (void)iid;
                     auto finish = [&, t0](Tick t_end) {
                         result.latency_ns.add(
@@ -257,24 +265,29 @@ KvstoreWorkload::runNdp(NdpRuntime &rt)
                     }
                 };
                 if (is_get) {
-                    rt.launchKernelAsync(get_kid, slot, slot + 32, args,
-                                         on_done);
+                    stream
+                        .launch(makeLaunch(get_kid, slot, slot + 32,
+                                           {bucket, key[0], key[1],
+                                            key[2]}))
+                        .onComplete(std::move(on_done));
                 } else {
                     // SET ships the new value into the slot first.
-                    std::vector<std::uint8_t> val(64);
+                    std::uint8_t val[64];
                     std::uint64_t v1 = valuePattern(rank, 1);
                     for (unsigned w = 0; w < 8; ++w) {
                         std::uint64_t word = v1 + w;
-                        std::memcpy(val.data() + w * 8, &word, 8);
+                        std::memcpy(val + w * 8, &word, 8);
                     }
                     auto slot_pa = proc_.translate(slot);
-                    rt.port().writeAsync(*slot_pa, std::move(val),
-                                         [&, idx, slot, args, on_done,
-                                          set_kid](Tick) {
-                                             rt.launchKernelAsync(
-                                                 set_kid, slot, slot + 32,
-                                                 args, on_done);
-                                         });
+                    LaunchDesc desc = makeLaunch(
+                        set_kid, slot, slot + 32,
+                        {bucket, key[0], key[1], key[2]});
+                    rt.port().writeAsync(
+                        *slot_pa, val, 64,
+                        [&, desc, on_done, idx](Tick) mutable {
+                            NdpStream &s = *streams[idx % streams.size()];
+                            s.launch(desc).onComplete(std::move(on_done));
+                        });
                 }
             });
             if (cfg_.arrival_rate > 0.0)
@@ -373,14 +386,13 @@ KvstoreWorkload::runHostBaseline(HostCxlPort &port)
                     } else {
                         // Same updated-value pattern the NDP SET writes,
                         // so later runs over the same table still verify.
-                        std::vector<std::uint8_t> val(64);
+                        std::uint8_t val[64];
                         std::uint64_t v1 = valuePattern(rank, 1);
                         for (unsigned w = 0; w < 8; ++w) {
                             std::uint64_t word = v1 + w;
-                            std::memcpy(val.data() + w * 8, &word, 8);
+                            std::memcpy(val + w * 8, &word, 8);
                         }
-                        port.writeAsync(node_pa + kValueOff,
-                                        std::move(val),
+                        port.writeAsync(node_pa + kValueOff, val, 64,
                                         [finish](Tick t) { finish(t); });
                     }
                     return;

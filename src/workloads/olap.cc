@@ -139,9 +139,9 @@ OlapWorkload::runNdp(NdpRuntime &rt, const OlapQuery &q, bool *verified)
     for (const auto &p : q.predicates) {
         Addr col = columnVa(p.column);
         std::int64_t iid = rt.launchKernelSync(
-            kid, col, col + rows_ * 4,
-            packArgs({mask_va_, static_cast<std::uint64_t>(p.lo),
-                      static_cast<std::uint64_t>(p.hi)}));
+            makeLaunch(kid, col, col + rows_ * 4,
+                       {mask_va_, static_cast<std::uint64_t>(p.lo),
+                        static_cast<std::uint64_t>(p.hi)}));
         M2_ASSERT(iid > 0, "evaluate launch failed");
     }
     OlapRunBreakdown b;

@@ -102,42 +102,42 @@ OptWorkload::setup()
 }
 
 RunResult
-OptWorkload::runNdp(std::vector<NdpRuntime *> runtimes)
+OptWorkload::runNdp(NdpRuntime &rt)
 {
-    M2_ASSERT(runtimes.size() == cfg_.devices,
-              "need one runtime per device");
+    M2_ASSERT(rt.numDevices() >= cfg_.devices,
+              "runtime spans fewer devices than the tensor shards");
     KernelResources res;
     res.num_int_regs = 17;
     res.num_float_regs = 2;
     res.num_vector_regs = 6;
-
-    std::vector<std::int64_t> kids;
-    for (auto *rt : runtimes)
-        kids.push_back(rt->registerKernel(kGemvKernel, res));
+    std::int64_t kid = rt.registerKernel(kGemvKernel, res);
+    M2_ASSERT(kid > 0, "gemv kernel registration failed");
 
     const std::uint64_t row_bytes = cols_ * 4;
     const std::uint64_t pool_bytes = rows_per_dev_ * 32;
     const unsigned gemvs = gemvs_per_layer_ * cfg_.sim_layers;
 
+    std::vector<NdpStream *> streams;
+    for (unsigned dev = 0; dev < cfg_.devices; ++dev)
+        streams.push_back(&rt.createStream(dev));
+
     Tick start = sys_.eq().now();
     // GEMVs of one token are dependent layer-to-layer; within a step all
     // device shards run concurrently, then an all-reduce combines partial
-    // activations (charged analytically below).
+    // activations (charged analytically below). The per-device streams
+    // are in-order, so queueing the next GEMV behind the previous one
+    // expresses the dependence without host-side callbacks.
     for (unsigned g = 0; g < gemvs; ++g) {
-        unsigned done = 0;
+        std::vector<NdpEvent> events;
         for (unsigned dev = 0; dev < cfg_.devices; ++dev) {
             Addr pool = pool_va_[dev];
-            runtimes[dev]->launchKernelAsync(
-                kids[dev], pool, pool + pool_bytes,
-                packArgs({weights_va_[dev], x_va_[dev], row_bytes,
-                          y_va_[dev]}),
-                [&done](std::int64_t iid, Tick) {
-                    M2_ASSERT(iid > 0, "gemv launch failed");
-                    ++done;
-                });
+            events.push_back(streams[dev]->launch(
+                makeLaunch(kid, pool, pool + pool_bytes,
+                           {weights_va_[dev], x_va_[dev], row_bytes,
+                            y_va_[dev]})));
         }
-        sys_.run();
-        M2_ASSERT(done == cfg_.devices, "gemv launches incomplete");
+        for (auto &ev : events)
+            M2_ASSERT(ev.wait() > 0, "gemv launch failed");
     }
     // The all-reduce cost is charged at full-model scale separately in
     // extrapolatedTokenTime() callers (it must not be scaled twice).

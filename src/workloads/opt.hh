@@ -65,8 +65,9 @@ class OptWorkload
     /**
      * Generate one token on the simulated slice; returns the measured
      * slice time. Use extrapolatedTokenTime() for the full-model figure.
+     * Tensor-parallel shards run on one stream per device.
      */
-    RunResult runNdp(std::vector<NdpRuntime *> runtimes);
+    RunResult runNdp(NdpRuntime &rt);
 
     /** Full-model per-token time scaled from the measured slice. */
     Tick extrapolatedTokenTime(Tick slice_time) const;

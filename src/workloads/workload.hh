@@ -24,17 +24,15 @@
 
 namespace m2ndp::workloads {
 
-/** Pack 64-bit arguments for the 64 B launch payload. */
-inline std::vector<std::uint8_t>
-packArgs(std::initializer_list<std::uint64_t> vals)
+/** Build a launch descriptor from 64-bit arguments (Table II payload). */
+inline LaunchDesc
+makeLaunch(std::int64_t kernel, Addr pool_base, Addr pool_bound,
+           std::initializer_list<std::uint64_t> vals)
 {
-    std::vector<std::uint8_t> out;
-    out.reserve(vals.size() * 8);
-    for (std::uint64_t v : vals) {
-        for (int i = 0; i < 8; ++i)
-            out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-    }
-    return out;
+    LaunchDesc d(kernel, pool_base, pool_bound);
+    for (std::uint64_t v : vals)
+        d.arg(v);
+    return d;
 }
 
 /** Upload a typed array into CXL memory (functional, setup phase). */

@@ -55,15 +55,14 @@ const char *kReduceKernel = R"(
         exit
 )";
 
-std::vector<std::uint8_t>
-packArgs(std::initializer_list<std::uint64_t> vals)
+LaunchDesc
+launchWith(std::int64_t kid, Addr base, Addr bound,
+           std::initializer_list<std::uint64_t> vals)
 {
-    std::vector<std::uint8_t> out;
-    for (auto v : vals) {
-        for (int i = 0; i < 8; ++i)
-            out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-    }
-    return out;
+    LaunchDesc d(kid, base, bound);
+    for (auto v : vals)
+        d.arg(v);
+    return d;
 }
 
 class IntegrationTest : public ::testing::Test
@@ -122,8 +121,8 @@ TEST_F(IntegrationTest, VecAddEndToEnd)
     ASSERT_GT(kid, 0);
 
     Tick start = sys->eq().now();
-    std::int64_t iid = runtime->launchKernelSync(kid, a, a + kN * 4,
-                                                 packArgs({b, c}));
+    std::int64_t iid = runtime->launchKernelSync(
+        launchWith(kid, a, a + kN * 4, {b, c}));
     ASSERT_GT(iid, 0);
     Tick elapsed = sys->eq().now() - start;
 
@@ -165,8 +164,8 @@ TEST_F(IntegrationTest, ReductionWithScratchpadAndAtomics)
     std::int64_t kid = runtime->registerKernel(kReduceKernel, res);
     ASSERT_GT(kid, 0);
 
-    std::int64_t iid = runtime->launchKernelSync(kid, data, data + kN * 8,
-                                                 packArgs({result}));
+    std::int64_t iid = runtime->launchKernelSync(
+        launchWith(kid, data, data + kN * 8, {result}));
     ASSERT_GT(iid, 0);
 
     EXPECT_EQ(sys->readVirtual<std::int64_t>(*process, result), expected);
@@ -193,20 +192,21 @@ TEST_F(IntegrationTest, AsyncLaunchAndConcurrentKernels)
     std::int64_t kid = runtime->registerKernel(kVecAddKernel, res);
     ASSERT_GT(kid, 0);
 
-    // Launch 8 concurrent instances writing to distinct outputs.
-    int completed = 0;
+    // Launch 8 concurrent instances (one stream each) writing to
+    // distinct outputs.
     std::vector<Addr> outs;
+    std::vector<NdpEvent> events;
     for (int k = 0; k < 8; ++k) {
         Addr c = process->allocate(kN * 4);
         outs.push_back(c);
-        runtime->launchKernelAsync(kid, a, a + kN * 4, packArgs({b, c}),
-                                   [&](std::int64_t iid, Tick) {
-                                       EXPECT_GT(iid, 0);
-                                       ++completed;
-                                   });
+        events.push_back(runtime->createStream().launch(
+            launchWith(kid, a, a + kN * 4, {b, c})));
     }
     sys->run();
-    EXPECT_EQ(completed, 8);
+    for (auto &ev : events) {
+        EXPECT_TRUE(ev.done());
+        EXPECT_GT(ev.instanceId(), 0);
+    }
     for (Addr c : outs)
         EXPECT_EQ(sys->readVirtual<std::uint32_t>(*process, c), 8u);
 }
@@ -227,7 +227,7 @@ TEST_F(IntegrationTest, SyncLaunchOverheadIsTwoCxlMemTrips)
     std::int64_t kid = runtime->registerKernel(kVecAddKernel, res);
 
     Tick start = sys->eq().now();
-    runtime->launchKernelSync(kid, a, a + kN * 4, packArgs({b, c}));
+    runtime->launchKernelSync(launchWith(kid, a, a + kN * 4, {b, c}));
     Tick m2func_time = sys->eq().now() - start;
     // Must be well under the ring-buffer floor of ~4 us (Fig. 5).
     EXPECT_LT(m2func_time, 2 * kUs);
@@ -242,7 +242,7 @@ TEST_F(IntegrationTest, OffloadSchemeLatencyOrdering)
     auto run_scheme = [&](OffloadScheme scheme) {
         NdpRuntimeConfig rc;
         rc.scheme = scheme;
-        auto rt = sys->createRuntime(*process, 0, rc);
+        auto rt = sys->createRuntime(*process, rc);
         KernelResources res;
         res.num_int_regs = 8;
         res.num_vector_regs = 4;
@@ -250,7 +250,7 @@ TEST_F(IntegrationTest, OffloadSchemeLatencyOrdering)
         Addr c = process->allocate(kN * 4);
         Tick start = sys->eq().now();
         std::int64_t iid =
-            rt->launchKernelSync(kid, a, a + kN * 4, packArgs({b, c}));
+            rt->launchKernelSync(launchWith(kid, a, a + kN * 4, {b, c}));
         EXPECT_GT(iid, 0) << offloadSchemeName(scheme);
         return sys->eq().now() - start;
     };
@@ -278,17 +278,15 @@ TEST_F(IntegrationTest, PollAndStatusLifecycle)
     res.num_vector_regs = 4;
     std::int64_t kid = runtime->registerKernel(kVecAddKernel, res);
 
-    std::int64_t done_iid = -1;
-    runtime->launchKernelAsync(kid, a, a + kN * 4, packArgs({b, c}),
-                               [&](std::int64_t iid, Tick) {
-                                   done_iid = iid;
-                               });
+    NdpEvent ev = runtime->createStream().launch(
+        launchWith(kid, a, a + kN * 4, {b, c}));
     // Drive a little: the instance should exist and be running or pending.
-    for (int i = 0; i < 2000 && done_iid < 0; ++i)
+    for (int i = 0; i < 2000 && !ev.done(); ++i)
         sys->eq().step();
-    ASSERT_LT(done_iid, 0) << "kernel finished suspiciously fast";
-    sys->run();
+    ASSERT_FALSE(ev.done()) << "kernel finished suspiciously fast";
+    std::int64_t done_iid = ev.wait();
     ASSERT_GT(done_iid, 0);
+    EXPECT_EQ(ev.instanceId(), done_iid);
     EXPECT_EQ(runtime->pollKernelStatus(done_iid), KernelStatus::Finished);
     EXPECT_EQ(runtime->pollKernelStatus(99999),
               static_cast<KernelStatus>(kNdpErr));
@@ -304,7 +302,7 @@ TEST_F(IntegrationTest, UnregisterAndErrors)
     EXPECT_EQ(runtime->unregisterKernel(kid), 0);
     // Launching an unregistered kernel fails.
     Addr a = process->allocate(4096);
-    EXPECT_LT(runtime->launchKernelSync(kid, a, a + 4096, {}), 0);
+    EXPECT_LT(runtime->launchKernelSync(LaunchDesc(kid, a, a + 4096)), 0);
     // Unregistering twice fails.
     EXPECT_LT(runtime->unregisterKernel(kid), 0);
 }
@@ -331,7 +329,7 @@ TEST_F(IntegrationTest, DramBandwidthUtilizationHigh)
     std::int64_t kid = runtime->registerKernel(kVecAddKernel, res);
 
     Tick start = sys->eq().now();
-    runtime->launchKernelSync(kid, a, a + kN * 4, packArgs({b, c}));
+    runtime->launchKernelSync(launchWith(kid, a, a + kN * 4, {b, c}));
     Tick elapsed = sys->eq().now() - start;
 
     double bytes = 3.0 * kN * 4; // A + B reads, C writes

@@ -522,12 +522,9 @@ runVecAddOnce()
     res.num_int_regs = 8;
     res.num_vector_regs = 4;
     std::int64_t kid = rt->registerKernel(kernel, res);
-    std::vector<std::uint8_t> args(16);
-    std::memcpy(args.data(), &b, 8);
-    std::memcpy(args.data() + 8, &c, 8);
 
     Tick t0 = sys.eq().now();
-    rt->launchKernelSync(kid, a, a + kN * 4, args);
+    rt->launchKernelSync(LaunchDesc(kid, a, a + kN * 4).arg(b).arg(c));
 
     std::vector<float> vc(kN);
     sys.readVirtual(proc, c, vc.data(), kN * 4);

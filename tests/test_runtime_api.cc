@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Stream-based offload API semantics (host/stream.hh, host/runtime.hh):
+ *
+ *  - launches on one stream execute in order (the next launch is held
+ *    until the previous kernel instance completed),
+ *  - launches on different streams run concurrently,
+ *  - NdpEvent poll/wait/completion-hook behaviour,
+ *  - multi-process ASID isolation under concurrent streams,
+ *  - multi-device routing from a single runtime,
+ *  - and — via the counting operator new in this binary — that a warm
+ *    launch burst performs ZERO heap allocations on the host path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/counting_new.hh"
+#include "system/system.hh"
+
+namespace m2ndp {
+namespace {
+
+/** Fig. 4's vecadd: one uthread per 32 B of the pool region. */
+const char *kVecAdd = R"(
+    .name vecadd
+    vsetvli x0, x0, e32, m1
+    li  x3, %args
+    ld  x4, 0(x3)
+    ld  x5, 8(x3)
+    vle32.v v1, (x1)
+    add x6, x4, x2
+    vle32.v v2, (x6)
+    vfadd.vv v3, v1, v2
+    add x7, x5, x2
+    vse32.v v3, (x7)
+)";
+
+struct Buffers
+{
+    Addr a = 0, b = 0, c = 0;
+    unsigned elems = 0;
+};
+
+Buffers
+makeBuffers(System &sys, ProcessAddressSpace &proc, unsigned elems,
+            float seed = 1.0f)
+{
+    Buffers buf;
+    buf.elems = elems;
+    buf.a = proc.allocate(elems * 4);
+    buf.b = proc.allocate(elems * 4);
+    buf.c = proc.allocate(elems * 4);
+    std::vector<float> va(elems), vb(elems);
+    for (unsigned i = 0; i < elems; ++i) {
+        va[i] = seed * static_cast<float>(i);
+        vb[i] = seed * 2.0f * static_cast<float>(i);
+    }
+    sys.writeVirtual(proc, buf.a, va.data(), elems * 4);
+    sys.writeVirtual(proc, buf.b, vb.data(), elems * 4);
+    return buf;
+}
+
+bool
+verifyVecAdd(System &sys, const ProcessAddressSpace &proc,
+             const Buffers &buf, float seed = 1.0f)
+{
+    std::vector<float> vc(buf.elems);
+    sys.readVirtual(proc, buf.c, vc.data(), buf.elems * 4);
+    for (unsigned i = 0; i < buf.elems; ++i) {
+        if (vc[i] != seed * 3.0f * static_cast<float>(i))
+            return false;
+    }
+    return true;
+}
+
+LaunchDesc
+vecAddLaunch(std::int64_t kid, const Buffers &buf)
+{
+    return LaunchDesc(kid, buf.a, buf.a + buf.elems * 4)
+        .arg(buf.b)
+        .arg(buf.c);
+}
+
+class StreamApiTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        SystemConfig cfg;
+        cfg.link = SystemConfig::linkForLoadToUse(150 * kNs);
+        sys = std::make_unique<System>(cfg);
+        proc = &sys->createProcess();
+        rt = sys->createRuntime(*proc);
+        KernelResources res;
+        res.num_int_regs = 8;
+        res.num_vector_regs = 4;
+        kid = rt->registerKernel(kVecAdd, res);
+        ASSERT_GT(kid, 0);
+    }
+
+    std::unique_ptr<System> sys;
+    ProcessAddressSpace *proc = nullptr;
+    std::unique_ptr<NdpRuntime> rt;
+    std::int64_t kid = 0;
+};
+
+TEST_F(StreamApiTest, InOrderWithinStream)
+{
+    // A long kernel queued ahead of a short one on the SAME stream: the
+    // short kernel must not start (let alone finish) until the long one
+    // completed — completion order equals submission order.
+    Buffers big = makeBuffers(*sys, *proc, 1u << 16);
+    Buffers small = makeBuffers(*sys, *proc, 64);
+    NdpStream &stream = rt->createStream();
+
+    NdpEvent ev_big = stream.launch(vecAddLaunch(kid, big));
+    NdpEvent ev_small = stream.launch(vecAddLaunch(kid, small));
+    EXPECT_EQ(stream.pending(), 2u);
+
+    // The queued launch is held back: at no point are both instances
+    // active on the device.
+    unsigned max_active = 0;
+    while (!ev_small.done() && sys->eq().step()) {
+        max_active =
+            std::max(max_active, sys->device().controller().activeInstances());
+    }
+    EXPECT_EQ(max_active, 1u) << "in-order stream overlapped its launches";
+    ASSERT_TRUE(ev_big.done()) << "in-order stream completed out of order";
+    EXPECT_GT(ev_big.instanceId(), 0);
+    EXPECT_GT(ev_small.instanceId(), ev_big.instanceId());
+    EXPECT_GT(ev_small.completedAt(), ev_big.completedAt());
+    EXPECT_TRUE(stream.idle());
+    EXPECT_TRUE(verifyVecAdd(*sys, *proc, big));
+    EXPECT_TRUE(verifyVecAdd(*sys, *proc, small));
+}
+
+TEST_F(StreamApiTest, CrossStreamConcurrency)
+{
+    // The same long+short pair on DIFFERENT streams: both instances are
+    // active on the device at once (the device interleaves their uthreads,
+    // Section III-C), which an in-order stream never allows.
+    Buffers big = makeBuffers(*sys, *proc, 1u << 16);
+    Buffers small = makeBuffers(*sys, *proc, 64);
+
+    NdpEvent ev_big = rt->createStream().launch(vecAddLaunch(kid, big));
+    NdpEvent ev_small = rt->createStream().launch(vecAddLaunch(kid, small));
+
+    unsigned max_active = 0;
+    while (!(ev_big.done() && ev_small.done()) && sys->eq().step()) {
+        max_active =
+            std::max(max_active, sys->device().controller().activeInstances());
+    }
+    EXPECT_EQ(max_active, 2u) << "cross-stream launches did not overlap";
+    EXPECT_GT(ev_big.instanceId(), 0);
+    EXPECT_GT(ev_small.instanceId(), 0);
+    EXPECT_TRUE(verifyVecAdd(*sys, *proc, big));
+    EXPECT_TRUE(verifyVecAdd(*sys, *proc, small));
+}
+
+TEST_F(StreamApiTest, EventPollWaitAndHook)
+{
+    Buffers buf = makeBuffers(*sys, *proc, 1u << 14);
+    NdpStream &stream = rt->createStream();
+    NdpEvent ev = stream.launch(vecAddLaunch(kid, buf));
+
+    EXPECT_TRUE(ev.valid());
+    EXPECT_FALSE(ev.done()) << "launch completed before any simulation ran";
+
+    std::int64_t hook_iid = 0;
+    Tick hook_tick = 0;
+    ev.onComplete([&](std::int64_t iid, Tick t) {
+        hook_iid = iid;
+        hook_tick = t;
+    });
+
+    std::int64_t iid = ev.wait();
+    ASSERT_GT(iid, 0);
+    EXPECT_TRUE(ev.done());
+    EXPECT_EQ(ev.instanceId(), iid);
+    EXPECT_EQ(hook_iid, iid);
+    EXPECT_EQ(hook_tick, ev.completedAt());
+    EXPECT_GT(ev.completedAt(), 0u);
+    EXPECT_EQ(rt->pollKernelStatus(iid), KernelStatus::Finished);
+}
+
+TEST_F(StreamApiTest, RejectsUnknownKernelAtSubmit)
+{
+    Buffers buf = makeBuffers(*sys, *proc, 64);
+    NdpStream &stream = rt->createStream();
+    NdpEvent ev = stream.launch(vecAddLaunch(kid + 7, buf));
+    EXPECT_TRUE(ev.done());
+    EXPECT_LT(ev.instanceId(), 0);
+    EXPECT_TRUE(stream.idle());
+    // The stream stays usable after a rejected submit.
+    EXPECT_GT(stream.launch(vecAddLaunch(kid, buf)).wait(), 0);
+}
+
+TEST_F(StreamApiTest, MultiProcessAsidIsolationUnderConcurrentStreams)
+{
+    // A second process with its own runtime, M2func region and ASID.
+    auto &proc2 = sys->createProcess();
+    auto rt2 = sys->createRuntime(proc2);
+    KernelResources res;
+    res.num_int_regs = 8;
+    res.num_vector_regs = 4;
+    std::int64_t kid2 = rt2->registerKernel(kVecAdd, res);
+    ASSERT_GT(kid2, 0);
+
+    Buffers buf1 = makeBuffers(*sys, *proc, 1u << 13, 1.0f);
+    Buffers buf2 = makeBuffers(*sys, proc2, 1u << 13, 0.5f);
+
+    // Interleave launches from both processes across two streams each.
+    std::vector<NdpEvent> events;
+    for (int round = 0; round < 2; ++round) {
+        events.push_back(
+            rt->createStream().launch(vecAddLaunch(kid, buf1)));
+        events.push_back(
+            rt2->createStream().launch(vecAddLaunch(kid2, buf2)));
+    }
+    for (auto &ev : events)
+        EXPECT_GT(ev.wait(), 0);
+
+    EXPECT_TRUE(verifyVecAdd(*sys, *proc, buf1, 1.0f));
+    EXPECT_TRUE(verifyVecAdd(*sys, proc2, buf2, 0.5f));
+
+    // Kernel handles do not leak across runtimes: process 2 never
+    // registered a second kernel, so process 1's handle space does not
+    // validate there (and the device-side ASID check backs this up).
+    std::int64_t foreign = kid2 + 1;
+    NdpEvent bad = rt2->createStream().launch(
+        LaunchDesc(foreign, buf2.a, buf2.a + 64));
+    EXPECT_TRUE(bad.done());
+    EXPECT_LT(bad.instanceId(), 0);
+}
+
+TEST_F(StreamApiTest, MultiDeviceStreamRouting)
+{
+    SystemConfig cfg;
+    cfg.num_devices = 2;
+    cfg.link = SystemConfig::linkForLoadToUse(150 * kNs);
+    System msys(cfg);
+    auto &mproc = msys.createProcess();
+    auto mrt = msys.createRuntime(mproc);
+    ASSERT_EQ(mrt->numDevices(), 2u);
+
+    KernelResources res;
+    res.num_int_regs = 8;
+    res.num_vector_regs = 4;
+    std::int64_t mkid = mrt->registerKernel(kVecAdd, res);
+    ASSERT_GT(mkid, 0);
+
+    // One buffer set homed on each device; one stream per device.
+    std::vector<Buffers> bufs;
+    std::vector<NdpEvent> events;
+    for (unsigned d = 0; d < 2; ++d) {
+        Buffers buf;
+        buf.elems = 1u << 12;
+        buf.a = mproc.allocate(buf.elems * 4, Placement::Localized, d);
+        buf.b = mproc.allocate(buf.elems * 4, Placement::Localized, d);
+        buf.c = mproc.allocate(buf.elems * 4, Placement::Localized, d);
+        std::vector<float> va(buf.elems), vb(buf.elems);
+        for (unsigned i = 0; i < buf.elems; ++i) {
+            va[i] = 1.0f * static_cast<float>(i);
+            vb[i] = 2.0f * static_cast<float>(i);
+        }
+        msys.writeVirtual(mproc, buf.a, va.data(), buf.elems * 4);
+        msys.writeVirtual(mproc, buf.b, vb.data(), buf.elems * 4);
+        bufs.push_back(buf);
+        NdpStream &stream = mrt->createStream(d);
+        EXPECT_EQ(stream.device(), d);
+        events.push_back(stream.launch(vecAddLaunch(mkid, buf)));
+    }
+    for (auto &ev : events)
+        EXPECT_GT(ev.wait(), 0);
+    for (unsigned d = 0; d < 2; ++d) {
+        EXPECT_TRUE(verifyVecAdd(msys, mproc, bufs[d]));
+        // The kernel ran on the device owning the pool region.
+        EXPECT_GT(msys.device(d).aggregateUnitStats().uthreads_completed,
+                  0u);
+    }
+}
+
+TEST_F(StreamApiTest, WarmLaunchBurstIsAllocationFreeOnHostPath)
+{
+    // The synchronous part of NdpStream::launch — record setup, M2func
+    // slot assignment, payload pack, host-port write+read issue, event
+    // scheduling — must not touch the heap once pools are warm. (Device-
+    // side per-launch bookkeeping runs later, inside the simulation, and
+    // is covered by tests/test_alloc.cc.)
+    constexpr unsigned kStreams = 4;
+    constexpr unsigned kPerStream = 8;
+    Buffers buf = makeBuffers(*sys, *proc, 256);
+
+    std::vector<NdpStream *> streams;
+    for (unsigned s = 0; s < kStreams; ++s)
+        streams.push_back(&rt->createStream());
+
+    std::vector<NdpEvent> events;
+    events.reserve(kStreams * kPerStream);
+
+    auto burst = [&](bool &all_ok) {
+        events.clear();
+        for (unsigned i = 0; i < kStreams * kPerStream; ++i) {
+            events.push_back(
+                streams[i % kStreams]->launch(vecAddLaunch(kid, buf)));
+        }
+        rt->synchronize();
+        all_ok = true;
+        for (auto &ev : events)
+            all_ok = all_ok && ev.done() && ev.instanceId() > 0;
+    };
+
+    // Warm every pool: launch records, host-access records, event slabs,
+    // M2func slot tables, device-side queues.
+    bool ok = false;
+    burst(ok);
+    ASSERT_TRUE(ok);
+    burst(ok);
+    ASSERT_TRUE(ok);
+
+    // Measured burst: the launch calls themselves must allocate nothing.
+    events.clear();
+    std::uint64_t before = allocationCount();
+    for (unsigned i = 0; i < kStreams * kPerStream; ++i) {
+        events.push_back(
+            streams[i % kStreams]->launch(vecAddLaunch(kid, buf)));
+    }
+    std::uint64_t after = allocationCount();
+    EXPECT_EQ(after - before, 0u)
+        << "warm stream launches touched the heap on the host path";
+
+    rt->synchronize();
+    for (auto &ev : events) {
+        EXPECT_TRUE(ev.done());
+        EXPECT_GT(ev.instanceId(), 0);
+    }
+}
+
+} // namespace
+} // namespace m2ndp

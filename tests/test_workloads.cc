@@ -165,7 +165,7 @@ TEST_F(WorkloadTest, KvstoreCxlIoSchemesHurtLatency)
 
     NdpRuntimeConfig rb;
     rb.scheme = OffloadScheme::CxlIoRingBuffer;
-    auto rt_rb = sys->createRuntime(*proc, 0, rb);
+    auto rt_rb = sys->createRuntime(*proc, rb);
     auto res_rb = kvs.runNdp(*rt_rb);
 
     auto res_m2 = kvs.runNdp(*rt);
@@ -181,8 +181,7 @@ TEST_F(WorkloadTest, DlrmSlsCorrect)
     dc.batch = 4;
     DlrmWorkload dlrm(*sys, *proc, dc);
     dlrm.setup();
-    std::vector<NdpRuntime *> rts{rt.get()};
-    auto r = dlrm.runNdp(rts);
+    auto r = dlrm.runNdp(*rt);
     EXPECT_TRUE(r.verified);
     EXPECT_GT(r.achieved_gbps, 1.0);
 }
@@ -195,8 +194,7 @@ TEST_F(WorkloadTest, OptGemvCorrectAndExtrapolates)
     oc.model = OptModel::opt2_7b();
     OptWorkload opt(*sys, *proc, oc);
     opt.setup();
-    std::vector<NdpRuntime *> rts{rt.get()};
-    auto r = opt.runNdp(rts);
+    auto r = opt.runNdp(*rt);
     EXPECT_TRUE(r.verified);
     Tick token = opt.extrapolatedTokenTime(r.runtime);
     EXPECT_GT(token, r.runtime);
