@@ -221,6 +221,7 @@ struct EndToEndResult
     double sim_seconds = 0.0;
     TlbStats dtlb;
     std::uint64_t heap_allocs = 0;
+    std::uint64_t events_scheduled = 0;
 };
 
 // ---------------------------------------------------------------------
@@ -308,6 +309,7 @@ runEndToEnd(unsigned elems)
 
     Tick sim0 = sys.eq().now();
     std::uint64_t alloc0 = allocationCount();
+    std::uint64_t events0 = sys.eq().scheduledTotal();
     auto t0 = std::chrono::steady_clock::now();
     rt->launchKernelSync(
         LaunchDesc(kid, a, a + elems * 4).arg(b).arg(c));
@@ -320,6 +322,7 @@ runEndToEnd(unsigned elems)
     r.uthreads = stats.uthreads_completed;
     r.sim_seconds = ticksToSeconds(sys.eq().now() - sim0);
     r.heap_allocs = allocationCount() - alloc0;
+    r.events_scheduled = sys.eq().scheduledTotal() - events0;
     for (unsigned u = 0; u < sys.device().config().num_units; ++u) {
         const TlbStats &s = sys.device().unit(u).dtlbStats();
         r.dtlb.hits += s.hits;
@@ -438,7 +441,8 @@ main(int argc, char **argv)
         "    \"dtlb_hit_rate\": %.6f,\n"
         "    \"dtlb_fast_hit_rate\": %.6f,\n"
         "    \"dtlb_evictions\": %llu,\n"
-        "    \"heap_allocs_per_inst\": %.4f\n"
+        "    \"heap_allocs_per_inst\": %.4f,\n"
+        "    \"events_per_inst\": %.4f\n"
         "  }\n"
         "}\n",
         static_cast<unsigned long long>(fresh.events), actors,
@@ -459,6 +463,9 @@ main(int argc, char **argv)
                            : 0.0,
         static_cast<unsigned long long>(e2e.dtlb.evictions),
         e2e.instructions != 0 ? static_cast<double>(e2e.heap_allocs) /
+                                    static_cast<double>(e2e.instructions)
+                              : 0.0,
+        e2e.instructions != 0 ? static_cast<double>(e2e.events_scheduled) /
                                     static_cast<double>(e2e.instructions)
                               : 0.0);
 

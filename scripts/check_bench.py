@@ -7,6 +7,9 @@ Fails (exit 1) when, relative to the committed baseline,
   - engine.speedup_vs_legacy drops by more than the tolerance, or
   - end_to_end.sim_instructions_per_sec drops by more than the tolerance, or
   - launch_throughput.launches_per_sec drops by more than the tolerance, or
+  - end_to_end.events_per_inst RISES by more than the tolerance (this
+    metric is lower-is-better: it counts scheduled events per simulated
+    instruction, is deterministic, and guards the fused access path), or
   - engine.checksums_match is false in the new result.
 
 A gated metric missing from the baseline (e.g. the first run after the
@@ -23,15 +26,20 @@ import json
 import sys
 
 
+# Gated headline metrics: dotted path -> direction. "higher" fails on a
+# drop beyond tolerance; "lower" fails on a rise beyond tolerance.
+GATED_PATHS = {
+    "engine.speedup_vs_legacy": "higher",
+    "end_to_end.sim_instructions_per_sec": "higher",
+    "launch_throughput.launches_per_sec": "higher",
+    "end_to_end.events_per_inst": "lower",
+}
+
+
 def gated_metrics(doc):
     """Gated headline metrics present in *doc* (dotted path -> value)."""
-    paths = [
-        "engine.speedup_vs_legacy",
-        "end_to_end.sim_instructions_per_sec",
-        "launch_throughput.launches_per_sec",
-    ]
     out = {}
-    for path in paths:
+    for path in GATED_PATHS:
         node = doc
         try:
             for key in path.split("."):
@@ -73,14 +81,19 @@ def main():
         new_v = new_m[name]
         if base_v <= 0:
             continue
-        drop = (base_v - new_v) / base_v
-        status = "OK" if drop <= args.tolerance else "FAIL"
-        print(f"[{status}] {name}: baseline {base_v:.0f} -> new {new_v:.0f} "
-              f"({-drop * 100.0:+.1f}%)")
-        if drop > args.tolerance:
+        # Normalize so "regression" is always a positive fraction.
+        if GATED_PATHS[name] == "higher":
+            regression = (base_v - new_v) / base_v
+        else:
+            regression = (new_v - base_v) / base_v
+        status = "OK" if regression <= args.tolerance else "FAIL"
+        print(f"[{status}] {name}: baseline {base_v:.4g} -> new {new_v:.4g} "
+              f"({(new_v - base_v) / base_v * 100.0:+.1f}%)")
+        if regression > args.tolerance:
+            worse = "dropped" if GATED_PATHS[name] == "higher" else "rose"
             failures.append(
-                f"{name} dropped {drop * 100.0:.1f}% "
-                f"(baseline {base_v:.0f}, new {new_v:.0f}, "
+                f"{name} {worse} {regression * 100.0:.1f}% "
+                f"(baseline {base_v:.4g}, new {new_v:.4g}, "
                 f"tolerance {args.tolerance * 100.0:.0f}%)")
 
     if failures:

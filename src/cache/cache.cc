@@ -93,7 +93,8 @@ Cache::allocLine(Addr line_addr, Tick now)
                 sendDownstream(MemOp::Write,
                                victim->tag + static_cast<Addr>(s) *
                                                  cfg_.sector_bytes,
-                               cfg_.sector_bytes, MemSource::NdpUnit, {});
+                               cfg_.sector_bytes, MemSource::NdpUnit, now,
+                               {});
             }
         }
     }
@@ -168,28 +169,35 @@ Cache::mshrErase(Mshr *m)
 
 void
 Cache::sendDownstream(MemOp op, Addr addr, std::uint32_t size,
-                      MemSource source, TickCallback cb)
+                      MemSource source, Tick at, TickCallback cb)
 {
     stats_.bytes_downstream += size;
-    downstream_.receive(
-        makePacket(op, addr, size, source, eq_.now(), std::move(cb)));
+    downstream_.receiveAt(
+        makePacket(op, addr, size, source, at, std::move(cb)), at);
 }
 
 void
 Cache::receive(MemPacketPtr pkt)
 {
-    // Serialize lookups through the port, then pay the lookup latency.
-    Tick start = std::max(eq_.now(), port_free_);
-    port_free_ = start + cfg_.port_cycle;
-    auto *raw = pkt.release();
-    eq_.schedule(start + cfg_.latency,
-                 [this, raw] { lookup(MemPacketPtr(raw)); });
+    receiveAt(std::move(pkt), eq_.now());
 }
 
 void
-Cache::lookup(MemPacketPtr pkt)
+Cache::receiveAt(MemPacketPtr pkt, Tick at)
 {
-    const Tick now = eq_.now();
+    M2_ASSERT(at >= eq_.now(), "cache delivery in the past");
+    // Serialize lookups through the port, then charge the lookup latency.
+    // The lookup itself runs now (fused): its effects carry the logical
+    // lookup tick, so no event is needed to make sim-time catch up first.
+    Tick start = std::max(at, port_free_);
+    port_free_ = start + cfg_.port_cycle;
+    lookupAt(std::move(pkt), start + cfg_.latency);
+}
+
+void
+Cache::lookupAt(MemPacketPtr pkt, Tick done_tick)
+{
+    const Tick now = done_tick;
     const Addr line_addr = lineAddr(pkt->addr);
     const Addr sector_addr = sectorAddr(pkt->addr);
     const unsigned sector = sectorIndex(pkt->addr);
@@ -201,7 +209,7 @@ Cache::lookup(MemPacketPtr pkt)
         // Atomics execute at the memory-side L2; pass straight through.
         auto *raw = pkt.release();
         sendDownstream(MemOp::Atomic, raw->addr, raw->size, raw->source,
-                       [raw](Tick t) {
+                       now, [raw](Tick t) {
                            MemPacketPtr p(raw);
                            p->complete(t);
                        });
@@ -252,7 +260,7 @@ Cache::lookup(MemPacketPtr pkt)
         m->waiters_head = raw;
         m->waiters_tail = raw;
         sendDownstream(MemOp::Read, sector_addr, cfg_.sector_bytes,
-                       MemSource::NdpUnit,
+                       MemSource::NdpUnit, now,
                        [this, sector_addr](Tick t) {
                            handleFill(sector_addr, t);
                        });
@@ -264,7 +272,7 @@ Cache::lookup(MemPacketPtr pkt)
             touch(*line);
             if (cfg_.write_through) {
                 sendDownstream(MemOp::Write, sector_addr, cfg_.sector_bytes,
-                               pkt->source, {});
+                               pkt->source, now, {});
             } else {
                 line->dirty = true;
             }
@@ -272,7 +280,7 @@ Cache::lookup(MemPacketPtr pkt)
             // No-allocate: forward the write downstream.
             ++stats_.write_misses;
             sendDownstream(MemOp::Write, sector_addr, cfg_.sector_bytes,
-                           pkt->source, {});
+                           pkt->source, now, {});
         } else {
             // Write-allocate, write-back: full-sector writes install the
             // sector without fetching (write-validate).
@@ -316,14 +324,15 @@ Cache::handleFill(Addr sector_addr, Tick when)
         w = next;
     }
 
-    // Admit one stalled request per freed MSHR.
+    // Admit one stalled request per freed MSHR. The retry re-looks-up at
+    // the fill tick (no second port booking, as before the fusion).
     if (stalled_head_ != nullptr) {
         MemPacket *retry = stalled_head_;
         stalled_head_ = retry->link;
         if (stalled_head_ == nullptr)
             stalled_tail_ = nullptr;
         retry->link = nullptr;
-        lookup(MemPacketPtr(retry));
+        lookupAt(MemPacketPtr(retry), when);
     }
 }
 

@@ -87,6 +87,16 @@ class Cache : public MemPort
 
     void receive(MemPacketPtr pkt) override;
 
+    /**
+     * Fused entry point: the lookup runs immediately, with the port
+     * booked from the logical arrival tick @p at and every timing effect
+     * (hit completion, downstream miss traffic) stamped with the lookup
+     * tick `max(at, port_free) + latency`. No lookup event is scheduled;
+     * completions are delivered early with a future tick per the MemPort
+     * fused-delivery convention.
+     */
+    void receiveAt(MemPacketPtr pkt, Tick at) override;
+
     const CacheStats &stats() const { return stats_; }
     const CacheConfig &config() const { return cfg_; }
 
@@ -127,7 +137,8 @@ class Cache : public MemPort
     void mshrErase(Mshr *m);
     std::size_t mshrSlot(Addr sector) const;
 
-    void lookup(MemPacketPtr pkt);
+    /** Perform the lookup with all effects stamped at @p done_tick. */
+    void lookupAt(MemPacketPtr pkt, Tick done_tick);
     void handleFill(Addr sector_addr, Tick when);
 
     Addr lineAddr(Addr a) const { return a & ~static_cast<Addr>(cfg_.line_bytes - 1); }
@@ -145,7 +156,7 @@ class Cache : public MemPort
     void touch(Line &line) { line.lru = ++lru_clock_; }
 
     void sendDownstream(MemOp op, Addr addr, std::uint32_t size,
-                        MemSource source, TickCallback cb);
+                        MemSource source, Tick at, TickCallback cb);
 
     EventQueue &eq_;
     CacheConfig cfg_;

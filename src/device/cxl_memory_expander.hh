@@ -27,6 +27,7 @@
 
 #include "cache/cache.hh"
 #include "common/rng.hh"
+#include "common/slab_pool.hh"
 #include "cxl/link.hh"
 #include "cxl/packet_filter.hh"
 #include "dram/dram.hh"
@@ -220,9 +221,14 @@ class CxlMemoryExpander : public NdpUnitEnv, public NdpControllerEnv
     void shootdownTlb(Asid asid, Addr va) override;
 
   private:
-    /** Timing access into this device's own memory path. */
+    /**
+     * Timing access into this device's own memory path, logically issued
+     * at @p at (>= now; fused upstream stages issue from their completion
+     * tick). @p done follows the fused delivery convention: it may run
+     * before sim-time reaches its tick argument.
+     */
     void localMemAccess(MemOp op, Addr pa, std::uint32_t size,
-                        MemSource source, TickCallback done);
+                        MemSource source, Tick at, TickCallback done);
 
     /**
      * Wrap @p done so the completion additionally books @p xbar_size bytes
@@ -245,9 +251,6 @@ class CxlMemoryExpander : public NdpUnitEnv, public NdpControllerEnv
         PayloadNode *next = nullptr;
         M2FuncPayload payload;
     };
-
-    PayloadNode *allocPayload();
-    void releasePayload(PayloadNode *node);
 
     EventQueue &eq_;
     DeviceConfig cfg_;
@@ -283,8 +286,7 @@ class CxlMemoryExpander : public NdpUnitEnv, public NdpControllerEnv
     PeerAccessFn peer_access_;
     DeviceStats dstats_;
 
-    PayloadNode *free_payloads_ = nullptr;
-    std::vector<std::unique_ptr<PayloadNode[]>> payload_slabs_;
+    SlabPool<PayloadNode> payload_pool_;
 };
 
 } // namespace m2ndp

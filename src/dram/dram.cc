@@ -104,115 +104,114 @@ DramAddressMap::decode(Addr local_addr) const
 DramChannel::DramChannel(EventQueue &eq, const DramTiming &timing,
                          unsigned index)
     : eq_(eq), timing_(timing), index_(index), banks_(timing.banks),
-      scheduler_(eq, [this] { trySchedule(); })
+      completer_(eq, [this] { completeReady(); })
 {
+    // Outstanding bookings are bounded by upstream MSHR capacity; reserve
+    // past that so the steady state never grows the vector.
+    ready_.reserve(512);
+}
+
+DramChannel::~DramChannel()
+{
+    for (auto &e : ready_)
+        MemPacketPool::release(e.pkt);
 }
 
 void
-DramChannel::enqueue(MemPacketPtr pkt, unsigned bank, std::uint64_t row)
+DramChannel::enqueue(MemPacketPtr pkt, unsigned bank_idx, std::uint64_t row,
+                     Tick at)
 {
-    queue_.push_back(Pending{std::move(pkt), bank, row, eq_.now()});
-    // Ticker coalesces repeated arms and asserts if a caller ever tries to
-    // arm in the past (the old hand-rolled path clamped with std::max,
-    // which would have silently masked such a bug).
-    scheduler_.armAt(eq_.now());
-}
-
-void
-DramChannel::trySchedule()
-{
-    // FR-FCFS with earliest-ready selection: each iteration books the
-    // request whose column command can issue soonest (row hits naturally
-    // win), tie-breaking in favour of hits, then queue order. Column
+    // Immediate FCFS-at-arrival booking: the request is committed to
+    // the bank state machine right away, with its logical arrival tick as
+    // the floor on every timing term — the next-free-tick pattern, so no
+    // scheduler event runs just to make sim-time catch up. Column
     // commands are spaced by tCCD (the data-bus rate), and row misses
-    // chain activates per bank (tRP/tRCD/tRC) — so a slow miss delays
-    // later bookings by at most one activate, never cumulatively.
-    const Tick now = eq_.now();
+    // chain activates per bank (tRP/tRCD/tRC) — a slow miss delays later
+    // bookings by at most one activate, never cumulatively. This is an
+    // accepted approximation of the old event-driven FR-FCFS scheduler:
+    // that one could reorder *same-tick* arrivals (earliest-ready scan,
+    // row hits win) before booking, whereas this books strictly in
+    // arrival order (see docs/performance.md, fused response delivery).
+    M2_ASSERT(at >= eq_.now(), "DRAM delivery in the past");
 
-    while (!queue_.empty()) {
-        constexpr std::size_t kScanDepth = 32;
-        std::size_t limit = std::min(queue_.size(), kScanDepth);
-        std::size_t best = limit; // invalid
-        Tick best_ready = kTickMax;
-        bool best_hit = false;
-
-        for (std::size_t i = 0; i < limit; ++i) {
-            const auto &cand = queue_[i];
-            const auto &bank = banks_[cand.bank];
-            bool hit = bank.row_open && bank.open_row == cand.row;
-            Tick ready;
-            if (hit) {
-                ready = std::max(now, bank.col_ready);
-            } else {
-                Tick pre_at = std::max(now, bank.col_ready);
-                Tick act_at = std::max(pre_at + cycles(timing_.n_rp),
-                                       bank.next_act);
-                ready = act_at + cycles(timing_.n_rcd);
-            }
-            // Earliest column time wins; row hits tie-break (FR-FCFS),
-            // then queue order (oldest first).
-            if (best == limit || ready < best_ready ||
-                (ready == best_ready && hit && !best_hit)) {
-                best = i;
-                best_ready = ready;
-                best_hit = hit;
-            }
-        }
-
-        // The command/data bus is modeled as a token clock: each booking
-        // consumes one tCCD slot counted from "now", so a far-future row
-        // miss cannot ratchet the bus ahead for requests that could issue
-        // earlier (bandwidth stays conserved on average; transiently
-        // overlapping bursts are an accepted approximation).
-        Tick slot = std::max(next_col_, now);
-        Tick col_at = std::max(best_ready, slot);
-
-        // Diagnostics: which constraint produced a far-future booking.
-        if (col_at > now + 400 * kNs) {
-            if (slot >= best_ready)
-                ++stats_.diag_colbound;
-            else if (best_hit)
-                ++stats_.diag_hitbound;
-            else
-                ++stats_.diag_missbound;
-        }
-
-        Pending req = std::move(queue_[best]);
-        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
-
-        BankState &bank = banks_[req.bank];
-        if (best_hit) {
-            ++stats_.row_hits;
-        } else {
-            ++stats_.row_misses;
-            // Recompute the activate booking (same formula as the scan).
-            Tick pre_at = std::max(now, bank.col_ready);
-            Tick act_at = std::max(pre_at + cycles(timing_.n_rp),
-                                   bank.next_act);
-            bank.row_open = true;
-            bank.open_row = req.row;
-            bank.next_act = act_at + cycles(timing_.n_rc);
-        }
-
-        // tCCD (>= burst occupancy) is the data-bus rate constraint.
-        Tick data_start = col_at + cycles(timing_.n_cl);
-        Tick done = data_start + cycles(timing_.burst_cycles);
-        next_col_ = slot + cycles(timing_.n_ccd);
-        bank.col_ready = col_at + cycles(timing_.n_ccd);
-        stats_.busy_ticks += cycles(timing_.burst_cycles);
-
-        if (req.pkt->op == MemOp::Write)
-            ++stats_.writes;
-        else
-            ++stats_.reads;
-        stats_.bytes += req.pkt->size;
-
-        auto *raw = req.pkt.release();
-        eq_.schedule(done, [raw, done] {
-            MemPacketPtr pkt(raw);
-            pkt->complete(done);
-        });
+    BankState &bank = banks_[bank_idx];
+    const bool hit = bank.row_open && bank.open_row == row;
+    Tick ready;
+    if (hit) {
+        ++stats_.row_hits;
+        ready = std::max(at, bank.col_ready);
+    } else {
+        ++stats_.row_misses;
+        Tick pre_at = std::max(at, bank.col_ready);
+        Tick act_at = std::max(pre_at + cycles(timing_.n_rp),
+                               bank.next_act);
+        ready = act_at + cycles(timing_.n_rcd);
+        bank.row_open = true;
+        bank.open_row = row;
+        bank.next_act = act_at + cycles(timing_.n_rc);
     }
+
+    // The command/data bus is modeled as a token clock: each booking
+    // consumes one tCCD slot counted from the arrival, so a far-future
+    // row miss cannot ratchet the bus ahead for requests that could issue
+    // earlier (bandwidth stays conserved on average; transiently
+    // overlapping bursts are an accepted approximation).
+    Tick slot = std::max(next_col_, at);
+    Tick col_at = std::max(ready, slot);
+
+    // Diagnostics: which constraint produced a far-future booking.
+    if (col_at > at + 400 * kNs) {
+        if (slot >= ready)
+            ++stats_.diag_colbound;
+        else if (hit)
+            ++stats_.diag_hitbound;
+        else
+            ++stats_.diag_missbound;
+    }
+
+    // tCCD (>= burst occupancy) is the data-bus rate constraint.
+    Tick data_start = col_at + cycles(timing_.n_cl);
+    Tick done = data_start + cycles(timing_.burst_cycles);
+    next_col_ = slot + cycles(timing_.n_ccd);
+    bank.col_ready = col_at + cycles(timing_.n_ccd);
+    stats_.busy_ticks += cycles(timing_.burst_cycles);
+
+    if (pkt->op == MemOp::Write)
+        ++stats_.writes;
+    else
+        ++stats_.reads;
+    stats_.bytes += pkt->size;
+
+    // Posted traffic (writebacks, fire-and-forget writes) carries no
+    // completion work at all: recycle the packet without an event.
+    if (!pkt->onComplete && pkt->num_stages == 0)
+        return;
+
+    // Batched completion: park the access on the ready-heap and let one
+    // Ticker drain everything whose data tick has arrived — completions
+    // landing on the same (channel, tick) coalesce into a single event
+    // instead of one event per access.
+    ready_.push_back(ReadyEntry{pkt.release(), done, ready_seq_++});
+    std::push_heap(ready_.begin(), ready_.end(), readyAfter);
+    completer_.armAt(done);
+}
+
+void
+DramChannel::completeReady()
+{
+    const Tick now = eq_.now();
+    // Pop due entries in (when, seq) order: deterministic, time-ordered.
+    // Completion callbacks can re-enter enqueue() (upstream fill -> retry
+    // -> new booking), so re-check the heap top each iteration.
+    while (!ready_.empty() && ready_.front().when <= now) {
+        std::pop_heap(ready_.begin(), ready_.end(), readyAfter);
+        ReadyEntry e = ready_.back();
+        ready_.pop_back();
+        MemPacketPtr pkt(e.pkt);
+        pkt->complete(e.when);
+    }
+    if (!ready_.empty())
+        completer_.armAt(ready_.front().when);
 }
 
 DramDevice::DramDevice(EventQueue &eq, const DramTiming &timing,
@@ -227,9 +226,15 @@ DramDevice::DramDevice(EventQueue &eq, const DramTiming &timing,
 void
 DramDevice::receive(MemPacketPtr pkt)
 {
+    receiveAt(std::move(pkt), eq_.now());
+}
+
+void
+DramDevice::receiveAt(MemPacketPtr pkt, Tick at)
+{
     auto coords = map_.decode(pkt->addr);
     channels_[coords.channel]->enqueue(std::move(pkt), coords.bank,
-                                       coords.row);
+                                       coords.row, at);
 }
 
 unsigned

@@ -107,20 +107,40 @@ class DramChannel
   public:
     DramChannel(EventQueue &eq, const DramTiming &timing, unsigned index);
 
-    /** Enqueue an access decoded to this channel. */
-    void enqueue(MemPacketPtr pkt, unsigned bank, std::uint64_t row);
+    /** Releases packets still parked in the completion ready-list. */
+    ~DramChannel();
+
+    /**
+     * Book an access decoded to this channel, logically arriving at
+     * @p at (>= now; fused upstream stages push early). Booking happens
+     * immediately — the bank state machine and bus token clock advance
+     * with the arrival tick as a floor, so no scheduler event is needed
+     * to make sim-time catch up first (the next-free-tick pattern). Only
+     * the data-tick completion is an event, and completions landing on
+     * the same (channel, tick) share one.
+     */
+    void enqueue(MemPacketPtr pkt, unsigned bank, std::uint64_t row,
+                 Tick at);
 
     const DramStats &stats() const { return stats_; }
-    std::size_t queueDepth() const { return queue_.size(); }
+    /** Accesses booked but not yet completed. */
+    std::size_t queueDepth() const { return ready_.size(); }
 
   private:
-    struct Pending
+    /** One booked access awaiting its data tick (batched completion). */
+    struct ReadyEntry
     {
-        MemPacketPtr pkt;
-        unsigned bank;
-        std::uint64_t row;
-        Tick arrived;
+        MemPacket *pkt;
+        Tick when;
+        std::uint64_t seq; ///< FIFO tie-break for same-tick completions
     };
+
+    /** Min-heap order on (when, seq) for std::push_heap/pop_heap. */
+    static bool
+    readyAfter(const ReadyEntry &a, const ReadyEntry &b)
+    {
+        return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
 
     struct BankState
     {
@@ -130,20 +150,25 @@ class DramChannel
         Tick col_ready = 0; ///< earliest column command to the open row
     };
 
-    void trySchedule();
+    /** Drain booked accesses whose data tick has been reached. */
+    void completeReady();
     Tick cycles(unsigned n) const { return static_cast<Tick>(n) * timing_.tck; }
 
     EventQueue &eq_;
     DramTiming timing_;
     unsigned index_;
-    /** FCFS order; a vector (capacity retained) so steady-state enqueue/
-     *  dequeue cycles never touch the allocator, unlike deque chunks. */
-    std::vector<Pending> queue_;
     std::vector<BankState> banks_;
     Tick next_col_ = 0; ///< tCCD spacing between column commands
-    /** Coalesced scheduler wakeup (earliest-wins; asserts on past arming
-     *  instead of the old silent std::max clamp). */
-    Ticker scheduler_;
+    /**
+     * Booked accesses waiting for their data tick, as a min-heap on
+     * (when, seq). One Ticker drains everything due: completions landing
+     * on the same (channel, tick) share a single event instead of one
+     * event per access, and each drain pops only the due entries instead
+     * of rescanning the whole list.
+     */
+    std::vector<ReadyEntry> ready_;
+    std::uint64_t ready_seq_ = 0;
+    Ticker completer_;
     DramStats stats_;
 };
 
@@ -159,6 +184,9 @@ class DramDevice : public MemPort
 
     /** MemPort: route the packet to its channel. */
     void receive(MemPacketPtr pkt) override;
+
+    /** Fused delivery: logical arrival at @p at (>= now). */
+    void receiveAt(MemPacketPtr pkt, Tick at) override;
 
     /** Which channel an address maps to (for L2-slice placement). */
     unsigned channelOf(Addr local_addr) const;

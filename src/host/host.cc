@@ -15,18 +15,7 @@ HostCxlPort::~HostCxlPort() = default;
 HostCxlPort::HostAccess *
 HostCxlPort::allocAccess()
 {
-    if (free_accesses_ == nullptr) {
-        constexpr unsigned kSlab = 64;
-        access_slabs_.push_back(std::make_unique<HostAccess[]>(kSlab));
-        HostAccess *slab = access_slabs_.back().get();
-        for (unsigned i = 0; i < kSlab; ++i) {
-            slab[i].next = free_accesses_;
-            free_accesses_ = &slab[i];
-        }
-    }
-    HostAccess *a = free_accesses_;
-    free_accesses_ = a->next;
-    a->next = nullptr;
+    HostAccess *a = access_pool_.acquire();
     a->port = this;
     a->big_data.reset();
     a->done.reset();
@@ -38,8 +27,7 @@ HostCxlPort::releaseAccess(HostAccess *a)
 {
     a->done.reset();
     a->big_data.reset();
-    a->next = free_accesses_;
-    free_accesses_ = a;
+    access_pool_.release(a);
 }
 
 // --------------------------------------------------------------------------

@@ -27,6 +27,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/slab_pool.hh"
 #include "common/stats.hh"
 #include "cxl/link.hh"
 #include "device/cxl_memory_expander.hh"
@@ -150,8 +151,7 @@ class HostCxlPort
     HostPortConfig cfg_;
     HostPortStats stats_;
 
-    HostAccess *free_accesses_ = nullptr;
-    std::vector<std::unique_ptr<HostAccess[]>> access_slabs_;
+    SlabPool<HostAccess> access_pool_;
 };
 
 } // namespace m2ndp

@@ -309,18 +309,7 @@ NdpRuntime::deviceKernelId(const DeviceState &dev,
 LaunchRecord *
 NdpRuntime::allocRecord()
 {
-    if (free_records_ == nullptr) {
-        constexpr unsigned kSlab = 64;
-        record_slabs_.push_back(std::make_unique<LaunchRecord[]>(kSlab));
-        LaunchRecord *slab = record_slabs_.back().get();
-        for (unsigned i = 0; i < kSlab; ++i) {
-            slab[i].next = free_records_;
-            free_records_ = &slab[i];
-        }
-    }
-    LaunchRecord *rec = free_records_;
-    free_records_ = rec->next;
-    rec->next = nullptr;
+    LaunchRecord *rec = record_pool_.acquire();
     rec->stream = nullptr;
     rec->rt = this;
     rec->device = 0;
@@ -341,8 +330,7 @@ NdpRuntime::releaseRecordRef(LaunchRecord *rec)
     M2_ASSERT(rec->refs > 0, "launch record refcount underflow");
     if (--rec->refs == 0) {
         rec->on_complete.reset();
-        rec->next = free_records_;
-        free_records_ = rec;
+        record_pool_.release(rec);
     }
 }
 

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/slab_pool.hh"
 #include "host/host.hh"
 #include "host/stream.hh"
 #include "mem/page_table.hh"
@@ -201,8 +202,7 @@ class NdpRuntime
     std::int64_t next_kernel_handle_ = 1;
 
     /** Slab-pooled launch records (retained for the runtime lifetime). */
-    LaunchRecord *free_records_ = nullptr;
-    std::vector<std::unique_ptr<LaunchRecord[]>> record_slabs_;
+    SlabPool<LaunchRecord> record_pool_;
 };
 
 } // namespace m2ndp

@@ -1,18 +1,14 @@
 #include "mem/packet.hh"
 
-#include <vector>
+#include "common/slab_pool.hh"
 
 namespace m2ndp {
 
 namespace {
 
-constexpr std::size_t kSlabPackets = 256;
-
 struct PoolState
 {
-    MemPacket *free_head = nullptr;
-    std::vector<std::unique_ptr<MemPacket[]>> slabs;
-    std::size_t outstanding = 0;
+    SlabPool<MemPacket, &MemPacket::link, 256> pool;
     std::uint64_t next_id = 0;
 };
 
@@ -29,19 +25,8 @@ MemPacket *
 MemPacketPool::alloc()
 {
     PoolState &p = pool();
-    if (p.free_head == nullptr) {
-        auto slab = std::make_unique<MemPacket[]>(kSlabPackets);
-        for (std::size_t i = 0; i < kSlabPackets; ++i) {
-            slab[i].link = p.free_head;
-            p.free_head = &slab[i];
-        }
-        p.slabs.push_back(std::move(slab));
-    }
-    MemPacket *pkt = p.free_head;
-    p.free_head = pkt->link;
-    pkt->link = nullptr;
+    MemPacket *pkt = p.pool.acquire();
     pkt->id = p.next_id++;
-    ++p.outstanding;
     return pkt;
 }
 
@@ -56,16 +41,13 @@ MemPacketPool::release(MemPacket *pkt)
         pkt->stages[i].reset();
     pkt->num_stages = 0;
     pkt->issued_at = 0;
-    PoolState &p = pool();
-    pkt->link = p.free_head;
-    p.free_head = pkt;
-    --p.outstanding;
+    pool().pool.release(pkt);
 }
 
 std::size_t
 MemPacketPool::outstanding()
 {
-    return pool().outstanding;
+    return pool().pool.live();
 }
 
 } // namespace m2ndp

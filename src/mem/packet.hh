@@ -157,6 +157,30 @@ class MemPort
      * release the packet.
      */
     virtual void receive(MemPacketPtr pkt) = 0;
+
+    /**
+     * Fused delivery: hand over a packet whose logical arrival tick is
+     * @p at (>= now). The producing stage already knows when the packet
+     * reaches this port (crossbar hop, cache lookup latency), so instead
+     * of scheduling an event to make sim-time catch up first, the packet
+     * is pushed immediately and the port accounts from @p at.
+     *
+     * Completion follows the same convention: `complete(t)` may run at a
+     * sim-time earlier than `t`, carrying the logical completion tick.
+     * Consumers on fused paths must treat `t` as "payload is ready at t",
+     * not "now == t" (the NDP units park such completions on their cycle
+     * ticker; the host port re-schedules at max(now, t)).
+     *
+     * The default discards @p at, i.e. a port that models its own arrival
+     * queueing from now() sees the packet slightly early. Every port on
+     * the device access path overrides this.
+     */
+    virtual void
+    receiveAt(MemPacketPtr pkt, Tick at)
+    {
+        (void)at;
+        receive(std::move(pkt));
+    }
 };
 
 } // namespace m2ndp

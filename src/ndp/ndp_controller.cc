@@ -419,8 +419,14 @@ NdpController::pullWork(unsigned unit)
         return item;
     }
 
-    for (auto &inst_ptr : active_) {
-        KernelInstance *inst = inst_ptr.get();
+    // Round-robin over active instances: the cursor starts each pull at
+    // the instance after the last one served, so a wide kernel with
+    // near-endless work cannot starve a 1-uthread kernel's spawn (MPS-
+    // style fairness across concurrent instances).
+    const std::size_t n = active_.size();
+    for (std::size_t k = 0; k < n; ++k) {
+        std::size_t idx = (rr_instance_ + k) % n;
+        KernelInstance *inst = active_[idx].get();
         if (!inst->isActive() || inst->phase == InstancePhase::Draining)
             continue;
         const auto &section =
@@ -439,14 +445,15 @@ NdpController::pullWork(unsigned unit)
             item.x1 = layout::kScratchpadVaBase;
             item.x2 = static_cast<std::uint64_t>(unit) *
                           env_.slotsPerUnit() + k;
+            rr_instance_ = (idx + 1) % n;
             return item;
           }
           case InstancePhase::Body: {
             // uthreads are interleaved across units at the 32 B mapping
             // granularity: unit u runs offsets u, u+N, u+2N, ...
-            std::uint64_t idx =
+            std::uint64_t widx =
                 inst->next_work[unit] * env_.numUnits() + unit;
-            Addr addr = inst->pool_base + idx * isa::kVlenBytes;
+            Addr addr = inst->pool_base + widx * isa::kVlenBytes;
             if (addr >= inst->pool_bound)
                 continue;
             inst->next_work[unit] += 1;
@@ -455,7 +462,8 @@ NdpController::pullWork(unsigned unit)
             item.instance = inst;
             item.section = &section;
             item.x1 = addr;
-            item.x2 = idx * isa::kVlenBytes;
+            item.x2 = widx * isa::kVlenBytes;
+            rr_instance_ = (idx + 1) % n;
             return item;
           }
           default:

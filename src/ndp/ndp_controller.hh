@@ -248,6 +248,8 @@ class NdpController
 
     std::deque<std::unique_ptr<KernelInstance>> pending_;
     std::vector<std::unique_ptr<KernelInstance>> active_;
+    /** Round-robin cursor over active_ for pullWork fairness. */
+    std::size_t rr_instance_ = 0;
     std::unordered_map<std::int64_t, KernelInstance *> instances_by_id_;
     /** Completed instance ids (for poll-after-completion). */
     std::unordered_map<std::int64_t, Tick> completed_;

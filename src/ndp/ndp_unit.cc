@@ -26,6 +26,11 @@ NdpUnit::NdpUnit(NdpUnitEnv &env, NdpUnitConfig cfg)
         for (auto &slot : sc.slots)
             slot.owner = &sc;
     }
+    // Parked completions: blocking entries are bounded by the slot count,
+    // but posted stores can pile up behind DRAM latency. Reserve well past
+    // any observed peak so the steady state never grows the vector.
+    pending_.reserve(16 * static_cast<std::size_t>(cfg_.subcores) *
+                     cfg_.slots_per_subcore);
     std::uint64_t page = env.translationPageSize();
     M2_ASSERT(isPowerOfTwo(page), "translation page size must be pow2");
     page_mask_ = page - 1;
@@ -180,6 +185,10 @@ void
 NdpUnit::tick()
 {
     const Tick now = env_.eventQueue().now();
+    // Apply parked memory completions first so woken slots issue this
+    // cycle (fused delivery: the response event no longer exists).
+    if (pending_min_ <= now)
+        drainCompletions(now);
     bool issued_any = false;
     Tick next = kTickMax;
 
@@ -199,14 +208,51 @@ NdpUnit::tick()
     if (issued_any)
         ++stats_.issue_cycles;
 
-    // Decide when to tick again: next cycle if anything is (or will be)
-    // ready or spawnable; otherwise sleep until a memory wake.
+    // Decide when to tick again: the earliest of the next interesting
+    // issue tick, a parked completion, or next cycle when spawnable work
+    // may exist. A unit whose every slot is provably k cycles away sleeps
+    // until that tick (interval ticking); a fully idle unit sleeps until
+    // a completion or wake arms the ticker.
     if (work_maybe_available_ && hasIdleSlot())
         next = std::min(next, now + cfg_.period);
-    if (next != kTickMax) {
-        Tick r = next % cfg_.period;
-        scheduleTick(r == 0 ? next : next + (cfg_.period - r));
+    next = std::min(next, pending_min_);
+    if (next != kTickMax)
+        scheduleTick(edgeAtOrAfter(next));
+}
+
+void
+NdpUnit::queueCompletion(Slot *slot, KernelInstance *inst, MemOp op,
+                         bool blocking, Tick when)
+{
+    // Clamp: peer/host chains may deliver exactly at now; fused device
+    // stages always stamp the future.
+    when = std::max(when, env_.eventQueue().now());
+    pending_.push_back(PendingCompletion{slot, inst, when, op, blocking});
+    pending_min_ = std::min(pending_min_, when);
+    scheduleTick(edgeAtOrAfter(when));
+}
+
+void
+NdpUnit::drainCompletions(Tick now)
+{
+    Tick next = kTickMax;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        PendingCompletion e = pending_[i];
+        if (e.when > now) {
+            next = std::min(next, e.when);
+            pending_[keep++] = e;
+            continue;
+        }
+        // Delivery order = arrival order (deterministic; compaction keeps
+        // the survivors' relative order).
+        if (e.op != MemOp::Read)
+            env_.storeDrained(e.inst, e.when);
+        if (e.blocking)
+            completeBlockingAccess(e.slot, e.when);
     }
+    pending_.resize(keep);
+    pending_min_ = next;
 }
 
 bool
@@ -274,21 +320,27 @@ NdpUnit::issueOne(unsigned sc_idx, SubCore &sc, Tick now, bool &issued)
         return kTickMax; // every uthread is idle or waiting on memory
     const unsigned n = static_cast<unsigned>(sc.slots.size());
     const unsigned base = sc.rr_next; // snapshot: rr_next moves on issue
+    const Tick next_cycle = now + 1;
     Tick min_ready = kTickMax;
     for (unsigned k = 0; k < n; ++k) {
-        unsigned idx = (base + k) % n;
+        if (issued && min_ready <= next_cycle)
+            break; // µop issued and the next tick is already next-cycle:
+                   // no later slot can lower the bound further
+        unsigned idx = base + k; // wrap without %: n is a runtime value,
+        if (idx >= n)            // so % compiles to an integer divide
+            idx -= n;
         Slot &slot = sc.slots[idx];
         if (slot.state != SlotState::Ready)
             continue;
         if (issued || slot.ready_at > now) {
             // Not eligible this cycle (or one µop already issued): this
             // slot next wants service at its ready tick.
-            min_ready = std::min(min_ready, std::max(slot.ready_at, now + 1));
+            min_ready = std::min(min_ready, std::max(slot.ready_at, next_cycle));
             continue;
         }
         if (slot.section->code.empty()) {
             // Degenerate empty section: finish immediately.
-            sc.rr_next = (idx + 1) % n;
+            sc.rr_next = idx + 1 == n ? 0 : idx + 1;
             finishThread(sc, slot);
             issued = true;
             continue;
@@ -309,7 +361,7 @@ NdpUnit::issueOne(unsigned sc_idx, SubCore &sc, Tick now, bool &issued)
         }
         if (fu != isa::FuType::None && sc.fu_free[fuIndex(fu)] > now) {
             // FU busy: let another uthread issue (FGMT); retry next cycle.
-            min_ready = std::min(min_ready, now + 1);
+            min_ready = std::min(min_ready, next_cycle);
             continue;
         }
 
@@ -363,11 +415,11 @@ NdpUnit::issueOne(unsigned sc_idx, SubCore &sc, Tick now, bool &issued)
                                     ? spad_ready
                                     : now + res.latency * cfg_.period;
                 min_ready = std::min(min_ready,
-                                     std::max(slot.ready_at, now + 1));
+                                     std::max(slot.ready_at, next_cycle));
             }
         }
 
-        sc.rr_next = (idx + 1) % n;
+        sc.rr_next = idx + 1 == n ? 0 : idx + 1;
         issued = true;
     }
     return min_ready;
@@ -381,11 +433,12 @@ NdpUnit::completeBlockingAccess(Slot *slot, Tick when)
         slot->state == SlotState::WaitMem) {
         slot->ready_at = when;
         if (slot->finish_pending) {
-            finishThreadFromWake(slot);
+            // finishThread flags work_maybe_available_; the spawn pass of
+            // the enclosing tick() picks the freed slot up immediately.
+            finishThread(*slot->owner, *slot);
         } else {
             slot->state = SlotState::Ready;
             ++slot->owner->ready_count;
-            wake();
         }
     }
 }
@@ -418,14 +471,13 @@ NdpUnit::handleMemRefs(unsigned sc_idx, SubCore &sc, Slot &slot,
         // returned tick as the slot's ready_at.
         return spad_done;
     }
-    // Mixed with global refs (or a finishing uthread): fall back to real
-    // completions so the slot wakes only when everything returned.
+    // Mixed with global refs (or a finishing uthread): park real
+    // completions so the slot wakes only when everything returned. No
+    // event — the parked entries ride the unit's tick ticker.
     Slot *s = &slot;
     for (unsigned i = 0; i < spad_blocking; ++i) {
         ++slot.outstanding_loads;
-        env_.eventQueue().schedule(spad_done, [this, s] {
-            completeBlockingAccess(s, env_.eventQueue().now());
-        });
+        queueCompletion(s, slot.instance, MemOp::Read, true, spad_done);
     }
     return 0;
 }
@@ -486,21 +538,24 @@ NdpUnit::issueGlobalAccess(SubCore &sc, Slot &slot, const isa::MemRef &ref,
     }
 
     // One 16 B DRAM read to the hashed DRAM-TLB entry location, then
-    // (plus any ATS delay for cold entries) the actual access. Captures
-    // carry scalars only (<= 48 B inline, see launchGlobalAccess).
+    // (plus any ATS delay for cold entries) the actual access. The fill
+    // completion may be delivered early with a future tick (fused memory
+    // stages), so the launch is deferred to that tick — the access itself
+    // must enter the L1 at its real issue time. Captures carry scalars
+    // only (<= 48 B inline, see launchGlobalAccess).
     const bool cold = ats_delay != 0;
     KernelInstance *inst_p = inst;
     Addr entry_pa = env_.dramTlbEntryPa(asid, ref.va);
     env_.unitMemAccess(
         cfg_.index, MemOp::Read, entry_pa, DramTlb::kEntryBytes,
-        [this, s, inst_p, pa, now, size, op, blocking, cold](Tick) {
-            if (!cold) {
+        [this, s, inst_p, pa, now, size, op, blocking, cold](Tick t) {
+            Tick fire = cold ? t + cfg_.ats_latency : t;
+            if (fire <= env_.eventQueue().now()) {
                 launchGlobalAccess(s, inst_p, op, blocking, pa, size, now);
                 return;
             }
-            env_.eventQueue().scheduleAfter(
-                cfg_.ats_latency,
-                [this, s, inst_p, pa, now, size, op, blocking] {
+            env_.eventQueue().schedule(
+                fire, [this, s, inst_p, pa, now, size, op, blocking] {
                     launchGlobalAccess(s, inst_p, op, blocking, pa, size,
                                        now);
                 });
@@ -512,9 +567,14 @@ NdpUnit::launchGlobalAccess(Slot *s, KernelInstance *inst, MemOp op,
                             bool blocking, Addr pa, std::uint32_t size,
                             Tick issued_at)
 {
+    // Completions arrive through the fused delivery convention: the
+    // callback runs as soon as the completing stage knows the completion
+    // tick t (possibly before sim-time reaches it), so everything with a
+    // timing effect is parked on the unit and applied by the tick at the
+    // cycle edge >= t.
     if (op == MemOp::Write) {
         env_.unitMemAccess(cfg_.index, op, pa, size, [this, inst](Tick t) {
-            env_.storeDrained(inst, t);
+            queueCompletion(nullptr, inst, MemOp::Write, false, t);
         });
         return;
     }
@@ -522,10 +582,8 @@ NdpUnit::launchGlobalAccess(Slot *s, KernelInstance *inst, MemOp op,
                        [this, s, blocking, op, inst, issued_at](Tick t) {
         stats_.load_latency_ticks += t - issued_at;
         ++stats_.load_samples;
-        if (op == MemOp::Atomic)
-            env_.storeDrained(inst, t); // atomics also write memory
-        if (blocking)
-            completeBlockingAccess(s, t);
+        if (op == MemOp::Atomic || blocking)
+            queueCompletion(blocking ? s : nullptr, inst, op, blocking, t);
     });
 }
 
@@ -544,13 +602,6 @@ NdpUnit::finishThread(SubCore &sc, Slot &slot)
     ++stats_.uthreads_completed;
     work_maybe_available_ = true; // a slot freed: maybe new spawn possible
     env_.uthreadFinished(inst);
-}
-
-void
-NdpUnit::finishThreadFromWake(Slot *slot)
-{
-    finishThread(*slot->owner, *slot);
-    wake();
 }
 
 bool

@@ -218,6 +218,29 @@ class NdpUnit : public isa::MemoryIf
         std::array<Tick, 7> fu_free{};
     };
 
+    /**
+     * One memory completion parked on the unit, to be applied by the next
+     * tick at or after `when`. This is the fused-delivery landing zone:
+     * a completing memory stage calls the access callback synchronously
+     * (stamped with the logical completion tick, possibly in the future),
+     * and the unit arms its existing cycle Ticker instead of the old
+     * response-crossbar event + unit-wake event pair.
+     */
+    struct PendingCompletion
+    {
+        Slot *slot;           ///< waiting slot (nullptr for posted stores)
+        KernelInstance *inst; ///< instance for drain accounting
+        Tick when;            ///< logical completion tick
+        MemOp op;             ///< != Read drains a store at delivery
+        bool blocking;        ///< decrements slot->outstanding_loads
+    };
+
+    /** Park a completion; arms the tick ticker at the edge >= when. */
+    void queueCompletion(Slot *slot, KernelInstance *inst, MemOp op,
+                         bool blocking, Tick when);
+    /** Apply parked completions whose tick has been reached. */
+    void drainCompletions(Tick now);
+
     void scheduleTick(Tick at);
     void tick();
     bool trySpawn(SubCore &sc, Tick now);
@@ -231,7 +254,6 @@ class NdpUnit : public isa::MemoryIf
      */
     Tick issueOne(unsigned sc_idx, SubCore &sc, Tick now, bool &issued);
     void finishThread(SubCore &sc, Slot &slot);
-    void finishThreadFromWake(Slot *slot);
     /**
      * Issue the timing side of one instruction's memory references.
      * Global refs get real completion callbacks; blocking scratchpad
@@ -256,7 +278,15 @@ class NdpUnit : public isa::MemoryIf
                             Tick issued_at);
     bool hasIdleSlot() const;
     Tick eqNextEdge() const;
-    /** Wake a slot after one outstanding blocking access completes. */
+    /** First cycle edge at or after @p t. */
+    Tick
+    edgeAtOrAfter(Tick t) const
+    {
+        Tick r = t % cfg_.period;
+        return r == 0 ? t : t + (cfg_.period - r);
+    }
+    /** Wake a slot after one outstanding blocking access completes.
+     *  Called only from drainCompletions (inside tick). */
     void completeBlockingAccess(Slot *slot, Tick when);
 
     /** Functional scratchpad/arg-window routing helpers. */
@@ -300,6 +330,9 @@ class NdpUnit : public isa::MemoryIf
     /** Coalesced cycle wakeup: one pooled event, earliest arm wins. */
     Ticker tick_ticker_;
     bool work_maybe_available_ = true;
+    /** Parked memory completions (capacity retained; drained by tick). */
+    std::vector<PendingCompletion> pending_;
+    Tick pending_min_ = kTickMax;
     NdpUnitStats stats_;
 
     /** Functional context of the uthread currently in step(). */

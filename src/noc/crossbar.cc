@@ -15,10 +15,11 @@ Crossbar::Crossbar(EventQueue &eq, CrossbarConfig cfg)
 }
 
 Tick
-Crossbar::send(unsigned dst_port, std::uint32_t bytes,
+Crossbar::send(unsigned dst_port, std::uint32_t bytes, Tick at,
                std::uint64_t route_hash)
 {
     M2_ASSERT(dst_port < cfg_.ports, "bad crossbar port ", dst_port);
+    M2_ASSERT(at >= eq_.now(), "crossbar injection in the past");
     unsigned plane = static_cast<unsigned>(mixHash64(route_hash) % cfg_.planes);
     Tick &free = port_free_[static_cast<std::size_t>(plane) * cfg_.ports +
                             dst_port];
@@ -26,7 +27,7 @@ Crossbar::send(unsigned dst_port, std::uint32_t bytes,
     unsigned flits = (bytes + cfg_.flit_bytes - 1) / cfg_.flit_bytes;
     flits = std::max(flits, 1u);
 
-    Tick ready = eq_.now() + cfg_.hop_latency;
+    Tick ready = at + cfg_.hop_latency;
     Tick start = std::max(ready, free);
     Tick done = start + static_cast<Tick>(flits) * cfg_.cycle;
     free = done;
@@ -35,6 +36,13 @@ Crossbar::send(unsigned dst_port, std::uint32_t bytes,
     stats_.bytes += bytes;
     stats_.total_queueing += start - ready;
     return done;
+}
+
+Tick
+Crossbar::send(unsigned dst_port, std::uint32_t bytes,
+               std::uint64_t route_hash)
+{
+    return send(dst_port, bytes, eq_.now(), route_hash);
 }
 
 } // namespace m2ndp

@@ -49,7 +49,17 @@ class Crossbar
     /**
      * Book transfer of @p bytes to @p dst_port, selecting a plane by
      * @p route_hash. @return the tick the last flit arrives.
+     *
+     * @p at is the logical injection tick (>= now): fused completion
+     * paths book the hop from the producing stage's completion tick
+     * instead of scheduling an event just to reach "now == at" first —
+     * arbitration conflicts are still modeled through the per-port
+     * next-free bookkeeping, with no event.
      */
+    Tick send(unsigned dst_port, std::uint32_t bytes, Tick at,
+              std::uint64_t route_hash);
+
+    /** Convenience overload injecting at the current tick. */
     Tick send(unsigned dst_port, std::uint32_t bytes,
               std::uint64_t route_hash);
 

@@ -84,6 +84,7 @@ EventQueue::scheduleNode(Tick when)
     Event *ev = allocEvent();
     ev->when = when;
     ev->seq = seq_++;
+    ++scheduled_total_;
 
     std::uint64_t day = dayOf(when);
     if (cal_count_ == 0)

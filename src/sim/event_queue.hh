@@ -80,6 +80,13 @@ class EventQueue
     bool empty() const { return size_ == 0; }
     std::size_t pending() const { return size_; }
 
+    /**
+     * Events scheduled over this queue's lifetime (including later
+     * cancelled ones). The events-per-instruction cost model in
+     * docs/performance.md and the bench gate are built on this counter.
+     */
+    std::uint64_t scheduledTotal() const { return scheduled_total_; }
+
     /** Tick of the next pending event (kTickMax if none). */
     Tick nextEventTick() const;
 
@@ -205,6 +212,7 @@ class EventQueue
 
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
+    std::uint64_t scheduled_total_ = 0;
     std::size_t size_ = 0;      ///< live pending events (both tiers)
     std::size_t cal_count_ = 0; ///< live events in the calendar tier
 

@@ -160,12 +160,15 @@ TEST(SteadyStateAllocation, SecondRunAllocatesOnlyLaunchOverhead)
     // The second run executes ~5k instructions and thousands of memory
     // accesses. Per-launch bookkeeping (instance, id maps, completion
     // slot) is allowed; anything scaling with instructions is a
-    // regression on the zero-allocation path.
+    // regression on the zero-allocation path. (No cold/warm ratio bound
+    // any more: fused response delivery cut the cold run's event/packet
+    // slab growth so far that per-launch bookkeeping dominates both runs
+    // — the absolute bound is the meaningful invariant now.)
     EXPECT_LT(second, 64u)
         << "second-run allocations should be launch overhead only "
         << "(first run: " << first << ")";
-    EXPECT_LT(second * 8, first)
-        << "warm run should allocate far less than the cold run";
+    EXPECT_LE(second, first)
+        << "warm run should not allocate more than the cold run";
 }
 
 } // namespace

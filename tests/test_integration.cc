@@ -143,6 +143,43 @@ TEST_F(IntegrationTest, VecAddEndToEnd)
     EXPECT_EQ(runtime->pollKernelStatus(iid), KernelStatus::Finished);
 }
 
+TEST_F(IntegrationTest, EventsPerInstructionWithinBudget)
+{
+    // Event accounting for the fused access path: with response fusion
+    // (completions park on the unit's cycle ticker), interval ticking and
+    // batched DRAM completions, the vecadd end-to-end run schedules well
+    // under 1.5 events per simulated instruction (~2.4 before the fusion;
+    // the figure is deterministic, so the budget has real teeth — a
+    // regression re-introducing a per-access event chain blows straight
+    // through it).
+    constexpr unsigned kN = 32768;
+    Addr a = process->allocate(kN * 4);
+    Addr b = process->allocate(kN * 4);
+    Addr c = process->allocate(kN * 4);
+    std::vector<std::uint32_t> va(kN, 1), vb(kN, 2);
+    sys->writeVirtual(*process, a, va.data(), kN * 4);
+    sys->writeVirtual(*process, b, vb.data(), kN * 4);
+
+    KernelResources res;
+    res.num_int_regs = 8;
+    res.num_vector_regs = 4;
+    std::int64_t kid = runtime->registerKernel(kVecAddKernel, res);
+    ASSERT_GT(kid, 0);
+
+    std::uint64_t events0 = sys->eq().scheduledTotal();
+    ASSERT_GT(runtime->launchKernelSync(launchWith(kid, a, a + kN * 4,
+                                                   {b, c})),
+              0);
+    std::uint64_t events = sys->eq().scheduledTotal() - events0;
+    std::uint64_t insts = sys->device().aggregateUnitStats().instructions;
+    ASSERT_GT(insts, 0u);
+    double events_per_inst =
+        static_cast<double>(events) / static_cast<double>(insts);
+    EXPECT_LT(events_per_inst, 1.5)
+        << "access-path event fusion regressed: " << events << " events for "
+        << insts << " instructions";
+}
+
 TEST_F(IntegrationTest, ReductionWithScratchpadAndAtomics)
 {
     constexpr unsigned kN = 8192; // int64 elements

@@ -161,6 +161,35 @@ TEST_F(StreamApiTest, CrossStreamConcurrency)
     EXPECT_TRUE(verifyVecAdd(*sys, *proc, small));
 }
 
+TEST_F(StreamApiTest, WideKernelDoesNotStarveSmallStream)
+{
+    // Fairness across concurrent instances: a wide kernel with a near-
+    // endless uthread supply must not starve a tiny kernel launched on a
+    // second stream. pullWork rotates a round-robin cursor over active
+    // instances, so the tiny kernel's handful of uthreads spawn promptly
+    // and it finishes while the wide kernel is still running. (Before the
+    // cursor, pullWork served instances in activation order, and the tiny
+    // kernel's spawn waited until the wide kernel drained its work queue.)
+    Buffers wide = makeBuffers(*sys, *proc, 1u << 18);
+    Buffers tiny = makeBuffers(*sys, *proc, 64);
+
+    NdpEvent ev_wide = rt->createStream().launch(vecAddLaunch(kid, wide));
+    NdpEvent ev_tiny = rt->createStream().launch(vecAddLaunch(kid, tiny));
+
+    while (!ev_tiny.done() && sys->eq().step()) {
+    }
+    ASSERT_TRUE(ev_tiny.done());
+    EXPECT_FALSE(ev_wide.done())
+        << "tiny kernel should finish long before the 4096x wider one";
+
+    ASSERT_GT(ev_wide.wait(), 0);
+    EXPECT_GT(ev_wide.completedAt(), 4 * ev_tiny.completedAt())
+        << "wide kernel finishing this close to the tiny one means the "
+           "tiny kernel was starved of uthread slots";
+    EXPECT_TRUE(verifyVecAdd(*sys, *proc, wide));
+    EXPECT_TRUE(verifyVecAdd(*sys, *proc, tiny));
+}
+
 TEST_F(StreamApiTest, EventPollWaitAndHook)
 {
     Buffers buf = makeBuffers(*sys, *proc, 1u << 14);
