@@ -43,6 +43,7 @@
 // per simulated instruction on the end-to-end path (zero-allocation
 // access-path tracking).
 #include "common/counting_new.hh"
+#include "common/hotpath_timer.hh"
 #include "ndp/tlb.hh"
 #include "sim/event_queue.hh"
 #include "system/system.hh"
@@ -222,6 +223,8 @@ struct EndToEndResult
     TlbStats dtlb;
     std::uint64_t heap_allocs = 0;
     std::uint64_t events_scheduled = 0;
+    /** Aggregated NDP-unit stats (scheduler observability headline). */
+    NdpUnitStats units;
 };
 
 // ---------------------------------------------------------------------
@@ -320,6 +323,7 @@ runEndToEnd(unsigned elems)
     r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
     r.instructions = stats.instructions;
     r.uthreads = stats.uthreads_completed;
+    r.units = stats;
     r.sim_seconds = ticksToSeconds(sys.eq().now() - sim0);
     r.heap_allocs = allocationCount() - alloc0;
     r.events_scheduled = sys.eq().scheduledTotal() - events0;
@@ -407,7 +411,42 @@ main(int argc, char **argv)
     const EndToEndResult &e2e = e2e_runs[1];
     double ips = rate(e2e.instructions, e2e.wall_seconds);
 
-    char json[2048];
+    // One extra *instrumented* run attributes the end-to-end wall clock
+    // to the hot paths (issue stage / line fills / functional executor)
+    // so the split is trackable without a profiler. Shares are ratios of
+    // timebase ticks against a scope around the whole run, so no clock
+    // calibration is needed; the (lightly) perturbed run is kept out of
+    // the gated medians above.
+    hotpath::g.enabled = true;
+    hotpath::g.resetCounters();
+    EndToEndResult inst_run;
+    {
+        hotpath::Scope total_scope(hotpath::g.total);
+        inst_run = runEndToEnd(elems);
+    }
+    hotpath::g.enabled = false;
+    double bd_wall = inst_run.wall_seconds;
+    double func_t = static_cast<double>(hotpath::g.functional);
+    // The functional executor runs inside the issue scope: subtract.
+    double issue_t = static_cast<double>(hotpath::g.issue) - func_t;
+    double fill_t = static_cast<double>(hotpath::g.fill);
+    double total_t = static_cast<double>(hotpath::g.total);
+    auto pct = [total_t](double t) {
+        return total_t > 0.0 ? 100.0 * t / total_t : 0.0;
+    };
+
+    const NdpUnitStats &u = e2e.units;
+    double ready_avg =
+        u.active_cycles != 0
+            ? static_cast<double>(u.ready_occupancy_integral) /
+                  static_cast<double>(u.active_cycles)
+            : 0.0;
+    double burst_avg =
+        u.bursts != 0 ? static_cast<double>(u.burst_cycles) /
+                            static_cast<double>(u.bursts)
+                      : 0.0;
+
+    char json[4096];
     std::snprintf(
         json, sizeof(json),
         "{\n"
@@ -442,7 +481,22 @@ main(int argc, char **argv)
         "    \"dtlb_fast_hit_rate\": %.6f,\n"
         "    \"dtlb_evictions\": %llu,\n"
         "    \"heap_allocs_per_inst\": %.4f,\n"
-        "    \"events_per_inst\": %.4f\n"
+        "    \"events_per_inst\": %.4f,\n"
+        "    \"scheduler\": {\n"
+        "      \"ready_occupancy_avg\": %.3f,\n"
+        "      \"issue_stall_no_ready\": %llu,\n"
+        "      \"issue_stall_fu_busy\": %llu,\n"
+        "      \"issue_stall_mem_wait\": %llu,\n"
+        "      \"burst_count\": %llu,\n"
+        "      \"burst_avg_cycles\": %.2f,\n"
+        "      \"burst_max_cycles\": %llu\n"
+        "    }\n"
+        "  },\n"
+        "  \"breakdown\": {\n"
+        "    \"wall_seconds\": %.6f,\n"
+        "    \"issue_pct\": %.1f,\n"
+        "    \"fill_pct\": %.1f,\n"
+        "    \"functional_pct\": %.1f\n"
         "  }\n"
         "}\n",
         static_cast<unsigned long long>(fresh.events), actors,
@@ -467,7 +521,14 @@ main(int argc, char **argv)
                               : 0.0,
         e2e.instructions != 0 ? static_cast<double>(e2e.events_scheduled) /
                                     static_cast<double>(e2e.instructions)
-                              : 0.0);
+                              : 0.0,
+        ready_avg,
+        static_cast<unsigned long long>(u.stall_no_ready),
+        static_cast<unsigned long long>(u.stall_fu_busy),
+        static_cast<unsigned long long>(u.stall_mem_wait),
+        static_cast<unsigned long long>(u.bursts), burst_avg,
+        static_cast<unsigned long long>(u.burst_max), bd_wall,
+        pct(issue_t), pct(fill_t), pct(func_t));
 
     std::fputs(json, stdout);
     if (!out_path.empty()) {

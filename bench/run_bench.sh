@@ -34,6 +34,24 @@ fi
 
 "$bin" --out="$repo_root/BENCH_sim_throughput.json"
 
+# One-line wall-clock breakdown of the end-to-end hot paths (from the
+# instrumented pass the benchmark runs alongside the gated medians), so
+# the issue / fill / functional split is visible per run without a
+# profiler.
+if command -v python3 > /dev/null 2>&1; then
+    python3 - "$repo_root/BENCH_sim_throughput.json" <<'PYEOF' || true
+import json, sys
+doc = json.load(open(sys.argv[1]))
+bd = doc.get("breakdown")
+if bd:
+    other = 100.0 - bd["issue_pct"] - bd["fill_pct"] - bd["functional_pct"]
+    print("hot-path wall breakdown: issue %.1f%% | fill %.1f%% | "
+          "functional %.1f%% | other %.1f%% (instrumented e2e, %.3fs)"
+          % (bd["issue_pct"], bd["fill_pct"], bd["functional_pct"],
+             other, bd["wall_seconds"]))
+PYEOF
+fi
+
 if [[ -n "$baseline" ]]; then
     status=0
     if command -v python3 > /dev/null 2>&1; then

@@ -4,10 +4,10 @@
 Usage: check_bench.py NEW.json BASELINE.json [--tolerance FRAC]
 
 Fails (exit 1) when, relative to the committed baseline,
-  - engine.speedup_vs_legacy drops by more than the tolerance, or
-  - end_to_end.sim_instructions_per_sec drops by more than the tolerance, or
-  - launch_throughput.launches_per_sec drops by more than the tolerance, or
-  - end_to_end.events_per_inst RISES by more than the tolerance (this
+  - engine.speedup_vs_legacy drops by more than its tolerance, or
+  - end_to_end.sim_instructions_per_sec drops by more than its tolerance, or
+  - launch_throughput.launches_per_sec drops by more than its tolerance, or
+  - end_to_end.events_per_inst RISES by more than its tolerance (this
     metric is lower-is-better: it counts scheduled events per simulated
     instruction, is deterministic, and guards the fused access path), or
   - engine.checksums_match is false in the new result.
@@ -16,9 +16,14 @@ A gated metric missing from the baseline (e.g. the first run after the
 metric was introduced) is skipped with a note; missing from the NEW result
 it fails — the benchmark must keep reporting every gated headline.
 
-The default tolerance is 10% (the ROADMAP's "regressions block a PR" bar);
-anything inside it is treated as host noise. launches_per_sec is measured
-in simulated time and is deterministic, but shares the same gate.
+Tolerances are per metric. Deterministic simulated metrics
+(events_per_inst, launches_per_sec) get the strict 10% bar — any movement
+is a structural change, never noise. Wall-clock metrics
+(speedup_vs_legacy, sim_instructions_per_sec) get a wider 25% bar: on the
+shared boxes this repo is benched on, an *unchanged* tree swings by more
+than 10% between runs (hypervisor neighbours, frequency steps), so the
+strict bar flakes without catching anything the deterministic gates
+miss. --tolerance overrides the wall-clock bar only.
 """
 
 import argparse
@@ -26,14 +31,18 @@ import json
 import sys
 
 
-# Gated headline metrics: dotted path -> direction. "higher" fails on a
-# drop beyond tolerance; "lower" fails on a rise beyond tolerance.
+# Gated headline metrics: dotted path -> (direction, class). "higher"
+# fails on a drop beyond tolerance; "lower" fails on a rise beyond it.
+# "det" metrics are deterministic (simulated time / event counts); "wall"
+# metrics are host wall-clock and get the wider noise bar.
 GATED_PATHS = {
-    "engine.speedup_vs_legacy": "higher",
-    "end_to_end.sim_instructions_per_sec": "higher",
-    "launch_throughput.launches_per_sec": "higher",
-    "end_to_end.events_per_inst": "lower",
+    "engine.speedup_vs_legacy": ("higher", "wall"),
+    "end_to_end.sim_instructions_per_sec": ("higher", "wall"),
+    "launch_throughput.launches_per_sec": ("higher", "det"),
+    "end_to_end.events_per_inst": ("lower", "det"),
 }
+
+DETERMINISTIC_TOLERANCE = 0.10
 
 
 def gated_metrics(doc):
@@ -54,8 +63,10 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("new_json")
     parser.add_argument("baseline_json")
-    parser.add_argument("--tolerance", type=float, default=0.10,
-                        help="allowed fractional drop (default 0.10)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional drop for wall-clock "
+                             "metrics (default 0.25; deterministic "
+                             "metrics always use 0.10)")
     args = parser.parse_args()
 
     with open(args.new_json) as f:
@@ -81,20 +92,24 @@ def main():
         new_v = new_m[name]
         if base_v <= 0:
             continue
+        direction, kind = GATED_PATHS[name]
+        tolerance = (DETERMINISTIC_TOLERANCE if kind == "det"
+                     else args.tolerance)
         # Normalize so "regression" is always a positive fraction.
-        if GATED_PATHS[name] == "higher":
+        if direction == "higher":
             regression = (base_v - new_v) / base_v
         else:
             regression = (new_v - base_v) / base_v
-        status = "OK" if regression <= args.tolerance else "FAIL"
+        status = "OK" if regression <= tolerance else "FAIL"
         print(f"[{status}] {name}: baseline {base_v:.4g} -> new {new_v:.4g} "
-              f"({(new_v - base_v) / base_v * 100.0:+.1f}%)")
-        if regression > args.tolerance:
-            worse = "dropped" if GATED_PATHS[name] == "higher" else "rose"
+              f"({(new_v - base_v) / base_v * 100.0:+.1f}%, "
+              f"{kind} tolerance {tolerance * 100.0:.0f}%)")
+        if regression > tolerance:
+            worse = "dropped" if direction == "higher" else "rose"
             failures.append(
                 f"{name} {worse} {regression * 100.0:.1f}% "
                 f"(baseline {base_v:.4g}, new {new_v:.4g}, "
-                f"tolerance {args.tolerance * 100.0:.0f}%)")
+                f"tolerance {tolerance * 100.0:.0f}%)")
 
     if failures:
         print("\nBENCH REGRESSION GATE FAILED:", file=sys.stderr)

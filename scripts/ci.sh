@@ -28,8 +28,8 @@ done
 
 jobs="$(nproc 2> /dev/null || echo 4)"
 
-echo "==> configure + build ($build_dir)"
-cmake -B "$build_dir" -S "$repo_root"
+echo "==> configure + build ($build_dir, warnings are errors)"
+cmake -B "$build_dir" -S "$repo_root" -DWERROR=ON
 cmake --build "$build_dir" -j "$jobs"
 
 echo "==> ctest"

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bitutil.hh"
+#include "common/hotpath_timer.hh"
 #include "common/log.hh"
 
 namespace m2ndp {
@@ -12,6 +13,10 @@ Cache::Cache(EventQueue &eq, CacheConfig cfg, MemPort &downstream)
 {
     M2_ASSERT(cfg_.line_bytes % cfg_.sector_bytes == 0,
               "line must be a whole number of sectors");
+    M2_ASSERT(isPowerOfTwo(cfg_.line_bytes) &&
+                  isPowerOfTwo(cfg_.sector_bytes),
+              "line/sector sizes must be powers of two (mask math)");
+    sector_shift_ = floorLog2(cfg_.sector_bytes);
     M2_ASSERT(cfg_.size % (static_cast<std::uint64_t>(cfg_.assoc) *
                            cfg_.line_bytes) == 0,
               "cache size not divisible into sets");
@@ -22,13 +27,25 @@ Cache::Cache(EventQueue &eq, CacheConfig cfg, MemPort &downstream)
     set_mask_ = isPowerOfTwo(num_sets_) ? num_sets_ - 1 : 0;
     lines_.assign(num_sets_ * cfg_.assoc, Line{});
     tags_.assign(num_sets_ * cfg_.assoc, kNoTag);
+    lrus_.assign(num_sets_ * cfg_.assoc, 0);
 
-    // MSHR table: power-of-two capacity at <= 50% load so linear probes
-    // stay short; occupancy is bounded by cfg_.mshrs (stalls gate above).
+    M2_ASSERT(cfg_.line_bytes / cfg_.sector_bytes <= 64,
+              "sector_valid / sectors_pending are 64-bit masks");
+
+    // MSHR node pool: at most one line entry per outstanding sector fill
+    // (bounded by cfg_.mshrs), plus one spare so a waiter completion that
+    // re-enters the cache while the freed node is mid-release still finds
+    // a node. The index table is power-of-two capacity at <= 50% load so
+    // linear probes stay short.
+    mshr_nodes_.assign(cfg_.mshrs + 1, Mshr{});
+    for (Mshr &m : mshr_nodes_) {
+        m.free_next = mshr_free_;
+        mshr_free_ = &m;
+    }
     std::uint64_t cap = 1;
-    while (cap < 2 * static_cast<std::uint64_t>(cfg_.mshrs))
+    while (cap < 2 * static_cast<std::uint64_t>(mshr_nodes_.size()))
         cap <<= 1;
-    mshr_table_.assign(cap, Mshr{});
+    mshr_index_.assign(cap, nullptr);
     mshr_mask_ = cap - 1;
 }
 
@@ -42,9 +59,9 @@ Cache::~Cache()
             p = next;
         }
     };
-    for (Mshr &m : mshr_table_) {
-        if (m.valid)
-            release_chain(m.waiters_head);
+    for (Mshr *m : mshr_index_) {
+        if (m != nullptr)
+            release_chain(m->waiters_head);
     }
     release_chain(stalled_head_);
 }
@@ -72,17 +89,23 @@ Cache::findLine(Addr line_addr)
 Cache::Line &
 Cache::allocLine(Addr line_addr, Tick now)
 {
+    // Victim pick over the compact tag/LRU arrays: an invalid way wins
+    // outright, else the minimum LRU stamp. 16 ways touch 4 compact
+    // cache lines instead of 8 Line-struct ones.
     const std::size_t base = setIndex(line_addr) * cfg_.assoc;
-    Line *victim = nullptr;
+    unsigned victim_way = 0;
+    std::uint64_t victim_lru = ~std::uint64_t(0);
     for (unsigned w = 0; w < cfg_.assoc; ++w) {
-        Line &line = lines_[base + w];
-        if (!line.valid) {
-            victim = &line;
+        if (tags_[base + w] == kNoTag) {
+            victim_way = w;
             break;
         }
-        if (victim == nullptr || line.lru < victim->lru)
-            victim = &line;
+        if (lrus_[base + w] < victim_lru) {
+            victim_lru = lrus_[base + w];
+            victim_way = w;
+        }
     }
+    Line *victim = &lines_[base + victim_way];
     if (victim->valid && victim->dirty) {
         // Write back all dirty sectors (modeled as one downstream write per
         // valid sector; posted, no completion dependence).
@@ -106,65 +129,75 @@ Cache::allocLine(Addr line_addr, Tick now)
 }
 
 // --------------------------------------------------------------------------
-// MSHR table (open addressing, linear probing, backward-shift deletion)
+// Line-keyed MSHRs: fixed node pool + open-addressing pointer index
+// (linear probing, backward-shift deletion). Nodes never move, so fill
+// callbacks capture their Mshr* and fills do no hash probe at all.
 // --------------------------------------------------------------------------
 
 std::size_t
-Cache::mshrSlot(Addr sector) const
+Cache::mshrSlot(Addr line) const
 {
-    return static_cast<std::size_t>(mixHash64(sector) & mshr_mask_);
+    return static_cast<std::size_t>(mixHash64(line) & mshr_mask_);
 }
 
 Cache::Mshr *
-Cache::mshrFind(Addr sector)
+Cache::mshrFind(Addr line)
 {
-    std::size_t i = mshrSlot(sector);
-    while (mshr_table_[i].valid) {
-        if (mshr_table_[i].sector == sector)
-            return &mshr_table_[i];
+    std::size_t i = mshrSlot(line);
+    while (mshr_index_[i] != nullptr) {
+        if (mshr_index_[i]->line == line)
+            return mshr_index_[i];
         i = (i + 1) & mshr_mask_;
     }
     return nullptr;
 }
 
 Cache::Mshr *
-Cache::mshrInsert(Addr sector)
+Cache::mshrInsert(Addr line)
 {
-    M2_ASSERT(mshr_count_ < mshr_table_.size() / 2, "MSHR table overfull");
-    std::size_t i = mshrSlot(sector);
-    while (mshr_table_[i].valid)
+    M2_ASSERT(mshr_free_ != nullptr, "MSHR node pool exhausted");
+    Mshr *m = mshr_free_;
+    mshr_free_ = m->free_next;
+    m->free_next = nullptr;
+    m->line = line;
+    m->sectors_pending = 0;
+    m->waiters_head = nullptr;
+    m->waiters_tail = nullptr;
+    m->way = kNoWay;
+    std::size_t i = mshrSlot(line);
+    while (mshr_index_[i] != nullptr)
         i = (i + 1) & mshr_mask_;
-    Mshr &m = mshr_table_[i];
-    m.valid = true;
-    m.sector = sector;
-    m.waiters_head = nullptr;
-    m.waiters_tail = nullptr;
-    ++mshr_count_;
-    return &m;
+    mshr_index_[i] = m;
+    return m;
 }
 
 void
 Cache::mshrErase(Mshr *m)
 {
-    std::size_t hole =
-        static_cast<std::size_t>(m - mshr_table_.data());
-    mshr_table_[hole].valid = false;
-    --mshr_count_;
+    // Locate the index slot holding this node (short probe from home).
+    std::size_t hole = mshrSlot(m->line);
+    while (mshr_index_[hole] != m) {
+        M2_ASSERT(mshr_index_[hole] != nullptr, "MSHR node not indexed");
+        hole = (hole + 1) & mshr_mask_;
+    }
+    mshr_index_[hole] = nullptr;
     // Backward-shift deletion keeps probe chains intact without
     // tombstones: pull back any entry whose probe path crossed the hole.
     std::size_t j = hole;
     while (true) {
         j = (j + 1) & mshr_mask_;
-        if (!mshr_table_[j].valid)
-            return;
-        std::size_t home = mshrSlot(mshr_table_[j].sector);
+        if (mshr_index_[j] == nullptr)
+            break;
+        std::size_t home = mshrSlot(mshr_index_[j]->line);
         // Move iff the hole lies on the probe path from home to j.
         if (((hole - home) & mshr_mask_) < ((j - home) & mshr_mask_)) {
-            mshr_table_[hole] = mshr_table_[j];
-            mshr_table_[j].valid = false;
+            mshr_index_[hole] = mshr_index_[j];
+            mshr_index_[j] = nullptr;
             hole = j;
         }
     }
+    m->free_next = mshr_free_;
+    mshr_free_ = m;
 }
 
 void
@@ -231,11 +264,17 @@ Cache::lookupAt(MemPacketPtr pkt, Tick done_tick)
             pkt->complete(now);
             return;
         }
-        // Miss: merge into or allocate an MSHR for this sector.
-        if (Mshr *m = mshrFind(sector_addr)) {
+        // Miss: merge into (or extend) the line's MSHR. Waiters for every
+        // sector of the line share one chain, each stamped with its
+        // sector index.
+        Mshr *m = mshrFind(line_addr);
+        const std::uint64_t sbit = std::uint64_t(1) << sector;
+        if (m != nullptr && (m->sectors_pending & sbit) != 0) {
+            // The sector's fill is already in flight: pure merge.
             ++stats_.mshr_merges;
             MemPacket *raw = pkt.release();
             raw->link = nullptr;
+            raw->wait_sector = static_cast<std::uint8_t>(sector);
             if (m->waiters_tail != nullptr)
                 m->waiters_tail->link = raw;
             else
@@ -254,15 +293,24 @@ Cache::lookupAt(MemPacketPtr pkt, Tick done_tick)
             stalled_tail_ = raw;
             return;
         }
-        Mshr *m = mshrInsert(sector_addr);
+        if (m == nullptr)
+            m = mshrInsert(line_addr);
+        m->sectors_pending |= sbit;
+        ++mshr_count_;
         MemPacket *raw = pkt.release();
         raw->link = nullptr;
-        m->waiters_head = raw;
+        raw->wait_sector = static_cast<std::uint8_t>(sector);
+        if (m->waiters_tail != nullptr)
+            m->waiters_tail->link = raw;
+        else
+            m->waiters_head = raw;
         m->waiters_tail = raw;
+        // The fill callback captures the stable node pointer: no hash
+        // probe on the fill path.
         sendDownstream(MemOp::Read, sector_addr, cfg_.sector_bytes,
                        MemSource::NdpUnit, now,
-                       [this, sector_addr](Tick t) {
-                           handleFill(sector_addr, t);
+                       [this, m, sector](Tick t) {
+                           handleLineFill(m, sector, t);
                        });
         return;
       }
@@ -298,34 +346,82 @@ Cache::lookupAt(MemPacketPtr pkt, Tick done_tick)
 }
 
 void
-Cache::handleFill(Addr sector_addr, Tick when)
+Cache::handleLineFill(Mshr *m, unsigned sector, Tick when)
 {
-    Mshr *m = mshrFind(sector_addr);
-    M2_ASSERT(m != nullptr, "fill with no MSHR: addr=", sector_addr);
+    hotpath::Scope fill_timer(hotpath::g.fill);
+    const std::uint64_t sbit = std::uint64_t(1) << sector;
+    M2_ASSERT((m->sectors_pending & sbit) != 0,
+              "fill for a sector with no pending miss: line=", m->line,
+              " sector=", sector);
     ++stats_.fills;
 
-    const Addr line_addr = lineAddr(sector_addr);
-    Line *line = findLine(line_addr);
-    if (line == nullptr)
-        line = &allocLine(line_addr, when);
-    line->sector_valid |= (1ull << sectorIndex(sector_addr));
+    // One tag update per fill: the way cached on the node short-circuits
+    // the tag probe for every sector after the line's first fill; it is
+    // revalidated against the tag array in case the frame was evicted
+    // (or re-used) while fills were in flight.
+    Line *line;
+    if (m->way != kNoWay && tags_[m->way] == m->line) {
+        line = &lines_[m->way];
+    } else {
+        line = findLine(m->line);
+        if (line == nullptr)
+            line = &allocLine(m->line, when);
+        m->way = static_cast<std::uint32_t>(line - lines_.data());
+    }
+    line->sector_valid |= sbit;
     touch(*line);
 
-    MemPacket *w = m->waiters_head;
-    mshrErase(m); // table slot may be reused by the completions below
+    m->sectors_pending &= ~sbit;
+    --mshr_count_;
 
-    while (w != nullptr) {
-        MemPacket *next = w->link;
-        w->link = nullptr;
-        if (w->op == MemOp::Atomic)
-            line->dirty = true;
-        MemPacketPtr holder(w); // recycled after completion
-        holder->complete(when);
-        w = next;
+    if (m->sectors_pending == 0) {
+        // Last sector of the line: every remaining waiter belongs to this
+        // fill, so detach the whole chain, release the node *first* (the
+        // completions may re-enter the cache and take a fresh node), and
+        // settle all coalesced waiters in one walk.
+        MemPacket *w = m->waiters_head;
+        m->waiters_head = nullptr;
+        m->waiters_tail = nullptr;
+        mshrErase(m);
+        while (w != nullptr) {
+            MemPacket *next = w->link;
+            w->link = nullptr;
+            M2_ASSERT(w->wait_sector == sector,
+                      "stranded waiter on a fully-filled line");
+            if (w->op == MemOp::Atomic)
+                line->dirty = true;
+            MemPacketPtr holder(w); // recycled after completion
+            holder->complete(when);
+            w = next;
+        }
+    } else {
+        // Other sectors still in flight: one filtering pass settles this
+        // sector's waiters and keeps the rest chained in FIFO order.
+        MemPacket *w = m->waiters_head;
+        m->waiters_head = nullptr;
+        m->waiters_tail = nullptr;
+        while (w != nullptr) {
+            MemPacket *next = w->link;
+            w->link = nullptr;
+            if (w->wait_sector == sector) {
+                if (w->op == MemOp::Atomic)
+                    line->dirty = true;
+                MemPacketPtr holder(w);
+                holder->complete(when);
+            } else {
+                if (m->waiters_tail != nullptr)
+                    m->waiters_tail->link = w;
+                else
+                    m->waiters_head = w;
+                m->waiters_tail = w;
+            }
+            w = next;
+        }
     }
 
-    // Admit one stalled request per freed MSHR. The retry re-looks-up at
-    // the fill tick (no second port booking, as before the fusion).
+    // Admit one stalled request per freed sector fill. The retry
+    // re-looks-up at the fill tick (no second port booking, as before
+    // the fusion).
     if (stalled_head_ != nullptr) {
         MemPacket *retry = stalled_head_;
         stalled_head_ = retry->link;

@@ -107,45 +107,72 @@ class Cache : public MemPort
     std::size_t outstandingMisses() const { return mshr_count_; }
 
   private:
+    /** Line metadata. The LRU stamp lives in the parallel compact
+     *  `lrus_` array (8 B per way) so the victim scan touches 2 cache
+     *  lines per 16-way set instead of 8. */
     struct Line
     {
         bool valid = false;
         bool dirty = false;
         Addr tag = 0;
         std::uint64_t sector_valid = 0; ///< bitmask of valid sectors
-        std::uint64_t lru = 0;
     };
 
     /**
-     * One outstanding sector miss. Waiters are chained intrusively
-     * through MemPacket::link (FIFO), so merging a request into an MSHR
-     * allocates nothing. Slots live in a fixed open-addressing hash table
-     * sized at construction (linear probing, backward-shift deletion):
-     * the per-miss insert/erase cycle that an unordered_map would turn
-     * into node churn touches no allocator at all.
+     * One line with outstanding sector misses. Waiters for every sector
+     * of the line share one intrusive FIFO chain through
+     * `MemPacket::link` (each stamped with its sector in
+     * `MemPacket::wait_sector`), so merging a request allocates nothing
+     * and a fill settles its waiters in a single chain walk. Nodes live
+     * in a fixed pool and never move: each downstream sector read
+     * captures its node pointer directly, so a fill performs **no hash
+     * probe at all** — and at most one tag probe, via the way cached on
+     * the node (`way`, revalidated against the tag array). The line ->
+     * node index is a separate open-addressing pointer table (linear
+     * probing, backward-shift deletion) sized at construction.
+     *
+     * `mshr_count_` still counts outstanding *sector* fills, so the
+     * MSHR-full stall threshold (`cfg_.mshrs`) and the one-retry-per-fill
+     * admission policy are unchanged from the sector-keyed design.
      */
     struct Mshr
     {
-        bool valid = false;
-        Addr sector = 0;
+        Addr line = 0;
+        std::uint64_t sectors_pending = 0; ///< downstream fills in flight
         MemPacket *waiters_head = nullptr;
         MemPacket *waiters_tail = nullptr;
+        std::uint32_t way = kNoWay; ///< cached lines_ index for the fill
+        Mshr *free_next = nullptr;  ///< node-pool free list
     };
 
-    Mshr *mshrFind(Addr sector);
-    Mshr *mshrInsert(Addr sector);
+    static constexpr std::uint32_t kNoWay = ~std::uint32_t(0);
+
+    Mshr *mshrFind(Addr line);
+    Mshr *mshrInsert(Addr line);
     void mshrErase(Mshr *m);
-    std::size_t mshrSlot(Addr sector) const;
+    std::size_t mshrSlot(Addr line) const;
 
     /** Perform the lookup with all effects stamped at @p done_tick. */
     void lookupAt(MemPacketPtr pkt, Tick done_tick);
-    void handleFill(Addr sector_addr, Tick when);
 
+    /**
+     * Batched line-fill path: sector @p sector of @p m's line returned
+     * from downstream at @p when. One tag update (cached way), one pass
+     * over the line's waiter chain, and — when the line's last pending
+     * sector fills with a shared chain — the node is released before the
+     * waiters complete, so their callbacks can re-enter the cache freely.
+     */
+    void handleLineFill(Mshr *m, unsigned sector, Tick when);
+
+    // Line/sector geometry is power-of-two (asserted at construction —
+    // the mask arithmetic below depends on it), so these stay mask/shift
+    // with no integer divide on the lookup path.
     Addr lineAddr(Addr a) const { return a & ~static_cast<Addr>(cfg_.line_bytes - 1); }
     Addr sectorAddr(Addr a) const { return a & ~static_cast<Addr>(cfg_.sector_bytes - 1); }
     unsigned sectorIndex(Addr a) const
     {
-        return static_cast<unsigned>((a % cfg_.line_bytes) / cfg_.sector_bytes);
+        return static_cast<unsigned>((a & (cfg_.line_bytes - 1)) >>
+                                     sector_shift_);
     }
     std::uint64_t setIndex(Addr line_addr) const;
 
@@ -153,7 +180,12 @@ class Cache : public MemPort
     Line *findLine(Addr line_addr);
     /** Allocate (possibly evicting) a line frame for @p line_addr. */
     Line &allocLine(Addr line_addr, Tick now);
-    void touch(Line &line) { line.lru = ++lru_clock_; }
+    void
+    touch(const Line &line)
+    {
+        lrus_[static_cast<std::size_t>(&line - lines_.data())] =
+            ++lru_clock_;
+    }
 
     void sendDownstream(MemOp op, Addr addr, std::uint32_t size,
                         MemSource source, Tick at, TickCallback cb);
@@ -170,6 +202,7 @@ class Cache : public MemPort
      */
     std::vector<Line> lines_;
     std::vector<Addr> tags_; ///< line tag per way; kNoTag when invalid
+    std::vector<std::uint64_t> lrus_; ///< LRU stamp per way (see touch)
     static constexpr Addr kNoTag = ~static_cast<Addr>(0);
 
     /**
@@ -194,10 +227,13 @@ class Cache : public MemPort
         tags_[idx] = kNoTag;
     }
 
-    /** Open-addressing MSHR table (power-of-two capacity, <= 50% load). */
-    std::vector<Mshr> mshr_table_;
+    /** Fixed MSHR node pool (stable addresses; captured by fill
+     *  callbacks) and the line-keyed open-addressing index over it. */
+    std::vector<Mshr> mshr_nodes_;
+    Mshr *mshr_free_ = nullptr;
+    std::vector<Mshr *> mshr_index_;
     std::uint64_t mshr_mask_ = 0;
-    std::size_t mshr_count_ = 0;
+    std::size_t mshr_count_ = 0; ///< outstanding sector fills (stall gate)
 
     /** Requests waiting for a free MSHR (intrusive FIFO via pkt->link). */
     MemPacket *stalled_head_ = nullptr;
@@ -205,6 +241,7 @@ class Cache : public MemPort
 
     Tick port_free_ = 0;
     std::uint64_t lru_clock_ = 0;
+    unsigned sector_shift_ = 0; ///< log2(sector_bytes)
     CacheStats stats_;
 };
 

@@ -61,6 +61,14 @@ operator new[](std::size_t size, std::align_val_t align)
     return ::operator new(size, align);
 }
 
+// GCC's -Wmismatched-new-delete heuristic flags these frees when it
+// inlines a replaced operator new at a call site and pairs it with a
+// different delete form. All forms above allocate with malloc or
+// aligned_alloc, both of which glibc's free() releases correctly, so
+// the pairing is sound; suppress the false positive (the repo builds
+// with -DWERROR=ON in CI).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void operator delete(void *p) noexcept { std::free(p); }
 void operator delete[](void *p) noexcept { std::free(p); }
 void operator delete(void *p, std::size_t) noexcept { std::free(p); }
@@ -75,3 +83,4 @@ void operator delete[](void *p, std::size_t, std::align_val_t) noexcept
 {
     std::free(p);
 }
+#pragma GCC diagnostic pop

@@ -1,0 +1,7 @@
+#include "common/hotpath_timer.hh"
+
+namespace m2ndp::hotpath {
+
+Counters g;
+
+} // namespace m2ndp::hotpath

@@ -111,6 +111,8 @@ peerRespPort(const DeviceConfig &cfg)
 CxlMemoryExpander::CxlMemoryExpander(EventQueue &eq, SparseMemory &global_mem,
                                      DeviceConfig cfg)
     : eq_(eq), cfg_(cfg), mem_(global_mem),
+      unit_next_tick_(cfg.num_units, kTickMax),
+      unit_ticker_(eq, [this] { unitCycleDriver(); }),
       next_m2func_base_(layout::deviceBase(cfg.index) + cfg.capacity -
                         layout::kM2FuncReserve),
       bi_rng_(0xB1B1 + cfg.index)
@@ -212,6 +214,64 @@ CxlMemoryExpander::localMemAccess(MemOp op, Addr pa, std::uint32_t size,
     // interleaving) that the approximation does not move contention.
     l2_slices_[channel]->receiveAt(
         makePacket(op, local, size, source, at, std::move(done)), arrival);
+}
+
+void
+CxlMemoryExpander::requestUnitTick(unsigned unit, Tick at)
+{
+    if (at < unit_next_tick_[unit])
+        unit_next_tick_[unit] = at;
+    // Inside the driver the request is observed by its own loop; arming
+    // here would plant a queue event that blocks run-until-stall bursts.
+    // A request for the edge being processed can land on a unit the loop
+    // already passed (wakeAllUnits out of a later unit's uthread finish):
+    // flag it so the driver revisits the edge.
+    if (!in_cycle_driver_)
+        unit_ticker_.armAt(at);
+    else if (at <= driver_now_)
+        driver_rescan_ = true;
+}
+
+void
+CxlMemoryExpander::unitCycleDriver()
+{
+    in_cycle_driver_ = true;
+    Tick now = eq_.now();
+    const unsigned n = cfg_.num_units;
+    for (;;) {
+        // Run every unit due at this edge, in unit-index order (the
+        // deterministic replacement for per-unit Ticker FIFO order),
+        // folding the next-edge minimum into the same pass. A unit's
+        // next edge arrives as tick()'s return value; requests landing
+        // mid-loop on already-visited units raise driver_rescan_.
+        driver_now_ = now;
+        driver_rescan_ = false;
+        Tick next = kTickMax;
+        for (unsigned u = 0; u < n; ++u) {
+            Tick t = unit_next_tick_[u];
+            if (t <= now) {
+                unit_next_tick_[u] = kTickMax;
+                t = units_[u]->tick(now);
+                if (unit_next_tick_[u] < t)
+                    t = unit_next_tick_[u];
+                unit_next_tick_[u] = t;
+            }
+            next = std::min(next, t);
+        }
+        if (driver_rescan_ || next <= now)
+            continue; // same-edge re-tick (phase wake, queued completion)
+        if (next == kTickMax)
+            break; // all units stalled; a completion or wake re-arms
+        // Run-until-stall: consume the next edge in place while nothing
+        // else is scheduled before it — the common case during issue
+        // bursts, where the old design paid one event per unit per cycle.
+        if (!eq_.tryAdvance(next)) {
+            unit_ticker_.armAt(next);
+            break;
+        }
+        now = next;
+    }
+    in_cycle_driver_ = false;
 }
 
 void
@@ -547,7 +607,9 @@ CxlMemoryExpander::aggregateUnitStats() const
 {
     NdpUnitStats total;
     for (const auto &u : units_) {
-        const auto &s = u->stats();
+        // Snapshot, not stats(): folds each unit's still-open burst in,
+        // so a run whose longest burst is its last is reported fully.
+        const NdpUnitStats s = u->statsSnapshot();
         total.instructions += s.instructions;
         total.scalar_instructions += s.scalar_instructions;
         total.vector_instructions += s.vector_instructions;
@@ -563,6 +625,15 @@ CxlMemoryExpander::aggregateUnitStats() const
         total.occupancy_integral += s.occupancy_integral;
         total.load_latency_ticks += s.load_latency_ticks;
         total.load_samples += s.load_samples;
+        total.ready_occupancy_integral += s.ready_occupancy_integral;
+        total.stall_mem_wait += s.stall_mem_wait;
+        total.stall_no_ready += s.stall_no_ready;
+        total.stall_fu_busy += s.stall_fu_busy;
+        total.bursts += s.bursts;
+        total.burst_cycles += s.burst_cycles;
+        total.burst_max = std::max(total.burst_max, s.burst_max);
+        for (unsigned b = 0; b < NdpUnitStats::kBurstBuckets; ++b)
+            total.burst_hist[b] += s.burst_hist[b];
     }
     return total;
 }

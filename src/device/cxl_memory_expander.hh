@@ -183,6 +183,7 @@ class CxlMemoryExpander : public NdpUnitEnv, public NdpControllerEnv
 
     // ---- NdpUnitEnv ----
     EventQueue &eventQueue() override { return eq_; }
+    void requestUnitTick(unsigned unit, Tick at) override;
     void unitMemAccess(unsigned unit, MemOp op, Addr pa, std::uint32_t size,
                        TickCallback done) override;
     std::optional<Addr> translateFunctional(Asid asid, Addr va) override;
@@ -274,6 +275,25 @@ class CxlMemoryExpander : public NdpUnitEnv, public NdpControllerEnv
     class UnitPort;
     std::vector<std::unique_ptr<Cache>> l1d_;
     std::vector<std::unique_ptr<UnitPort>> unit_ports_;
+
+    /**
+     * Shared cycle driver (run-until-stall ticking): one Ticker serves
+     * every NDP unit. `unit_next_tick_[u]` is the earliest edge unit u
+     * wants service (kTickMax when stalled); the driver runs all due
+     * units per edge in unit-index order, then either consumes the next
+     * edge in place — when `EventQueue::tryAdvance` proves no other event
+     * intervenes (burst: zero scheduled events per edge) — or re-arms the
+     * Ticker at the earliest requested edge. Requests arriving while the
+     * driver runs are picked up by its own loop instead of re-arming.
+     */
+    void unitCycleDriver();
+    std::vector<Tick> unit_next_tick_;
+    Ticker unit_ticker_;
+    bool in_cycle_driver_ = false;
+    /** Edge the driver is processing, and whether a request for that very
+     *  edge landed on an already-visited unit mid-loop (phase wakes). */
+    Tick driver_now_ = 0;
+    bool driver_rescan_ = false;
 
     /** Media-over-CXL serialization state (Section III-J). */
     std::vector<Tick> media_link_free_;

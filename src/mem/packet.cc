@@ -41,6 +41,7 @@ MemPacketPool::release(MemPacket *pkt)
         pkt->stages[i].reset();
     pkt->num_stages = 0;
     pkt->issued_at = 0;
+    pkt->wait_sector = 0;
     pool().pool.release(pkt);
 }
 

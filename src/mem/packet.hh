@@ -80,6 +80,15 @@ struct MemPacket
      */
     MemPacket *link = nullptr;
 
+    /**
+     * Wait-queue tag owned by whoever holds the packet in an intrusive
+     * chain. Caches park line-fill waiters of a whole line on one MSHR
+     * chain and stamp each with its sector index here, so a sector fill
+     * settles its waiters in a single chain walk with no per-packet
+     * address arithmetic.
+     */
+    std::uint8_t wait_sector = 0;
+
     /** Completion stages interposed between the memory system and
      *  onComplete (run LIFO: last pushed fires first). */
     TickCallback stages[kMaxStages];

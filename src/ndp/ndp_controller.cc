@@ -422,10 +422,15 @@ NdpController::pullWork(unsigned unit)
     // Round-robin over active instances: the cursor starts each pull at
     // the instance after the last one served, so a wide kernel with
     // near-endless work cannot starve a 1-uthread kernel's spawn (MPS-
-    // style fairness across concurrent instances).
+    // style fairness across concurrent instances). This runs once per
+    // spawned uthread — with the ready-ring scheduler every sub-core
+    // with an idle slot pulls every cycle of a burst, so the cursor wrap
+    // is branch arithmetic rather than an integer divide.
     const std::size_t n = active_.size();
-    for (std::size_t k = 0; k < n; ++k) {
-        std::size_t idx = (rr_instance_ + k) % n;
+    std::size_t idx = rr_instance_ < n ? rr_instance_ : 0;
+    for (std::size_t k = 0; k < n; ++k, ++idx) {
+        if (idx >= n)
+            idx = 0;
         KernelInstance *inst = active_[idx].get();
         if (!inst->isActive() || inst->phase == InstancePhase::Draining)
             continue;
@@ -445,7 +450,7 @@ NdpController::pullWork(unsigned unit)
             item.x1 = layout::kScratchpadVaBase;
             item.x2 = static_cast<std::uint64_t>(unit) *
                           env_.slotsPerUnit() + k;
-            rr_instance_ = (idx + 1) % n;
+            rr_instance_ = idx + 1 == n ? 0 : idx + 1;
             return item;
           }
           case InstancePhase::Body: {
@@ -463,7 +468,7 @@ NdpController::pullWork(unsigned unit)
             item.section = &section;
             item.x1 = addr;
             item.x2 = widx * isa::kVlenBytes;
-            rr_instance_ = (idx + 1) % n;
+            rr_instance_ = idx + 1 == n ? 0 : idx + 1;
             return item;
           }
           default:

@@ -1,7 +1,9 @@
 #include "ndp/ndp_unit.hh"
 
 #include <algorithm>
+#include <bit>
 
+#include "common/hotpath_timer.hh"
 #include "common/log.hh"
 
 namespace m2ndp {
@@ -17,14 +19,21 @@ fuIndex(isa::FuType fu)
 NdpUnit::NdpUnit(NdpUnitEnv &env, NdpUnitConfig cfg)
     : env_(env), cfg_(cfg), subcores_(cfg.subcores),
       spad_(cfg.spad_bytes, 0),
-      dtlb_(cfg.dtlb_entries, cfg.dtlb_assoc, env.translationPageSize()),
-      tick_ticker_(env.eventQueue(), [this] { tick(); })
+      dtlb_(cfg.dtlb_entries, cfg.dtlb_assoc, env.translationPageSize())
 {
+    M2_ASSERT(cfg_.slots_per_subcore <= ReadySched::kMaxSlots,
+              "sub-core slot count exceeds the ready ring width");
     for (auto &sc : subcores_) {
         sc.slots.resize(cfg_.slots_per_subcore);
         sc.idle_count = cfg_.slots_per_subcore;
-        for (auto &slot : sc.slots)
-            slot.owner = &sc;
+        sc.idle_mask = cfg_.slots_per_subcore == 64
+                           ? ~std::uint64_t(0)
+                           : (std::uint64_t(1) << cfg_.slots_per_subcore) - 1;
+        sc.sched.reset(cfg_.slots_per_subcore);
+        for (unsigned i = 0; i < sc.slots.size(); ++i) {
+            sc.slots[i].owner = &sc;
+            sc.slots[i].index = static_cast<std::uint8_t>(i);
+        }
     }
     // Parked completions: blocking entries are bounded by the slot count,
     // but posted stores can pile up behind DRAM latency. Reserve well past
@@ -35,6 +44,13 @@ NdpUnit::NdpUnit(NdpUnitEnv &env, NdpUnitConfig cfg)
     M2_ASSERT(isPowerOfTwo(page), "translation page size must be pow2");
     page_mask_ = page - 1;
     page_shift_ = floorLog2(page);
+
+    // Reciprocal for the edge math: ceil(2^64 / period). Exact for
+    // t < 2^64 / period because the rounding error e = inv*period - 2^64
+    // is < period, so the q-error term t*e / 2^64 stays below 1 there.
+    M2_ASSERT(cfg_.period > 1, "cycle period must exceed one tick");
+    period_inv_ = ~std::uint64_t(0) / cfg_.period + 1;
+    period_div_limit_ = ~std::uint64_t(0) / cfg_.period;
 }
 
 Addr
@@ -176,15 +192,32 @@ NdpUnit::wake()
 void
 NdpUnit::scheduleTick(Tick at)
 {
-    // Earliest-wins coalescing; a superseded arm is cancelled in place
-    // rather than left to fire as a stale no-op event.
-    tick_ticker_.armAt(at);
+    // The environment's shared cycle driver coalesces requests
+    // earliest-wins across all units (one Ticker per device, not one per
+    // unit) and may consume consecutive edges in place (run-until-stall).
+    env_.requestUnitTick(cfg_.index, at);
 }
 
-void
-NdpUnit::tick()
+Tick
+NdpUnit::tick(Tick now)
 {
-    const Tick now = env_.eventQueue().now();
+    // Same-edge re-ticks (completions queued mid-cycle, phase wakes)
+    // re-run the spawn/issue passes but must not extend the burst run or
+    // re-count the per-cycle scheduler stats for an already-counted edge.
+    const bool new_cycle = now != last_tick_;
+    if (new_cycle) {
+        // Burst accounting: a tick exactly one period after the previous
+        // one extends the current back-to-back run; a gap (or the first
+        // tick) closes it.
+        if (last_tick_ != kTickMax && now == last_tick_ + cfg_.period) {
+            ++burst_len_;
+        } else {
+            stats_.recordBurst(burst_len_);
+            burst_len_ = 1;
+        }
+        last_tick_ = now;
+    }
+
     // Apply parked memory completions first so woken slots issue this
     // cycle (fused delivery: the response event no longer exists).
     if (pending_min_ <= now)
@@ -194,10 +227,20 @@ NdpUnit::tick()
 
     for (unsigned i = 0; i < subcores_.size(); ++i) {
         auto &sc = subcores_[i];
-        if (work_maybe_available_)
+        if (work_maybe_available_ && sc.idle_count != 0)
             trySpawn(sc, now);
+        if (sc.sched.totalReady() == 0) {
+            // Fully parked sub-core (every live uthread waits on memory):
+            // the dominant case on memory-bound kernels. Classify the
+            // stall inline and skip the issue pass entirely — the ring
+            // and wake list are empty, so issueOne could only return
+            // kTickMax anyway.
+            if (new_cycle && sc.waitmem_count != 0)
+                ++stats_.stall_mem_wait;
+            continue;
+        }
         bool issued = false;
-        next = std::min(next, issueOne(i, sc, now, issued));
+        next = std::min(next, issueOne(i, sc, now, new_cycle, issued));
         issued_any |= issued;
     }
 
@@ -212,12 +255,13 @@ NdpUnit::tick()
     // issue tick, a parked completion, or next cycle when spawnable work
     // may exist. A unit whose every slot is provably k cycles away sleeps
     // until that tick (interval ticking); a fully idle unit sleeps until
-    // a completion or wake arms the ticker.
+    // a completion or wake requests a tick. Returned to the cycle driver
+    // instead of upcalled through requestUnitTick (one virtual call per
+    // tick saved; completions queued mid-tick still upcall).
     if (work_maybe_available_ && hasIdleSlot())
         next = std::min(next, now + cfg_.period);
     next = std::min(next, pending_min_);
-    if (next != kTickMax)
-        scheduleTick(edgeAtOrAfter(next));
+    return next != kTickMax ? edgeAtOrAfter(next) : kTickMax;
 }
 
 void
@@ -227,32 +271,35 @@ NdpUnit::queueCompletion(Slot *slot, KernelInstance *inst, MemOp op,
     // Clamp: peer/host chains may deliver exactly at now; fused device
     // stages always stamp the future.
     when = std::max(when, env_.eventQueue().now());
-    pending_.push_back(PendingCompletion{slot, inst, when, op, blocking});
-    pending_min_ = std::min(pending_min_, when);
-    scheduleTick(edgeAtOrAfter(when));
+    pending_.push_back(PendingCompletion{slot, inst, when, pending_seq_++,
+                                         op, blocking});
+    std::push_heap(pending_.begin(), pending_.end());
+    // Request a tick only when this entry becomes the new earliest: when
+    // pending_ is non-empty there is always an outstanding driver request
+    // at or before edge(pending_min_) (queued here or re-requested by the
+    // draining tick's return value), so later completions ride it. This
+    // removes one Ticker cancel + re-schedule per in-order completion —
+    // the dominant source of event churn after run-until-stall.
+    if (when < pending_min_) {
+        pending_min_ = when;
+        scheduleTick(edgeAtOrAfter(when));
+    }
 }
 
 void
 NdpUnit::drainCompletions(Tick now)
 {
-    Tick next = kTickMax;
-    std::size_t keep = 0;
-    for (std::size_t i = 0; i < pending_.size(); ++i) {
-        PendingCompletion e = pending_[i];
-        if (e.when > now) {
-            next = std::min(next, e.when);
-            pending_[keep++] = e;
-            continue;
-        }
-        // Delivery order = arrival order (deterministic; compaction keeps
-        // the survivors' relative order).
+    // Pop only the due prefix; entries apply in (when, arrival) order.
+    while (!pending_.empty() && pending_.front().when <= now) {
+        std::pop_heap(pending_.begin(), pending_.end());
+        PendingCompletion e = pending_.back();
+        pending_.pop_back();
         if (e.op != MemOp::Read)
             env_.storeDrained(e.inst, e.when);
         if (e.blocking)
             completeBlockingAccess(e.slot, e.when);
     }
-    pending_.resize(keep);
-    pending_min_ = next;
+    pending_min_ = pending_.empty() ? kTickMax : pending_.front().when;
 }
 
 bool
@@ -267,9 +314,11 @@ NdpUnit::trySpawn(SubCore &sc, Tick now)
         return false;
 
     bool spawned = false;
-    for (auto &slot : sc.slots) {
-        if (slot.state != SlotState::Idle)
-            continue;
+    while (sc.idle_mask != 0) {
+        // Lowest idle slot (same pick order as the old linear walk).
+        unsigned idx =
+            static_cast<unsigned>(std::countr_zero(sc.idle_mask));
+        Slot &slot = sc.slots[idx];
         // Peek resource needs before pulling: we must not drop work.
         auto item = env_.pullWork(cfg_.index);
         if (!item) {
@@ -303,7 +352,10 @@ NdpUnit::trySpawn(SubCore &sc, Tick now)
         slot.finish_pending = false;
         ++live_slots_;
         --sc.idle_count;
-        ++sc.ready_count;
+        sc.idle_mask &= ~(std::uint64_t(1) << idx);
+        // Spawn interaction with the ready ring: the slot enters the
+        // wake list for the next edge and surfaces in the ring there.
+        sc.sched.sleepUntil(idx, slot.ready_at);
         spawned = true;
         if (!cfg_.fine_grained_spawn)
             continue; // fill the whole sub-core in coarse mode
@@ -313,37 +365,47 @@ NdpUnit::trySpawn(SubCore &sc, Tick now)
 }
 
 Tick
-NdpUnit::issueOne(unsigned sc_idx, SubCore &sc, Tick now, bool &issued)
+NdpUnit::issueOne(unsigned sc_idx, SubCore &sc, Tick now, bool new_cycle,
+                  bool &issued)
 {
+    hotpath::Scope issue_timer(hotpath::g.issue);
     issued = false;
-    if (sc.ready_count == 0)
-        return kTickMax; // every uthread is idle or waiting on memory
-    const unsigned n = static_cast<unsigned>(sc.slots.size());
-    const unsigned base = sc.rr_next; // snapshot: rr_next moves on issue
-    const Tick next_cycle = now + 1;
-    Tick min_ready = kTickMax;
-    for (unsigned k = 0; k < n; ++k) {
-        if (issued && min_ready <= next_cycle)
-            break; // µop issued and the next tick is already next-cycle:
-                   // no later slot can lower the bound further
-        unsigned idx = base + k; // wrap without %: n is a runtime value,
-        if (idx >= n)            // so % compiles to an integer divide
-            idx -= n;
-        Slot &slot = sc.slots[idx];
-        if (slot.state != SlotState::Ready)
-            continue;
-        if (issued || slot.ready_at > now) {
-            // Not eligible this cycle (or one µop already issued): this
-            // slot next wants service at its ready tick.
-            min_ready = std::min(min_ready, std::max(slot.ready_at, next_cycle));
-            continue;
+    // Surface due sleepers (FU latency, spawn delay) into the ready ring.
+    sc.sched.advance(now);
+    const std::uint64_t ring = sc.sched.readyMask();
+    if (new_cycle) {
+        stats_.ready_occupancy_integral +=
+            static_cast<unsigned>(std::popcount(ring));
+    }
+    if (ring == 0) {
+        // Nothing issuable: classify the stall for the scheduler stats.
+        if (new_cycle) {
+            if (sc.sched.sleeperCount() != 0)
+                ++stats_.stall_no_ready;
+            else if (sc.waitmem_count != 0)
+                ++stats_.stall_mem_wait;
         }
+        return sc.sched.nextWake();
+    }
+
+    const unsigned n = static_cast<unsigned>(sc.slots.size());
+    // RR selection over ring bits only: first set bit at/after the
+    // cursor, wrapping — the same order the old full slot walk produced.
+    // A candidate that loses an FU structural hazard is cleared from the
+    // scratch copy (it stays in the ring for next cycle) and selection
+    // continues in RR order.
+    std::uint64_t cand = ring;
+    int idx;
+    while ((idx = ReadySched::pickFrom(cand, sc.rr_next)) >= 0) {
+        Slot &slot = sc.slots[static_cast<unsigned>(idx)];
+        const unsigned uidx = static_cast<unsigned>(idx);
         if (slot.section->code.empty()) {
             // Degenerate empty section: finish immediately.
-            sc.rr_next = idx + 1 == n ? 0 : idx + 1;
+            sc.rr_next = uidx + 1 == n ? 0 : uidx + 1;
+            sc.sched.removeReady(uidx);
             finishThread(sc, slot);
             issued = true;
-            continue;
+            break;
         }
 
         // Determine the FU the next µop needs (pre-decoded).
@@ -361,13 +423,17 @@ NdpUnit::issueOne(unsigned sc_idx, SubCore &sc, Tick now, bool &issued)
         }
         if (fu != isa::FuType::None && sc.fu_free[fuIndex(fu)] > now) {
             // FU busy: let another uthread issue (FGMT); retry next cycle.
-            min_ready = std::min(min_ready, next_cycle);
+            cand &= ~(std::uint64_t(1) << uidx);
             continue;
         }
 
         // Execute functionally.
         current_slot_ = &slot;
-        isa::StepResult res = isa::step(slot.ctx, *slot.section, *this);
+        isa::StepResult res;
+        {
+            hotpath::Scope func_timer(hotpath::g.functional);
+            res = isa::step(slot.ctx, *slot.section, *this);
+        }
         current_slot_ = nullptr;
 
         ++stats_.instructions;
@@ -390,11 +456,17 @@ NdpUnit::issueOne(unsigned sc_idx, SubCore &sc, Tick now, bool &issued)
         if (fu != isa::FuType::None)
             sc.fu_free[fuIndex(fu)] = now + occupancy;
 
+        // The issued slot leaves the ring; every outcome below re-inserts
+        // it where it belongs (wake list, ring next wake, or nowhere for
+        // WaitMem — the completion drain re-inserts those directly). It
+        // was picked from the ring, so it cannot be on the wake list:
+        // mask-only removal, no O(sleepers) purge on the issue path.
+        sc.sched.removeReady(uidx);
         // Transition to WaitMem before issuing refs so completion
         // callbacks observe a consistent state.
         if (res.blocking_mem) {
             slot.state = SlotState::WaitMem;
-            --sc.ready_count;
+            ++sc.waitmem_count;
         }
         if (res.done)
             slot.finish_pending = true;
@@ -404,25 +476,36 @@ NdpUnit::issueOne(unsigned sc_idx, SubCore &sc, Tick now, bool &issued)
             spad_ready = handleMemRefs(sc_idx, sc, slot, res, now);
 
         if (slot.outstanding_loads == 0) {
+            if (slot.state == SlotState::WaitMem) {
+                // Pure-scratchpad wait (fixed latency) or instant return:
+                // the slot never actually parks on memory.
+                slot.state = SlotState::Ready;
+                --sc.waitmem_count;
+            }
             if (res.done) {
                 finishThread(sc, slot);
             } else {
-                if (slot.state != SlotState::Ready) {
-                    slot.state = SlotState::Ready;
-                    ++sc.ready_count;
-                }
                 slot.ready_at = spad_ready != 0
                                     ? spad_ready
                                     : now + res.latency * cfg_.period;
-                min_ready = std::min(min_ready,
-                                     std::max(slot.ready_at, next_cycle));
+                if (slot.ready_at > now)
+                    sc.sched.sleepUntil(uidx, slot.ready_at);
+                else
+                    sc.sched.makeReady(uidx);
             }
         }
 
-        sc.rr_next = idx + 1 == n ? 0 : idx + 1;
+        sc.rr_next = uidx + 1 == n ? 0 : uidx + 1;
         issued = true;
+        break;
     }
-    return min_ready;
+    if (!issued && new_cycle)
+        ++stats_.stall_fu_busy; // every candidate lost its FU this cycle
+
+    // Next interesting tick: next cycle while issuable slots remain,
+    // else the earliest wake (memory waiters report through pending_).
+    Tick next = sc.sched.anyReady() ? now + 1 : kTickMax;
+    return std::min(next, sc.sched.nextWake());
 }
 
 void
@@ -431,14 +514,18 @@ NdpUnit::completeBlockingAccess(Slot *slot, Tick when)
     M2_ASSERT(slot->outstanding_loads > 0, "blocking completion underflow");
     if (--slot->outstanding_loads == 0 &&
         slot->state == SlotState::WaitMem) {
+        SubCore &sc = *slot->owner;
+        --sc.waitmem_count;
         slot->ready_at = when;
         if (slot->finish_pending) {
             // finishThread flags work_maybe_available_; the spawn pass of
             // the enclosing tick() picks the freed slot up immediately.
-            finishThread(*slot->owner, *slot);
+            finishThread(sc, *slot);
         } else {
+            // Drained at an edge >= when, so the slot is issue-eligible
+            // this cycle: straight onto the ready ring, no wake list.
             slot->state = SlotState::Ready;
-            ++slot->owner->ready_count;
+            sc.sched.makeReady(slot->index);
         }
     }
 }
@@ -592,13 +679,13 @@ NdpUnit::finishThread(SubCore &sc, Slot &slot)
 {
     sc.reg_bytes_used -= slot.instance->kernel->resources.registerBytes();
     KernelInstance *inst = slot.instance;
-    if (slot.state == SlotState::Ready)
-        --sc.ready_count;
+    sc.sched.remove(slot.index); // idempotent; no-op for WaitMem finishes
     slot.state = SlotState::Idle;
     slot.instance = nullptr;
     slot.section = nullptr;
     --live_slots_;
     ++sc.idle_count;
+    sc.idle_mask |= std::uint64_t(1) << slot.index;
     ++stats_.uthreads_completed;
     work_maybe_available_ = true; // a slot freed: maybe new spawn possible
     env_.uthreadFinished(inst);
@@ -607,19 +694,15 @@ NdpUnit::finishThread(SubCore &sc, Slot &slot)
 bool
 NdpUnit::hasIdleSlot() const
 {
-    for (const auto &sc : subcores_) {
-        if (sc.idle_count > 0)
-            return true;
-    }
-    return false;
+    // live_slots_ is maintained on every spawn/finish: O(1), no subcore
+    // walk on the per-tick rearm path.
+    return live_slots_ < cfg_.subcores * cfg_.slots_per_subcore;
 }
 
 Tick
 NdpUnit::eqNextEdge() const
 {
-    Tick now = env_.eventQueue().now();
-    Tick r = now % cfg_.period;
-    return r == 0 ? now : now + (cfg_.period - r);
+    return edgeAtOrAfter(env_.eventQueue().now());
 }
 
 } // namespace m2ndp

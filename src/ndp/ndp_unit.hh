@@ -17,7 +17,9 @@
 
 #pragma once
 
+#include <algorithm>
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -28,6 +30,7 @@
 #include "mem/packet.hh"
 #include "mem/sparse_memory.hh"
 #include "ndp/kernel.hh"
+#include "ndp/ready_sched.hh"
 #include "ndp/tlb.hh"
 #include "sim/event_queue.hh"
 
@@ -67,6 +70,9 @@ struct NdpUnitConfig
 /** Aggregate statistics for one NDP unit. */
 struct NdpUnitStats
 {
+    /** Burst-length histogram buckets (log2): 1, 2-3, 4-7, ... 128+. */
+    static constexpr unsigned kBurstBuckets = 8;
+
     std::uint64_t instructions = 0;
     std::uint64_t scalar_instructions = 0;
     std::uint64_t vector_instructions = 0;
@@ -82,6 +88,41 @@ struct NdpUnitStats
     std::uint64_t occupancy_integral = 0; ///< sum of live slots per cycle
     std::uint64_t load_latency_ticks = 0; ///< sum of blocking-access latency
     std::uint64_t load_samples = 0;
+
+    // Scheduler observability (ready-list FGMT issue stage).
+    /** Sum of ready-ring occupancy (issue-eligible slots) per sub-core
+     *  per ticked cycle: ready_occupancy_integral / active_cycles is the
+     *  average number of issuable uthreads while the unit is live. */
+    std::uint64_t ready_occupancy_integral = 0;
+    /** Sub-core cycles with live uthreads but an empty ready ring and an
+     *  empty wake list: everything in flight is waiting on memory. */
+    std::uint64_t stall_mem_wait = 0;
+    /** Sub-core cycles where every live uthread sleeps on a known future
+     *  tick (FU result latency, spawn delay): nothing ready *yet*. */
+    std::uint64_t stall_no_ready = 0;
+    /** Sub-core cycles with issue-eligible uthreads that all lost FU
+     *  structural hazards (every candidate's FU busy). */
+    std::uint64_t stall_fu_busy = 0;
+    /** Run-until-stall bursts: maximal runs of back-to-back ticked
+     *  cycles. A burst of length L covers L consecutive cycle edges. */
+    std::uint64_t bursts = 0;
+    std::uint64_t burst_cycles = 0; ///< cycles covered by recorded bursts
+    std::uint64_t burst_max = 0;    ///< longest recorded burst (cycles)
+    std::array<std::uint64_t, kBurstBuckets> burst_hist{};
+
+    void
+    recordBurst(std::uint64_t len)
+    {
+        if (len == 0)
+            return;
+        ++bursts;
+        burst_cycles += len;
+        burst_max = std::max(burst_max, len);
+        unsigned bucket =
+            len >= 128 ? kBurstBuckets - 1
+                       : static_cast<unsigned>(std::bit_width(len)) - 1;
+        ++burst_hist[bucket];
+    }
 };
 
 /**
@@ -132,6 +173,16 @@ class NdpUnitEnv
     virtual void dramTlbRefill(Asid asid, Addr va) = 0;
     virtual std::uint64_t translationPageSize() = 0;
 
+    /**
+     * Request that this unit's `tick()` runs at cycle edge @p at (>= now).
+     * Requests coalesce earliest-wins. The environment owns the cycle
+     * driver: one shared Ticker serves every unit, and the driver may
+     * consume consecutive edges in-place (run-until-stall bursts via
+     * `EventQueue::tryAdvance`) instead of paying one scheduled event per
+     * unit per cycle.
+     */
+    virtual void requestUnitTick(unsigned unit, Tick at) = 0;
+
     /** Pull the next uthread for this unit (nullopt = no work). */
     virtual std::optional<SpawnItem> pullWork(unsigned unit) = 0;
 
@@ -155,6 +206,16 @@ class NdpUnit : public isa::MemoryIf
     /** Kick the unit: new work may be available (spawn + issue). */
     void wake();
 
+    /**
+     * Run one cycle at edge @p now: drain due memory completions, spawn,
+     * issue per sub-core. Returns the next edge this unit wants service
+     * at (kTickMax = stalled until a completion or wake), which the
+     * environment's cycle driver records directly — the return value
+     * replaces a per-tick `requestUnitTick` upcall. Called only by that
+     * driver (and by `wake()` indirectly through a tick request).
+     */
+    Tick tick(Tick now);
+
     /** Number of currently live (non-idle) uthread slots. */
     unsigned activeSlots() const { return live_slots_; }
     unsigned totalSlots() const
@@ -163,6 +224,21 @@ class NdpUnit : public isa::MemoryIf
     }
 
     const NdpUnitStats &stats() const { return stats_; }
+
+    /**
+     * Stats with the still-open run-until-stall burst folded in as if it
+     * ended now (non-mutating): without this, a unit whose longest burst
+     * is its final one would never report it — recordBurst only fires
+     * when a later tick observes a gap.
+     */
+    NdpUnitStats
+    statsSnapshot() const
+    {
+        NdpUnitStats s = stats_;
+        s.recordBurst(burst_len_);
+        return s;
+    }
+
     const NdpUnitConfig &config() const { return cfg_; }
     const TlbStats &dtlbStats() const { return dtlb_.stats(); }
 
@@ -199,6 +275,8 @@ class NdpUnit : public isa::MemoryIf
         const isa::DecodedSection *section = nullptr;
         /** Owning sub-core (stable; set once at construction). */
         SubCore *owner = nullptr;
+        /** Index within the owning sub-core (stable; ReadySched key). */
+        std::uint8_t index = 0;
         Tick ready_at = 0;
         unsigned outstanding_loads = 0;
         bool finish_pending = false;
@@ -209,11 +287,15 @@ class NdpUnit : public isa::MemoryIf
         std::vector<Slot> slots;
         std::uint64_t reg_bytes_used = 0;
         unsigned rr_next = 0;
-        /** Idle slots (kept incrementally so spawn/issue need no scan). */
+        /** Idle slots as a bitmask: spawn picks the lowest free slot with
+         *  a count-trailing-zeros instead of walking the slot array. */
+        std::uint64_t idle_mask = 0;
         unsigned idle_count = 0;
-        /** Slots in Ready state: lets a tick skip the whole issue walk
-         *  for sub-cores whose uthreads are all waiting on memory. */
-        unsigned ready_count = 0;
+        /** Slots in WaitMem (for stall-reason classification only). */
+        unsigned waitmem_count = 0;
+        /** Ready ring + ready_at-ordered wake list: the issue stage only
+         *  ever touches slots that can actually issue. */
+        ReadySched sched;
         /** Next-free tick per FuType (indexed by static_cast). */
         std::array<Tick, 7> fu_free{};
     };
@@ -223,36 +305,55 @@ class NdpUnit : public isa::MemoryIf
      * tick at or after `when`. This is the fused-delivery landing zone:
      * a completing memory stage calls the access callback synchronously
      * (stamped with the logical completion tick, possibly in the future),
-     * and the unit arms its existing cycle Ticker instead of the old
-     * response-crossbar event + unit-wake event pair.
+     * and the unit's cycle driver applies it at the edge — no
+     * response-crossbar event, no unit-wake event.
+     *
+     * Parked entries live in a (when, seq) min-heap (same pattern as the
+     * DRAM channel completion heap): a drain pops only the due prefix,
+     * where the old flat vector re-scanned every parked entry — dozens
+     * of in-flight posted stores — on every drain edge. Delivery order
+     * is (when, arrival) — time-ordered, FIFO within a tick.
      */
     struct PendingCompletion
     {
         Slot *slot;           ///< waiting slot (nullptr for posted stores)
         KernelInstance *inst; ///< instance for drain accounting
         Tick when;            ///< logical completion tick
+        std::uint64_t seq;    ///< arrival order (heap tie-break)
         MemOp op;             ///< != Read drains a store at delivery
         bool blocking;        ///< decrements slot->outstanding_loads
+
+        /** Min-heap ordering: std::push_heap keeps the *max* on top, so
+         *  "greater" makes the earliest (when, seq) the top element. */
+        bool
+        operator<(const PendingCompletion &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
     };
 
-    /** Park a completion; arms the tick ticker at the edge >= when. */
+    /** Park a completion; requests a tick at the edge >= when. */
     void queueCompletion(Slot *slot, KernelInstance *inst, MemOp op,
                          bool blocking, Tick when);
     /** Apply parked completions whose tick has been reached. */
     void drainCompletions(Tick now);
 
     void scheduleTick(Tick at);
-    void tick();
     bool trySpawn(SubCore &sc, Tick now);
     /**
-     * One fused round-robin pass over @p sc's slots: issues at most one
-     * eligible µop and, in the same walk, computes the earliest tick any
-     * Ready slot next wants service (kTickMax if none). @p issued reports
-     * whether an issue happened. Folding the next-ready computation into
-     * the issue scan removes two further full-slot scans per sub-core per
-     * cycle.
+     * One ready-ring issue pass over @p sc: round-robin-selects among the
+     * issue-eligible slots only (bitmask rotate + ctz), issues at most one
+     * µop, and returns the earliest tick any Ready slot next wants
+     * service (kTickMax if none). Slots waiting on FU latency live in the
+     * sub-core's ready_at-ordered wake list; slots waiting on memory are
+     * not visited at all — `completeBlockingAccess` re-inserts them into
+     * the ring directly. Selection order is bit-exact with the previous
+     * full slot walk (property-tested against a reference walk).
+     * @p new_cycle gates the per-cycle scheduler stats so same-edge
+     * re-ticks do not double-count an already-counted edge.
      */
-    Tick issueOne(unsigned sc_idx, SubCore &sc, Tick now, bool &issued);
+    Tick issueOne(unsigned sc_idx, SubCore &sc, Tick now, bool new_cycle,
+                  bool &issued);
     void finishThread(SubCore &sc, Slot &slot);
     /**
      * Issue the timing side of one instruction's memory references.
@@ -278,11 +379,25 @@ class NdpUnit : public isa::MemoryIf
                             Tick issued_at);
     bool hasIdleSlot() const;
     Tick eqNextEdge() const;
-    /** First cycle edge at or after @p t. */
+    /**
+     * First cycle edge at or after @p t. Runs on every tick re-arm and
+     * every queued completion, so the modulo is computed with a
+     * precomputed reciprocal (one 64x64->128 multiply) instead of an
+     * integer divide; the guard falls back to `%` for ticks beyond the
+     * reciprocal's exactness range (~2^64/period — hours of simulated
+     * time at 1 ps/tick).
+     */
     Tick
     edgeAtOrAfter(Tick t) const
     {
-        Tick r = t % cfg_.period;
+        Tick r;
+        if (t < period_div_limit_) {
+            std::uint64_t q = static_cast<std::uint64_t>(
+                (static_cast<unsigned __int128>(t) * period_inv_) >> 64);
+            r = t - q * cfg_.period;
+        } else {
+            r = t % cfg_.period;
+        }
         return r == 0 ? t : t + (cfg_.period - r);
     }
     /** Wake a slot after one outstanding blocking access completes.
@@ -326,12 +441,19 @@ class NdpUnit : public isa::MemoryIf
     SparseMemory::FrameHint frame_hint_;
     std::uint64_t page_mask_ = 0; ///< translationPageSize() - 1
     unsigned page_shift_ = 0;     ///< log2(translationPageSize())
+    /** ceil(2^64 / period) and the tick bound below which the reciprocal
+     *  multiply computes t / period exactly (see edgeAtOrAfter). */
+    std::uint64_t period_inv_ = 0;
+    Tick period_div_limit_ = 0;
     unsigned live_slots_ = 0;
-    /** Coalesced cycle wakeup: one pooled event, earliest arm wins. */
-    Ticker tick_ticker_;
     bool work_maybe_available_ = true;
-    /** Parked memory completions (capacity retained; drained by tick). */
+    /** Burst tracking: previous ticked edge and current run length. */
+    Tick last_tick_ = kTickMax;
+    std::uint64_t burst_len_ = 0;
+    /** Parked memory completions: (when, seq) min-heap over a capacity-
+     *  retaining vector (drained by tick; heap top tick == pending_min_). */
     std::vector<PendingCompletion> pending_;
+    std::uint64_t pending_seq_ = 0;
     Tick pending_min_ = kTickMax;
     NdpUnitStats stats_;
 

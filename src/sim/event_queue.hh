@@ -111,6 +111,31 @@ class EventQueue
         now_ = when;
     }
 
+    /**
+     * Burst-ticking support (run-until-stall): advance now() to @p when
+     * iff no pending event would fire at or before it, i.e. the caller's
+     * next wakeup is provably the next thing to happen. Returns false —
+     * and leaves time untouched — otherwise, in which case the caller
+     * must fall back to arming its Ticker and letting the event loop
+     * interleave the intervening events normally. Requiring strict
+     * `nextEventTick() > when` (not >=) keeps same-tick events ordered
+     * ahead of the burst continuation, mirroring the FIFO tie-break a
+     * re-armed Ticker would observe.
+     *
+     * Legal mid-dispatch: a component's tick handler may consume cycle
+     * edges in a loop, paying zero scheduled events for edges where the
+     * queue is provably quiet (see CxlMemoryExpander's unit cycle driver).
+     */
+    bool
+    tryAdvance(Tick when)
+    {
+        M2_ASSERT(when >= now_, "tryAdvance into the past");
+        if (nextEventTick() <= when)
+            return false;
+        now_ = when;
+        return true;
+    }
+
   private:
     friend class Ticker;
 

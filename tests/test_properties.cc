@@ -19,6 +19,7 @@
 #include "isa/assembler.hh"
 #include "isa/executor.hh"
 #include "mem/sparse_memory.hh"
+#include "ndp/ready_sched.hh"
 #include "ndp/tlb.hh"
 
 namespace m2ndp {
@@ -282,6 +283,177 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(4u, 8u, 16u),
                        ::testing::Values(32u, 64u, 128u),
                        ::testing::Bool()));
+
+// ------------------------------------------------ ready scheduler
+
+/**
+ * Differential test of the ready-ring FGMT scheduler against a reference
+ * implementation of the old full slot walk: random uthread lifecycles
+ * (spawn delays, FU result latencies, memory waits with arbitrary wake
+ * ticks, same-tick wakes, FU structural hazards) must produce the exact
+ * same round-robin pick every cycle, and the ring contents must always
+ * equal the set of Ready slots whose ready_at has been reached.
+ */
+TEST(PropertyReadySched, RrSelectionMatchesSlotWalkReference)
+{
+    constexpr unsigned kSlots = 16;
+    constexpr unsigned kFus = 3;
+    Rng rng(0x5C4ED);
+
+    for (int trial = 0; trial < 40; ++trial) {
+        ReadySched sched;
+        sched.reset(kSlots);
+
+        enum { kReady = 0, kWaitMem = 1 };
+        struct RefSlot
+        {
+            int state = kReady;
+            Tick ready_at = 0;
+            unsigned fu = 0;
+        };
+        std::array<RefSlot, kSlots> ref{};
+        std::array<Tick, kFus> fu_free{};
+        std::map<Tick, std::vector<unsigned>> mem_wakes;
+        unsigned cursor = 0;
+
+        for (unsigned i = 0; i < kSlots; ++i) {
+            ref[i].ready_at = 1 + rng.nextBounded(6);
+            ref[i].fu = static_cast<unsigned>(rng.nextBounded(kFus));
+            sched.sleepUntil(i, ref[i].ready_at);
+        }
+
+        for (Tick now = 1; now <= 300; ++now) {
+            // Memory completions bypass the wake list: straight onto the
+            // ring, exactly like NdpUnit::completeBlockingAccess.
+            auto due = mem_wakes.find(now);
+            if (due != mem_wakes.end()) {
+                for (unsigned s : due->second) {
+                    ref[s].state = kReady;
+                    ref[s].ready_at = now;
+                    sched.makeReady(s);
+                }
+                mem_wakes.erase(due);
+            }
+            sched.advance(now);
+
+            // Invariant: the ring is exactly the issuable-slot set.
+            std::uint64_t expect_mask = 0;
+            for (unsigned i = 0; i < kSlots; ++i) {
+                if (ref[i].state == kReady && ref[i].ready_at <= now)
+                    expect_mask |= std::uint64_t(1) << i;
+            }
+            ASSERT_EQ(sched.readyMask(), expect_mask)
+                << "trial " << trial << " tick " << now;
+
+            // Reference: the old O(slots) walk from the RR cursor.
+            int expect = -1;
+            for (unsigned k = 0; k < kSlots; ++k) {
+                unsigned idx = (cursor + k) % kSlots;
+                const RefSlot &r = ref[idx];
+                if (r.state != kReady || r.ready_at > now)
+                    continue;
+                if (fu_free[r.fu] > now)
+                    continue;
+                expect = static_cast<int>(idx);
+                break;
+            }
+
+            // Ready-ring selection with the same FU hazard predicate.
+            int got = -1;
+            std::uint64_t cand = sched.readyMask();
+            int idx;
+            while ((idx = ReadySched::pickFrom(cand, cursor)) >= 0) {
+                if (fu_free[ref[idx].fu] > now) {
+                    cand &= ~(std::uint64_t(1) << idx);
+                    continue;
+                }
+                got = idx;
+                break;
+            }
+            ASSERT_EQ(got, expect)
+                << "trial " << trial << " tick " << now << " cursor "
+                << cursor;
+            if (got < 0)
+                continue;
+
+            // Issue: occupy the FU, advance the cursor, pick an outcome.
+            unsigned u = static_cast<unsigned>(got);
+            fu_free[ref[u].fu] = now + 1 + rng.nextBounded(3);
+            sched.remove(u);
+            cursor = (u + 1) % kSlots;
+            switch (rng.nextBounded(3)) {
+              case 0: { // FU result latency: known future ready tick
+                ref[u].ready_at = now + 1 + rng.nextBounded(4);
+                sched.sleepUntil(u, ref[u].ready_at);
+                break;
+              }
+              case 1: { // blocking memory access: unknown wake tick
+                ref[u].state = kWaitMem;
+                mem_wakes[now + 1 + rng.nextBounded(25)].push_back(u);
+                break;
+              }
+              default: { // finish + respawn later with a fresh FU mix
+                ref[u].ready_at = now + 2 + rng.nextBounded(6);
+                ref[u].fu = static_cast<unsigned>(rng.nextBounded(kFus));
+                sched.sleepUntil(u, ref[u].ready_at);
+                break;
+              }
+            }
+        }
+    }
+}
+
+/** Wake-list ordering: sleepers surface in ready_at order, same-tick
+ *  wakes join the ring together, and RR order over them is slot-index
+ *  order from the cursor regardless of insertion order. */
+TEST(PropertyReadySched, WakeListOrderingAndSameTickWakes)
+{
+    ReadySched s;
+    s.reset(8);
+    s.sleepUntil(3, 10);
+    s.sleepUntil(1, 10); // same tick, inserted later
+    s.sleepUntil(5, 7);
+    s.sleepUntil(0, 12);
+
+    EXPECT_FALSE(s.anyReady());
+    EXPECT_EQ(s.nextWake(), 7u);
+    EXPECT_EQ(s.sleeperCount(), 4u);
+
+    s.advance(6);
+    EXPECT_FALSE(s.anyReady()); // nothing due yet
+    EXPECT_EQ(s.nextWake(), 7u);
+
+    s.advance(7);
+    EXPECT_EQ(s.readyMask(), std::uint64_t(1) << 5);
+    EXPECT_EQ(s.nextWake(), 10u);
+
+    // Same-tick wakes (slots 3 and 1) surface together; the pick order
+    // from cursor 2 is slot-index ring order: 3, then 5, then wrap to 1.
+    s.advance(10);
+    EXPECT_EQ(s.readyMask(),
+              (std::uint64_t(1) << 5) | (std::uint64_t(1) << 3) |
+                  (std::uint64_t(1) << 1));
+    std::uint64_t cand = s.readyMask();
+    int first = ReadySched::pickFrom(cand, 2);
+    EXPECT_EQ(first, 3);
+    cand &= ~(std::uint64_t(1) << first);
+    int second = ReadySched::pickFrom(cand, 2);
+    EXPECT_EQ(second, 5);
+    cand &= ~(std::uint64_t(1) << second);
+    int third = ReadySched::pickFrom(cand, 2);
+    EXPECT_EQ(third, 1);
+    cand &= ~(std::uint64_t(1) << third);
+    EXPECT_EQ(ReadySched::pickFrom(cand, 2), -1);
+
+    // remove() drops a slot from either structure (ring or wake list).
+    s.remove(5);
+    EXPECT_EQ(ReadySched::pickFrom(s.readyMask(), 4), 1);
+    s.sleepUntil(6, 20);
+    s.remove(6);
+    s.advance(20); // slot 6 must not surface: it was removed while asleep
+    EXPECT_EQ(s.readyMask() & (std::uint64_t(1) << 6), 0u);
+    EXPECT_EQ(s.nextWake(), kTickMax); // slot 0 (tick 12) popped by now
+}
 
 // ------------------------------------------------ TLB properties
 
