@@ -45,6 +45,7 @@ main(int argc, char **argv)
         KernelResources res;
         res.num_int_regs = 4;
         std::int64_t kid = rt->registerKernel("nop\n", res);
+        M2_ASSERT(kid > 0, "nop kernel registration failed");
         Addr a = proc.allocate(4096);
         Tick start = sys.eq().now();
         rt->launchKernelSync(LaunchDesc(kid, a, a + 256));

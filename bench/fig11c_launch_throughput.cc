@@ -39,6 +39,7 @@ measure(OffloadScheme scheme, unsigned num_streams, unsigned total)
     KernelResources res;
     res.num_int_regs = 4;
     std::int64_t kid = rt->registerKernel(kNopKernel, res);
+    M2_ASSERT(kid > 0, "nop kernel registration failed");
     Addr pool = proc.allocate(4096);
 
     std::vector<NdpStream *> streams;
@@ -94,6 +95,7 @@ main(int argc, char **argv)
             KernelResources res;
             res.num_int_regs = 4;
             kids.push_back(rts.back()->registerKernel(kNopKernel, res));
+            M2_ASSERT(kids.back() > 0, "nop kernel registration failed");
             pools.push_back(proc.allocate(4096));
             for (unsigned s = 0; s < 8; ++s)
                 streams.push_back(&rts.back()->createStream());

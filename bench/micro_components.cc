@@ -115,6 +115,7 @@ BM_EndToEndKernel(benchmark::State &state)
         res.num_int_regs = 6;
         res.num_vector_regs = 3;
         std::int64_t kid = rt->registerKernel(kKernel, res);
+        M2_ASSERT(kid > 0, "kernel registration failed");
         Addr a = proc.allocate(64 * kKiB);
         Addr c = proc.allocate(64 * kKiB);
         rt->launchKernelSync(

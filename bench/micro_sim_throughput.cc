@@ -254,6 +254,7 @@ runLaunchThroughput(unsigned streams, std::uint64_t launches)
     KernelResources res;
     res.num_int_regs = 4;
     std::int64_t kid = rt->registerKernel("nop\n", res);
+    M2_ASSERT(kid > 0, "nop kernel registration failed");
     Addr pool = proc.allocate(4096);
 
     std::vector<NdpStream *> pool_streams;
@@ -286,6 +287,66 @@ runLaunchThroughput(unsigned streams, std::uint64_t launches)
     return r;
 }
 
+// ---------------------------------------------------------------------
+// Fault-mode section: the same nop-kernel launch burst with deterministic
+// link-fault injection on (fixed seed, 1e-4 bit-error rate) and streams
+// on the retry policy. CRC hits are resolved by CXL replay — latency,
+// not data loss — so the completed-launch ratio is expected to hold at
+// 1.0 while the replay count tracks how much traffic was perturbed. All
+// metrics are simulated-time and deterministic, so they gate strictly.
+// ---------------------------------------------------------------------
+
+struct FaultModeResult
+{
+    std::uint64_t launches = 0;
+    std::uint64_t completed_ok = 0;
+    std::uint64_t link_retries = 0; ///< CRC replays at the link layer
+    std::uint64_t relaunches = 0;   ///< stream-level retry re-issues
+    double sim_seconds = 0.0;
+};
+
+FaultModeResult
+runFaultMode(unsigned streams, std::uint64_t launches)
+{
+    SystemConfig cfg;
+    cfg.link = SystemConfig::linkForLoadToUse(150 * kNs);
+    cfg.fault.enabled = true;
+    cfg.fault.bit_error_rate = 1e-4;
+    System sys(cfg);
+    auto &proc = sys.createProcess();
+    auto rt = sys.createRuntime(proc);
+    KernelResources res;
+    res.num_int_regs = 4;
+    std::int64_t kid = rt->registerKernel("nop\n", res);
+    M2_ASSERT(kid > 0, "nop kernel registration failed");
+    Addr pool = proc.allocate(4096);
+
+    std::vector<NdpStream *> pool_streams;
+    for (unsigned s = 0; s < streams; ++s) {
+        pool_streams.push_back(&rt->createStream());
+        pool_streams.back()->setPolicy(StreamPolicy::Retry);
+    }
+
+    FaultModeResult r;
+    r.launches = launches;
+    Tick sim0 = sys.eq().now();
+    std::vector<NdpEvent> evs;
+    evs.reserve(launches);
+    for (std::uint64_t i = 0; i < launches; ++i) {
+        evs.push_back(pool_streams[i % streams]->launch(
+            LaunchDesc(kid, pool, pool + 32)));
+    }
+    rt->synchronize();
+    r.sim_seconds = ticksToSeconds(sys.eq().now() - sim0);
+    for (const auto &ev : evs) {
+        if (ev.done() && !ev.failed())
+            ++r.completed_ok;
+    }
+    r.relaunches = rt->stats().relaunches;
+    r.link_retries = sys.link(0).faultStats().crc_replays;
+    return r;
+}
+
 EndToEndResult
 runEndToEnd(unsigned elems)
 {
@@ -309,6 +370,7 @@ runEndToEnd(unsigned elems)
     res.num_int_regs = 8;
     res.num_vector_regs = 4;
     std::int64_t kid = rt->registerKernel(kVecAdd, res);
+    M2_ASSERT(kid > 0, "vecadd kernel registration failed");
 
     Tick sim0 = sys.eq().now();
     std::uint64_t alloc0 = allocationCount();
@@ -397,6 +459,17 @@ main(int argc, char **argv)
             ? static_cast<double>(lt.launches) / lt.sim_seconds
             : 0.0;
 
+    // Fault mode (simulated, deterministic: fixed injection seed).
+    FaultModeResult fm = runFaultMode(16, 256);
+    double fm_ratio =
+        fm.launches != 0 ? static_cast<double>(fm.completed_ok) /
+                               static_cast<double>(fm.launches)
+                         : 0.0;
+    double fm_retries_per_launch =
+        fm.launches != 0 ? static_cast<double>(fm.link_retries) /
+                               static_cast<double>(fm.launches)
+                         : 0.0;
+
     // End-to-end: median of three runs by wall time (the host box may be
     // shared; a single run is too noisy to gate regressions on). The
     // MemPacket pool is process-global, so the later runs also measure
@@ -446,7 +519,7 @@ main(int argc, char **argv)
                             static_cast<double>(u.bursts)
                       : 0.0;
 
-    char json[4096];
+    char json[6144];
     std::snprintf(
         json, sizeof(json),
         "{\n"
@@ -468,6 +541,15 @@ main(int argc, char **argv)
         "    \"sim_seconds\": %.9f,\n"
         "    \"launches_per_sec\": %.0f,\n"
         "    \"host_allocs_per_launch\": %.4f\n"
+        "  },\n"
+        "  \"fault_mode\": {\n"
+        "    \"bit_error_rate\": 1e-4,\n"
+        "    \"launches\": %llu,\n"
+        "    \"completed_launch_ratio\": %.4f,\n"
+        "    \"link_retries\": %llu,\n"
+        "    \"link_retries_per_launch\": %.4f,\n"
+        "    \"stream_relaunches\": %llu,\n"
+        "    \"sim_seconds\": %.9f\n"
         "  },\n"
         "  \"end_to_end\": {\n"
         "    \"workload\": \"vecadd_%u\",\n"
@@ -507,6 +589,10 @@ main(int argc, char **argv)
         lt.launches != 0 ? static_cast<double>(lt.host_allocs) /
                                static_cast<double>(lt.launches)
                          : 0.0,
+        static_cast<unsigned long long>(fm.launches), fm_ratio,
+        static_cast<unsigned long long>(fm.link_retries),
+        fm_retries_per_launch,
+        static_cast<unsigned long long>(fm.relaunches), fm.sim_seconds,
         elems,
         static_cast<unsigned long long>(e2e.instructions),
         static_cast<unsigned long long>(e2e.uthreads), e2e.wall_seconds,

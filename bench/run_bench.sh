@@ -49,6 +49,13 @@ if bd:
           "functional %.1f%% | other %.1f%% (instrumented e2e, %.3fs)"
           % (bd["issue_pct"], bd["fill_pct"], bd["functional_pct"],
              other, bd["wall_seconds"]))
+fm = doc.get("fault_mode")
+if fm:
+    print("fault mode (BER %g, fixed seed): completed %.1f%% of %d "
+          "launches | link replays %d (%.2f/launch) | stream relaunches %d"
+          % (fm["bit_error_rate"], fm["completed_launch_ratio"] * 100.0,
+             fm["launches"], fm["link_retries"],
+             fm["link_retries_per_launch"], fm["stream_relaunches"]))
 PYEOF
 fi
 

@@ -79,6 +79,11 @@ main()
     res.num_int_regs = 8;
     res.num_vector_regs = 4;
     std::int64_t kid = rt->registerKernel(kVecAdd, res);
+    if (kid < 0) {
+        std::fprintf(stderr, "kernel registration failed: %s\n",
+                     ndpErrorName(ndpErrorOf(kid)));
+        return 1;
+    }
     std::printf("registered kernel id=%lld (%zu static instructions)\n",
                 static_cast<long long>(kid),
                 sys.device().controller().kernelById(kid)->code
@@ -93,6 +98,11 @@ main()
     // 6. The event is pollable (ev.done()) or awaitable; wait() drives
     //    the simulation until the deferred return-value read arrives.
     std::int64_t iid = ev.wait();
+    if (iid < 0) {
+        std::fprintf(stderr, "launch failed: %s\n",
+                     ndpErrorName(ndpErrorOf(iid)));
+        return 1;
+    }
     Tick elapsed = sys.eq().now() - t0;
 
     std::vector<float> vc(kN);

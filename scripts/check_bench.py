@@ -10,6 +10,10 @@ Fails (exit 1) when, relative to the committed baseline,
   - end_to_end.events_per_inst RISES by more than its tolerance (this
     metric is lower-is-better: it counts scheduled events per simulated
     instruction, is deterministic, and guards the fused access path), or
+  - fault_mode.completed_launch_ratio drops, or
+    fault_mode.link_retries_per_launch rises, by more than its tolerance
+    (both come from a deterministic fault-injection run at a fixed seed
+    and 1e-4 bit-error rate; see docs/robustness.md), or
   - engine.checksums_match is false in the new result.
 
 A gated metric missing from the baseline (e.g. the first run after the
@@ -40,6 +44,11 @@ GATED_PATHS = {
     "end_to_end.sim_instructions_per_sec": ("higher", "wall"),
     "launch_throughput.launches_per_sec": ("higher", "det"),
     "end_to_end.events_per_inst": ("lower", "det"),
+    # Deterministic fault-injection run (fixed seed, 1e-4 bit-error
+    # rate): the completed-launch ratio must not sink (CXL replay absorbs
+    # CRC faults) and the replay count per launch must not creep up.
+    "fault_mode.completed_launch_ratio": ("higher", "det"),
+    "fault_mode.link_retries_per_launch": ("lower", "det"),
 }
 
 DETERMINISTIC_TOLERANCE = 0.10

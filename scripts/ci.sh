@@ -51,7 +51,11 @@ if [[ "$run_sanitize" == 1 ]]; then
     if ctest --test-dir "$san_dir" -N -R '^test_runtime_api$' |
         grep -q 'Total Tests: 1'; then
         cmake --build "$san_dir" -j "$jobs" --target test_runtime_api
-        smoke_filter='test_runtime_api|smoke_quickstart'
+        # Fault-storm smoke: the fault-injection suite (link faults,
+        # kernel traps, watchdog kills, device loss) under ASan/UBSan
+        # shakes out lifetime bugs on the error paths.
+        cmake --build "$san_dir" -j "$jobs" --target test_faults
+        smoke_filter='test_runtime_api|test_faults|smoke_quickstart'
     else
         echo "note: GTest unavailable; sanitizer smoke covers quickstart only"
         smoke_filter='smoke_quickstart'

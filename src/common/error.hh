@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Typed error taxonomy for the offload stack.
+ *
+ * Every layer that used to signal failure with a bare negative int64
+ * (`kNdpErr`) now draws its codes from `NdpError`. The wire encoding is
+ * unchanged — errors still travel as negative int64 values through the
+ * M2func return slots and the `instance_id` field of launch records, so
+ * kernel-instance ids (always positive) and error codes share one
+ * channel exactly as before. What changed is that the value now says
+ * *which* failure occurred, and `NdpEvent::error()` decodes it for the
+ * application.
+ *
+ * Error classes, by origin:
+ *  - launch-time rejections raised by `NdpController::launch`
+ *    (InvalidKernel, QueueFull, BadPoolRegion),
+ *  - registration failures (RegistrationFailed, IllegalInstruction),
+ *  - kernel traps raised mid-execution by `NdpUnit`
+ *    (UnmappedAddress, ScratchpadOverflow),
+ *  - supervision (WatchdogTimeout from the controller watchdog),
+ *  - transport (DeviceLost when a CXL link goes down),
+ *  - stream policy (Aborted for queued launches cancelled by fail-fast,
+ *    RetriesExhausted reserved for callers that track retry budgets).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace m2ndp {
+
+enum class NdpError : std::int64_t
+{
+    Ok = 0,
+    /** Legacy catch-all; numerically equal to the old kNdpErr = -1. */
+    Unknown = -1,
+    /** Launch names a kernel this ASID never registered. */
+    InvalidKernel = -2,
+    /** Controller launch queue at capacity. */
+    QueueFull = -3,
+    /** Launch pool region has bound < base. */
+    BadPoolRegion = -4,
+    /** Kernel registration failed (resources, text readback). */
+    RegistrationFailed = -5,
+    /** Kernel text did not assemble / contains an unknown uop. */
+    IllegalInstruction = -6,
+    /** Kernel accessed a virtual address with no mapping. */
+    UnmappedAddress = -7,
+    /** Kernel accessed scratchpad beyond its declared allocation. */
+    ScratchpadOverflow = -8,
+    /** Instance exceeded the controller's watchdog cycle budget. */
+    WatchdogTimeout = -9,
+    /** The device's CXL link went down; the device is unreachable. */
+    DeviceLost = -10,
+    /** Queued launch cancelled by a fail-fast stream after an error. */
+    Aborted = -11,
+    /** Retry policy exhausted its relaunch budget. */
+    RetriesExhausted = -12,
+};
+
+/** Any negative int64 in an id/return channel is an error code. */
+constexpr bool
+isNdpError(std::int64_t v)
+{
+    return v < 0;
+}
+
+/** Decode an id/return-channel value into the typed enum. */
+constexpr NdpError
+ndpErrorOf(std::int64_t v)
+{
+    if (v >= 0)
+        return NdpError::Ok;
+    if (v < static_cast<std::int64_t>(NdpError::RetriesExhausted))
+        return NdpError::Unknown;
+    return static_cast<NdpError>(v);
+}
+
+/** Stable human-readable name (for logs, stats dumps, tests). */
+const char *ndpErrorName(NdpError e);
+
+/**
+ * Thrown by `NdpUnit` when a kernel instruction faults (unmapped
+ * address, scratchpad overflow). Caught at the issue stage, where the
+ * trapping uthread is retired and the owning instance is killed; it
+ * never propagates past `NdpUnit::issueOne`.
+ */
+struct KernelTrap
+{
+    NdpError code;
+    Addr va = 0;
+};
+
+} // namespace m2ndp

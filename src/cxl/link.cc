@@ -7,9 +7,17 @@ namespace m2ndp {
 Tick
 CxlDirection::send(std::uint32_t bytes)
 {
+    Tick penalty = 0;
+    if (link_->faultsArmed()) [[unlikely]]
+        penalty = link_->injectOnMessage(eq_.now(), bytes);
     Tick ser = serializationTicks(bytes, cfg_.bandwidth_gbps);
     Tick start = std::max(eq_.now(), link_free_);
-    Tick done = start + ser;
+    // A link-layer replay (LRSM) blocks the direction until the flit
+    // retransmits, so the penalty occupies the link: later messages queue
+    // behind it and per-direction FIFO ordering is preserved. Protocol
+    // correctness depends on this — e.g. the deferred M2func return read
+    // must never overtake the launch write it follows.
+    Tick done = start + ser + penalty;
     link_free_ = done;
     stats_.messages += 1;
     stats_.bytes += bytes;

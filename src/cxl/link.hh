@@ -19,9 +19,12 @@
 #include <cstdint>
 
 #include "common/units.hh"
+#include "cxl/fault.hh"
 #include "sim/event_queue.hh"
 
 namespace m2ndp {
+
+class CxlLink;
 
 /** Configuration of one CXL.mem link (both directions symmetric). */
 struct CxlLinkConfig
@@ -48,7 +51,10 @@ struct CxlDirStats
 class CxlDirection
 {
   public:
-    CxlDirection(EventQueue &eq, const CxlLinkConfig &cfg) : eq_(eq), cfg_(cfg) {}
+    CxlDirection(EventQueue &eq, const CxlLinkConfig &cfg, CxlLink *link)
+        : eq_(eq), cfg_(cfg), link_(link)
+    {
+    }
 
     /** Book transmission of @p bytes; @return arrival tick at the far end. */
     Tick send(std::uint32_t bytes);
@@ -58,6 +64,7 @@ class CxlDirection
   private:
     EventQueue &eq_;
     const CxlLinkConfig &cfg_;
+    CxlLink *link_; ///< owning link, consulted for fault injection
     Tick link_free_ = 0;
     CxlDirStats stats_;
 };
@@ -66,8 +73,9 @@ class CxlDirection
 class CxlLink
 {
   public:
-    CxlLink(EventQueue &eq, CxlLinkConfig cfg = {})
-        : cfg_(cfg), down_(eq, cfg_), up_(eq, cfg_)
+    CxlLink(EventQueue &eq, CxlLinkConfig cfg = {}, FaultConfig fault = {})
+        : cfg_(cfg), down_(eq, cfg_, this), up_(eq, cfg_, this),
+          injector_(fault), faults_armed_(injector_.armed())
     {
     }
 
@@ -77,6 +85,36 @@ class CxlLink
     CxlDirection &down() { return down_; }
     /** Device -> host direction. */
     CxlDirection &up() { return up_; }
+
+    // ---- fault injection (zero-cost when not armed) ----
+
+    /** True when the injector can fire (single predictable branch). */
+    bool faultsArmed() const { return faults_armed_; }
+
+    /** Permanent link failure: the device behind it is unreachable. */
+    bool isDown() const { return down_flag_; }
+
+    /** Force the link down now (tests, external supervision). */
+    void
+    forceLinkDown()
+    {
+        if (!down_flag_) {
+            down_flag_ = true;
+            injector_.noteLinkDown();
+        }
+    }
+
+    /** Per-message fault roll; called by the directions when armed. */
+    Tick
+    injectOnMessage(Tick now, std::uint32_t bytes)
+    {
+        if (!down_flag_ && injector_.shouldGoDown(now))
+            forceLinkDown();
+        return injector_.onMessage(bytes);
+    }
+
+    const FaultStats &faultStats() const { return injector_.stats(); }
+    const FaultConfig &faultConfig() const { return injector_.config(); }
 
     /** Bytes on the wire for a read request (header only). */
     std::uint32_t readReqBytes() const { return cfg_.req_header_bytes; }
@@ -99,6 +137,9 @@ class CxlLink
     CxlLinkConfig cfg_;
     CxlDirection down_;
     CxlDirection up_;
+    FaultInjector injector_;
+    bool faults_armed_ = false;
+    bool down_flag_ = false;
 };
 
 /**

@@ -144,7 +144,7 @@ CxlMemoryExpander::CxlMemoryExpander(EventQueue &eq, SparseMemory &global_mem,
     resp.ports = cfg_.num_units + 2; // units + host + peer
     resp_xbar_ = std::make_unique<Crossbar>(eq_, resp);
 
-    controller_ = std::make_unique<NdpController>(*this);
+    controller_ = std::make_unique<NdpController>(*this, cfg_.controller);
 
     for (unsigned u = 0; u < cfg_.num_units; ++u) {
         NdpUnitConfig uc = cfg_.unit;
@@ -556,6 +556,12 @@ CxlMemoryExpander::storeDrained(KernelInstance *inst, Tick when)
 }
 
 void
+CxlMemoryExpander::instanceFaulted(KernelInstance *inst, std::int64_t code)
+{
+    controller_->killInstance(inst, code);
+}
+
+void
 CxlMemoryExpander::wakeAllUnits()
 {
     for (auto &u : units_)
@@ -632,6 +638,9 @@ CxlMemoryExpander::aggregateUnitStats() const
         total.bursts += s.bursts;
         total.burst_cycles += s.burst_cycles;
         total.burst_max = std::max(total.burst_max, s.burst_max);
+        total.traps_unmapped += s.traps_unmapped;
+        total.traps_spad_oob += s.traps_spad_oob;
+        total.uthreads_killed += s.uthreads_killed;
         for (unsigned b = 0; b < NdpUnitStats::kBurstBuckets; ++b)
             total.burst_hist[b] += s.burst_hist[b];
     }

@@ -70,6 +70,9 @@ struct DeviceConfig
     // M2func handling latency at the controller (microcontroller-style).
     Tick m2func_latency = 30 * kNs;
 
+    // NDP controller limits and watchdog budget.
+    NdpControllerConfig controller;
+
     // Dirty-host-cache limit study (Fig. 13b): fraction of NDP-read data
     // requiring back-invalidation from the host cache.
     double dirty_cache_ratio = 0.0;
@@ -170,6 +173,9 @@ class CxlMemoryExpander : public NdpUnitEnv, public NdpControllerEnv
     /** Total live uthread slots right now (Fig. 6a sampling). */
     unsigned activeContexts() const;
 
+    /** M2func payload staging nodes currently checked out (leak tests). */
+    std::size_t livePayloadNodes() const { return payload_pool_.live(); }
+
     /** Install the cross-device P2P access hook (set by the System). */
     using PeerAccessFn = std::function<void(unsigned src_device, MemOp op,
                                             Addr pa, std::uint32_t size,
@@ -204,6 +210,7 @@ class CxlMemoryExpander : public NdpUnitEnv, public NdpControllerEnv
     void uthreadFinished(KernelInstance *inst) override;
     void storeIssued(KernelInstance *inst) override;
     void storeDrained(KernelInstance *inst, Tick when) override;
+    void instanceFaulted(KernelInstance *inst, std::int64_t code) override;
 
     // ---- NdpControllerEnv ----
     unsigned numUnits() override { return cfg_.num_units; }

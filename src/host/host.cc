@@ -19,7 +19,19 @@ HostCxlPort::allocAccess()
     a->port = this;
     a->big_data.reset();
     a->done.reset();
+    a->failed = false;
     return a;
+}
+
+bool
+HostCxlPort::abortIfDown(HostAccess *a)
+{
+    if (!link_.isDown()) [[likely]]
+        return false;
+    a->failed = true;
+    ++stats_.link_aborts;
+    finish(a);
+    return true;
 }
 
 void
@@ -57,6 +69,8 @@ HostCxlPort::writeAsync(Addr hpa, const void *data, std::uint32_t size,
 void
 HostCxlPort::wDeliver(HostAccess *a)
 {
+    if (abortIfDown(a))
+        return;
     Tick arrive = link_.down().send(link_.writeReqBytes(a->size));
     eq_.schedule(arrive, [a] { a->port->wAtDevice(a); });
 }
@@ -64,6 +78,8 @@ HostCxlPort::wDeliver(HostAccess *a)
 void
 HostCxlPort::wAtDevice(HostAccess *a)
 {
+    if (abortIfDown(a))
+        return;
     dev_.cxlWrite(a->hpa, a->data(), a->size,
                   [a](Tick t) { a->port->wDeviceDone(a, t); });
 }
@@ -78,6 +94,8 @@ HostCxlPort::wDeviceDone(HostAccess *a, Tick t)
 void
 HostCxlPort::wSendNdr(HostAccess *a)
 {
+    if (abortIfDown(a))
+        return;
     Tick back = link_.up().send(link_.ndrBytes());
     eq_.schedule(back + cfg_.host_overhead, [a] { a->port->finish(a); });
 }
@@ -102,6 +120,8 @@ HostCxlPort::readAsync(Addr hpa, std::uint32_t size, TickCallback done)
 void
 HostCxlPort::rDeliver(HostAccess *a)
 {
+    if (abortIfDown(a))
+        return;
     Tick arrive = link_.down().send(link_.readReqBytes());
     eq_.schedule(arrive, [a] { a->port->rAtDevice(a); });
 }
@@ -109,6 +129,8 @@ HostCxlPort::rDeliver(HostAccess *a)
 void
 HostCxlPort::rAtDevice(HostAccess *a)
 {
+    if (abortIfDown(a))
+        return;
     dev_.cxlRead(a->hpa, a->size,
                  [a](Tick t) { a->port->rDeviceDone(a, t); });
 }
@@ -123,6 +145,8 @@ HostCxlPort::rDeviceDone(HostAccess *a, Tick t)
 void
 HostCxlPort::rSendData(HostAccess *a)
 {
+    if (abortIfDown(a))
+        return;
     Tick back = link_.up().send(link_.dataRespBytes(a->size));
     eq_.schedule(back + cfg_.host_overhead, [a] { a->port->finish(a); });
 }
@@ -131,7 +155,7 @@ void
 HostCxlPort::finish(HostAccess *a)
 {
     Tick now = eq_.now();
-    if (!a->is_write) {
+    if (!a->is_write && !a->failed) {
         stats_.read_latency.add(static_cast<double>(now - a->start) / kNs);
     }
     TickCallback done = std::move(a->done);

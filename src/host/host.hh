@@ -47,6 +47,8 @@ struct HostPortStats
 {
     std::uint64_t reads = 0;
     std::uint64_t writes = 0;
+    /** Accesses aborted because the CXL link went down. */
+    std::uint64_t link_aborts = 0;
     Histogram read_latency; ///< ns
 };
 
@@ -102,6 +104,9 @@ class HostCxlPort
     const HostPortStats &stats() const { return stats_; }
     const HostPortConfig &config() const { return cfg_; }
 
+    /** Access records currently in flight (pool-leak checks in tests). */
+    std::size_t liveAccesses() const { return access_pool_.live(); }
+
   private:
     /**
      * One host access in flight. Pool-recycled; all chained events capture
@@ -118,6 +123,8 @@ class HostCxlPort
         std::uint32_t size = 0;
         Tick start = 0;
         bool is_write = false;
+        /** Aborted mid-chain because the link went down. */
+        bool failed = false;
         TickCallback done;
         std::uint8_t inline_data[kInlineBytes];
         /** Cold fallback for bulk writes (setup traffic). */
@@ -132,6 +139,14 @@ class HostCxlPort
 
     HostAccess *allocAccess();
     void releaseAccess(HostAccess *a);
+
+    /**
+     * Link-down short-circuit checked at every chain stage: the access
+     * is finished immediately with `failed` set, so the record recycles
+     * and the completion callback always fires — a dead link never
+     * wedges or leaks an in-flight access.
+     */
+    bool abortIfDown(HostAccess *a);
 
     // Write chain: issue -> link -> device -> NDR -> completion.
     void wDeliver(HostAccess *a);

@@ -39,6 +39,22 @@ NdpEvent::instanceId() const
     return rec_ != nullptr ? rec_->instance_id : kNdpErr;
 }
 
+bool
+NdpEvent::failed() const
+{
+    return rec_ != nullptr && rec_->done && rec_->instance_id < 0;
+}
+
+NdpError
+NdpEvent::error() const
+{
+    if (rec_ == nullptr)
+        return NdpError::Unknown;
+    if (!rec_->done)
+        return NdpError::Ok;
+    return ndpErrorOf(rec_->instance_id);
+}
+
 Tick
 NdpEvent::completedAt() const
 {
@@ -120,10 +136,35 @@ NdpStream::pump()
 void
 NdpStream::recordCompleted(LaunchRecord *rec)
 {
-    (void)rec;
     ++completed_;
     in_flight_ = false;
+    if (rec->instance_id < 0 && policy_ == StreamPolicy::FailFast)
+        [[unlikely]]
+        abortQueued(rec->completed_at);
     pump();
+}
+
+void
+NdpStream::abortQueued(Tick now)
+{
+    // Queued records never reached issueRecord, so they are not counted
+    // in flight: complete them here instead of via completeRecord.
+    while (queue_head_ != nullptr) {
+        LaunchRecord *rec = queue_head_;
+        queue_head_ = rec->next;
+        rec->next = nullptr;
+        rec->done = true;
+        rec->instance_id = static_cast<std::int64_t>(NdpError::Aborted);
+        rec->completed_at = now;
+        ++completed_;
+        ++rt_.stats_.aborted_launches;
+        if (rec->on_complete) {
+            auto cb = std::move(rec->on_complete);
+            cb(rec->instance_id, now);
+        }
+        rt_.releaseRecordRef(rec); // the runtime's reference
+    }
+    queue_tail_ = nullptr;
 }
 
 void
@@ -208,7 +249,7 @@ NdpRuntime::registerKernel(const std::string &source,
                 devs_[d].port->write(ua, &ids[d], 8);
                 devs_[d].port->read<std::int64_t>(ua);
             }
-            return kNdpErr;
+            return id; // the device's typed rejection code
         }
         ids.push_back(id);
     }
@@ -225,7 +266,7 @@ NdpRuntime::unregisterKernel(std::int64_t kernel_id)
     for (auto &dev : devs_) {
         std::int64_t dev_id = deviceKernelId(dev, kernel_id);
         if (dev_id < 0)
-            return kNdpErr;
+            return dev_id;
         Addr addr = funcAddr(dev, M2Func::UnregisterKernel);
         dev.port->write(addr, &dev_id, 8);
         std::int64_t r = dev.port->read<std::int64_t>(addr);
@@ -298,7 +339,7 @@ NdpRuntime::deviceKernelId(const DeviceState &dev,
 {
     if (kernel <= 0 ||
         static_cast<std::size_t>(kernel) >= dev.kernel_ids.size())
-        return kNdpErr;
+        return static_cast<std::int64_t>(NdpError::InvalidKernel);
     return dev.kernel_ids[static_cast<std::size_t>(kernel)];
 }
 
@@ -315,6 +356,7 @@ NdpRuntime::allocRecord()
     rec->device = 0;
     rec->slot = 0;
     rec->refs = 0;
+    rec->attempts = 0;
     rec->done = false;
     rec->sync = false;
     rec->instance_id = kNdpErr;
@@ -348,7 +390,8 @@ NdpRuntime::makeRecord(const LaunchDesc &desc, unsigned device, bool sync)
         // device's own validation; the event completes immediately with
         // the error code.
         rec->done = true;
-        rec->instance_id = kNdpErr;
+        rec->instance_id =
+            static_cast<std::int64_t>(NdpError::InvalidKernel);
         rec->completed_at = eq_.now();
         releaseRecordRef(rec); // runtime side is already finished
     }
@@ -362,11 +405,27 @@ NdpRuntime::makeRecord(const LaunchDesc &desc, unsigned device, bool sync)
 void
 NdpRuntime::issueRecord(LaunchRecord *rec)
 {
+    if (!deviceHealthy(rec->device)) [[unlikely]] {
+        // Graceful degradation: re-route to a surviving device (every
+        // kernel handle is registered on every device, so the record's
+        // descriptor stays valid). With no survivor the launch completes
+        // immediately with DeviceLost.
+        int alt = findHealthyDevice();
+        if (alt >= 0) {
+            ++stats_.failovers;
+            rec->device = static_cast<unsigned>(alt);
+        }
+    }
     ++stats_.launches;
     ++stats_.in_flight;
     stats_.peak_in_flight = std::max(stats_.peak_in_flight,
                                      stats_.in_flight);
     rec->issued_at = eq_.now();
+    if (devs_[rec->device].lost) [[unlikely]] {
+        completeRecord(rec, static_cast<std::int64_t>(NdpError::DeviceLost),
+                       eq_.now());
+        return;
+    }
     switch (cfg_.scheme) {
       case OffloadScheme::M2Func: issueM2Func(rec); return;
       case OffloadScheme::CxlIoRingBuffer: issueRingBuffer(rec); return;
@@ -377,6 +436,23 @@ NdpRuntime::issueRecord(LaunchRecord *rec)
 void
 NdpRuntime::completeRecord(LaunchRecord *rec, std::int64_t iid, Tick t)
 {
+    if (iid < 0) [[unlikely]] {
+        NdpStream *s = rec->stream;
+        if (s != nullptr && s->policy_ == StreamPolicy::Retry &&
+            rec->attempts < s->max_retries_) {
+            // Exponential backoff, then a full re-issue: the record stays
+            // the stream's in-flight launch (in-order semantics hold) and
+            // the re-issue re-routes around lost devices.
+            ++rec->attempts;
+            ++stats_.relaunches;
+            --stats_.in_flight;
+            Tick delay = s->retry_backoff_
+                         << static_cast<unsigned>(rec->attempts - 1);
+            eq_.scheduleAfter(delay, [rec] { rec->rt->issueRecord(rec); });
+            return;
+        }
+        ++stats_.faulted_completions;
+    }
     rec->done = true;
     rec->instance_id = iid;
     rec->completed_at = t;
@@ -398,6 +474,53 @@ NdpRuntime::waitFor(LaunchRecord *rec)
         if (!eq_.step())
             M2_PANIC("event queue drained while waiting for a launch");
     }
+}
+
+bool
+NdpRuntime::deviceHealthy(unsigned device)
+{
+    DeviceState &dev = devs_[device];
+    if (dev.lost) [[unlikely]]
+        return false;
+    if (dev.port->link().isDown()) [[unlikely]] {
+        markDeviceLost(device);
+        return false;
+    }
+    return true;
+}
+
+void
+NdpRuntime::markDeviceLost(unsigned device)
+{
+    DeviceState &dev = devs_[device];
+    if (dev.lost)
+        return;
+    dev.lost = true; // set first: drained completions must not re-route here
+    ++stats_.devices_lost;
+    std::int64_t code = static_cast<std::int64_t>(NdpError::DeviceLost);
+    // Fail everything queued on this device. Completion may pump the
+    // owning streams, whose next launches then re-route via issueRecord.
+    auto drain = [&](LaunchRecord *&head, LaunchRecord *&tail) {
+        while (head != nullptr) {
+            LaunchRecord *rec = head;
+            head = rec->next;
+            if (head == nullptr)
+                tail = nullptr;
+            rec->next = nullptr;
+            completeRecord(rec, code, eq_.now());
+        }
+    };
+    drain(dev.m2f_wait_head, dev.m2f_wait_tail);
+    drain(dev.direct_head, dev.direct_tail);
+}
+
+int
+NdpRuntime::findHealthyDevice()
+{
+    for (unsigned d = 0; d < devs_.size(); ++d)
+        if (deviceHealthy(d))
+            return static_cast<int>(d);
+    return -1;
 }
 
 std::int64_t
@@ -485,12 +608,19 @@ void
 NdpRuntime::m2funcReturned(LaunchRecord *rec, Tick t)
 {
     DeviceState &dev = devs_[rec->device];
+    dev.slot_busy[rec->slot] = false;
+    if (!deviceHealthy(rec->device)) [[unlikely]] {
+        // The read aborted at a dead link: whatever the return slot holds
+        // never reached the host. Surface the loss, not stale data.
+        completeRecord(rec,
+                       static_cast<std::int64_t>(NdpError::DeviceLost), t);
+        return;
+    }
     Addr addr = dev.m2func_pa +
                 (kM2FuncLaunchSlotBase +
                  rec->slot * kM2FuncLaunchSlotStride) * kM2FuncStride;
     std::int64_t iid = 0;
     dev.port->device().funcRead(addr, &iid, 8);
-    dev.slot_busy[rec->slot] = false;
     pumpM2FuncQueue(dev);
     completeRecord(rec, iid, t);
 }

@@ -66,6 +66,16 @@ struct NdpRuntimeStats
     /** Launches in flight right now / high-water mark. */
     std::uint64_t in_flight = 0;
     std::uint64_t peak_in_flight = 0;
+    /** Launches re-issued by StreamPolicy::Retry after an error. */
+    std::uint64_t relaunches = 0;
+    /** Launches re-routed from a lost device to a healthy one. */
+    std::uint64_t failovers = 0;
+    /** Devices marked lost (link permanently down). */
+    std::uint64_t devices_lost = 0;
+    /** Launches that completed with a negative (error) instance id. */
+    std::uint64_t faulted_completions = 0;
+    /** Queued launches aborted by fail-fast streams. */
+    std::uint64_t aborted_launches = 0;
 };
 
 /**
@@ -126,6 +136,16 @@ class NdpRuntime
     {
         return static_cast<unsigned>(devs_.size());
     }
+
+    /** True once @p device was marked lost (its CXL link went down). */
+    bool
+    deviceLost(unsigned device) const
+    {
+        return devs_.at(device).lost;
+    }
+
+    /** Launch records currently checked out of the pool (leak tests). */
+    std::size_t liveLaunchRecords() const { return record_pool_.live(); }
     const NdpRuntimeStats &stats() const { return stats_; }
     ProcessAddressSpace &process() { return process_; }
     HostCxlPort &port(unsigned device = 0) { return *devs_[device].port; }
@@ -151,6 +171,8 @@ class NdpRuntime
         bool direct_busy = false;
         LaunchRecord *direct_head = nullptr;
         LaunchRecord *direct_tail = nullptr;
+        /** Link went down for good; launches re-route to survivors. */
+        bool lost = false;
     };
 
     // ---- launch-record pool ----
@@ -175,6 +197,15 @@ class NdpRuntime
 
     /** Mark @p rec complete, notify event/stream, release runtime ref. */
     void completeRecord(LaunchRecord *rec, std::int64_t iid, Tick t);
+
+    // ---- device-loss handling ----
+
+    /** Lazily notices a downed link and marks the device lost. */
+    bool deviceHealthy(unsigned device);
+    /** Fail queued launches of @p device and count the loss (once). */
+    void markDeviceLost(unsigned device);
+    /** Any healthy device index, or -1 when none remain. */
+    int findHealthyDevice();
 
     /** Drive the event queue until @p rec completes. */
     void waitFor(LaunchRecord *rec);

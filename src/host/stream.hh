@@ -30,6 +30,7 @@
 #include <cstring>
 
 #include "common/callback.hh"
+#include "common/error.hh"
 #include "common/log.hh"
 #include "common/units.hh"
 
@@ -38,6 +39,28 @@ namespace m2ndp {
 class NdpRuntime;
 class NdpStream;
 struct LaunchRecord;
+
+/**
+ * How a stream reacts when a launch completes with an error (a kernel
+ * trap, watchdog kill, device rejection, or lost device).
+ */
+enum class StreamPolicy : std::uint8_t {
+    /**
+     * Default: the failed launch reports its error and every launch still
+     * queued on the stream completes immediately with NdpError::Aborted —
+     * dependent work never runs against a failed predecessor.
+     */
+    FailFast,
+    /**
+     * Re-issue the failed launch after an exponential backoff (base delay
+     * doubling per attempt) up to the configured retry cap; the re-issue
+     * re-routes around lost devices. Exhausted retries surface the final
+     * error and the stream continues with the next launch.
+     */
+    Retry,
+    /** Report the error on the failed launch and keep going. */
+    SkipAndContinue,
+};
 
 /**
  * Typed builder for the 64 B launch payload (Section III-B wire format:
@@ -128,6 +151,8 @@ struct LaunchRecord
     unsigned device = 0;
     unsigned slot = 0; ///< M2func launch slot while in flight
     std::uint8_t refs = 0;
+    /** Issue attempts consumed so far (StreamPolicy::Retry bookkeeping). */
+    std::uint8_t attempts = 0;
     bool done = false;
     bool sync = false;
     std::int64_t instance_id = -1;
@@ -182,6 +207,15 @@ class NdpEvent
     /** Kernel instance id (or negative error); valid once done(). */
     std::int64_t instanceId() const;
 
+    /** True once the launch completed with an error. */
+    bool failed() const;
+
+    /**
+     * Typed error code: NdpError::Ok while pending or after a clean
+     * completion, the specific error otherwise.
+     */
+    NdpError error() const;
+
     /** Tick the kernel instance completed at; valid once done(). */
     Tick completedAt() const;
 
@@ -222,6 +256,23 @@ class NdpStream
     /** Enqueue a launch; returns its completion event. */
     NdpEvent launch(const LaunchDesc &desc);
 
+    /**
+     * Set the error-handling policy. For StreamPolicy::Retry,
+     * @p max_retries bounds the re-issues per launch and @p backoff is
+     * the first retry delay (doubling each attempt). Applies to launches
+     * completing after the call.
+     */
+    void
+    setPolicy(StreamPolicy policy, unsigned max_retries = 3,
+              Tick backoff = 1 * kUs)
+    {
+        policy_ = policy;
+        max_retries_ = static_cast<std::uint8_t>(max_retries);
+        retry_backoff_ = backoff;
+    }
+
+    StreamPolicy policy() const { return policy_; }
+
     /** Drive the simulation until every launch on this stream completed. */
     void synchronize();
 
@@ -248,6 +299,9 @@ class NdpStream
     /** Completion notification from the runtime. */
     void recordCompleted(LaunchRecord *rec);
 
+    /** Fail-fast: complete every queued launch with NdpError::Aborted. */
+    void abortQueued(Tick now);
+
     NdpRuntime &rt_;
     unsigned device_;
     LaunchRecord *queue_head_ = nullptr; ///< not yet issued
@@ -255,6 +309,9 @@ class NdpStream
     bool in_flight_ = false;
     std::uint64_t launched_ = 0;
     std::uint64_t completed_ = 0;
+    StreamPolicy policy_ = StreamPolicy::FailFast;
+    std::uint8_t max_retries_ = 3;
+    Tick retry_backoff_ = 1 * kUs;
 };
 
 } // namespace m2ndp

@@ -12,6 +12,16 @@ namespace m2ndp::isa {
 
 namespace {
 
+/**
+ * Internal parse-failure signal: thrown by Parser, caught by the
+ * assemble() overloads — fatal in the legacy one, reported through the
+ * out-parameter in the non-fatal one. Never escapes this TU.
+ */
+struct AsmError
+{
+    std::string message;
+};
+
 /** Operand layout of a mnemonic. */
 enum class Fmt : std::uint8_t {
     N0,     // no operands
@@ -353,7 +363,7 @@ class Parser
     [[noreturn]] void
     error(const std::string &msg) const
     {
-        M2_FATAL("asm line ", line_no_, ": ", msg);
+        throw AsmError{"asm line " + std::to_string(line_no_) + ": " + msg};
     }
 
     unsigned parseReg(const std::string &tok, char cls) const;
@@ -454,7 +464,7 @@ Parser::finishSection()
     for (const auto &[inst_idx, label] : fixups_) {
         auto it = labels_.find(label);
         if (it == labels_.end())
-            M2_FATAL("asm: undefined label '", label, "'");
+            throw AsmError{"asm: undefined label '" + label + "'"};
         current_.code[inst_idx].target = it->second;
     }
     fixups_.clear();
@@ -809,22 +819,22 @@ Parser::parse(const std::string &text)
         switch (sec.kind) {
           case SectionKind::Initializer:
             if (i != 0)
-                M2_FATAL("asm: .init must be the first section");
+                throw AsmError{"asm: .init must be the first section"};
             break;
           case SectionKind::Body:
             if (seen_fini)
-                M2_FATAL("asm: .body after .fini");
+                throw AsmError{"asm: .body after .fini"};
             seen_body = true;
             break;
           case SectionKind::Finalizer:
             if (seen_fini)
-                M2_FATAL("asm: multiple .fini sections");
+                throw AsmError{"asm: multiple .fini sections"};
             seen_fini = true;
             break;
         }
     }
     if (!seen_body)
-        M2_FATAL("asm: kernel has no body section");
+        throw AsmError{"asm: kernel has no body section"};
     return std::move(kernel_);
 }
 
@@ -834,7 +844,27 @@ AssembledKernel
 Assembler::assemble(const std::string &text) const
 {
     Parser parser(constants_);
-    return parser.parse(text);
+    try {
+        return parser.parse(text);
+    } catch (const AsmError &e) {
+        M2_FATAL(e.message);
+    }
+}
+
+AssembledKernel
+Assembler::assemble(const std::string &text, std::string *error) const
+{
+    Parser parser(constants_);
+    try {
+        AssembledKernel k = parser.parse(text);
+        if (error != nullptr)
+            error->clear();
+        return k;
+    } catch (const AsmError &e) {
+        if (error != nullptr)
+            *error = e.message;
+        return {};
+    }
 }
 
 std::vector<std::size_t>

@@ -66,6 +66,8 @@ enum class KernelStatus : std::int64_t {
     Finished = 0,
     Running = 1,
     Pending = 2,
+    /** Completed with an error (trap, watchdog kill). */
+    Faulted = 3,
 };
 
 /** One running (or queued) kernel launch. */
@@ -94,6 +96,14 @@ struct KernelInstance
 
     /** Posted stores still in flight (kernel completes when drained). */
     std::uint64_t outstanding_stores = 0;
+
+    /**
+     * First error observed (a negative NdpError value; 0 = clean). Set
+     * by a uthread trap or a watchdog kill; once set, no further work
+     * spawns and the instance drains to Done, completing with this code
+     * instead of its instance id.
+     */
+    std::int64_t error = 0;
 
     /** Launch/finish ticks for stats. */
     Tick launched_at = 0;

@@ -59,7 +59,8 @@ NdpController::handleLaunchWrite(Asid asid, std::uint64_t fn_index,
     std::int64_t iid = launch(asid, kernel_id, sync, base, bound,
                               payload.bytes.data() + 32, args_size, {});
     if (iid < 0) {
-        resolveReturn(asid, fn_index, kNdpErr);
+        // Typed rejection code travels back through the return slot.
+        resolveReturn(asid, fn_index, iid);
         return;
     }
     if (sync) {
@@ -69,7 +70,8 @@ NdpController::handleLaunchWrite(Asid asid, std::uint64_t fn_index,
                              prev = std::move(prev)](Tick t) {
             if (prev)
                 prev(t);
-            resolveReturn(asid, fn_index, iid);
+            std::int64_t err = instanceError(iid);
+            resolveReturn(asid, fn_index, err < 0 ? err : iid);
         };
     } else {
         resolveReturn(asid, fn_index, iid);
@@ -100,7 +102,10 @@ NdpController::handleWrite(Asid asid, std::uint64_t offset,
         res.num_vector_regs = payload.get<std::uint8_t>(18);
         std::string text;
         if (!env_.readKernelText(asid, code_loc, code_size, text)) {
-            setReturn(asid, static_cast<std::uint64_t>(fn), kNdpErr, true);
+            ++stats_.registrations_rejected;
+            setReturn(asid, static_cast<std::uint64_t>(fn),
+                      static_cast<std::int64_t>(NdpError::RegistrationFailed),
+                      true);
             return;
         }
         setReturn(asid, static_cast<std::uint64_t>(fn), registerKernel(asid, text, res), true);
@@ -179,16 +184,26 @@ NdpController::registerKernel(Asid asid, const std::string &text,
 {
     if (res.registerBytes() == 0 || res.num_int_regs < 3) {
         M2_WARN("kernel registration needs at least x0-x2");
-        return kNdpErr;
+        ++stats_.registrations_rejected;
+        return static_cast<std::int64_t>(NdpError::RegistrationFailed);
     }
     if (res.scratchpad_bytes > env_.unitScratchpadBytes()) {
         M2_WARN("kernel scratchpad request exceeds unit scratchpad");
-        return kNdpErr;
+        ++stats_.registrations_rejected;
+        return static_cast<std::int64_t>(NdpError::RegistrationFailed);
     }
     auto kernel = std::make_unique<NdpKernel>();
     kernel->id = next_kernel_id_++;
     kernel->asid = asid;
-    kernel->code = assembler_.assemble(text);
+    // Malformed text (bad syntax, unknown uop) rejects the registration
+    // with a typed error instead of terminating the simulation.
+    std::string asm_error;
+    kernel->code = assembler_.assemble(text, &asm_error);
+    if (!asm_error.empty()) {
+        M2_WARN("kernel registration rejected: ", asm_error);
+        ++stats_.registrations_rejected;
+        return static_cast<std::int64_t>(NdpError::IllegalInstruction);
+    }
     kernel->decoded = isa::DecodedKernel::decode(kernel->code);
     kernel->resources = res;
     ++stats_.kernels_registered;
@@ -213,16 +228,16 @@ NdpController::launch(Asid asid, std::int64_t kernel_id, bool synchronous,
     auto kit = kernels_.find(kernel_id);
     if (kit == kernels_.end() || kit->second->asid != asid) {
         ++stats_.launches_rejected;
-        return kNdpErr;
+        return static_cast<std::int64_t>(NdpError::InvalidKernel);
     }
     if (pending_.size() >= cfg_.launch_queue_capacity) {
         // Launch buffer full: error code back to the host (Section III-C).
         ++stats_.launches_rejected;
-        return kNdpErr;
+        return static_cast<std::int64_t>(NdpError::QueueFull);
     }
     if (pool_bound < pool_base) {
         ++stats_.launches_rejected;
-        return kNdpErr;
+        return static_cast<std::int64_t>(NdpError::BadPoolRegion);
     }
 
     auto inst = std::make_unique<KernelInstance>();
@@ -275,14 +290,27 @@ NdpController::onInstanceComplete(std::int64_t instance_id,
 KernelStatus
 NdpController::status(std::int64_t instance_id) const
 {
-    if (completed_.count(instance_id))
-        return KernelStatus::Finished;
+    if (completed_.count(instance_id)) {
+        return completed_errors_.count(instance_id)
+                   ? KernelStatus::Faulted
+                   : KernelStatus::Finished;
+    }
     auto it = instances_by_id_.find(instance_id);
     if (it == instances_by_id_.end())
         return static_cast<KernelStatus>(kNdpErr);
     return it->second->phase == InstancePhase::Pending
                ? KernelStatus::Pending
                : KernelStatus::Running;
+}
+
+std::int64_t
+NdpController::instanceError(std::int64_t instance_id) const
+{
+    auto done = completed_errors_.find(instance_id);
+    if (done != completed_errors_.end())
+        return done->second;
+    auto live = instances_by_id_.find(instance_id);
+    return live != instances_by_id_.end() ? live->second->error : 0;
 }
 
 void
@@ -310,11 +338,55 @@ NdpController::activate(std::unique_ptr<KernelInstance> inst)
 
     const auto &sections = p->kernel->code.sections;
     M2_ASSERT(!sections.empty(), "kernel with no sections");
+
+    // Arm the watchdog before the first phase begins: beginPhase can
+    // complete a degenerate instance synchronously, and a one-shot
+    // check by id is naturally idempotent against that.
+    if (cfg_.watchdog_budget > 0) {
+        std::int64_t id = p->id;
+        env_.eventQueue().scheduleAfter(cfg_.watchdog_budget, [this, id] {
+            auto it = instances_by_id_.find(id);
+            if (it == instances_by_id_.end())
+                return; // already completed
+            ++stats_.watchdog_kills;
+            killInstance(it->second,
+                         static_cast<std::int64_t>(
+                             NdpError::WatchdogTimeout));
+        });
+    }
+
     if (sections.front().kind == isa::SectionKind::Initializer)
         beginPhase(p, InstancePhase::Initializer, 0);
     else
         beginPhase(p, InstancePhase::Body, 0);
     env_.wakeAllUnits();
+}
+
+void
+NdpController::killInstance(KernelInstance *inst, std::int64_t code)
+{
+    if (inst->phase == InstancePhase::Done)
+        return;
+    M2_ASSERT(inst->isActive(),
+              "killInstance on a non-activated instance ", inst->id);
+    if (inst->error == 0)
+        inst->error = code;
+
+    // Purge spawn items bounced back by register pressure: they were
+    // counted as spawned but will never run, so credit them as completed
+    // to let the drain condition (completed == spawned) be reached.
+    for (auto &rq : requeued_) {
+        auto it = std::remove_if(
+            rq.begin(), rq.end(),
+            [inst](const SpawnItem &s) { return s.instance == inst; });
+        inst->completed += static_cast<std::uint64_t>(rq.end() - it);
+        rq.erase(it, rq.end());
+    }
+
+    // Wake the units so slots parked on a killed instance (e.g. an
+    // infinite loop) get culled at their next issue opportunity.
+    env_.wakeAllUnits();
+    maybeAdvancePhase(inst);
 }
 
 std::uint64_t
@@ -353,6 +425,19 @@ NdpController::beginPhase(KernelInstance *inst, InstancePhase phase,
 void
 NdpController::maybeAdvancePhase(KernelInstance *inst)
 {
+    if (inst->error < 0) [[unlikely]] {
+        // Killed/faulted: no further phases. Wait for the uthreads that
+        // already spawned to retire (running ones are culled at their
+        // next issue; memory-waiting ones drain normally), then for
+        // posted stores, then complete with the error code.
+        if (inst->completed < inst->spawned)
+            return;
+        inst->phase = InstancePhase::Draining;
+        if (inst->outstanding_stores == 0)
+            completeInstance(inst, env_.eventQueue().now());
+        return;
+    }
+
     if (inst->spawned < inst->phase_target ||
         inst->completed < inst->phase_target)
         return;
@@ -386,6 +471,10 @@ NdpController::completeInstance(KernelInstance *inst, Tick when)
     inst->phase = InstancePhase::Done;
     inst->finished_at = when;
     ++stats_.instances_completed;
+    if (inst->error < 0) [[unlikely]] {
+        ++stats_.instances_faulted;
+        completed_errors_.emplace(inst->id, inst->error);
+    }
     completed_.emplace(inst->id, when);
     instances_by_id_.erase(inst->id);
     spadFree(inst->spad_offset, inst->kernel->resources.scratchpad_bytes);
@@ -432,7 +521,8 @@ NdpController::pullWork(unsigned unit)
         if (idx >= n)
             idx = 0;
         KernelInstance *inst = active_[idx].get();
-        if (!inst->isActive() || inst->phase == InstancePhase::Draining)
+        if (!inst->isActive() || inst->phase == InstancePhase::Draining ||
+            inst->error < 0)
             continue;
         const auto &section =
             inst->kernel->decoded.sections[inst->section_index];

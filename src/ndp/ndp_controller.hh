@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/error.hh"
 #include "common/units.hh"
 #include "isa/assembler.hh"
 #include "ndp/kernel.hh"
@@ -66,8 +67,13 @@ inline constexpr unsigned kM2FuncLaunchSlots = 56;
  */
 inline constexpr std::uint64_t kM2FuncLaunchSlotStride = 2;
 
-/** Error return value (Table II: ERR is a negative value). */
-inline constexpr std::int64_t kNdpErr = -1;
+/**
+ * Legacy error return value (Table II: ERR is a negative value). New
+ * code signals failures with specific `NdpError` codes (common/error.hh);
+ * kNdpErr remains as the catch-all, numerically NdpError::Unknown.
+ */
+inline constexpr std::int64_t kNdpErr =
+    static_cast<std::int64_t>(NdpError::Unknown);
 
 /**
  * Wire format of an M2func write payload (little-endian, max 64 B). Fixed
@@ -116,10 +122,15 @@ class NdpControllerEnv
 struct NdpControllerStats
 {
     std::uint64_t kernels_registered = 0;
+    std::uint64_t registrations_rejected = 0;
     std::uint64_t launches = 0;
     std::uint64_t launches_rejected = 0;
     std::uint64_t polls = 0;
     std::uint64_t instances_completed = 0;
+    /** Instances that completed with an error (traps + watchdog). */
+    std::uint64_t instances_faulted = 0;
+    /** Instances killed by the watchdog budget specifically. */
+    std::uint64_t watchdog_kills = 0;
 };
 
 /** Controller limits (Table IV: max 48 concurrent kernels). */
@@ -128,6 +139,15 @@ struct NdpControllerConfig
     unsigned max_concurrent_instances = 48;
     unsigned launch_queue_capacity = 4096;
     std::uint64_t max_payload_bytes = 64;
+    /**
+     * Per-instance watchdog budget in ticks from activation (0 =
+     * disabled, the default — no events are scheduled). An instance
+     * still running when the budget expires is killed with
+     * NdpError::WatchdogTimeout; its uthread slots, scratchpad,
+     * register-file budget, and pooled packets recycle through the
+     * normal retirement path.
+     */
+    Tick watchdog_budget = 0;
 };
 
 /**
@@ -184,6 +204,21 @@ class NdpController
                       std::move(on_complete));
     }
     KernelStatus status(std::int64_t instance_id) const;
+
+    /**
+     * Error code of a live or completed instance (a negative NdpError
+     * value; 0 for clean instances, unknown ids included).
+     */
+    std::int64_t instanceError(std::int64_t instance_id) const;
+
+    /**
+     * Kill a queued or running instance with @p code (a negative
+     * NdpError value): no further uthreads spawn, already-running ones
+     * retire through the normal path, and the instance completes with
+     * the error code once spawned uthreads and posted stores drain.
+     * Used by the watchdog and by the device when a uthread traps.
+     */
+    void killInstance(KernelInstance *inst, std::int64_t code);
 
     /**
      * Attach a completion observer to a live instance; fires immediately
@@ -253,6 +288,8 @@ class NdpController
     std::unordered_map<std::int64_t, KernelInstance *> instances_by_id_;
     /** Completed instance ids (for poll-after-completion). */
     std::unordered_map<std::int64_t, Tick> completed_;
+    /** Error codes of completed-with-error instances (status/poll). */
+    std::unordered_map<std::int64_t, std::int64_t> completed_errors_;
 
     /** Work requeued by units (register-file pressure). */
     std::vector<std::vector<SpawnItem>> requeued_;

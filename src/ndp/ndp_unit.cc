@@ -64,9 +64,13 @@ NdpUnit::translateCached(Asid asid, Addr va)
     if (e.valid && e.vpn == vpn && e.asid == asid)
         return e.pa_page + (va & page_mask_);
     auto pa = env_.translateFunctional(asid, va);
-    if (!pa) {
-        M2_FATAL("NDP kernel fault: unmapped VA 0x", std::hex, va,
-                 " (asid ", std::dec, asid, ")");
+    if (!pa) [[unlikely]] {
+        // Kernel fault: surfaced as a trap at the issue stage, which
+        // kills the owning instance with a typed error. (On the timing
+        // path this cannot fire: every timing ref's VA was already
+        // translated functionally by the same instruction's step.)
+        ++stats_.traps_unmapped;
+        throw KernelTrap{NdpError::UnmappedAddress, va};
     }
     e.valid = true;
     e.asid = asid;
@@ -100,9 +104,12 @@ NdpUnit::spadPointer(Addr va, unsigned size)
 
     std::uint64_t off = va - layout::kScratchpadVaBase;
     std::uint64_t limit = inst->kernel->resources.scratchpad_bytes;
-    M2_ASSERT(off + size <= limit, "scratchpad access at offset ", off,
-              " beyond declared size ", limit, " (kernel ",
-              inst->kernel->code.name, ")");
+    if (off + size > limit || off + size < off) [[unlikely]] {
+        // Access past the declared scratchpad allocation: a kernel bug,
+        // trapped and surfaced as a typed error instead of aborting.
+        ++stats_.traps_spad_oob;
+        throw KernelTrap{NdpError::ScratchpadOverflow, va};
+    }
     M2_ASSERT(inst->spad_offset + off + size <= spad_.size(),
               "scratchpad overflow");
     return spad_.data() + inst->spad_offset + off;
@@ -399,6 +406,19 @@ NdpUnit::issueOne(unsigned sc_idx, SubCore &sc, Tick now, bool new_cycle,
     while ((idx = ReadySched::pickFrom(cand, sc.rr_next)) >= 0) {
         Slot &slot = sc.slots[static_cast<unsigned>(idx)];
         const unsigned uidx = static_cast<unsigned>(idx);
+        if (slot.instance->error < 0) [[unlikely]] {
+            // Instance killed (trap elsewhere, watchdog, abort): retire
+            // the uthread without executing — this is how a runaway
+            // (e.g. infinite-loop) uthread is reclaimed. The slot,
+            // register-file budget, and ring entry recycle through the
+            // normal finishThread path.
+            ++stats_.uthreads_killed;
+            sc.rr_next = uidx + 1 == n ? 0 : uidx + 1;
+            sc.sched.removeReady(uidx);
+            finishThread(sc, slot);
+            issued = true;
+            break;
+        }
         if (slot.section->code.empty()) {
             // Degenerate empty section: finish immediately.
             sc.rr_next = uidx + 1 == n ? 0 : uidx + 1;
@@ -427,14 +447,37 @@ NdpUnit::issueOne(unsigned sc_idx, SubCore &sc, Tick now, bool new_cycle,
             continue;
         }
 
-        // Execute functionally.
+        // Execute functionally. A kernel trap (unmapped VA, scratchpad
+        // overflow) aborts the instruction: the trapping uthread retires
+        // here and the owning instance is killed via the environment —
+        // zero-cost on the non-trapping path (table-driven unwinding).
         current_slot_ = &slot;
         isa::StepResult res;
+        std::int64_t trap_code = 0;
         {
             hotpath::Scope func_timer(hotpath::g.functional);
-            res = isa::step(slot.ctx, *slot.section, *this);
+            try {
+                res = isa::step(slot.ctx, *slot.section, *this);
+            } catch (const KernelTrap &trap) {
+                trap_code = static_cast<std::int64_t>(trap.code);
+            }
         }
         current_slot_ = nullptr;
+
+        if (trap_code < 0) [[unlikely]] {
+            KernelInstance *inst = slot.instance;
+            if (inst->error == 0)
+                inst->error = trap_code;
+            sc.rr_next = uidx + 1 == n ? 0 : uidx + 1;
+            sc.sched.removeReady(uidx);
+            // Kill first (stops further spawns), then retire: the
+            // retirement's uthreadFinished may complete the instance
+            // if this was its last running uthread.
+            env_.instanceFaulted(inst, trap_code);
+            finishThread(sc, slot);
+            issued = true;
+            break;
+        }
 
         ++stats_.instructions;
         ++slot.instance->instructions;

@@ -25,6 +25,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/error.hh"
 #include "common/units.hh"
 #include "isa/executor.hh"
 #include "mem/packet.hh"
@@ -77,6 +78,13 @@ struct NdpUnitStats
     std::uint64_t scalar_instructions = 0;
     std::uint64_t vector_instructions = 0;
     std::uint64_t uthreads_completed = 0;
+    /** Kernel traps: unmapped-VA accesses caught at translation. */
+    std::uint64_t traps_unmapped = 0;
+    /** Kernel traps: scratchpad accesses beyond the declared size. */
+    std::uint64_t traps_spad_oob = 0;
+    /** Ready uthreads retired without executing because their instance
+     *  was killed (trap elsewhere, watchdog, abort). */
+    std::uint64_t uthreads_killed = 0;
     std::uint64_t global_loads = 0;
     std::uint64_t global_stores = 0;
     std::uint64_t global_atomics = 0;
@@ -191,6 +199,19 @@ class NdpUnitEnv
 
     /** A uthread of @p inst finished (at current tick). */
     virtual void uthreadFinished(KernelInstance *inst) = 0;
+
+    /**
+     * A uthread of @p inst trapped with @p code (a negative NdpError
+     * value). The unit already recorded the error on the instance; the
+     * environment should kill the instance (stop spawning, reclaim).
+     * Default no-op keeps bare-unit tests working.
+     */
+    virtual void
+    instanceFaulted(KernelInstance *inst, std::int64_t code)
+    {
+        (void)inst;
+        (void)code;
+    }
 
     /** Posted-store drain accounting for kernel completion. */
     virtual void storeIssued(KernelInstance *inst) = 0;
@@ -412,7 +433,8 @@ class NdpUnit : public isa::MemoryIf
      * translation runs per element on the functional path *and* per sector
      * on the timing path, and both are strongly page-local. Invalidated on
      * TLB shootdown (page unmap must be accompanied by a shootdown,
-     * Table II). Fatals on unmapped VAs (kernel bug).
+     * Table II). Throws KernelTrap on unmapped VAs (caught at the issue
+     * stage; the instance is killed with NdpError::UnmappedAddress).
      */
     Addr translateCached(Asid asid, Addr va);
 

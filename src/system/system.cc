@@ -1,6 +1,7 @@
 #include "system/system.hh"
 
 #include "common/log.hh"
+#include "common/rng.hh"
 
 namespace m2ndp {
 
@@ -28,7 +29,9 @@ System::System(SystemConfig cfg) : cfg_(cfg)
 
         CxlLinkConfig lc = cfg_.link;
         lc.oneway_latency += cfg_.switch_latency;
-        links_.push_back(std::make_unique<CxlLink>(eq_, lc));
+        FaultConfig fc = cfg_.fault;
+        fc.seed = SplitMix64(cfg_.fault.seed ^ (0xFA17u + d)).next();
+        links_.push_back(std::make_unique<CxlLink>(eq_, lc, fc));
         host_ports_.push_back(std::make_unique<HostCxlPort>(
             eq_, *links_.back(), *devices_.back(), cfg_.host));
 

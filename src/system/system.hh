@@ -28,6 +28,13 @@ struct SystemConfig
     DeviceConfig device;   ///< template; index set per device
     CxlLinkConfig link;    ///< per-device link
     HostPortConfig host;
+    /**
+     * Link fault injection (disabled by default). `fault.seed` is the
+     * base seed; each device's link gets an independent seed derived
+     * from it, so multi-device fault schedules are decorrelated yet
+     * fully determined by the base seed.
+     */
+    FaultConfig fault;
 
     /** Extra one-way latency when a CXL switch sits on the path. */
     Tick switch_latency = 0;

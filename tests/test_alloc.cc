@@ -136,6 +136,56 @@ TEST(SteadyStateAllocation, WarmKernelRunIsAllocationFree)
     EXPECT_EQ(ctrl.status(iid), KernelStatus::Finished);
 }
 
+TEST(SteadyStateAllocation, ErrorStormRecyclesAllPools)
+{
+    // A storm of trapping launches must recycle every pooled object on
+    // the *failure* path: launch records, host access slots, device
+    // payload nodes. Leaks here never show up in happy-path tests — only
+    // under sustained errors — so drive two storms and check that (a)
+    // every pool drains back to empty and (b) the warm storm allocates
+    // no more than the cold one (the error path reuses pooled objects
+    // instead of minting fresh ones per failure).
+    System sys{SystemConfig{}};
+    auto &proc = sys.createProcess();
+    auto rt = sys.createRuntime(proc);
+
+    KernelResources scalar;
+    scalar.num_int_regs = 8;
+    std::int64_t wild =
+        rt->registerKernel(".name wildload\n ld x4, 0(x0)\n", scalar);
+    ASSERT_GT(wild, 0);
+    Addr pool = proc.allocate(4096);
+
+    NdpStream &stream = rt->createStream();
+    stream.setPolicy(StreamPolicy::SkipAndContinue);
+    auto storm = [&](int n) {
+        for (int i = 0; i < n; ++i)
+            stream.launch(LaunchDesc(wild, pool, pool + 32));
+        rt->synchronize();
+    };
+
+    std::uint64_t a0 = allocationCount();
+    storm(16); // cold: grows pools and error plumbing
+    std::uint64_t first = allocationCount() - a0;
+
+    EXPECT_EQ(rt->stats().faulted_completions, 16u);
+    EXPECT_EQ(rt->liveLaunchRecords(), 0u) << "launch records leaked";
+    EXPECT_EQ(sys.host().liveAccesses(), 0u) << "host accesses leaked";
+    EXPECT_EQ(sys.device().livePayloadNodes(), 0u)
+        << "device payload nodes leaked";
+
+    std::uint64_t a1 = allocationCount();
+    storm(16); // warm: every failure recycles pooled state
+    std::uint64_t second = allocationCount() - a1;
+
+    EXPECT_EQ(rt->stats().faulted_completions, 32u);
+    EXPECT_EQ(rt->liveLaunchRecords(), 0u);
+    EXPECT_EQ(sys.host().liveAccesses(), 0u);
+    EXPECT_EQ(sys.device().livePayloadNodes(), 0u);
+    EXPECT_LE(second, first)
+        << "warm error storm should not outgrow the cold one";
+}
+
 TEST(SteadyStateAllocation, SecondRunAllocatesOnlyLaunchOverhead)
 {
     VecAddSetup s(1u << 12); // small kernel, run twice
