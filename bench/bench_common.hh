@@ -11,20 +11,29 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "system/system.hh"
 
 namespace m2ndp::bench {
 
-/** Command-line: --scale=<f> shrinks workload sizes; --full = paper size. */
+/**
+ * Command-line: --scale=<f> shrinks workload sizes; --full = paper size;
+ * --threads=<n> is the parallelism knob — sweep drivers use it for
+ * concurrent sweep points (sweepParallel below), multi-device drivers
+ * pass it to SystemConfig::threads for the partitioned engine.
+ * 0 = auto (hardware concurrency / M2NDP_THREADS respectively).
+ */
 struct BenchArgs
 {
     double scale = 1.0;
     bool full = false;
+    unsigned threads = 0;
 
     static BenchArgs
     parse(int argc, char **argv)
@@ -35,10 +44,62 @@ struct BenchArgs
                 a.scale = std::atof(argv[i] + 8);
             else if (std::strcmp(argv[i], "--full") == 0)
                 a.full = true;
+            else if (std::strncmp(argv[i], "--threads=", 10) == 0)
+                a.threads = static_cast<unsigned>(std::atoi(argv[i] + 10));
         }
         return a;
     }
+
+    /** Sweep-point concurrency: --threads, or one per core when 0. */
+    unsigned
+    sweepThreads() const
+    {
+        if (threads != 0)
+            return threads;
+        unsigned hw = std::thread::hardware_concurrency();
+        return hw != 0 ? hw : 1;
+    }
 };
+
+/**
+ * Run @p n independent sweep points concurrently — a worker pool of
+ * min(threads, n) threads pulling points off a shared counter — and
+ * return the results in point order. Each point must build its own
+ * System (simulations share no mutable state beyond the thread-safe
+ * process-global pools), so every point is bit-identical to what the
+ * serial sweep produces and only wall-clock changes.
+ */
+template <typename F>
+auto
+sweepParallel(std::size_t n, unsigned threads, F point)
+    -> std::vector<decltype(point(std::size_t{0}))>
+{
+    using R = decltype(point(std::size_t{0}));
+    std::vector<R> results(n);
+    unsigned nt = static_cast<unsigned>(
+        std::min<std::size_t>(threads == 0 ? 1 : threads, n));
+    if (nt <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            results[i] = point(i);
+        return results;
+    }
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(nt);
+    for (unsigned t = 0; t < nt; ++t) {
+        pool.emplace_back([&] {
+            for (;;) {
+                std::size_t i = next.fetch_add(1);
+                if (i >= n)
+                    return;
+                results[i] = point(i);
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    return results;
+}
 
 inline void
 header(const char *fig, const char *title)

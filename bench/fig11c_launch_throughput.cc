@@ -62,17 +62,28 @@ main(int argc, char **argv)
     auto args = BenchArgs::parse(argc, argv);
     const unsigned total = args.full ? 512 : 192;
     const unsigned stream_counts[] = {1, 2, 4, 8, 16};
+    const OffloadScheme schemes[] = {OffloadScheme::M2Func,
+                                     OffloadScheme::CxlIoRingBuffer,
+                                     OffloadScheme::CxlIoDirect};
 
     header("Fig. 11c", "sustained launches/sec vs stream count");
     std::printf("  %-12s", "streams");
     for (unsigned s : stream_counts)
         std::printf(" %9u", s);
     std::printf("\n");
-    for (auto scheme : {OffloadScheme::M2Func, OffloadScheme::CxlIoRingBuffer,
-                        OffloadScheme::CxlIoDirect}) {
-        std::printf("  %-12s", offloadSchemeName(scheme));
-        for (unsigned s : stream_counts)
-            std::printf(" %8.2fM", measure(scheme, s, total) / 1e6);
+    // The full scheme x stream-count grid is 15 independent sims: run
+    // them one per core and print in grid order.
+    constexpr std::size_t kCols = std::size(stream_counts);
+    auto grid = sweepParallel(
+        std::size(schemes) * kCols, args.sweepThreads(),
+        [&](std::size_t i) {
+            return measure(schemes[i / kCols], stream_counts[i % kCols],
+                           total);
+        });
+    for (std::size_t r = 0; r < std::size(schemes); ++r) {
+        std::printf("  %-12s", offloadSchemeName(schemes[r]));
+        for (std::size_t c = 0; c < kCols; ++c)
+            std::printf(" %8.2fM", grid[r * kCols + c] / 1e6);
         std::printf("\n");
     }
     note("M2func scales with streams; direct-MMIO serializes (Fig. 11a)");

@@ -30,6 +30,7 @@ main(int argc, char **argv)
         for (unsigned d : {1u, 2u, 4u, 8u}) {
             SystemConfig sc = tableIvSystem();
             sc.num_devices = d;
+            sc.threads = args.threads; // partitioned engine: 0 = auto
             System sys(sc);
             auto &proc = sys.createProcess();
             auto rt = sys.createRuntime(proc);
@@ -57,6 +58,7 @@ main(int argc, char **argv)
         for (unsigned d : {1u, 2u, 4u, 8u}) {
             SystemConfig sc = tableIvSystem();
             sc.num_devices = d;
+            sc.threads = args.threads; // partitioned engine: 0 = auto
             System sys(sc);
             auto &proc = sys.createProcess();
             auto rt = sys.createRuntime(proc);

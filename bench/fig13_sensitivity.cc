@@ -57,11 +57,19 @@ main(int argc, char **argv)
     std::uint64_t elems = static_cast<std::uint64_t>(1e6 * args.scale);
     std::uint64_t rows = static_cast<std::uint64_t>(1e6 * args.scale);
 
+    // All sweep points are independent single-device simulations; run
+    // them one per core (results identical to the serial sweep).
+    const unsigned sweep_threads = args.sweepThreads();
+
     header("Fig. 13a", "NDP frequency sensitivity (OLAP Q6 Evaluate, "
                        "memory-bound)");
-    Tick t2 = runOlapWith(2.0, rows);
-    Tick t1 = runOlapWith(1.0, rows);
-    Tick t3 = runOlapWith(3.0, rows);
+    const double kFreqs[] = {2.0, 1.0, 3.0};
+    auto olap = sweepParallel(3, sweep_threads, [&](std::size_t i) {
+        return runOlapWith(kFreqs[i], rows);
+    });
+    Tick t2 = olap[0];
+    Tick t1 = olap[1];
+    Tick t3 = olap[2];
     row("1 GHz vs 2 GHz runtime", static_cast<double>(t1) / t2, "x", 1.10);
     row("3 GHz vs 2 GHz runtime", static_cast<double>(t3) / t2, "x", 0.975);
     note("memory-BW bound: frequency barely matters beyond 2 GHz");
@@ -72,7 +80,12 @@ main(int argc, char **argv)
     GpuWorkloadDesc d;
     d.bytes_read = elems * 4;
     d.coalescing = 1.0;
-    Tick m2 = runHistoWith(2.0, 0.0, elems);
+    // Histogram sweep, shared by 13a (clean run) and 13b (dirty ratios).
+    const double kDirty[] = {0.0, 0.2, 0.4, 0.8};
+    auto histo = sweepParallel(4, sweep_threads, [&](std::size_t i) {
+        return runHistoWith(2.0, kDirty[i], elems);
+    });
+    Tick m2 = histo[0];
     double base150 = 0;
     for (auto [ltu, paper] : {std::pair<Tick, double>{150 * kNs, 1.0},
                               {300 * kNs, 2.06},
@@ -94,15 +107,15 @@ main(int argc, char **argv)
          "(growth 1x / 2.06x / 3.05x)");
 
     header("Fig. 13b", "dirty host cache: normalized runtime");
-    Tick clean = runHistoWith(2.0, 0.0, elems);
-    for (auto [ratio, paper] : {std::pair<double, double>{0.2, 0.969},
-                                {0.4, 0.872},
-                                {0.8, 0.735}}) {
-        Tick dirty = runHistoWith(2.0, ratio, elems);
+    Tick clean = histo[0];
+    const double kPaper13b[] = {0.969, 0.872, 0.735};
+    for (std::size_t i = 1; i < 4; ++i) {
+        Tick dirty = histo[i];
         char label[64];
         std::snprintf(label, sizeof(label), "clean/dirty @ %.0f%% dirty",
-                      ratio * 100);
-        row(label, static_cast<double>(clean) / dirty, "x", paper);
+                      kDirty[i] * 100);
+        row(label, static_cast<double>(clean) / dirty, "x",
+            kPaper13b[i - 1]);
     }
     note("paper shows normalized performance 0.969/0.872/0.735 (limit "
          "study; BI latency largely hidden by FGMT)");

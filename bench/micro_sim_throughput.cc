@@ -42,11 +42,14 @@
 // Counting operator new (common/counting_new.hh): measures allocations
 // per simulated instruction on the end-to-end path (zero-allocation
 // access-path tracking).
+#include <thread>
+
 #include "common/counting_new.hh"
 #include "common/hotpath_timer.hh"
 #include "ndp/tlb.hh"
 #include "sim/event_queue.hh"
 #include "system/system.hh"
+#include "workloads/opt.hh"
 
 namespace m2ndp {
 namespace {
@@ -347,6 +350,79 @@ runFaultMode(unsigned streams, std::uint64_t launches)
     return r;
 }
 
+// ---------------------------------------------------------------------
+// Parallel-engine section: Fig. 12b's 8-device OPT-30B shard on the
+// partitioned engine, serial vs multithreaded. Both runs must produce
+// the *same* engine checksum and final sim time — the conservative
+// lookahead protocol guarantees bit-exact schedules regardless of the
+// thread count — so checksums_match gates strictly while the speedup is
+// a wall-clock metric (25% tolerance; ~1.0 on a single-core host, where
+// the run still exercises the full cross-thread machinery with one
+// executor).
+// ---------------------------------------------------------------------
+
+struct ParallelScalingResult
+{
+    unsigned devices = 0;
+    unsigned threads = 0; ///< worker threads of the parallel run
+    double serial_wall = 0.0;
+    double parallel_wall = 0.0;
+    bool checksums_match = false;
+    std::uint64_t serial_checksum = 0;
+    std::uint64_t parallel_checksum = 0;
+};
+
+ParallelScalingResult
+runParallelScaling()
+{
+    constexpr unsigned kDevices = 8;
+
+    auto run = [](unsigned threads, std::uint64_t &checksum,
+                  Tick &final_now) {
+        SystemConfig cfg;
+        cfg.link = SystemConfig::linkForLoadToUse(150 * kNs);
+        cfg.num_devices = kDevices;
+        cfg.threads = threads;
+        System sys(cfg);
+        auto &proc = sys.createProcess();
+        auto rt = sys.createRuntime(proc);
+        workloads::OptConfig oc;
+        oc.model = workloads::OptModel::opt30b();
+        oc.sim_hidden = 256;
+        oc.sim_layers = 1;
+        oc.devices = kDevices;
+        workloads::OptWorkload w(sys, proc, oc);
+        w.setup();
+        auto t0 = std::chrono::steady_clock::now();
+        w.runNdp(*rt);
+        auto t1 = std::chrono::steady_clock::now();
+        checksum = sys.engineChecksum();
+        final_now = sys.eq().now();
+        return std::chrono::duration<double>(t1 - t0).count();
+    };
+
+    ParallelScalingResult r;
+    r.devices = kDevices;
+    unsigned hw = std::thread::hardware_concurrency();
+    r.threads = std::min(8u, hw != 0 ? hw : 1u);
+
+    // Median-of-three walls per mode; the checksums must be identical
+    // across every run, so the last pair is as good as any.
+    Tick now_s = 0, now_p = 0;
+    double sw[3], pw[3];
+    for (int i = 0; i < 3; ++i) {
+        sw[i] = run(1, r.serial_checksum, now_s);
+        pw[i] = run(r.threads, r.parallel_checksum, now_p);
+    }
+    std::sort(sw, sw + 3);
+    std::sort(pw, pw + 3);
+    r.serial_wall = sw[1];
+    r.parallel_wall = pw[1];
+    r.checksums_match =
+        r.serial_checksum == r.parallel_checksum && now_s == now_p;
+    return r;
+}
+
 EndToEndResult
 runEndToEnd(unsigned elems)
 {
@@ -374,7 +450,7 @@ runEndToEnd(unsigned elems)
 
     Tick sim0 = sys.eq().now();
     std::uint64_t alloc0 = allocationCount();
-    std::uint64_t events0 = sys.eq().scheduledTotal();
+    std::uint64_t events0 = sys.totalEventsScheduled();
     auto t0 = std::chrono::steady_clock::now();
     rt->launchKernelSync(
         LaunchDesc(kid, a, a + elems * 4).arg(b).arg(c));
@@ -388,7 +464,7 @@ runEndToEnd(unsigned elems)
     r.units = stats;
     r.sim_seconds = ticksToSeconds(sys.eq().now() - sim0);
     r.heap_allocs = allocationCount() - alloc0;
-    r.events_scheduled = sys.eq().scheduledTotal() - events0;
+    r.events_scheduled = sys.totalEventsScheduled() - events0;
     for (unsigned u = 0; u < sys.device().config().num_units; ++u) {
         const TlbStats &s = sys.device().unit(u).dtlbStats();
         r.dtlb.hits += s.hits;
@@ -470,6 +546,12 @@ main(int argc, char **argv)
                                static_cast<double>(fm.launches)
                          : 0.0;
 
+    // Parallel scaling (wall-clock; checksums deterministic).
+    ParallelScalingResult ps = runParallelScaling();
+    double ps_speedup = ps.parallel_wall > 0.0
+                            ? ps.serial_wall / ps.parallel_wall
+                            : 0.0;
+
     // End-to-end: median of three runs by wall time (the host box may be
     // shared; a single run is too noisy to gate regressions on). The
     // MemPacket pool is process-global, so the later runs also measure
@@ -519,7 +601,7 @@ main(int argc, char **argv)
                             static_cast<double>(u.bursts)
                       : 0.0;
 
-    char json[6144];
+    char json[8192];
     std::snprintf(
         json, sizeof(json),
         "{\n"
@@ -550,6 +632,15 @@ main(int argc, char **argv)
         "    \"link_retries_per_launch\": %.4f,\n"
         "    \"stream_relaunches\": %llu,\n"
         "    \"sim_seconds\": %.9f\n"
+        "  },\n"
+        "  \"parallel\": {\n"
+        "    \"workload\": \"opt30b_8dev\",\n"
+        "    \"devices\": %u,\n"
+        "    \"threads\": %u,\n"
+        "    \"serial_wall_seconds\": %.6f,\n"
+        "    \"parallel_wall_seconds\": %.6f,\n"
+        "    \"speedup_vs_serial\": %.3f,\n"
+        "    \"checksums_match\": %s\n"
         "  },\n"
         "  \"end_to_end\": {\n"
         "    \"workload\": \"vecadd_%u\",\n"
@@ -593,7 +684,8 @@ main(int argc, char **argv)
         static_cast<unsigned long long>(fm.link_retries),
         fm_retries_per_launch,
         static_cast<unsigned long long>(fm.relaunches), fm.sim_seconds,
-        elems,
+        ps.devices, ps.threads, ps.serial_wall, ps.parallel_wall,
+        ps_speedup, ps.checksums_match ? "true" : "false", elems,
         static_cast<unsigned long long>(e2e.instructions),
         static_cast<unsigned long long>(e2e.uthreads), e2e.wall_seconds,
         ips, e2e.sim_seconds, e2e.sim_seconds / e2e.wall_seconds,
@@ -633,6 +725,16 @@ main(int argc, char **argv)
                      "%llx)\n",
                      static_cast<unsigned long long>(legacy.checksum),
                      static_cast<unsigned long long>(fresh.checksum));
+        return 1;
+    }
+    if (!ps.checksums_match) {
+        std::fprintf(
+            stderr,
+            "FAIL: parallel engine checksum mismatch (serial %llx, "
+            "threads=%u %llx)\n",
+            static_cast<unsigned long long>(ps.serial_checksum),
+            ps.threads,
+            static_cast<unsigned long long>(ps.parallel_checksum));
         return 1;
     }
     return 0;

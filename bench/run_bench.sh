@@ -49,6 +49,14 @@ if bd:
           "functional %.1f%% | other %.1f%% (instrumented e2e, %.3fs)"
           % (bd["issue_pct"], bd["fill_pct"], bd["functional_pct"],
              other, bd["wall_seconds"]))
+ps = doc.get("parallel")
+if ps:
+    print("parallel engine (%s, %d devices): serial %.3fs | threads=%d "
+          "%.3fs | speedup %.2fx | checksums %s"
+          % (ps["workload"], ps["devices"], ps["serial_wall_seconds"],
+             ps["threads"], ps["parallel_wall_seconds"],
+             ps["speedup_vs_serial"],
+             "match" if ps["checksums_match"] else "MISMATCH"))
 fm = doc.get("fault_mode")
 if fm:
     print("fault mode (BER %g, fixed seed): completed %.1f%% of %d "

@@ -14,6 +14,10 @@ Fails (exit 1) when, relative to the committed baseline,
     fault_mode.link_retries_per_launch rises, by more than its tolerance
     (both come from a deterministic fault-injection run at a fixed seed
     and 1e-4 bit-error rate; see docs/robustness.md), or
+  - parallel.speedup_vs_serial drops by more than the wall-clock
+    tolerance, or parallel.checksums_match flips to false (the
+    multithreaded partitioned engine must replay the serial schedule
+    bit-exactly), or
   - engine.checksums_match is false in the new result.
 
 A gated metric missing from the baseline (e.g. the first run after the
@@ -49,6 +53,14 @@ GATED_PATHS = {
     # CRC faults) and the replay count per launch must not creep up.
     "fault_mode.completed_launch_ratio": ("higher", "det"),
     "fault_mode.link_retries_per_launch": ("lower", "det"),
+    # Partitioned parallel engine (8-device OPT-30B shard). The speedup is
+    # host wall-clock — ~1.0 on a single-core runner, >1 with real cores —
+    # while checksums_match is an exact determinism invariant: serial and
+    # multithreaded runs must produce bit-identical schedules. Booleans
+    # gate through the same machinery (true=1, false=0, so any flip to
+    # false is a 100% regression).
+    "parallel.speedup_vs_serial": ("higher", "wall"),
+    "parallel.checksums_match": ("higher", "det"),
 }
 
 DETERMINISTIC_TOLERANCE = 0.10
@@ -88,6 +100,13 @@ def main():
     if not new["engine"]["checksums_match"]:
         failures.append("engine.checksums_match is false: the event engine "
                         "diverged from the reference implementation")
+    # Hard determinism gate, independent of the baseline: a parallel run
+    # whose checksum diverges from the serial one is wrong even on the
+    # very first run after the metric was introduced.
+    if not new.get("parallel", {}).get("checksums_match", True):
+        failures.append("parallel.checksums_match is false: the "
+                        "multithreaded engine diverged from the serial "
+                        "schedule")
 
     new_m = gated_metrics(new)
     base_m = gated_metrics(base)

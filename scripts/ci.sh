@@ -1,20 +1,24 @@
 #!/usr/bin/env bash
 # One-command CI gate: configure + build + ctest + benchmark-regression
 # gate, then a sanitizer smoke pass (-DSANITIZE=address,undefined) over the
-# stream-API tests and the full-stack quickstart example.
+# stream-API tests and the full-stack quickstart example, and a
+# ThreadSanitizer smoke pass over the multithreaded partitioned-engine
+# tests (-DSANITIZE=thread, M2NDP_THREADS=2).
 #
 # Usage: scripts/ci.sh [--no-sanitize] [--no-bench]
-#   --no-sanitize  skip the AddressSanitizer/UBSan smoke tree
+#   --no-sanitize  skip the sanitizer smoke trees (ASan/UBSan and TSan)
 #   --no-bench     skip the bench/run_bench.sh perf gate
 #
 # Environment:
 #   BUILD_DIR           main build tree     (default: <repo>/build)
 #   SANITIZE_BUILD_DIR  sanitizer tree      (default: <repo>/build-sanitize)
+#   TSAN_BUILD_DIR      TSan tree           (default: <repo>/build-tsan)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${BUILD_DIR:-$repo_root/build}"
 san_dir="${SANITIZE_BUILD_DIR:-$repo_root/build-sanitize}"
+tsan_dir="${TSAN_BUILD_DIR:-$repo_root/build-tsan}"
 
 run_sanitize=1
 run_bench=1
@@ -61,6 +65,21 @@ if [[ "$run_sanitize" == 1 ]]; then
         smoke_filter='smoke_quickstart'
     fi
     ctest --test-dir "$san_dir" --output-on-failure -R "$smoke_filter"
+
+    echo "==> ThreadSanitizer smoke (-DSANITIZE=thread, M2NDP_THREADS=2)"
+    # The partitioned engine runs one executor thread per expander; TSan
+    # over the integration + fault suites with 2 worker threads covers
+    # the mailbox handoff, barrier, and the shared pool/memory paths.
+    cmake -B "$tsan_dir" -S "$repo_root" -DSANITIZE=thread
+    if ctest --test-dir "$tsan_dir" -N -R '^test_integration$' |
+        grep -q 'Total Tests: 1'; then
+        cmake --build "$tsan_dir" -j "$jobs" --target test_integration
+        cmake --build "$tsan_dir" -j "$jobs" --target test_faults
+        M2NDP_THREADS=2 ctest --test-dir "$tsan_dir" --output-on-failure \
+            -R 'test_integration|test_faults'
+    else
+        echo "note: GTest unavailable; skipping TSan smoke"
+    fi
 fi
 
 echo "ci.sh: all gates passed"

@@ -14,17 +14,22 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <new>
 
 namespace m2ndp {
 
-/** Total operator-new invocations in this binary (monotonic). */
-inline std::uint64_t &
+/**
+ * Total operator-new invocations in this binary (monotonic). Atomic so
+ * executor threads of the partitioned engine can allocate concurrently;
+ * relaxed increments — the count is a metric, not a synchronizer.
+ */
+inline std::atomic<std::uint64_t> &
 allocationCount()
 {
-    static std::uint64_t count = 0;
+    static std::atomic<std::uint64_t> count{0};
     return count;
 }
 
@@ -33,7 +38,7 @@ allocationCount()
 void *
 operator new(std::size_t size)
 {
-    ++m2ndp::allocationCount();
+    m2ndp::allocationCount().fetch_add(1, std::memory_order_relaxed);
     if (void *p = std::malloc(size))
         return p;
     throw std::bad_alloc();
@@ -48,7 +53,7 @@ operator new[](std::size_t size)
 void *
 operator new(std::size_t size, std::align_val_t align)
 {
-    ++m2ndp::allocationCount();
+    m2ndp::allocationCount().fetch_add(1, std::memory_order_relaxed);
     std::size_t a = static_cast<std::size_t>(align);
     if (void *p = std::aligned_alloc(a, (size + a - 1) & ~(a - 1)))
         return p;

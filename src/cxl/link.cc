@@ -2,14 +2,16 @@
 
 #include <algorithm>
 
+#include "common/rng.hh"
+
 namespace m2ndp {
 
 Tick
 CxlDirection::send(std::uint32_t bytes)
 {
     Tick penalty = 0;
-    if (link_->faultsArmed()) [[unlikely]]
-        penalty = link_->injectOnMessage(eq_.now(), bytes);
+    if (faults_armed_) [[unlikely]]
+        penalty = injector_.onMessage(bytes);
     Tick ser = serializationTicks(bytes, cfg_.bandwidth_gbps);
     Tick start = std::max(eq_.now(), link_free_);
     // A link-layer replay (LRSM) blocks the direction until the flit
@@ -23,6 +25,33 @@ CxlDirection::send(std::uint32_t bytes)
     stats_.bytes += bytes;
     stats_.queueing += start - eq_.now();
     return done + cfg_.oneway_latency;
+}
+
+FaultConfig
+CxlLink::deriveFault(FaultConfig fc, std::uint64_t salt)
+{
+    fc.seed = SplitMix64(fc.seed ^ salt).next();
+    return fc;
+}
+
+void
+CxlLink::forceLinkDown()
+{
+    forceLinkDown(down_.eq_.now());
+}
+
+FaultStats
+CxlLink::faultStats() const
+{
+    const FaultStats &d = down_.injector().stats();
+    const FaultStats &u = up_.injector().stats();
+    FaultStats s;
+    s.messages_checked = d.messages_checked + u.messages_checked;
+    s.crc_replays = d.crc_replays + u.crc_replays;
+    s.dropped_flits = d.dropped_flits + u.dropped_flits;
+    s.replay_ticks = d.replay_ticks + u.replay_ticks;
+    s.link_down_events = forced_ || fault_cfg_.link_down_at != 0 ? 1 : 0;
+    return s;
 }
 
 } // namespace m2ndp

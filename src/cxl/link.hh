@@ -16,6 +16,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "common/units.hh"
@@ -46,13 +47,17 @@ struct CxlDirStats
 /**
  * One direction of a CXL link: fixed latency + serialization at the link
  * rate. Delivery returns the arrival tick; callers schedule their own
- * continuation.
+ * continuation. Each direction books time on the queue of the partition
+ * that *sends* on it and owns its own fault injector, so the fault
+ * schedule is a pure function of (direction seed, per-direction message
+ * sequence) — thread-count independent under partitioned simulation.
  */
 class CxlDirection
 {
   public:
-    CxlDirection(EventQueue &eq, const CxlLinkConfig &cfg, CxlLink *link)
-        : eq_(eq), cfg_(cfg), link_(link)
+    CxlDirection(EventQueue &eq, const CxlLinkConfig &cfg, FaultConfig fault)
+        : eq_(eq), cfg_(cfg), injector_(fault),
+          faults_armed_(injector_.armed())
     {
     }
 
@@ -60,11 +65,15 @@ class CxlDirection
     Tick send(std::uint32_t bytes);
 
     const CxlDirStats &stats() const { return stats_; }
+    const FaultInjector &injector() const { return injector_; }
 
   private:
+    friend class CxlLink;
+
     EventQueue &eq_;
     const CxlLinkConfig &cfg_;
-    CxlLink *link_; ///< owning link, consulted for fault injection
+    FaultInjector injector_;
+    bool faults_armed_ = false;
     Tick link_free_ = 0;
     CxlDirStats stats_;
 };
@@ -73,9 +82,23 @@ class CxlDirection
 class CxlLink
 {
   public:
-    CxlLink(EventQueue &eq, CxlLinkConfig cfg = {}, FaultConfig fault = {})
-        : cfg_(cfg), down_(eq, cfg_, this), up_(eq, cfg_, this),
-          injector_(fault), faults_armed_(injector_.armed())
+    /**
+     * Partitioned form: the host->device direction is sender-clocked on
+     * @p host_eq, the device->host direction on @p dev_eq. Each gets an
+     * independent injector seed derived from the base seed.
+     */
+    CxlLink(EventQueue &host_eq, EventQueue &dev_eq, CxlLinkConfig cfg = {},
+            FaultConfig fault = {})
+        : cfg_(cfg), down_(host_eq, cfg_, deriveFault(fault, 0xD0F7u)),
+          up_(dev_eq, cfg_, deriveFault(fault, 0x09B1u)),
+          fault_cfg_(fault)
+    {
+    }
+
+    /** Single-queue form (raw benches, unit tests). */
+    explicit CxlLink(EventQueue &eq, CxlLinkConfig cfg = {},
+                     FaultConfig fault = {})
+        : CxlLink(eq, eq, cfg, fault)
     {
     }
 
@@ -88,33 +111,51 @@ class CxlLink
 
     // ---- fault injection (zero-cost when not armed) ----
 
-    /** True when the injector can fire (single predictable branch). */
-    bool faultsArmed() const { return faults_armed_; }
-
-    /** Permanent link failure: the device behind it is unreachable. */
-    bool isDown() const { return down_flag_; }
-
-    /** Force the link down now (tests, external supervision). */
-    void
-    forceLinkDown()
+    /**
+     * Permanent link failure: the device behind it is unreachable at or
+     * after tick @p t. A pure function of time — never of traffic — so
+     * host- and device-side observers at different partition clocks agree
+     * on exactly when the link died, independent of thread count.
+     */
+    bool
+    isDownAt(Tick t) const
     {
-        if (!down_flag_) {
-            down_flag_ = true;
-            injector_.noteLinkDown();
+        return (fault_cfg_.link_down_at != 0 &&
+                t >= fault_cfg_.link_down_at) ||
+               (forced_ && t >= forced_at_);
+    }
+
+    /** Tick the link went (or will go) down; kTickMax when healthy. */
+    Tick
+    downAt() const
+    {
+        Tick at = kTickMax;
+        if (fault_cfg_.link_down_at != 0)
+            at = fault_cfg_.link_down_at;
+        if (forced_)
+            at = std::min(at, forced_at_);
+        return at;
+    }
+
+    /**
+     * Force the link down at @p at (tests, external supervision). Called
+     * from non-event user code with all partitions parked.
+     */
+    void
+    forceLinkDown(Tick at)
+    {
+        if (!forced_) {
+            forced_ = true;
+            forced_at_ = at;
         }
     }
 
-    /** Per-message fault roll; called by the directions when armed. */
-    Tick
-    injectOnMessage(Tick now, std::uint32_t bytes)
-    {
-        if (!down_flag_ && injector_.shouldGoDown(now))
-            forceLinkDown();
-        return injector_.onMessage(bytes);
-    }
+    /** Force the link down at the host-side clock's current tick. */
+    void forceLinkDown();
 
-    const FaultStats &faultStats() const { return injector_.stats(); }
-    const FaultConfig &faultConfig() const { return injector_.config(); }
+    /** Merged both-direction fault counters (bit-exact per seed). */
+    FaultStats faultStats() const;
+    const FaultConfig &faultConfig() const { return fault_cfg_; }
 
     /** Bytes on the wire for a read request (header only). */
     std::uint32_t readReqBytes() const { return cfg_.req_header_bytes; }
@@ -134,12 +175,15 @@ class CxlLink
     std::uint32_t ndrBytes() const { return cfg_.req_header_bytes; }
 
   private:
+    /** Derive an independent per-direction injector seed. */
+    static FaultConfig deriveFault(FaultConfig fc, std::uint64_t salt);
+
     CxlLinkConfig cfg_;
     CxlDirection down_;
     CxlDirection up_;
-    FaultInjector injector_;
-    bool faults_armed_ = false;
-    bool down_flag_ = false;
+    FaultConfig fault_cfg_;
+    bool forced_ = false;  ///< forceLinkDown called
+    Tick forced_at_ = 0;   ///< tick of the forced failure
 };
 
 /**

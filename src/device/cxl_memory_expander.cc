@@ -7,7 +7,7 @@
 namespace m2ndp {
 
 // Temporary path-latency breakdown instrumentation (debug builds of tools).
-PathDebugCounters g_path_debug;
+thread_local PathDebugCounters g_path_debug;
 
 /** MemPort adapter feeding the shared DRAM device from the L2 slices. */
 class CxlMemoryExpander::DramPort : public MemPort

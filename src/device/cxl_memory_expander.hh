@@ -88,7 +88,11 @@ struct DeviceConfig
     bool dram_tlb_warm = true;
 };
 
-/** Temporary path-latency breakdown (for debugging tools). */
+/**
+ * Temporary path-latency breakdown (for debugging tools). Thread-local:
+ * each device partition's executor accumulates into its own copy, so the
+ * hot-path increments stay race-free under partitioned simulation.
+ */
 struct PathDebugCounters
 {
     std::uint64_t n = 0;
@@ -99,7 +103,7 @@ struct PathDebugCounters
     std::uint64_t dram = 0;
     std::uint64_t ndram = 0;
 };
-extern PathDebugCounters g_path_debug;
+extern thread_local PathDebugCounters g_path_debug;
 
 /** Device statistics snapshot. */
 struct DeviceStats

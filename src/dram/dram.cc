@@ -103,23 +103,13 @@ DramAddressMap::decode(Addr local_addr) const
 
 DramChannel::DramChannel(EventQueue &eq, const DramTiming &timing,
                          unsigned index)
-    : eq_(eq), timing_(timing), index_(index), banks_(timing.banks),
-      completer_(eq, [this] { completeReady(); })
+    : eq_(eq), timing_(timing), index_(index), banks_(timing.banks)
 {
-    // Outstanding bookings are bounded by upstream MSHR capacity; reserve
-    // past that so the steady state never grows the vector.
-    ready_.reserve(512);
 }
 
-DramChannel::~DramChannel()
-{
-    for (auto &e : ready_)
-        MemPacketPool::release(e.pkt);
-}
-
-void
-DramChannel::enqueue(MemPacketPtr pkt, unsigned bank_idx, std::uint64_t row,
-                     Tick at)
+Tick
+DramChannel::book(const MemPacket &pkt, unsigned bank_idx, std::uint64_t row,
+                  Tick at)
 {
     // Immediate FCFS-at-arrival booking: the request is committed to
     // the bank state machine right away, with its logical arrival tick as
@@ -176,51 +166,31 @@ DramChannel::enqueue(MemPacketPtr pkt, unsigned bank_idx, std::uint64_t row,
     bank.col_ready = col_at + cycles(timing_.n_ccd);
     stats_.busy_ticks += cycles(timing_.burst_cycles);
 
-    if (pkt->op == MemOp::Write)
+    if (pkt.op == MemOp::Write)
         ++stats_.writes;
     else
         ++stats_.reads;
-    stats_.bytes += pkt->size;
-
-    // Posted traffic (writebacks, fire-and-forget writes) carries no
-    // completion work at all: recycle the packet without an event.
-    if (!pkt->onComplete && pkt->num_stages == 0)
-        return;
-
-    // Batched completion: park the access on the ready-heap and let one
-    // Ticker drain everything whose data tick has arrived — completions
-    // landing on the same (channel, tick) coalesce into a single event
-    // instead of one event per access.
-    ready_.push_back(ReadyEntry{pkt.release(), done, ready_seq_++});
-    std::push_heap(ready_.begin(), ready_.end(), readyAfter);
-    completer_.armAt(done);
-}
-
-void
-DramChannel::completeReady()
-{
-    const Tick now = eq_.now();
-    // Pop due entries in (when, seq) order: deterministic, time-ordered.
-    // Completion callbacks can re-enter enqueue() (upstream fill -> retry
-    // -> new booking), so re-check the heap top each iteration.
-    while (!ready_.empty() && ready_.front().when <= now) {
-        std::pop_heap(ready_.begin(), ready_.end(), readyAfter);
-        ReadyEntry e = ready_.back();
-        ready_.pop_back();
-        MemPacketPtr pkt(e.pkt);
-        pkt->complete(e.when);
-    }
-    if (!ready_.empty())
-        completer_.armAt(ready_.front().when);
+    stats_.bytes += pkt.size;
+    return done;
 }
 
 DramDevice::DramDevice(EventQueue &eq, const DramTiming &timing,
                        unsigned channels, std::uint64_t interleave_bytes)
-    : eq_(eq), timing_(timing), map_(channels, timing, interleave_bytes)
+    : eq_(eq), timing_(timing), map_(channels, timing, interleave_bytes),
+      completer_(eq, [this] { completeReady(); })
 {
     channels_.reserve(channels);
     for (unsigned i = 0; i < channels; ++i)
         channels_.push_back(std::make_unique<DramChannel>(eq, timing, i));
+    // Outstanding bookings are bounded by upstream MSHR capacity; reserve
+    // past that so the steady state never grows the vector.
+    ready_.reserve(512 * channels);
+}
+
+DramDevice::~DramDevice()
+{
+    for (auto &e : ready_)
+        MemPacketPool::release(e.pkt);
 }
 
 void
@@ -233,8 +203,39 @@ void
 DramDevice::receiveAt(MemPacketPtr pkt, Tick at)
 {
     auto coords = map_.decode(pkt->addr);
-    channels_[coords.channel]->enqueue(std::move(pkt), coords.bank,
-                                       coords.row, at);
+    Tick done = channels_[coords.channel]->book(*pkt, coords.bank,
+                                                coords.row, at);
+
+    // Posted traffic (writebacks, fire-and-forget writes) carries no
+    // completion work at all: recycle the packet without an event.
+    if (!pkt->onComplete && pkt->num_stages == 0)
+        return;
+
+    // Batched completion: park the access on the device-level ready-heap
+    // and let one Ticker drain everything whose data tick has arrived —
+    // same-tick completions coalesce into a single event even across
+    // channels (previously each of the 32 channels armed its own ticker).
+    ready_.push_back(ReadyEntry{pkt.release(), done, ready_seq_++});
+    std::push_heap(ready_.begin(), ready_.end(), readyAfter);
+    completer_.armAt(done);
+}
+
+void
+DramDevice::completeReady()
+{
+    const Tick now = eq_.now();
+    // Pop due entries in (when, seq) order: deterministic, time-ordered.
+    // Completion callbacks can re-enter receiveAt() (upstream fill ->
+    // retry -> new booking), so re-check the heap top each iteration.
+    while (!ready_.empty() && ready_.front().when <= now) {
+        std::pop_heap(ready_.begin(), ready_.end(), readyAfter);
+        ReadyEntry e = ready_.back();
+        ready_.pop_back();
+        MemPacketPtr pkt(e.pkt);
+        pkt->complete(e.when);
+    }
+    if (!ready_.empty())
+        completer_.armAt(ready_.front().when);
 }
 
 unsigned

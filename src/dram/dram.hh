@@ -101,30 +101,78 @@ class DramAddressMap
     std::uint64_t blocks_per_row_;
 };
 
-/** One DRAM channel: request queue + bank timing + data bus. */
+/** One DRAM channel: bank timing state machines + data bus token clock. */
 class DramChannel
 {
   public:
     DramChannel(EventQueue &eq, const DramTiming &timing, unsigned index);
-
-    /** Releases packets still parked in the completion ready-list. */
-    ~DramChannel();
 
     /**
      * Book an access decoded to this channel, logically arriving at
      * @p at (>= now; fused upstream stages push early). Booking happens
      * immediately — the bank state machine and bus token clock advance
      * with the arrival tick as a floor, so no scheduler event is needed
-     * to make sim-time catch up first (the next-free-tick pattern). Only
-     * the data-tick completion is an event, and completions landing on
-     * the same (channel, tick) share one.
+     * to make sim-time catch up first (the next-free-tick pattern).
+     * Pure timing + stats: @return the access's data tick; the owning
+     * DramDevice parks any completion on its device-level drain heap.
      */
-    void enqueue(MemPacketPtr pkt, unsigned bank, std::uint64_t row,
-                 Tick at);
+    Tick book(const MemPacket &pkt, unsigned bank, std::uint64_t row,
+              Tick at);
 
     const DramStats &stats() const { return stats_; }
-    /** Accesses booked but not yet completed. */
-    std::size_t queueDepth() const { return ready_.size(); }
+
+  private:
+    struct BankState
+    {
+        bool row_open = false;
+        std::uint64_t open_row = 0;
+        Tick next_act = 0;  ///< earliest next ACT (tRC from last ACT)
+        Tick col_ready = 0; ///< earliest column command to the open row
+    };
+
+    Tick cycles(unsigned n) const { return static_cast<Tick>(n) * timing_.tck; }
+
+    EventQueue &eq_;
+    DramTiming timing_;
+    unsigned index_;
+    std::vector<BankState> banks_;
+    Tick next_col_ = 0; ///< tCCD spacing between column commands
+    DramStats stats_;
+};
+
+/**
+ * A multi-channel DRAM device (the media behind one CXL expander, or the
+ * local memory of a host model).
+ */
+class DramDevice : public MemPort
+{
+  public:
+    DramDevice(EventQueue &eq, const DramTiming &timing, unsigned channels,
+               std::uint64_t interleave_bytes = 256);
+
+    /** Releases packets still parked in the completion ready-heap. */
+    ~DramDevice();
+
+    /** MemPort: route the packet to its channel. */
+    void receive(MemPacketPtr pkt) override;
+
+    /** Fused delivery: logical arrival at @p at (>= now). */
+    void receiveAt(MemPacketPtr pkt, Tick at) override;
+
+    /** Which channel an address maps to (for L2-slice placement). */
+    unsigned channelOf(Addr local_addr) const;
+
+    DramStats totalStats() const;
+    const DramChannel &channel(unsigned i) const { return *channels_[i]; }
+    unsigned numChannels() const { return static_cast<unsigned>(channels_.size()); }
+
+    /** Accesses booked but not yet completed (across all channels). */
+    std::size_t pendingCompletions() const { return ready_.size(); }
+
+    /** Peak bandwidth in bytes/second across all channels. */
+    double peakBandwidth() const;
+
+    const DramTiming &timing() const { return timing_; }
 
   private:
     /** One booked access awaiting its data tick (batched completion). */
@@ -142,69 +190,25 @@ class DramChannel
         return a.when != b.when ? a.when > b.when : a.seq > b.seq;
     }
 
-    struct BankState
-    {
-        bool row_open = false;
-        std::uint64_t open_row = 0;
-        Tick next_act = 0;  ///< earliest next ACT (tRC from last ACT)
-        Tick col_ready = 0; ///< earliest column command to the open row
-    };
-
     /** Drain booked accesses whose data tick has been reached. */
     void completeReady();
-    Tick cycles(unsigned n) const { return static_cast<Tick>(n) * timing_.tck; }
 
-    EventQueue &eq_;
-    DramTiming timing_;
-    unsigned index_;
-    std::vector<BankState> banks_;
-    Tick next_col_ = 0; ///< tCCD spacing between column commands
-    /**
-     * Booked accesses waiting for their data tick, as a min-heap on
-     * (when, seq). One Ticker drains everything due: completions landing
-     * on the same (channel, tick) share a single event instead of one
-     * event per access, and each drain pops only the due entries instead
-     * of rescanning the whole list.
-     */
-    std::vector<ReadyEntry> ready_;
-    std::uint64_t ready_seq_ = 0;
-    Ticker completer_;
-    DramStats stats_;
-};
-
-/**
- * A multi-channel DRAM device (the media behind one CXL expander, or the
- * local memory of a host model).
- */
-class DramDevice : public MemPort
-{
-  public:
-    DramDevice(EventQueue &eq, const DramTiming &timing, unsigned channels,
-               std::uint64_t interleave_bytes = 256);
-
-    /** MemPort: route the packet to its channel. */
-    void receive(MemPacketPtr pkt) override;
-
-    /** Fused delivery: logical arrival at @p at (>= now). */
-    void receiveAt(MemPacketPtr pkt, Tick at) override;
-
-    /** Which channel an address maps to (for L2-slice placement). */
-    unsigned channelOf(Addr local_addr) const;
-
-    DramStats totalStats() const;
-    const DramChannel &channel(unsigned i) const { return *channels_[i]; }
-    unsigned numChannels() const { return static_cast<unsigned>(channels_.size()); }
-
-    /** Peak bandwidth in bytes/second across all channels. */
-    double peakBandwidth() const;
-
-    const DramTiming &timing() const { return timing_; }
-
-  private:
     EventQueue &eq_;
     DramTiming timing_;
     DramAddressMap map_;
     std::vector<std::unique_ptr<DramChannel>> channels_;
+    /**
+     * Booked accesses waiting for their data tick, as one *device-level*
+     * min-heap on (when, seq) drained by one Ticker. Same-tick
+     * completions coalesce into a single event even across channels —
+     * with 32 channels booking in lock-step this replaces 32 concurrent
+     * channel tickers (most of the residual DRAM event cost) with one.
+     * The device-global seq preserves booking order as the tie-break, so
+     * the drain order matches what the per-channel heaps produced.
+     */
+    std::vector<ReadyEntry> ready_;
+    std::uint64_t ready_seq_ = 0;
+    Ticker completer_;
 };
 
 } // namespace m2ndp

@@ -5,8 +5,10 @@
 namespace m2ndp {
 
 HostCxlPort::HostCxlPort(EventQueue &eq, CxlLink &link,
-                         CxlMemoryExpander &dev, HostPortConfig cfg)
-    : eq_(eq), link_(link), dev_(dev), cfg_(cfg)
+                         CxlMemoryExpander &dev, HostPortConfig cfg,
+                         SimDomain *domain, unsigned device_partition)
+    : eq_(eq), dev_eq_(dev.eventQueue()), link_(link), dev_(dev), cfg_(cfg),
+      domain_(domain), dev_pid_(device_partition)
 {
 }
 
@@ -20,18 +22,8 @@ HostCxlPort::allocAccess()
     a->big_data.reset();
     a->done.reset();
     a->failed = false;
+    a->read_out = nullptr;
     return a;
-}
-
-bool
-HostCxlPort::abortIfDown(HostAccess *a)
-{
-    if (!link_.isDown()) [[likely]]
-        return false;
-    a->failed = true;
-    ++stats_.link_aborts;
-    finish(a);
-    return true;
 }
 
 void
@@ -40,6 +32,69 @@ HostCxlPort::releaseAccess(HostAccess *a)
     a->done.reset();
     a->big_data.reset();
     access_pool_.release(a);
+}
+
+bool
+HostCxlPort::abortIfDown(HostAccess *a)
+{
+    if (!link_.isDownAt(eq_.now())) [[likely]]
+        return false;
+    a->failed = true;
+    finish(a);
+    return true;
+}
+
+bool
+HostCxlPort::abortIfDownAtDevice(HostAccess *a)
+{
+    if (!link_.isDownAt(dev_eq_.now())) [[likely]]
+        return false;
+    a->failed = true;
+    postToHost(dev_eq_.now() + link_.config().oneway_latency, a,
+               &HostCxlPort::finish);
+    return true;
+}
+
+void
+HostCxlPort::postToDevice(Tick when, HostAccess *a,
+                          void (HostCxlPort::*stage)(HostAccess *))
+{
+    if (domain_ != nullptr) {
+        domain_->post(SimDomain::kHost, dev_pid_, when,
+                      [a, stage] { (a->port->*stage)(a); });
+    } else {
+        eq_.schedule(when, [a, stage] { (a->port->*stage)(a); });
+    }
+}
+
+void
+HostCxlPort::postToHost(Tick when, HostAccess *a,
+                        void (HostCxlPort::*stage)(HostAccess *))
+{
+    if (domain_ != nullptr) {
+        domain_->post(dev_pid_, SimDomain::kHost, when,
+                      [a, stage] { (a->port->*stage)(a); });
+    } else {
+        eq_.schedule(when, [a, stage] { (a->port->*stage)(a); });
+    }
+}
+
+void
+HostCxlPort::postToDeviceAt(Tick when, EventCallback cb)
+{
+    if (domain_ != nullptr)
+        domain_->post(SimDomain::kHost, dev_pid_, when, std::move(cb));
+    else
+        eq_.schedule(when, std::move(cb));
+}
+
+void
+HostCxlPort::postToHostAt(Tick when, EventCallback cb)
+{
+    if (domain_ != nullptr)
+        domain_->post(dev_pid_, SimDomain::kHost, when, std::move(cb));
+    else
+        eq_.schedule(when, std::move(cb));
 }
 
 // --------------------------------------------------------------------------
@@ -72,13 +127,13 @@ HostCxlPort::wDeliver(HostAccess *a)
     if (abortIfDown(a))
         return;
     Tick arrive = link_.down().send(link_.writeReqBytes(a->size));
-    eq_.schedule(arrive, [a] { a->port->wAtDevice(a); });
+    postToDevice(arrive, a, &HostCxlPort::wAtDevice);
 }
 
 void
 HostCxlPort::wAtDevice(HostAccess *a)
 {
-    if (abortIfDown(a))
+    if (abortIfDownAtDevice(a))
         return;
     dev_.cxlWrite(a->hpa, a->data(), a->size,
                   [a](Tick t) { a->port->wDeviceDone(a, t); });
@@ -87,17 +142,17 @@ HostCxlPort::wAtDevice(HostAccess *a)
 void
 HostCxlPort::wDeviceDone(HostAccess *a, Tick t)
 {
-    Tick at = std::max(eq_.now(), t);
-    eq_.schedule(at, [a] { a->port->wSendNdr(a); });
+    Tick at = std::max(dev_eq_.now(), t);
+    dev_eq_.schedule(at, [a] { a->port->wSendNdr(a); });
 }
 
 void
 HostCxlPort::wSendNdr(HostAccess *a)
 {
-    if (abortIfDown(a))
+    if (abortIfDownAtDevice(a))
         return;
     Tick back = link_.up().send(link_.ndrBytes());
-    eq_.schedule(back + cfg_.host_overhead, [a] { a->port->finish(a); });
+    postToHost(back + cfg_.host_overhead, a, &HostCxlPort::finish);
 }
 
 // --------------------------------------------------------------------------
@@ -107,12 +162,20 @@ HostCxlPort::wSendNdr(HostAccess *a)
 void
 HostCxlPort::readAsync(Addr hpa, std::uint32_t size, TickCallback done)
 {
+    readAsync(hpa, size, nullptr, std::move(done));
+}
+
+void
+HostCxlPort::readAsync(Addr hpa, std::uint32_t size, void *out,
+                       TickCallback done)
+{
     ++stats_.reads;
     HostAccess *a = allocAccess();
     a->hpa = hpa;
     a->size = size;
     a->start = eq_.now();
     a->is_write = false;
+    a->read_out = out;
     a->done = std::move(done);
     eq_.scheduleAfter(cfg_.host_overhead, [a] { a->port->rDeliver(a); });
 }
@@ -123,13 +186,13 @@ HostCxlPort::rDeliver(HostAccess *a)
     if (abortIfDown(a))
         return;
     Tick arrive = link_.down().send(link_.readReqBytes());
-    eq_.schedule(arrive, [a] { a->port->rAtDevice(a); });
+    postToDevice(arrive, a, &HostCxlPort::rAtDevice);
 }
 
 void
 HostCxlPort::rAtDevice(HostAccess *a)
 {
-    if (abortIfDown(a))
+    if (abortIfDownAtDevice(a))
         return;
     dev_.cxlRead(a->hpa, a->size,
                  [a](Tick t) { a->port->rDeviceDone(a, t); });
@@ -138,23 +201,31 @@ HostCxlPort::rAtDevice(HostAccess *a)
 void
 HostCxlPort::rDeviceDone(HostAccess *a, Tick t)
 {
-    Tick at = std::max(eq_.now(), t);
-    eq_.schedule(at, [a] { a->port->rSendData(a); });
+    Tick at = std::max(dev_eq_.now(), t);
+    dev_eq_.schedule(at, [a] { a->port->rSendData(a); });
 }
 
 void
 HostCxlPort::rSendData(HostAccess *a)
 {
-    if (abortIfDown(a))
+    if (abortIfDownAtDevice(a))
         return;
+    // The S2M DRS carries the data: capture the functional bytes at
+    // response-formation time, on the device partition. The destination
+    // buffer is quiescent while the access is in flight; the mailbox
+    // handoff publishes the bytes to the host thread before `done` runs.
+    if (a->read_out != nullptr)
+        dev_.funcRead(a->hpa, a->read_out, a->size);
     Tick back = link_.up().send(link_.dataRespBytes(a->size));
-    eq_.schedule(back + cfg_.host_overhead, [a] { a->port->finish(a); });
+    postToHost(back + cfg_.host_overhead, a, &HostCxlPort::finish);
 }
 
 void
 HostCxlPort::finish(HostAccess *a)
 {
     Tick now = eq_.now();
+    if (a->failed)
+        ++stats_.link_aborts;
     if (!a->is_write && !a->failed) {
         stats_.read_latency.add(static_cast<double>(now - a->start) / kNs);
     }
@@ -195,14 +266,11 @@ HostCxlPort::read(Addr hpa, void *out, std::uint32_t size)
 {
     bool done = false;
     Tick when = 0;
-    readAsync(hpa, size, [&](Tick t) {
+    readAsync(hpa, size, out, [&](Tick t) {
         done = true;
         when = t;
     });
     runUntil(done);
-    // Functional data is fetched at completion time.
-    // (The device wrote return values / memory contents by now.)
-    dev_.funcRead(hpa, out, size);
     return when;
 }
 

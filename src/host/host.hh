@@ -32,6 +32,7 @@
 #include "cxl/link.hh"
 #include "device/cxl_memory_expander.hh"
 #include "sim/event_queue.hh"
+#include "sim/partition.hh"
 
 namespace m2ndp {
 
@@ -55,8 +56,19 @@ struct HostPortStats
 class HostCxlPort
 {
   public:
+    /**
+     * @param eq    the host partition's queue (issue/completion side)
+     * @param link  the CXL.mem link to the device
+     * @param dev   the device (its own queue runs the device-side stages)
+     * @param cfg   host-side cost model
+     * @param domain  partition coordinator for cross-partition posts;
+     *                nullptr collapses to single-queue direct scheduling
+     *                (raw benches, unit tests)
+     * @param device_partition  the device's partition id in @p domain
+     */
     HostCxlPort(EventQueue &eq, CxlLink &link, CxlMemoryExpander &dev,
-                HostPortConfig cfg = {});
+                HostPortConfig cfg = {}, SimDomain *domain = nullptr,
+                unsigned device_partition = 0);
     ~HostCxlPort();
 
     HostCxlPort(const HostCxlPort &) = delete;
@@ -72,6 +84,17 @@ class HostCxlPort
 
     /** Async CXL.mem read (M2S Req). @p done fires when data arrives. */
     void readAsync(Addr hpa, std::uint32_t size, TickCallback done);
+
+    /**
+     * Async CXL.mem read that also delivers the data: @p out is filled
+     * with the functional bytes the S2M DRS carries (captured on the
+     * device at response-formation time) before @p done fires. @p out
+     * must stay valid until completion and is written from the device
+     * partition while the access is in flight — treat it as untouchable
+     * until @p done.
+     */
+    void readAsync(Addr hpa, std::uint32_t size, void *out,
+                   TickCallback done);
 
     /** Blocking write: returns the completion tick. */
     Tick write(Addr hpa, const void *data, std::uint32_t size);
@@ -97,6 +120,20 @@ class HostCxlPort
 
     /** Run the event queue until @p flag becomes true. */
     void runUntil(const bool &flag);
+
+    /**
+     * Cross-partition plumbing for the CXL.io baseline schemes: post
+     * work onto the device partition (from the host side) or back onto
+     * the host partition (from device-side completion hooks) at absolute
+     * tick @p when. @p when must respect the conservative-lookahead
+     * contract (at least one link one-way past the sender's clock);
+     * collapses to direct scheduling when the simulation is unsharded.
+     */
+    void postToDeviceAt(Tick when, EventCallback cb);
+    void postToHostAt(Tick when, EventCallback cb);
+
+    /** The device partition's queue (== eventQueue() unsharded). */
+    EventQueue &deviceQueue() { return dev_eq_; }
 
     CxlMemoryExpander &device() { return dev_; }
     CxlLink &link() { return link_; }
@@ -125,6 +162,8 @@ class HostCxlPort
         bool is_write = false;
         /** Aborted mid-chain because the link went down. */
         bool failed = false;
+        /** Destination for read data, filled at DRS formation. */
+        void *read_out = nullptr;
         TickCallback done;
         std::uint8_t inline_data[kInlineBytes];
         /** Cold fallback for bulk writes (setup traffic). */
@@ -141,14 +180,28 @@ class HostCxlPort
     void releaseAccess(HostAccess *a);
 
     /**
-     * Link-down short-circuit checked at every chain stage: the access
-     * is finished immediately with `failed` set, so the record recycles
+     * Link-down short-circuit on host-side chain stages: the access is
+     * finished immediately with `failed` set, so the record recycles
      * and the completion callback always fires — a dead link never
      * wedges or leaks an in-flight access.
      */
     bool abortIfDown(HostAccess *a);
 
+    /**
+     * Device-side flavor: checked against the device partition's clock;
+     * the failed completion travels back to the host partition at the
+     * link's one-way latency (the timeout path is not modeled finer).
+     */
+    bool abortIfDownAtDevice(HostAccess *a);
+
+    /** Cross the host->device partition boundary (or same queue). */
+    void postToDevice(Tick when, HostAccess *a, void (HostCxlPort::*stage)(HostAccess *));
+    /** Cross the device->host partition boundary (or same queue). */
+    void postToHost(Tick when, HostAccess *a, void (HostCxlPort::*stage)(HostAccess *));
+
     // Write chain: issue -> link -> device -> NDR -> completion.
+    // wDeliver runs on the host partition; wAtDevice, wDeviceDone and
+    // wSendNdr on the device partition; finish back on the host.
     void wDeliver(HostAccess *a);
     void wAtDevice(HostAccess *a);
     void wDeviceDone(HostAccess *a, Tick t);
@@ -160,10 +213,13 @@ class HostCxlPort
     void rSendData(HostAccess *a);
     void finish(HostAccess *a);
 
-    EventQueue &eq_;
+    EventQueue &eq_;      ///< host partition queue
+    EventQueue &dev_eq_;  ///< device partition queue (== eq_ unsharded)
     CxlLink &link_;
     CxlMemoryExpander &dev_;
     HostPortConfig cfg_;
+    SimDomain *domain_;
+    unsigned dev_pid_;
     HostPortStats stats_;
 
     SlabPool<HostAccess> access_pool_;

@@ -482,7 +482,7 @@ NdpRuntime::deviceHealthy(unsigned device)
     DeviceState &dev = devs_[device];
     if (dev.lost) [[unlikely]]
         return false;
-    if (dev.port->link().isDown()) [[unlikely]] {
+    if (dev.port->link().isDownAt(eq_.now())) [[unlikely]] {
         markDeviceLost(device);
         return false;
     }
@@ -599,7 +599,11 @@ NdpRuntime::m2funcLaunchOn(DeviceState &dev, unsigned slot,
                 (kM2FuncLaunchSlotBase +
                  slot * kM2FuncLaunchSlotStride) * kM2FuncStride;
     dev.port->writeAsync(addr, payload, len, {});
-    dev.port->readAsync(addr, 8, [rec](Tick t) {
+    // The deferred return-value read carries the instance id in its DRS:
+    // the device fills rec->m2f_ret at response formation, after the
+    // controller wrote the return slot.
+    rec->m2f_ret = kNdpErr;
+    dev.port->readAsync(addr, 8, &rec->m2f_ret, [rec](Tick t) {
         rec->rt->m2funcReturned(rec, t);
     });
 }
@@ -616,11 +620,7 @@ NdpRuntime::m2funcReturned(LaunchRecord *rec, Tick t)
                        static_cast<std::int64_t>(NdpError::DeviceLost), t);
         return;
     }
-    Addr addr = dev.m2func_pa +
-                (kM2FuncLaunchSlotBase +
-                 rec->slot * kM2FuncLaunchSlotStride) * kM2FuncStride;
-    std::int64_t iid = 0;
-    dev.port->device().funcRead(addr, &iid, 8);
+    std::int64_t iid = rec->m2f_ret;
     pumpM2FuncQueue(dev);
     completeRecord(rec, iid, t);
 }
@@ -632,28 +632,36 @@ NdpRuntime::issueRingBuffer(LaunchRecord *rec)
 {
     // CMD enqueue + doorbell + command fetch: kernel starts 5y after the
     // host initiates; completion (CMP + host check) reaches the host 3y
-    // after kernel end.
+    // after kernel end. The doorbell crosses onto the device partition
+    // (5y >> the link lookahead); the completion crosses back.
     Tick y = cfg_.io.oneway_latency;
-    eq_.scheduleAfter(5 * y,
-                      [rec] { rec->rt->ringBufferArrived(rec); });
+    DeviceState &dev = devs_[rec->device];
+    dev.port->postToDeviceAt(eq_.now() + 5 * y,
+                             [rec] { rec->rt->ringBufferArrived(rec); });
 }
 
 void
 NdpRuntime::ringBufferArrived(LaunchRecord *rec)
 {
+    // Runs on the device partition: controller state is device-owned;
+    // runtime/stream state is only touched back on the host side.
     DeviceState &dev = devs_[rec->device];
     auto &ctrl = dev.port->device().controller();
+    Tick y = cfg_.io.oneway_latency;
     std::int64_t iid = ctrl.launch(
         process_.asid(), deviceKernelId(dev, rec->desc.kernel()), false,
         rec->desc.poolBase(), rec->desc.poolBound(), rec->desc.argData(),
         rec->desc.argSize());
     if (iid < 0) {
-        completeRecord(rec, iid, eq_.now());
+        dev.port->postToHostAt(
+            dev.port->deviceQueue().now() + 3 * y, [rec, iid] {
+                rec->rt->completeRecord(rec, iid, rec->rt->eq_.now());
+            });
         return;
     }
-    Tick y = cfg_.io.oneway_latency;
     ctrl.onInstanceComplete(iid, [rec, iid, y](Tick) {
-        rec->rt->eq_.scheduleAfter(3 * y, [rec, iid] {
+        HostCxlPort *port = rec->rt->devs_[rec->device].port;
+        port->postToHostAt(port->deviceQueue().now() + 3 * y, [rec, iid] {
             rec->rt->completeRecord(rec, iid, rec->rt->eq_.now());
         });
     });
@@ -688,27 +696,38 @@ NdpRuntime::pumpDirectQueue(DeviceState &dev)
     // Fig. 5c: MMIO doorbell: kernel starts 2y after initiation; the
     // result register read costs another y after kernel end.
     Tick y = cfg_.io.oneway_latency;
-    eq_.scheduleAfter(2 * y, [rec] { rec->rt->directArrived(rec); });
+    dev.port->postToDeviceAt(eq_.now() + 2 * y,
+                             [rec] { rec->rt->directArrived(rec); });
 }
 
 void
 NdpRuntime::directArrived(LaunchRecord *rec)
 {
+    // Runs on the device partition; `direct_busy`, completion and pumping
+    // are host state and travel back across the boundary (the failure
+    // path pays the result-read y like the success path).
     DeviceState &dev = devs_[rec->device];
     auto &ctrl = dev.port->device().controller();
+    Tick y = cfg_.io.oneway_latency;
     std::int64_t iid = ctrl.launch(
         process_.asid(), deviceKernelId(dev, rec->desc.kernel()), false,
         rec->desc.poolBase(), rec->desc.poolBound(), rec->desc.argData(),
         rec->desc.argSize());
+    auto complete_on_host = [rec, iid] {
+        NdpRuntime *rt = rec->rt;
+        DeviceState &d = rt->devs_[rec->device];
+        d.direct_busy = false;
+        rt->completeRecord(rec, iid, rt->eq_.now());
+        rt->pumpDirectQueue(d);
+    };
     if (iid < 0) {
-        dev.direct_busy = false;
-        completeRecord(rec, iid, eq_.now());
-        pumpDirectQueue(dev);
+        dev.port->postToHostAt(dev.port->deviceQueue().now() + y,
+                               complete_on_host);
         return;
     }
-    Tick y = cfg_.io.oneway_latency;
     ctrl.onInstanceComplete(iid, [rec, iid, y](Tick) {
-        rec->rt->eq_.scheduleAfter(y, [rec, iid] {
+        HostCxlPort *port = rec->rt->devs_[rec->device].port;
+        port->postToHostAt(port->deviceQueue().now() + y, [rec, iid] {
             NdpRuntime *rt = rec->rt;
             DeviceState &d = rt->devs_[rec->device];
             d.direct_busy = false;

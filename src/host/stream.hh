@@ -156,6 +156,12 @@ struct LaunchRecord
     bool done = false;
     bool sync = false;
     std::int64_t instance_id = -1;
+    /**
+     * M2func return value, carried by the deferred return-value read's
+     * S2M DRS (filled on the device partition at response formation;
+     * quiescent until the read's completion callback fires on the host).
+     */
+    std::int64_t m2f_ret = -1;
     Tick issued_at = 0;
     Tick completed_at = 0;
     /** Optional completion hook (fires once, at completion tick). */

@@ -1,22 +1,63 @@
 #include "mem/packet.hh"
 
-#include "common/slab_pool.hh"
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
 
 namespace m2ndp {
 
 namespace {
 
-struct PoolState
+constexpr std::size_t kSlabPackets = 256;
+
+/**
+ * Slabs come from a process-lifetime arena shared by every executor
+ * thread, so a packet carved on one thread stays valid if it is parked
+ * by a device and only released during teardown on another (worker
+ * threads exit before the devices that hold their packets). Nodes
+ * recycle through a thread-local freelist: the steady-state
+ * alloc/release cycle is lock-free and allocation-free; the arena mutex
+ * is only taken when a thread carves a fresh slab.
+ */
+struct Arena
 {
-    SlabPool<MemPacket, &MemPacket::link, 256> pool;
+    std::mutex mu;
+    std::vector<std::unique_ptr<MemPacket[]>> slabs;
+};
+
+Arena &
+arena()
+{
+    static Arena a;
+    return a;
+}
+
+struct LocalCache
+{
+    MemPacket *free_head = nullptr;
+    std::size_t live = 0;
+    /**
+     * Debug IDs are per-thread monotonic (nothing orders on them); a
+     * shared counter here would be the one cross-thread store on the
+     * per-access hot path.
+     */
     std::uint64_t next_id = 0;
 };
 
-PoolState &
-pool()
+thread_local LocalCache t_cache;
+
+void
+grow(LocalCache &c)
 {
-    static PoolState state;
-    return state;
+    auto slab = std::make_unique<MemPacket[]>(kSlabPackets);
+    MemPacket *base = slab.get();
+    for (std::size_t i = 0; i < kSlabPackets; ++i) {
+        base[i].link = c.free_head;
+        c.free_head = &base[i];
+    }
+    std::lock_guard<std::mutex> lk(arena().mu);
+    arena().slabs.push_back(std::move(slab));
 }
 
 } // namespace
@@ -24,9 +65,14 @@ pool()
 MemPacket *
 MemPacketPool::alloc()
 {
-    PoolState &p = pool();
-    MemPacket *pkt = p.pool.acquire();
-    pkt->id = p.next_id++;
+    LocalCache &c = t_cache;
+    if (c.free_head == nullptr)
+        grow(c);
+    MemPacket *pkt = c.free_head;
+    c.free_head = pkt->link;
+    pkt->link = nullptr;
+    pkt->id = c.next_id++;
+    ++c.live;
     return pkt;
 }
 
@@ -42,13 +88,16 @@ MemPacketPool::release(MemPacket *pkt)
     pkt->num_stages = 0;
     pkt->issued_at = 0;
     pkt->wait_sector = 0;
-    pool().pool.release(pkt);
+    LocalCache &c = t_cache;
+    pkt->link = c.free_head;
+    c.free_head = pkt;
+    --c.live;
 }
 
 std::size_t
 MemPacketPool::outstanding()
 {
-    return pool().pool.live();
+    return t_cache.live;
 }
 
 } // namespace m2ndp

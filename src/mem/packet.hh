@@ -115,9 +115,12 @@ struct MemPacket
 };
 
 /**
- * Slab-backed free list of MemPackets. Single-threaded like the rest of
- * the simulator; slabs are retained for the process lifetime so steady-
- * state alloc/release cycles never touch the heap.
+ * Slab-backed free list of MemPackets. Each executor thread recycles
+ * nodes through its own thread-local freelist (packets never migrate
+ * between partitions mid-flight), while the slabs themselves come from
+ * a process-lifetime shared arena so teardown-order cross-thread
+ * releases stay memory-safe. Steady-state alloc/release cycles touch
+ * neither the heap nor any shared cache line.
  */
 class MemPacketPool
 {
@@ -128,7 +131,7 @@ class MemPacketPool
     /** Reset @p pkt and push it back on the free list. */
     static void release(MemPacket *pkt);
 
-    /** Packets currently live (for leak checks in tests). */
+    /** Packets live on the calling thread (leak checks in tests). */
     static std::size_t outstanding();
 };
 

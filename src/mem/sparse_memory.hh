@@ -13,14 +13,27 @@
  * take an inline fast path; and a small direct-mapped cache of recently
  * touched frames short-circuits the hash probe for the streaming access
  * patterns NDP kernels generate.
+ *
+ * Thread safety (partitioned engine, sim/partition.hh): the frame table
+ * is sharded by device window — shard = bits [41:38] of the physical
+ * address — so each device partition's executor locks a different shard
+ * mutex and the lock is effectively uncontended. The per-stream FrameHint
+ * fast path stays entirely lock-free: frames are unique_ptr-held (stable
+ * addresses) and only clear() invalidates them, which bumps the atomic
+ * generation the hint checks. Ordering of accesses to the *bytes* of a
+ * shared frame is the simulation's own responsibility (cross-partition
+ * messages synchronize through mailbox mutexes / the round barrier), the
+ * same contract as any other cross-partition state.
  */
 
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/log.hh"
@@ -94,7 +107,7 @@ class SparseMemory
             // stale hint (clear()) can never satisfy the compare with a
             // dangling frame pointer.
             if (hint.last.frame_no == frame_no &&
-                hint.generation == generation_) {
+                hint.generation == generation()) {
                 std::memcpy(out, hint.last.data + offset, size);
                 return;
             }
@@ -138,7 +151,7 @@ class SparseMemory
         if (offset + size <= kFrameSize) {
             std::uint64_t frame_no = addr >> kFrameShift;
             if (hint.last.frame_no == frame_no &&
-                hint.generation == generation_) {
+                hint.generation == generation()) {
                 std::memcpy(hint.last.data + offset, in, size);
                 return;
             }
@@ -177,16 +190,28 @@ class SparseMemory
     }
 
     /** Number of frames currently allocated (for footprint stats). */
-    std::size_t framesAllocated() const { return frames_.size(); }
+    std::size_t
+    framesAllocated() const
+    {
+        std::size_t n = 0;
+        for (const Shard &s : shards_) {
+            std::lock_guard<std::mutex> lk(s.mu);
+            n += s.frames.size();
+        }
+        return n;
+    }
 
     /** Drop all contents. Outstanding FrameHints self-invalidate via the
      *  generation check on their next use. */
     void
     clear()
     {
-        frames_.clear();
-        cache_.fill(CacheEntry{});
-        ++generation_;
+        for (Shard &s : shards_) {
+            std::lock_guard<std::mutex> lk(s.mu);
+            s.frames.clear();
+            s.cache.fill(CacheEntry{});
+        }
+        generation_.fetch_add(1, std::memory_order_relaxed);
     }
 
   private:
@@ -197,21 +222,46 @@ class SparseMemory
      *  so host setup, NDP units, and verification rarely thrash). */
     static constexpr std::size_t kCacheWays = 8;
 
+    /** Frame-table shards, one per 256 GiB device window (mod 16). */
+    static constexpr std::size_t kShards = 16;
+    static constexpr std::uint64_t kShardShift = 26; ///< frame_no bits
+
     struct CacheEntry
     {
         std::uint64_t frame_no = ~std::uint64_t(0);
         Frame *frame = nullptr; ///< stable: frames are unique_ptr-held
     };
 
+    struct Shard
+    {
+        std::unordered_map<std::uint64_t, std::unique_ptr<Frame>> frames;
+        std::array<CacheEntry, kCacheWays> cache{};
+        mutable std::mutex mu;
+    };
+
+    Shard &
+    shardFor(std::uint64_t frame_no) const
+    {
+        return shards_[(frame_no >> kShardShift) & (kShards - 1)];
+    }
+
+    std::uint64_t
+    generation() const
+    {
+        return generation_.load(std::memory_order_relaxed);
+    }
+
     /** Lookup without allocating; nullptr if the frame does not exist. */
     Frame *
     findFrame(std::uint64_t frame_no) const
     {
-        CacheEntry &e = cache_[frame_no & (kCacheWays - 1)];
+        Shard &s = shardFor(frame_no);
+        std::lock_guard<std::mutex> lk(s.mu);
+        CacheEntry &e = s.cache[frame_no & (kCacheWays - 1)];
         if (e.frame_no == frame_no)
             return e.frame;
-        auto it = frames_.find(frame_no);
-        if (it == frames_.end())
+        auto it = s.frames.find(frame_no);
+        if (it == s.frames.end())
             return nullptr;
         e.frame_no = frame_no;
         e.frame = it->second.get();
@@ -222,26 +272,31 @@ class SparseMemory
     Frame &
     frameFor(std::uint64_t frame_no)
     {
-        if (Frame *f = findFrame(frame_no))
-            return *f;
-        auto frame = std::make_unique<Frame>();
-        frame->fill(0);
-        Frame *raw = frame.get();
-        frames_.emplace(frame_no, std::move(frame));
-        CacheEntry &e = cache_[frame_no & (kCacheWays - 1)];
+        Shard &s = shardFor(frame_no);
+        std::lock_guard<std::mutex> lk(s.mu);
+        CacheEntry &e = s.cache[frame_no & (kCacheWays - 1)];
+        if (e.frame_no == frame_no)
+            return *e.frame;
+        auto it = s.frames.find(frame_no);
+        if (it == s.frames.end()) {
+            auto frame = std::make_unique<Frame>();
+            frame->fill(0);
+            it = s.frames.emplace(frame_no, std::move(frame)).first;
+        }
         e.frame_no = frame_no;
-        e.frame = raw;
-        return *raw;
+        e.frame = it->second.get();
+        return *e.frame;
     }
 
     /** Select (and lazily re-validate) the hint way for @p frame_no. */
     FrameHint::Entry &
     hintWay(FrameHint &hint, std::uint64_t frame_no) const
     {
-        if (hint.generation != generation_) {
+        std::uint64_t gen = generation();
+        if (hint.generation != gen) {
             hint.last = FrameHint::Entry{};
             hint.ways.fill(FrameHint::Entry{});
-            hint.generation = generation_;
+            hint.generation = gen;
         }
         return hint.ways[frame_no & (FrameHint::kWays - 1)];
     }
@@ -249,9 +304,8 @@ class SparseMemory
     void readSlow(Addr addr, void *out, std::uint64_t size) const;
     void writeSlow(Addr addr, const void *in, std::uint64_t size);
 
-    std::unordered_map<std::uint64_t, std::unique_ptr<Frame>> frames_;
-    mutable std::array<CacheEntry, kCacheWays> cache_{};
-    std::uint64_t generation_ = 0;
+    mutable std::array<Shard, kShards> shards_;
+    std::atomic<std::uint64_t> generation_{0};
 };
 
 /** Atomic memory operations executed at the memory-side L2 / scratchpad. */

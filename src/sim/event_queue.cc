@@ -297,7 +297,7 @@ EventQueue::nextEventTick() const
 }
 
 std::uint64_t
-EventQueue::run(Tick limit)
+EventQueue::runLocal(Tick limit)
 {
     std::uint64_t executed = 0;
     while (Event *ev = extractMin(limit)) {
@@ -311,13 +311,43 @@ EventQueue::run(Tick limit)
 }
 
 bool
-EventQueue::step()
+EventQueue::stepLocal()
 {
     Event *ev = extractMin(kTickMax);
     if (ev == nullptr)
         return false;
     now_ = ev->when;
     dispatch(ev);
+    return true;
+}
+
+std::uint64_t
+EventQueue::runWindow(Tick bound)
+{
+    // Strictly-below-bound execution: `bound` is the round's conservative
+    // lookahead edge, and events AT the edge belong to the next round
+    // (they may race with mailbox arrivals stamped exactly at the edge).
+    run_bound_ = bound;
+    std::uint64_t executed = 0;
+    while (Event *ev = extractMin(bound - 1)) {
+        now_ = ev->when;
+        dispatch(ev);
+        ++executed;
+    }
+    run_bound_ = kTickMax;
+    return executed;
+}
+
+bool
+EventQueue::stepWindow(Tick bound)
+{
+    Event *ev = extractMin(bound - 1);
+    if (ev == nullptr)
+        return false;
+    run_bound_ = bound;
+    now_ = ev->when;
+    dispatch(ev);
+    run_bound_ = kTickMax;
     return true;
 }
 

@@ -42,6 +42,25 @@ using EventCallback = InlineCallback<void()>;
 
 class Ticker;
 
+/**
+ * Interface a partitioned-simulation coordinator implements so existing
+ * `run()`/`step()`/`empty()` call sites keep working when the simulation
+ * is sharded across several EventQueues (see sim/partition.hh). The
+ * System installs a driver on its *host* queue only; raw queues (unit
+ * tests, benches) have none and keep pure local semantics.
+ */
+class SimDriver
+{
+  public:
+    virtual ~SimDriver() = default;
+    /** Execute one event somewhere in the domain. False on global idle. */
+    virtual bool driveStep() = 0;
+    /** Run the domain until idle or past @p limit; events executed. */
+    virtual std::uint64_t driveRun(Tick limit) = 0;
+    /** True when every partition queue and mailbox is empty. */
+    virtual bool driveEmpty() const = 0;
+};
+
 /** Discrete-event simulation engine. */
 class EventQueue
 {
@@ -77,8 +96,24 @@ class EventQueue
         scheduleEvent(now_ + delay, std::forward<F>(cb));
     }
 
-    bool empty() const { return size_ == 0; }
+    /** With a driver installed, "empty" means the whole domain is idle. */
+    bool
+    empty() const
+    {
+        return driver_ != nullptr ? driver_->driveEmpty() : size_ == 0;
+    }
+
+    /** Pending events in *this* queue only (never routed). */
     std::size_t pending() const { return size_; }
+
+    /**
+     * Install a partitioned-simulation driver: `run()`, `step()` and
+     * `empty()` on this queue then drive the whole domain, so blocking
+     * loops written against a single queue (host port `runUntil`, stream
+     * `synchronize`, test step loops) work unchanged on a sharded
+     * simulation. The driver must outlive the queue's use.
+     */
+    void setDriver(SimDriver *driver) { driver_ = driver; }
 
     /**
      * Events scheduled over this queue's lifetime (including later
@@ -94,10 +129,19 @@ class EventQueue
      * Execute events until the queue drains or @p limit is exceeded.
      * @return number of events executed.
      */
-    std::uint64_t run(Tick limit = kTickMax);
+    std::uint64_t
+    run(Tick limit = kTickMax)
+    {
+        return driver_ != nullptr ? driver_->driveRun(limit)
+                                  : runLocal(limit);
+    }
 
     /** Execute a single event. @return false if the queue was empty. */
-    bool step();
+    bool
+    step()
+    {
+        return driver_ != nullptr ? driver_->driveStep() : stepLocal();
+    }
 
     /**
      * Advance now() to @p when without executing events scheduled after it.
@@ -130,6 +174,8 @@ class EventQueue
     tryAdvance(Tick when)
     {
         M2_ASSERT(when >= now_, "tryAdvance into the past");
+        if (when >= run_bound_)
+            return false; // partition window edge: defer to the next round
         if (nextEventTick() <= when)
             return false;
         now_ = when;
@@ -138,6 +184,7 @@ class EventQueue
 
   private:
     friend class Ticker;
+    friend class SimDomain;
 
     /**
      * Calendar geometry: 65536 buckets of 32 ticks = ~2.1 us horizon.
@@ -235,6 +282,27 @@ class EventQueue
     /** Pop one event and run its callback (caller checked non-empty). */
     void dispatch(Event *ev);
 
+    /** Single-queue bodies of run()/step() (no driver indirection). */
+    std::uint64_t runLocal(Tick limit);
+    bool stepLocal();
+
+    /**
+     * Partition-window execution (SimDomain): run/step events with
+     * `when < bound` strictly. While dispatching, `run_bound_` clamps
+     * tryAdvance so run-until-stall burst loops cannot consume cycle
+     * edges past the conservative lookahead bound.
+     */
+    std::uint64_t runWindow(Tick bound);
+    bool stepWindow(Tick bound);
+
+    /** Mailbox drain: insert a pre-built callback at an absolute tick. */
+    void
+    scheduleCallback(Tick when, EventCallback cb)
+    {
+        Event *ev = scheduleNode(when);
+        ev->cb = std::move(cb);
+    }
+
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t scheduled_total_ = 0;
@@ -261,6 +329,11 @@ class EventQueue
 
     Event *free_head_ = nullptr;
     std::vector<std::unique_ptr<Event[]>> slabs_;
+
+    /** Routes run()/step()/empty() through a partition coordinator. */
+    SimDriver *driver_ = nullptr;
+    /** Exclusive tryAdvance ceiling while inside a partition window. */
+    Tick run_bound_ = kTickMax;
 };
 
 /**

@@ -1,5 +1,8 @@
 #include "system/system.hh"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "common/log.hh"
 #include "common/rng.hh"
 
@@ -21,26 +24,60 @@ SystemConfig::linkForLoadToUse(Tick ltu)
 System::System(SystemConfig cfg) : cfg_(cfg)
 {
     M2_ASSERT(cfg_.num_devices >= 1, "system needs at least one device");
+
+    unsigned threads = cfg_.threads;
+    if (threads == 0) {
+        const char *env = std::getenv("M2NDP_THREADS");
+        threads = env != nullptr
+                      ? static_cast<unsigned>(std::strtoul(env, nullptr, 10))
+                      : 1;
+        if (threads == 0)
+            threads = 1;
+    }
+
+    // Conservative lookahead: the smallest latency any cross-partition
+    // message adds to its sender's clock. Every path crossing a partition
+    // boundary — CXL.mem sends, CXL.io doorbells (500 ns one-way), P2P
+    // hops — pays at least the link's one-way stack+wire latency.
+    CxlLinkConfig lc = cfg_.link;
+    lc.oneway_latency += cfg_.switch_latency;
+    Tick lookahead = lc.oneway_latency;
+    if (cfg_.num_devices > 1)
+        lookahead = std::min(lookahead, cfg_.p2p_oneway_latency);
+
     for (unsigned d = 0; d < cfg_.num_devices; ++d) {
         DeviceConfig dc = cfg_.device;
         dc.index = d;
-        devices_.push_back(
-            std::make_unique<CxlMemoryExpander>(eq_, mem_, dc));
+        device_queues_.push_back(std::make_unique<EventQueue>());
+        devices_.push_back(std::make_unique<CxlMemoryExpander>(
+            *device_queues_.back(), mem_, dc));
 
-        CxlLinkConfig lc = cfg_.link;
-        lc.oneway_latency += cfg_.switch_latency;
         FaultConfig fc = cfg_.fault;
         fc.seed = SplitMix64(cfg_.fault.seed ^ (0xFA17u + d)).next();
-        links_.push_back(std::make_unique<CxlLink>(eq_, lc, fc));
-        host_ports_.push_back(std::make_unique<HostCxlPort>(
-            eq_, *links_.back(), *devices_.back(), cfg_.host));
+        links_.push_back(std::make_unique<CxlLink>(
+            eq_, *device_queues_.back(), lc, fc));
 
         allocators_.push_back(std::make_unique<PhysAllocator>(
             layout::deviceBase(d),
             dc.capacity - layout::kM2FuncReserve - 32 * kMiB));
     }
 
-    // P2P routing through the switch (Section III-I).
+    std::vector<EventQueue *> dev_queues;
+    for (auto &q : device_queues_)
+        dev_queues.push_back(q.get());
+    domain_ = std::make_unique<SimDomain>(eq_, std::move(dev_queues),
+                                          lookahead, threads);
+    eq_.setDriver(domain_.get());
+
+    for (unsigned d = 0; d < cfg_.num_devices; ++d) {
+        host_ports_.push_back(std::make_unique<HostCxlPort>(
+            eq_, *links_[d], *devices_[d], cfg_.host, domain_.get(),
+            SimDomain::deviceId(d)));
+    }
+
+    // P2P routing through the switch (Section III-I): each hop crosses a
+    // device-to-device partition boundary at the P2P one-way latency
+    // (>= the domain lookahead by construction).
     for (auto &dev : devices_) {
         dev->setPeerAccess([this](unsigned src, MemOp op, Addr pa,
                                   std::uint32_t size, TickCallback done) {
@@ -49,21 +86,35 @@ System::System(SystemConfig cfg) : cfg_(cfg)
                       "P2P to nonexistent device ", target);
             M2_ASSERT(target != src, "P2P to self");
             Tick hop = cfg_.p2p_oneway_latency;
-            eq_.scheduleAfter(hop, [this, target, op, pa, size, hop,
-                                    done = std::move(done)]() mutable {
-                devices_[target]->peerMemAccess(
-                    op, pa, size,
-                    [this, hop, done = std::move(done)](Tick t) mutable {
-                        eq_.schedule(std::max(eq_.now(), t) + hop,
-                                     [done = std::move(done), t,
-                                      hop]() mutable { done(t + hop); });
-                    });
-            });
+            Tick arrive = device_queues_[src]->now() + hop;
+            domain_->post(
+                SimDomain::deviceId(src), SimDomain::deviceId(target),
+                arrive,
+                [this, src, target, op, pa, size,
+                 done = std::move(done)]() mutable {
+                    devices_[target]->peerMemAccess(
+                        op, pa, size,
+                        [this, src, target,
+                         done = std::move(done)](Tick t) mutable {
+                            Tick hop = cfg_.p2p_oneway_latency;
+                            EventQueue &tq = *device_queues_[target];
+                            domain_->post(
+                                SimDomain::deviceId(target),
+                                SimDomain::deviceId(src),
+                                std::max(tq.now(), t) + hop,
+                                [done = std::move(done), t,
+                                 hop]() mutable { done(t + hop); });
+                        });
+                });
         });
     }
 }
 
-System::~System() = default;
+System::~System()
+{
+    // The host queue outlives the domain; drop the dangling driver hook.
+    eq_.setDriver(nullptr);
+}
 
 ProcessAddressSpace &
 System::createProcess()

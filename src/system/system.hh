@@ -18,6 +18,7 @@
 #include "mem/page_table.hh"
 #include "mem/sparse_memory.hh"
 #include "sim/event_queue.hh"
+#include "sim/partition.hh"
 
 namespace m2ndp {
 
@@ -42,6 +43,16 @@ struct SystemConfig
     Tick p2p_oneway_latency = 70 * kNs;
 
     /**
+     * Simulation executor threads for the partitioned engine: the host
+     * plus each device own an EventQueue, advanced in conservative
+     * lookahead rounds (sim/partition.hh); results are bit-exact for any
+     * value. 1 = serial; N > 1 spreads the device partitions over
+     * min(N, num_devices) threads; 0 = auto (the M2NDP_THREADS
+     * environment variable, else serial).
+     */
+    unsigned threads = 0;
+
+    /**
      * Build a link config whose idle load-to-use latency is @p ltu
      * (Table IV: 150 / 300 / 600 ns). Calibrated against the measured
      * breakdown: host overhead + 2x(stack+wire) + device-internal access.
@@ -58,6 +69,25 @@ class System
 
     EventQueue &eq() { return eq_; }
     SparseMemory &mem() { return mem_; }
+    /** The partition coordinator (always present, even single-threaded). */
+    SimDomain &domain() { return *domain_; }
+    /** Device partition @p i's queue. */
+    EventQueue &deviceQueue(unsigned i = 0) { return *device_queues_[i]; }
+    /** Executor threads actually advancing device partitions. */
+    unsigned simThreads() const { return domain_->executors(); }
+
+    /**
+     * Thread-count-invariant digest of the whole engine's state: identical
+     * for serial and N-thread runs of the same seed and workload.
+     */
+    std::uint64_t engineChecksum() const { return domain_->engineChecksum(); }
+    /** Events scheduled across all partitions (events/inst cost model). */
+    std::uint64_t
+    totalEventsScheduled() const
+    {
+        return domain_->totalEventsScheduled();
+    }
+
     unsigned numDevices() const { return static_cast<unsigned>(devices_.size()); }
     CxlMemoryExpander &device(unsigned i = 0) { return *devices_[i]; }
     HostCxlPort &host(unsigned i = 0) { return *host_ports_[i]; }
@@ -104,10 +134,14 @@ class System
 
   private:
     SystemConfig cfg_;
-    EventQueue eq_;
+    EventQueue eq_; ///< host partition queue (drives the whole domain)
     SparseMemory mem_;
+    /** One queue per device partition (declared before their users). */
+    std::vector<std::unique_ptr<EventQueue>> device_queues_;
     std::vector<std::unique_ptr<CxlMemoryExpander>> devices_;
     std::vector<std::unique_ptr<CxlLink>> links_;
+    /** Destroyed after the ports (they post through it), before queues. */
+    std::unique_ptr<SimDomain> domain_;
     std::vector<std::unique_ptr<HostCxlPort>> host_ports_;
     std::vector<std::unique_ptr<PhysAllocator>> allocators_;
     std::vector<std::unique_ptr<ProcessAddressSpace>> processes_;

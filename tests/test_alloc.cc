@@ -186,6 +186,38 @@ TEST(SteadyStateAllocation, ErrorStormRecyclesAllPools)
         << "warm error storm should not outgrow the cold one";
 }
 
+TEST(SteadyStateAllocation, WarmCrossPartitionMailboxPathIsAllocationFree)
+{
+    // Every host<->device access crosses the partition boundary through
+    // the per-edge mailboxes (HostCxlPort -> SimDomain::post). Once the
+    // mailbox vectors, access pool, and event slabs are warm, a burst of
+    // accesses must not touch the heap: MailMsg storage keeps its
+    // capacity across drains and every posted callback fits the inline
+    // buffer.
+    System sys{SystemConfig{}};
+    auto &proc = sys.createProcess();
+    Addr va = proc.allocate(64 * kKiB);
+    Addr pa = *proc.translate(va);
+
+    // Warm: frames, MSHRs, pools, mailboxes — and enough read samples
+    // that the port's read-latency histogram (geometric vector growth,
+    // one sample per read by design) has capacity for the whole window.
+    std::uint64_t v = 0;
+    for (int i = 0; i < 160; ++i) {
+        sys.host().read(pa + (i % 64) * 64, &v, 8);
+        sys.host().write(pa + (i % 64) * 64, &v, 8);
+    }
+
+    std::uint64_t before = allocationCount();
+    for (int i = 0; i < 64; ++i) {
+        sys.host().read(pa + i * 64, &v, 8);
+        sys.host().write(pa + i * 64, &v, 8);
+    }
+    std::uint64_t after = allocationCount();
+    EXPECT_EQ(after - before, 0u)
+        << "warm cross-partition mailbox path touched the heap";
+}
+
 TEST(SteadyStateAllocation, SecondRunAllocatesOnlyLaunchOverhead)
 {
     VecAddSetup s(1u << 12); // small kernel, run twice

@@ -169,11 +169,11 @@ TEST_F(IntegrationTest, EventsPerInstructionWithinBudget)
     std::int64_t kid = runtime->registerKernel(kVecAddKernel, res);
     ASSERT_GT(kid, 0);
 
-    std::uint64_t events0 = sys->eq().scheduledTotal();
+    std::uint64_t events0 = sys->totalEventsScheduled();
     ASSERT_GT(runtime->launchKernelSync(launchWith(kid, a, a + kN * 4,
                                                    {b, c})),
               0);
-    std::uint64_t events = sys->eq().scheduledTotal() - events0;
+    std::uint64_t events = sys->totalEventsScheduled() - events0;
     std::uint64_t insts = sys->device().aggregateUnitStats().instructions;
     ASSERT_GT(insts, 0u);
     double events_per_inst =
@@ -422,6 +422,163 @@ TEST_F(IntegrationTest, TlbShootdownPath)
     EXPECT_EQ(runtime->shootdownTlbEntry(process->asid(),
                                          layout::kHeapVaBase),
               0);
+}
+
+// ---------------------------------------------------------------------
+// Partitioned parallel engine (sim/partition.hh): the same seed and
+// workload must produce bit-identical simulations for every thread
+// count. Fault injection stays on so the per-direction RNG schedules are
+// part of what must not drift.
+// ---------------------------------------------------------------------
+TEST(ParallelEngineTest, SerialAndParallelRunsAreBitExact)
+{
+    constexpr unsigned kN = 4096;
+    constexpr unsigned kDevices = 4;
+
+    struct RunResult
+    {
+        std::uint64_t checksum = 0;
+        Tick final_now = 0;
+        std::vector<std::uint32_t> bytes;
+    };
+
+    auto run_once = [&](unsigned threads) {
+        SystemConfig cfg;
+        cfg.num_devices = kDevices;
+        cfg.link = SystemConfig::linkForLoadToUse(150 * kNs);
+        cfg.threads = threads;
+        cfg.fault.enabled = true;
+        cfg.fault.seed = 0xDE7E12;
+        cfg.fault.bit_error_rate = 1e-7;
+        cfg.fault.drop_rate = 0.002;
+        System sys(cfg);
+        auto &proc = sys.createProcess();
+        auto rt = sys.createRuntime(proc);
+
+        KernelResources res;
+        res.num_int_regs = 8;
+        res.num_vector_regs = 4;
+        std::int64_t kid = rt->registerKernel(kVecAddKernel, res);
+        EXPECT_GT(kid, 0);
+
+        std::vector<std::uint32_t> va(kN), vb(kN);
+        for (unsigned i = 0; i < kN; ++i) {
+            va[i] = i * 3;
+            vb[i] = 7 + i;
+        }
+
+        std::vector<Addr> outs;
+        std::vector<NdpEvent> events;
+        for (unsigned dev = 0; dev < kDevices; ++dev) {
+            Addr a = proc.allocate(kN * 4, Placement::Localized, dev);
+            Addr b = proc.allocate(kN * 4, Placement::Localized, dev);
+            Addr c = proc.allocate(kN * 4, Placement::Localized, dev);
+            sys.writeVirtual(proc, a, va.data(), kN * 4);
+            sys.writeVirtual(proc, b, vb.data(), kN * 4);
+            outs.push_back(c);
+            events.push_back(rt->createStream(dev).launch(
+                launchWith(kid, a, a + kN * 4, {b, c})));
+        }
+        sys.run();
+
+        RunResult r;
+        for (auto &ev : events)
+            EXPECT_GT(ev.instanceId(), 0);
+        r.bytes.resize(kDevices * kN);
+        for (unsigned dev = 0; dev < kDevices; ++dev)
+            sys.readVirtual(proc, outs[dev], r.bytes.data() + dev * kN,
+                            kN * 4);
+        r.checksum = sys.engineChecksum();
+        r.final_now = sys.eq().now();
+        return r;
+    };
+
+    RunResult serial = run_once(1);
+    // The kernels actually computed something before we compare runs.
+    for (unsigned i = 0; i < kN; ++i)
+        ASSERT_EQ(serial.bytes[i], i * 3 + 7 + i) << "at index " << i;
+
+    for (unsigned threads : {2u, 4u}) {
+        RunResult parallel = run_once(threads);
+        EXPECT_EQ(serial.checksum, parallel.checksum)
+            << "engine checksum diverged at threads=" << threads;
+        EXPECT_EQ(serial.final_now, parallel.final_now)
+            << "final sim time diverged at threads=" << threads;
+        EXPECT_EQ(serial.bytes, parallel.bytes)
+            << "result bytes diverged at threads=" << threads;
+    }
+}
+
+// Cross-partition mailboxes are per-direction FIFO: messages posted on
+// the same (from, to) edge execute in post order whenever their arrival
+// ticks tie, and never before an earlier-tick message. The M2func launch
+// protocol depends on this (the deferred return read must not overtake
+// the launch write it follows).
+TEST(ParallelEngineTest, MailboxPreservesPerDirectionFifoOrder)
+{
+    EventQueue host;
+    EventQueue dev;
+    SimDomain domain(host, {&dev}, /*lookahead=*/100, /*threads=*/2);
+    host.setDriver(&domain);
+
+    // Post pairs (write at t, read at t) the way the launch path does:
+    // same edge, same arrival tick; FIFO requires write-before-read.
+    constexpr int kPairs = 64;
+    std::vector<int> order;
+    for (int i = 0; i < kPairs; ++i) {
+        Tick at = 1000 + static_cast<Tick>(i / 3) * 50; // ties across i
+        domain.post(SimDomain::kHost, SimDomain::deviceId(0), at,
+                    [&order, i] { order.push_back(2 * i); });     // write
+        domain.post(SimDomain::kHost, SimDomain::deviceId(0), at,
+                    [&order, i] { order.push_back(2 * i + 1); }); // read
+    }
+    host.run();
+    host.setDriver(nullptr);
+
+    ASSERT_EQ(order.size(), 2u * kPairs);
+    // Arrival ticks are non-decreasing in post order here, so FIFO means
+    // the messages execute exactly in post order.
+    for (int i = 0; i < 2 * kPairs; ++i)
+        ASSERT_EQ(order[i], i) << "mailbox reordered message " << i;
+}
+
+// The launch protocol survives fault-injection replays: a replayed
+// launch write occupies the link direction, so the deferred M2func
+// return read queues behind it instead of overtaking — every launch
+// must still complete with a valid instance.
+TEST(ParallelEngineTest, M2FuncReturnNeverOvertakesLaunchWrite)
+{
+    SystemConfig cfg;
+    cfg.link = SystemConfig::linkForLoadToUse(150 * kNs);
+    cfg.threads = 2;
+    cfg.fault.enabled = true;
+    cfg.fault.seed = 0xF1F0;
+    cfg.fault.drop_rate = 0.05; // aggressive: ~1 in 20 messages replayed
+    System sys(cfg);
+    auto &proc = sys.createProcess();
+    auto rt = sys.createRuntime(proc);
+
+    KernelResources res;
+    res.num_int_regs = 8;
+    res.num_vector_regs = 4;
+    std::int64_t kid = rt->registerKernel(kVecAddKernel, res);
+    ASSERT_GT(kid, 0);
+
+    constexpr unsigned kN = 64;
+    Addr a = proc.allocate(kN * 4);
+    Addr b = proc.allocate(kN * 4);
+    std::vector<NdpEvent> events;
+    for (int k = 0; k < 32; ++k) {
+        Addr c = proc.allocate(kN * 4);
+        events.push_back(rt->createStream().launch(
+            launchWith(kid, a, a + kN * 4, {b, c})));
+    }
+    sys.run();
+    for (auto &ev : events) {
+        ASSERT_TRUE(ev.done());
+        EXPECT_GT(ev.instanceId(), 0)
+            << "a launch lost its M2func return under replay faults";
+    }
 }
 
 TEST_F(IntegrationTest, DramBandwidthUtilizationHigh)
