@@ -23,7 +23,7 @@ struct Point
 } // namespace
 
 int
-main(int argc, char **argv)
+main()
 {
     header("Fig. 1a", "roofline: local (1024 GB/s) vs CXL (128 GB/s) memory");
 

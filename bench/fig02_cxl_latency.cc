@@ -13,7 +13,7 @@ using namespace m2ndp;
 using namespace m2ndp::bench;
 
 int
-main(int argc, char **argv)
+main()
 {
     header("Fig. 2", "CXL.mem latency budget");
 

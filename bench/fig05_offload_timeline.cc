@@ -15,7 +15,7 @@ using namespace m2ndp;
 using namespace m2ndp::bench;
 
 int
-main(int argc, char **argv)
+main()
 {
     header("Fig. 5", "NDP offload timelines (analytic)");
     const double x = 75e-9, y = 500e-9, z = 6.4e-6;

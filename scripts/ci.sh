@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# One-command CI gate: configure + build + ctest + benchmark-regression
-# gate, then a sanitizer smoke pass (-DSANITIZE=address,undefined) over the
+# One-command CI gate: configure + build (warnings are errors, including
+# -Wextra/-Wshadow), the ndp-lint static-analysis pass (tools/ndp_lint,
+# driven by the exported compile_commands.json), ctest, the
+# benchmark-regression gate, then a sanitizer smoke pass
+# (-DSANITIZE=address,undefined) over the
 # stream-API tests and the full-stack quickstart example, and a
 # ThreadSanitizer smoke pass over the multithreaded partitioned-engine
 # tests (-DSANITIZE=thread, M2NDP_THREADS=2).
@@ -35,6 +38,11 @@ jobs="$(nproc 2> /dev/null || echo 4)"
 echo "==> configure + build ($build_dir, warnings are errors)"
 cmake -B "$build_dir" -S "$repo_root" -DWERROR=ON
 cmake --build "$build_dir" -j "$jobs"
+
+echo "==> ndp-lint (fixtures + src over compile_commands.json)"
+python3 "$repo_root/tools/ndp_lint/check_lint.py" fixtures
+python3 "$repo_root/tools/ndp_lint/check_lint.py" src \
+    --compile-commands "$build_dir/compile_commands.json"
 
 echo "==> ctest"
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"

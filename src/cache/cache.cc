@@ -1,5 +1,7 @@
 #include "cache/cache.hh"
 
+#include "common/annotations.hh"
+
 #include <algorithm>
 
 #include "common/bitutil.hh"
@@ -66,6 +68,7 @@ Cache::~Cache()
     release_chain(stalled_head_);
 }
 
+M2NDP_HOT_PATH
 std::uint64_t
 Cache::setIndex(Addr line_addr) const
 {
@@ -74,6 +77,7 @@ Cache::setIndex(Addr line_addr) const
     return set_mask_ != 0 ? (h & set_mask_) : (h % num_sets_);
 }
 
+M2NDP_HOT_PATH
 Cache::Line *
 Cache::findLine(Addr line_addr)
 {
@@ -86,6 +90,7 @@ Cache::findLine(Addr line_addr)
     return nullptr;
 }
 
+M2NDP_HOT_PATH
 Cache::Line &
 Cache::allocLine(Addr line_addr, Tick now)
 {
@@ -134,12 +139,14 @@ Cache::allocLine(Addr line_addr, Tick now)
 // callbacks capture their Mshr* and fills do no hash probe at all.
 // --------------------------------------------------------------------------
 
+M2NDP_HOT_PATH
 std::size_t
 Cache::mshrSlot(Addr line) const
 {
     return static_cast<std::size_t>(mixHash64(line) & mshr_mask_);
 }
 
+M2NDP_HOT_PATH
 Cache::Mshr *
 Cache::mshrFind(Addr line)
 {
@@ -152,6 +159,7 @@ Cache::mshrFind(Addr line)
     return nullptr;
 }
 
+M2NDP_HOT_PATH
 Cache::Mshr *
 Cache::mshrInsert(Addr line)
 {
@@ -171,6 +179,7 @@ Cache::mshrInsert(Addr line)
     return m;
 }
 
+M2NDP_HOT_PATH
 void
 Cache::mshrErase(Mshr *m)
 {
@@ -200,6 +209,7 @@ Cache::mshrErase(Mshr *m)
     mshr_free_ = m;
 }
 
+M2NDP_HOT_PATH
 void
 Cache::sendDownstream(MemOp op, Addr addr, std::uint32_t size,
                       MemSource source, Tick at, TickCallback cb)
@@ -209,12 +219,14 @@ Cache::sendDownstream(MemOp op, Addr addr, std::uint32_t size,
         makePacket(op, addr, size, source, at, std::move(cb)), at);
 }
 
+M2NDP_HOT_PATH
 void
 Cache::receive(MemPacketPtr pkt)
 {
     receiveAt(std::move(pkt), eq_.now());
 }
 
+M2NDP_HOT_PATH
 void
 Cache::receiveAt(MemPacketPtr pkt, Tick at)
 {
@@ -227,6 +239,7 @@ Cache::receiveAt(MemPacketPtr pkt, Tick at)
     lookupAt(std::move(pkt), start + cfg_.latency);
 }
 
+M2NDP_HOT_PATH
 void
 Cache::lookupAt(MemPacketPtr pkt, Tick done_tick)
 {
@@ -345,6 +358,7 @@ Cache::lookupAt(MemPacketPtr pkt, Tick done_tick)
     }
 }
 
+M2NDP_HOT_PATH
 void
 Cache::handleLineFill(Mshr *m, unsigned sector, Tick when)
 {

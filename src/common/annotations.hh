@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Source-level invariant annotations read by `tools/ndp_lint`.
+ *
+ * The simulator's three load-bearing invariants — allocation-free warm
+ * paths, bit-exact determinism in seed and thread count, and mailbox-only
+ * cross-partition communication — are enforced dynamically by the
+ * counting-new test, the engine checksums, and the SimDomain lookahead
+ * assertions. These macros make the *intent* visible in the source so the
+ * static pass (docs/static_analysis.md) can reject violations at build
+ * time, including on cold branches the runtime nets never execute.
+ *
+ * All macros compile to nothing (or a benign no-op): they exist purely as
+ * tokens for the analyzer and as documentation for the reader.
+ */
+
+#pragma once
+
+/**
+ * Marks the *next function definition* as a hot path: the ndp-lint
+ * `hotpath-alloc` rule rejects heap allocation (`new`, `malloc`/`calloc`/
+ * `realloc`, `make_unique`/`make_shared`), `std::function`,
+ * `std::shared_ptr`, and container-growth calls (`push_back`, `emplace*`,
+ * `insert`, `resize`, `reserve`) anywhere in its body. Place it on the
+ * line introducing the definition (before the return type or on the
+ * preceding line). Legitimate exceptions — e.g. a capacity-retaining
+ * `push_back` into a vector that provably reached steady-state capacity —
+ * carry an audited `// ndp-lint: allow(hotpath-alloc)` suppression.
+ */
+#define M2NDP_HOT_PATH
+
+/**
+ * Marks everything from here to the end of the file as hot path (same
+ * rule as M2NDP_HOT_PATH). Use in leaf headers whose entire purpose is a
+ * warm-path primitive (e.g. the ready-list scheduler).
+ */
+#define M2NDP_HOT_PATH_FILE() static_assert(true, "ndp-lint hot-path file")
+
+/**
+ * Marks a state declaration (member, global) as owned by one simulation
+ * partition (`"host"`, `"device"`, or a descriptive owner string). The
+ * ndp-lint `partition-safety` rule enforces the transport discipline
+ * around such state: cross-partition effects must travel through the
+ * SimDomain mailbox API (`SimDomain::post`, `HostCxlPort::postToDeviceAt`
+ * / `postToHostAt`); scheduling directly onto a *foreign* partition's
+ * EventQueue (`deviceQueue().schedule*`, `hostQueue().schedule*`,
+ * `device_queues_[i]->schedule*`) is rejected. Reading a foreign queue's
+ * clock (`.now()`) for delivery-tick stamping remains legal.
+ */
+#define M2NDP_PARTITION_LOCAL(owner)
+
+/**
+ * Escape hatch documenting that a function intentionally runs on a cold /
+ * setup path even though it lives in an otherwise-hot file region.
+ * Terminates an M2NDP_HOT_PATH_FILE() region for the next function only.
+ */
+#define M2NDP_COLD_PATH

@@ -12,6 +12,11 @@
  * enough to leave compiled into the hot paths. Timed scopes may nest
  * (the functional executor runs inside the issue stage); the reporter
  * subtracts inner from outer.
+ *
+ * The TSC / steady_clock reads below are host-side instrumentation that
+ * never feeds simulated state: the counters are reported as wall-clock
+ * ratios and are excluded from the gated bench medians, so same-seed
+ * bit-exactness is unaffected. ndp-lint: allow-file(nondeterminism)
  */
 
 #pragma once

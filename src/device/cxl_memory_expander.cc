@@ -1,5 +1,7 @@
 #include "device/cxl_memory_expander.hh"
 
+#include "common/annotations.hh"
+
 #include <algorithm>
 
 #include "common/log.hh"
@@ -274,6 +276,7 @@ CxlMemoryExpander::unitCycleDriver()
     in_cycle_driver_ = false;
 }
 
+M2NDP_HOT_PATH
 void
 CxlMemoryExpander::unitMemAccess(unsigned unit, MemOp op, Addr pa,
                                  std::uint32_t size, TickCallback done)
@@ -499,12 +502,14 @@ CxlMemoryExpander::funcAmo(AmoOp op, Addr pa, std::uint64_t operand,
     return amoExecute(mem_, op, pa, operand, width);
 }
 
+M2NDP_HOT_PATH
 Addr
 CxlMemoryExpander::dramTlbEntryPa(Asid asid, Addr va)
 {
     return dram_tlb_->entryAddress(asid, va);
 }
 
+M2NDP_HOT_PATH
 bool
 CxlMemoryExpander::dramTlbWarm(Asid asid, Addr va)
 {

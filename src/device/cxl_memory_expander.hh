@@ -19,7 +19,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -180,10 +179,16 @@ class CxlMemoryExpander : public NdpUnitEnv, public NdpControllerEnv
     /** M2func payload staging nodes currently checked out (leak tests). */
     std::size_t livePayloadNodes() const { return payload_pool_.live(); }
 
-    /** Install the cross-device P2P access hook (set by the System). */
-    using PeerAccessFn = std::function<void(unsigned src_device, MemOp op,
-                                            Addr pa, std::uint32_t size,
-                                            TickCallback)>;
+    /**
+     * Install the cross-device P2P access hook (set by the System).
+     * Inline (48 B SBO, move-only): the System's route captures only its
+     * `this` pointer, and the hook sits on the warm P2P access path where
+     * a `std::function` would heap-allocate per installation and defeat
+     * the hot-path purity rule.
+     */
+    using PeerAccessFn = InlineCallback<void(unsigned src_device, MemOp op,
+                                             Addr pa, std::uint32_t size,
+                                             TickCallback)>;
     void setPeerAccess(PeerAccessFn fn) { peer_access_ = std::move(fn); }
 
     /** Timing access into this device's memory from a peer device or the

@@ -890,12 +890,24 @@ AssembledKernel::staticInstructionCount() const
 const char *
 opcodeName(Opcode op)
 {
-    // Reverse map built from the mnemonic table. Keys live in the node-based
-    // unordered_map, so the c_str() pointers remain valid.
+    // Reverse map built from the mnemonic table. Several mnemonics can
+    // alias one opcode, so the walk is materialized and sorted before
+    // insertion: the lexicographically smallest mnemonic wins on every
+    // toolchain, not whichever hash bucket drains first. Keys live in the
+    // node-based unordered_map, so the c_str() pointers remain valid.
     static const std::unordered_map<Opcode, const char *> names = [] {
-        std::unordered_map<Opcode, const char *> m;
+        std::vector<std::pair<const std::string *, Opcode>> entries;
+        entries.reserve(mnemonicTable().size());
+        // Order-insensitive: sorted below. ndp-lint: allow(nondeterminism)
         for (const auto &[mnemonic, info] : mnemonicTable())
-            m.emplace(info.op, mnemonic.c_str());
+            entries.emplace_back(&mnemonic, info.op);
+        std::sort(entries.begin(), entries.end(),
+                  [](const auto &a, const auto &b) {
+                      return *a.first < *b.first;
+                  });
+        std::unordered_map<Opcode, const char *> m;
+        for (const auto &[name, opc] : entries)
+            m.emplace(opc, name->c_str());
         return m;
     }();
     auto it = names.find(op);

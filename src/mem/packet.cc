@@ -1,5 +1,7 @@
 #include "mem/packet.hh"
 
+#include "common/annotations.hh"
+
 #include <cstddef>
 #include <memory>
 #include <mutex>
@@ -62,6 +64,7 @@ grow(LocalCache &c)
 
 } // namespace
 
+M2NDP_HOT_PATH
 MemPacket *
 MemPacketPool::alloc()
 {
@@ -76,6 +79,7 @@ MemPacketPool::alloc()
     return pkt;
 }
 
+M2NDP_HOT_PATH
 void
 MemPacketPool::release(MemPacket *pkt)
 {

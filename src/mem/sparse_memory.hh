@@ -36,6 +36,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/annotations.hh"
 #include "common/log.hh"
 #include "common/units.hh"
 
@@ -97,6 +98,7 @@ class SparseMemory
         readSlow(addr, out, size);
     }
 
+    M2NDP_HOT_PATH
     void
     read(Addr addr, void *out, std::uint64_t size, FrameHint &hint) const
     {
@@ -144,6 +146,7 @@ class SparseMemory
         writeSlow(addr, in, size);
     }
 
+    M2NDP_HOT_PATH
     void
     write(Addr addr, const void *in, std::uint64_t size, FrameHint &hint)
     {

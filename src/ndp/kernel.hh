@@ -12,15 +12,22 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "common/callback.hh"
 #include "common/units.hh"
 #include "isa/decoded.hh"
 #include "isa/inst.hh"
 #include "mem/page_table.hh"
 
 namespace m2ndp {
+
+/**
+ * Completion hook attached to a kernel instance. Inline (48 B SBO,
+ * move-only) so the per-launch completion plumbing — armed on every warm
+ * launch — never touches the heap the way the old `std::function` did.
+ */
+using InstanceCompleteFn = InlineCallback<void(Tick)>;
 
 /** Resource declaration given at kernel registration (Table II). */
 struct KernelResources
@@ -113,8 +120,30 @@ struct KernelInstance
     /** Total dynamic instructions executed by this instance's uthreads. */
     std::uint64_t instructions = 0;
 
-    /** Invoked exactly once when the instance reaches Done. */
-    std::function<void(Tick)> on_complete;
+    /**
+     * Invoked exactly once when the instance reaches Done, in slot order.
+     * Two fixed slots instead of one wrappable hook: composing inline
+     * callbacks by capturing the previous one inside a new lambda would
+     * blow the 48 B capture budget and fall back to the heap on every
+     * warm launch. Slot 0 is the launch-time hook; slot 1 is the
+     * observer appended later (the sync-M2func return resolver or the
+     * host runtime's completion notification).
+     */
+    InstanceCompleteFn on_complete;
+    InstanceCompleteFn on_complete_observer;
+
+    /** Append a completion hook into the first free slot. */
+    void
+    addCompletion(InstanceCompleteFn cb)
+    {
+        if (!on_complete) {
+            on_complete = std::move(cb);
+            return;
+        }
+        M2_ASSERT(!on_complete_observer,
+                  "kernel instance completion slots exhausted");
+        on_complete_observer = std::move(cb);
+    }
 
     bool
     isActive() const

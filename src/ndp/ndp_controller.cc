@@ -65,14 +65,13 @@ NdpController::handleLaunchWrite(Asid asid, std::uint64_t fn_index,
     }
     if (sync) {
         KernelInstance *inst = instances_by_id_.at(iid);
-        auto prev = std::move(inst->on_complete);
-        inst->on_complete = [this, asid, iid, fn_index,
-                             prev = std::move(prev)](Tick t) {
-            if (prev)
-                prev(t);
+        // Appended as a completion slot rather than wrapping the previous
+        // hook: capturing an InlineCallback inside another lambda would
+        // overflow the inline budget and heap-allocate per sync launch.
+        inst->addCompletion([this, asid, iid, fn_index](Tick) {
             std::int64_t err = instanceError(iid);
             resolveReturn(asid, fn_index, err < 0 ? err : iid);
-        };
+        });
     } else {
         resolveReturn(asid, fn_index, iid);
     }
@@ -223,7 +222,7 @@ std::int64_t
 NdpController::launch(Asid asid, std::int64_t kernel_id, bool synchronous,
                       Addr pool_base, Addr pool_bound,
                       const std::uint8_t *args, std::uint32_t args_size,
-                      std::function<void(Tick)> on_complete)
+                      InstanceCompleteFn on_complete)
 {
     auto kit = kernels_.find(kernel_id);
     if (kit == kernels_.end() || kit->second->asid != asid) {
@@ -264,12 +263,16 @@ NdpController::launch(Asid asid, std::int64_t kernel_id, bool synchronous,
 
 void
 NdpController::onInstanceComplete(std::int64_t instance_id,
-                                  std::function<void(Tick)> cb)
+                                  InstanceCompleteFn cb)
 {
     auto done = completed_.find(instance_id);
     if (done != completed_.end()) {
         Tick now = env_.eventQueue().now();
-        env_.eventQueue().schedule(now, [cb = std::move(cb), now] {
+        // Cold path (observer attached after completion): the event
+        // captures the 56 B hook and falls back to the heap; acceptable
+        // because it only runs for already-finished instances.
+        // ndp-lint: allow(capture-budget)
+        env_.eventQueue().schedule(now, [cb = std::move(cb), now]() mutable {
             cb(now);
         });
         return;
@@ -277,14 +280,7 @@ NdpController::onInstanceComplete(std::int64_t instance_id,
     auto it = instances_by_id_.find(instance_id);
     M2_ASSERT(it != instances_by_id_.end(),
               "onInstanceComplete: unknown instance ", instance_id);
-    KernelInstance *inst = it->second;
-    auto prev = std::move(inst->on_complete);
-    inst->on_complete = [prev = std::move(prev),
-                         cb = std::move(cb)](Tick t) {
-        if (prev)
-            prev(t);
-        cb(t);
-    };
+    it->second->addCompletion(std::move(cb));
 }
 
 KernelStatus
@@ -480,17 +476,20 @@ NdpController::completeInstance(KernelInstance *inst, Tick when)
     spadFree(inst->spad_offset, inst->kernel->resources.scratchpad_bytes);
 
     auto cb = std::move(inst->on_complete);
+    auto observer = std::move(inst->on_complete_observer);
 
     auto it = std::find_if(active_.begin(), active_.end(),
                            [inst](const auto &p) { return p.get() == inst; });
     M2_ASSERT(it != active_.end(), "completing unknown instance");
-    // Keep the instance alive through the callback.
+    // Keep the instance alive through the callbacks.
     auto holder = std::move(*it);
     active_.erase(it);
 
     admitPending();
     if (cb)
         cb(when);
+    if (observer)
+        observer(when);
 }
 
 // --------------------------------------------------------------------------
@@ -529,17 +528,17 @@ NdpController::pullWork(unsigned unit)
         switch (inst->phase) {
           case InstancePhase::Initializer:
           case InstancePhase::Finalizer: {
-            std::uint64_t k = inst->next_work[unit];
-            if (k >= env_.slotsPerUnit())
+            std::uint64_t slot = inst->next_work[unit];
+            if (slot >= env_.slotsPerUnit())
                 continue;
-            inst->next_work[unit] = k + 1;
+            inst->next_work[unit] = slot + 1;
             ++inst->spawned;
             SpawnItem item;
             item.instance = inst;
             item.section = &section;
             item.x1 = layout::kScratchpadVaBase;
             item.x2 = static_cast<std::uint64_t>(unit) *
-                          env_.slotsPerUnit() + k;
+                          env_.slotsPerUnit() + slot;
             rr_instance_ = idx + 1 == n ? 0 : idx + 1;
             return item;
           }

@@ -18,7 +18,6 @@
 #include <cstdint>
 #include <cstring>
 #include <deque>
-#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -190,14 +189,14 @@ class NdpController
     std::int64_t launch(Asid asid, std::int64_t kernel_id, bool synchronous,
                         Addr pool_base, Addr pool_bound,
                         const std::uint8_t *args, std::uint32_t args_size,
-                        std::function<void(Tick)> on_complete = {});
+                        InstanceCompleteFn on_complete = {});
 
     /** Convenience overload for tests/drivers holding args in a vector. */
     std::int64_t
     launch(Asid asid, std::int64_t kernel_id, bool synchronous,
            Addr pool_base, Addr pool_bound,
            const std::vector<std::uint8_t> &args,
-           std::function<void(Tick)> on_complete = {})
+           InstanceCompleteFn on_complete = {})
     {
         return launch(asid, kernel_id, synchronous, pool_base, pool_bound,
                       args.data(), static_cast<std::uint32_t>(args.size()),
@@ -225,8 +224,7 @@ class NdpController
      * (same tick) if the instance already finished. Used by the host
      * runtime to model completion notification.
      */
-    void onInstanceComplete(std::int64_t instance_id,
-                            std::function<void(Tick)> cb);
+    void onInstanceComplete(std::int64_t instance_id, InstanceCompleteFn cb);
 
     const NdpControllerStats &stats() const { return stats_; }
     unsigned activeInstances() const

@@ -1,5 +1,7 @@
 #include "ndp/ndp_unit.hh"
 
+#include "common/annotations.hh"
+
 #include <algorithm>
 #include <bit>
 
@@ -53,6 +55,7 @@ NdpUnit::NdpUnit(NdpUnitEnv &env, NdpUnitConfig cfg)
     period_div_limit_ = ~std::uint64_t(0) / cfg_.period;
 }
 
+M2NDP_HOT_PATH
 Addr
 NdpUnit::translateCached(Asid asid, Addr va)
 {
@@ -85,6 +88,7 @@ NdpUnit::translateCached(Asid asid, Addr va)
 // Functional memory path (isa::MemoryIf)
 // --------------------------------------------------------------------------
 
+M2NDP_HOT_PATH
 std::uint8_t *
 NdpUnit::spadPointer(Addr va, unsigned size)
 {
@@ -97,8 +101,10 @@ NdpUnit::spadPointer(Addr va, unsigned size)
         std::uint64_t off = va - layout::kKernelArgVa;
         M2_ASSERT(off + size <= inst->args.size() || true,
                   "arg window access past declared args");
+        // Arg buffer grows to the <= 256 B window once per instance on
+        // first touch, then stays.
         if (inst->args.size() < off + size)
-            inst->args.resize(off + size, 0);
+            inst->args.resize(off + size, 0); // ndp-lint: allow(hotpath-alloc)
         return inst->args.data() + off;
     }
 
@@ -115,6 +121,7 @@ NdpUnit::spadPointer(Addr va, unsigned size)
     return spad_.data() + inst->spad_offset + off;
 }
 
+M2NDP_HOT_PATH
 void
 NdpUnit::read(Addr va, void *out, unsigned size)
 {
@@ -143,6 +150,7 @@ NdpUnit::read(Addr va, void *out, unsigned size)
     }
 }
 
+M2NDP_HOT_PATH
 void
 NdpUnit::write(Addr va, const void *in, unsigned size)
 {
@@ -171,6 +179,7 @@ NdpUnit::write(Addr va, const void *in, unsigned size)
     }
 }
 
+M2NDP_HOT_PATH
 std::uint64_t
 NdpUnit::amo(AmoOp op, Addr va, std::uint64_t operand, unsigned width)
 {
@@ -196,6 +205,7 @@ NdpUnit::wake()
     scheduleTick(eqNextEdge());
 }
 
+M2NDP_HOT_PATH
 void
 NdpUnit::scheduleTick(Tick at)
 {
@@ -205,6 +215,7 @@ NdpUnit::scheduleTick(Tick at)
     env_.requestUnitTick(cfg_.index, at);
 }
 
+M2NDP_HOT_PATH
 Tick
 NdpUnit::tick(Tick now)
 {
@@ -271,6 +282,7 @@ NdpUnit::tick(Tick now)
     return next != kTickMax ? edgeAtOrAfter(next) : kTickMax;
 }
 
+M2NDP_HOT_PATH
 void
 NdpUnit::queueCompletion(Slot *slot, KernelInstance *inst, MemOp op,
                          bool blocking, Tick when)
@@ -278,6 +290,8 @@ NdpUnit::queueCompletion(Slot *slot, KernelInstance *inst, MemOp op,
     // Clamp: peer/host chains may deliver exactly at now; fused device
     // stages always stamp the future.
     when = std::max(when, env_.eventQueue().now());
+    // Capacity reserved in the constructor for the all-slots-outstanding
+    // worst case; never reallocates. ndp-lint: allow(hotpath-alloc)
     pending_.push_back(PendingCompletion{slot, inst, when, pending_seq_++,
                                          op, blocking});
     std::push_heap(pending_.begin(), pending_.end());
@@ -293,6 +307,7 @@ NdpUnit::queueCompletion(Slot *slot, KernelInstance *inst, MemOp op,
     }
 }
 
+M2NDP_HOT_PATH
 void
 NdpUnit::drainCompletions(Tick now)
 {
@@ -309,6 +324,7 @@ NdpUnit::drainCompletions(Tick now)
     pending_min_ = pending_.empty() ? kTickMax : pending_.front().when;
 }
 
+M2NDP_HOT_PATH
 bool
 NdpUnit::trySpawn(SubCore &sc, Tick now)
 {
@@ -371,6 +387,7 @@ NdpUnit::trySpawn(SubCore &sc, Tick now)
     return spawned;
 }
 
+M2NDP_HOT_PATH
 Tick
 NdpUnit::issueOne(unsigned sc_idx, SubCore &sc, Tick now, bool new_cycle,
                   bool &issued)
@@ -551,6 +568,7 @@ NdpUnit::issueOne(unsigned sc_idx, SubCore &sc, Tick now, bool new_cycle,
     return std::min(next, sc.sched.nextWake());
 }
 
+M2NDP_HOT_PATH
 void
 NdpUnit::completeBlockingAccess(Slot *slot, Tick when)
 {
@@ -573,8 +591,10 @@ NdpUnit::completeBlockingAccess(Slot *slot, Tick when)
     }
 }
 
+M2NDP_HOT_PATH
 Tick
-NdpUnit::handleMemRefs(unsigned sc_idx, SubCore &sc, Slot &slot,
+NdpUnit::handleMemRefs([[maybe_unused]] unsigned sc_idx, SubCore &sc,
+                       Slot &slot,
                        const isa::StepResult &res, Tick now)
 {
     // First pass: issue global refs (these need real completion
@@ -612,8 +632,10 @@ NdpUnit::handleMemRefs(unsigned sc_idx, SubCore &sc, Slot &slot,
     return 0;
 }
 
+M2NDP_HOT_PATH
 void
-NdpUnit::issueGlobalAccess(SubCore &sc, Slot &slot, const isa::MemRef &ref,
+NdpUnit::issueGlobalAccess([[maybe_unused]] SubCore &sc, Slot &slot,
+                           const isa::MemRef &ref,
                            Tick now, bool blocking)
 {
     KernelInstance *inst = slot.instance;
@@ -632,8 +654,11 @@ NdpUnit::issueGlobalAccess(SubCore &sc, Slot &slot, const isa::MemRef &ref,
     }
 
     Addr pa = translateCached(asid, ref.va);
-    if (need_dram_tlb)
+    if (need_dram_tlb) {
+        // Fixed-geometry TLB fill, no allocation.
+        // ndp-lint: allow(hotpath-alloc)
         dtlb_.insert(asid, ref.va, pa & ~page_mask_);
+    }
 
     // Classify: within a blocking instruction, a store ref is an atomic
     // (AMO); standalone stores are posted.
@@ -692,6 +717,7 @@ NdpUnit::issueGlobalAccess(SubCore &sc, Slot &slot, const isa::MemRef &ref,
         });
 }
 
+M2NDP_HOT_PATH
 void
 NdpUnit::launchGlobalAccess(Slot *s, KernelInstance *inst, MemOp op,
                             bool blocking, Addr pa, std::uint32_t size,
@@ -717,6 +743,7 @@ NdpUnit::launchGlobalAccess(Slot *s, KernelInstance *inst, MemOp op,
     });
 }
 
+M2NDP_HOT_PATH
 void
 NdpUnit::finishThread(SubCore &sc, Slot &slot)
 {
@@ -734,6 +761,7 @@ NdpUnit::finishThread(SubCore &sc, Slot &slot)
     env_.uthreadFinished(inst);
 }
 
+M2NDP_HOT_PATH
 bool
 NdpUnit::hasIdleSlot() const
 {
@@ -742,6 +770,7 @@ NdpUnit::hasIdleSlot() const
     return live_slots_ < cfg_.subcores * cfg_.slots_per_subcore;
 }
 
+M2NDP_HOT_PATH
 Tick
 NdpUnit::eqNextEdge() const
 {

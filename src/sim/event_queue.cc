@@ -3,14 +3,20 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/annotations.hh"
+
 namespace m2ndp {
 
 EventQueue::~EventQueue() = default;
 
+M2NDP_HOT_PATH
 EventQueue::Event *
 EventQueue::allocEvent()
 {
     if (free_head_ == nullptr) {
+        // Slab growth happens only until the live-event high-water mark;
+        // steady state always hits the freelist (the counting-new test
+        // pins this). ndp-lint: allow(hotpath-alloc)
         slabs_.push_back(std::make_unique<Event[]>(kSlabEvents));
         Event *slab = slabs_.back().get();
         for (unsigned i = 0; i < kSlabEvents; ++i) {
@@ -23,6 +29,7 @@ EventQueue::allocEvent()
     return ev;
 }
 
+M2NDP_HOT_PATH
 void
 EventQueue::recycle(Event *ev)
 {
@@ -44,6 +51,7 @@ EventQueue::clearOccupied(unsigned bucket)
     occupied_[bucket >> 6] &= ~(std::uint64_t(1) << (bucket & 63));
 }
 
+M2NDP_HOT_PATH
 void
 EventQueue::pushBucket(Event *ev)
 {
@@ -77,6 +85,7 @@ EventQueue::pushBucket(Event *ev)
     ++cal_count_;
 }
 
+M2NDP_HOT_PATH
 EventQueue::Event *
 EventQueue::scheduleNode(Tick when)
 {
@@ -96,6 +105,8 @@ EventQueue::scheduleNode(Tick when)
         // ahead of now() — the overflow tier holds it; the (when, seq)
         // compare in peekMin keeps global ordering exact either way.
         ev->loc = Loc::Overflow;
+        // Overflow vector reaches its high-water capacity once, then
+        // recycles storage. ndp-lint: allow(hotpath-alloc)
         overflow_.push_back(ev);
         std::push_heap(overflow_.begin(), overflow_.end(),
                        [](const Event *a, const Event *b) {
@@ -193,6 +204,7 @@ findOccupiedFrom(const std::vector<std::uint64_t> &bits, unsigned start)
 
 } // namespace
 
+M2NDP_HOT_PATH
 EventQueue::Event *
 EventQueue::peekMin(unsigned *bucket) const
 {
@@ -217,6 +229,7 @@ EventQueue::peekMin(unsigned *bucket) const
     return best;
 }
 
+M2NDP_HOT_PATH
 EventQueue::Event *
 EventQueue::extractMin(Tick limit)
 {
@@ -277,6 +290,7 @@ EventQueue::extractMin(Tick limit)
     return best;
 }
 
+M2NDP_HOT_PATH
 void
 EventQueue::dispatch(Event *ev)
 {
@@ -296,6 +310,7 @@ EventQueue::nextEventTick() const
     return best != nullptr ? best->when : kTickMax;
 }
 
+M2NDP_HOT_PATH
 std::uint64_t
 EventQueue::runLocal(Tick limit)
 {
@@ -310,6 +325,7 @@ EventQueue::runLocal(Tick limit)
     return executed;
 }
 
+M2NDP_HOT_PATH
 bool
 EventQueue::stepLocal()
 {
@@ -321,6 +337,7 @@ EventQueue::stepLocal()
     return true;
 }
 
+M2NDP_HOT_PATH
 std::uint64_t
 EventQueue::runWindow(Tick bound)
 {
@@ -338,6 +355,7 @@ EventQueue::runWindow(Tick bound)
     return executed;
 }
 
+M2NDP_HOT_PATH
 bool
 EventQueue::stepWindow(Tick bound)
 {

@@ -79,31 +79,41 @@ System::System(SystemConfig cfg) : cfg_(cfg)
     // device-to-device partition boundary at the P2P one-way latency
     // (>= the domain lookahead by construction).
     for (auto &dev : devices_) {
+        p2p_pools_.push_back(std::make_unique<SlabPool<P2pRoute>>());
         dev->setPeerAccess([this](unsigned src, MemOp op, Addr pa,
                                   std::uint32_t size, TickCallback done) {
             unsigned target = layout::deviceOf(pa);
             M2_ASSERT(target < devices_.size(),
                       "P2P to nonexistent device ", target);
             M2_ASSERT(target != src, "P2P to self");
+            // The route state (including the 56 B completion callback)
+            // rides one pooled node so every hop lambda below captures
+            // two pointers and stays inside the InlineCallback buffer.
+            P2pRoute *rt = p2p_pools_[src]->acquire();
+            rt->src = src;
+            rt->target = target;
+            rt->op = op;
+            rt->pa = pa;
+            rt->size = size;
+            rt->done = std::move(done);
             Tick hop = cfg_.p2p_oneway_latency;
             Tick arrive = device_queues_[src]->now() + hop;
             domain_->post(
                 SimDomain::deviceId(src), SimDomain::deviceId(target),
-                arrive,
-                [this, src, target, op, pa, size,
-                 done = std::move(done)]() mutable {
-                    devices_[target]->peerMemAccess(
-                        op, pa, size,
-                        [this, src, target,
-                         done = std::move(done)](Tick t) mutable {
-                            Tick hop = cfg_.p2p_oneway_latency;
-                            EventQueue &tq = *device_queues_[target];
+                arrive, [this, rt] {
+                    devices_[rt->target]->peerMemAccess(
+                        rt->op, rt->pa, rt->size, [this, rt](Tick t) {
+                            EventQueue &tq = *device_queues_[rt->target];
                             domain_->post(
-                                SimDomain::deviceId(target),
-                                SimDomain::deviceId(src),
-                                std::max(tq.now(), t) + hop,
-                                [done = std::move(done), t,
-                                 hop]() mutable { done(t + hop); });
+                                SimDomain::deviceId(rt->target),
+                                SimDomain::deviceId(rt->src),
+                                std::max(tq.now(), t) +
+                                    cfg_.p2p_oneway_latency,
+                                [this, rt, t] {
+                                    TickCallback fin = std::move(rt->done);
+                                    p2p_pools_[rt->src]->release(rt);
+                                    fin(t + cfg_.p2p_oneway_latency);
+                                });
                         });
                 });
         });

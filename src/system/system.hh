@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/slab_pool.hh"
 #include "cxl/link.hh"
 #include "device/cxl_memory_expander.hh"
 #include "host/host.hh"
@@ -146,6 +147,29 @@ class System
     std::vector<std::unique_ptr<PhysAllocator>> allocators_;
     std::vector<std::unique_ptr<ProcessAddressSpace>> processes_;
     Asid next_asid_ = 1;
+
+    /**
+     * In-flight P2P switch route. The forwarded TickCallback alone is
+     * 56 B, so capturing it through the request/response hop lambdas
+     * would overflow the InlineCallback inline buffer and heap-allocate
+     * on every hop; each route rides one pooled node instead and the hop
+     * captures stay at two pointers. Nodes are acquired and released on
+     * the source device's partition (the response is posted back there
+     * before release), so the per-device pools need no locking under
+     * M2NDP_THREADS.
+     */
+    struct P2pRoute
+    {
+        P2pRoute *next = nullptr; ///< slab freelist link
+        unsigned src = 0;
+        unsigned target = 0;
+        MemOp op{};
+        Addr pa = 0;
+        std::uint32_t size = 0;
+        TickCallback done;
+    };
+    /** One pool per source device partition. */
+    std::vector<std::unique_ptr<SlabPool<P2pRoute>>> p2p_pools_;
 };
 
 } // namespace m2ndp

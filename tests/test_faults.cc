@@ -133,7 +133,7 @@ class FaultTest : public ::testing::Test
         ASSERT_GT(oob_kid, 0);
     }
 
-    virtual void configure(SystemConfig &cfg) {}
+    virtual void configure(SystemConfig &) {}
 
     std::unique_ptr<System> sys;
     ProcessAddressSpace *proc = nullptr;

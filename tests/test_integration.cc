@@ -192,15 +192,15 @@ TEST_F(IntegrationTest, SchedulerStatsAndDeterminism)
     auto run_once = [](NdpUnitStats &out) {
         SystemConfig cfg;
         cfg.link = SystemConfig::linkForLoadToUse(150 * kNs);
-        System sys(cfg);
-        auto &proc = sys.createProcess();
-        auto rt = sys.createRuntime(proc);
+        System fresh(cfg);
+        auto &proc = fresh.createProcess();
+        auto rt = fresh.createRuntime(proc);
         constexpr unsigned kN = 16384;
         Addr a = proc.allocate(kN * 4), b = proc.allocate(kN * 4),
              c = proc.allocate(kN * 4);
         std::vector<std::uint32_t> va(kN, 3), vb(kN, 4);
-        sys.writeVirtual(proc, a, va.data(), kN * 4);
-        sys.writeVirtual(proc, b, vb.data(), kN * 4);
+        fresh.writeVirtual(proc, a, va.data(), kN * 4);
+        fresh.writeVirtual(proc, b, vb.data(), kN * 4);
         KernelResources res;
         res.num_int_regs = 8;
         res.num_vector_regs = 4;
@@ -221,8 +221,8 @@ TEST_F(IntegrationTest, SchedulerStatsAndDeterminism)
         LaunchDesc d(kid, a, a + kN * 4);
         d.arg(b).arg(c);
         rt->launchKernelSync(d);
-        out = sys.device().aggregateUnitStats();
-        return sys.eq().now();
+        out = fresh.device().aggregateUnitStats();
+        return fresh.eq().now();
     };
 
     NdpUnitStats first, second;

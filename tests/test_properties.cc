@@ -214,7 +214,7 @@ INSTANTIATE_TEST_SUITE_P(
         DramCase{"ddr5", DramTiming::ddr5(), 8, 409.6},
         DramCase{"hbm2", DramTiming::hbm2(), 32, 1024.0},
         DramCase{"lpddr5_half", DramTiming::lpddr5(), 16, 204.8}),
-    [](const auto &info) { return std::string(info.param.name); });
+    [](const auto &tpi) { return std::string(tpi.param.name); });
 
 // ------------------------------------------------ cache sweeps
 

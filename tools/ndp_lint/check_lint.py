@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Golden tests for ndp-lint, run by ctest.
+
+Two subcommands:
+
+  fixtures   every `fixtures/bad_*.cc` must produce at least one finding of
+             the rule named in its `// expect: <rule>` header and exit
+             nonzero; `fixtures/suppressed_ok.cc` (header `expect-clean` +
+             `expect-suppressed: <rules>`) must exit zero while tallying
+             exactly one suppressed finding per listed rule.
+
+  src        the real tree must lint clean: zero unsuppressed findings over
+             everything compile_commands.json reaches under src/. Prints
+             the suppression audit tally on success.
+
+Exit 0 on success, 1 on any expectation failure.
+"""
+
+import argparse
+import contextlib
+import io
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import ndp_lint  # noqa: E402
+
+FIXTURE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "fixtures")
+
+
+def run_lint(argv):
+    """Run ndp_lint.main with --json, returning (exit_code, report)."""
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        code = ndp_lint.main(argv + ["--json"])
+    return code, json.loads(buf.getvalue())
+
+
+def parse_header(path):
+    expects, clean, suppressed = set(), False, set()
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line.startswith("//"):
+                continue
+            body = line.lstrip("/ ").strip()
+            if body.startswith("expect:"):
+                expects.add(body.split(":", 1)[1].strip())
+            elif body.startswith("expect-clean"):
+                clean = True
+            elif body.startswith("expect-suppressed:"):
+                suppressed |= set(body.split(":", 1)[1].split())
+    return expects, clean, suppressed
+
+
+def check_fixtures():
+    failures = []
+    names = sorted(n for n in os.listdir(FIXTURE_DIR) if n.endswith(".cc"))
+    if not names:
+        return ["no fixtures found in " + FIXTURE_DIR]
+    for name in names:
+        path = os.path.join(FIXTURE_DIR, name)
+        expects, clean, suppressed = parse_header(path)
+        code, report = run_lint([path])
+        fired = {f["rule"] for f in report["findings"] if not f["suppressed"]}
+        tally = {r: n for r, n in report["suppressed"].items() if n}
+        if clean:
+            if code != 0:
+                failures.append(
+                    f"{name}: expected clean, got unsuppressed {sorted(fired)}")
+            for rule in suppressed:
+                if tally.get(rule, 0) != 1:
+                    failures.append(
+                        f"{name}: expected exactly 1 suppressed "
+                        f"'{rule}' finding, tally={tally}")
+            extra = set(tally) - suppressed
+            if extra:
+                failures.append(
+                    f"{name}: unexpected suppressed rules {sorted(extra)}")
+            continue
+        if code == 0:
+            failures.append(f"{name}: expected a lint failure, got clean")
+        for rule in expects:
+            if rule not in fired:
+                failures.append(
+                    f"{name}: rule '{rule}' did not fire (fired: "
+                    f"{sorted(fired)})")
+        for rule in fired - expects:
+            failures.append(
+                f"{name}: unexpected rule '{rule}' fired")
+    return failures
+
+
+def check_src(compile_commands):
+    argv = []
+    if compile_commands:
+        argv += ["--compile-commands", compile_commands]
+    code, report = run_lint(argv)
+    if code != 0:
+        bad = [f for f in report["findings"] if not f["suppressed"]]
+        lines = [f"{f['path']}:{f['line']}: {f['rule']}: {f['message']}"
+                 for f in bad]
+        return [f"src tree has {len(bad)} unsuppressed finding(s):"] + lines
+    total = sum(report["suppressed"].values())
+    tally = " ".join(f"{r}={n}" for r, n in report["suppressed"].items() if n)
+    print(f"ndp-lint[{report['mode']}]: src clean over {report['files']} "
+          f"files; {total} audited suppressions ({tally})")
+    return []
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("what", choices=("fixtures", "src"))
+    ap.add_argument("--compile-commands", default=None)
+    args = ap.parse_args()
+    failures = (check_fixtures() if args.what == "fixtures"
+                else check_src(args.compile_commands))
+    if failures:
+        for f in failures:
+            print("FAIL:", f, file=sys.stderr)
+        return 1
+    print(f"check_lint {args.what}: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

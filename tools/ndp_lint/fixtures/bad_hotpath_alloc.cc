@@ -1,0 +1,39 @@
+// ndp-lint golden fixture: every violation below must be reported by the
+// hotpath-alloc rule. The `expect:` lines are consumed by check_lint.py.
+//
+// expect: hotpath-alloc
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#define M2NDP_HOT_PATH
+
+struct Packet
+{
+    int payload;
+};
+
+M2NDP_HOT_PATH
+void
+deliverResponse(std::vector<Packet> &queue, int v)
+{
+    Packet *p = new Packet{v};          // BAD: operator new on a hot path
+    queue.push_back(*p);                // BAD: container growth
+    std::function<void()> cb = [] {};   // BAD: std::function
+    auto sp = std::make_shared<Packet>();   // BAD: shared_ptr allocation
+    auto up = std::make_unique<Packet>();   // BAD: make_unique
+    queue.reserve(64);                  // BAD: container growth
+    cb();
+    (void)sp;
+    (void)up;
+}
+
+// A non-annotated function may allocate freely: no findings here.
+void
+coldSetup(std::vector<Packet> &queue)
+{
+    queue.resize(1024);
+    auto up = std::make_unique<Packet>();
+    (void)up;
+}

@@ -1,0 +1,52 @@
+// ndp-lint golden fixture: every violation below must be reported by the
+// nondeterminism rule.
+//
+// expect: nondeterminism
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <unordered_map>
+
+struct Event
+{
+    long when;
+};
+
+struct Sched
+{
+    // BAD: pointer-keyed ordered container — iteration order depends on
+    // allocation addresses, which vary run to run.
+    std::map<Event *, long> by_event;
+
+    std::unordered_map<long, Event> pending;
+
+    long
+    seed()
+    {
+        std::random_device rd;               // BAD: random_device
+        return static_cast<long>(rd()) + rand();   // BAD: rand()
+    }
+
+    long
+    stamp()
+    {
+        // BAD: wall-clock read inside simulation code.
+        return std::chrono::steady_clock::now().time_since_epoch().count();
+    }
+
+    long
+    drain()
+    {
+        long sum = 0;
+        // BAD: iteration over an unordered container; the visit order
+        // feeds sim-visible state.
+        for (auto &kv : pending)
+            sum += kv.second.when;
+        // BAD: iterator-walk form of the same defect.
+        for (auto it = pending.begin(); it != pending.end(); ++it)
+            sum += it->second.when;
+        return sum;
+    }
+};

@@ -1,0 +1,52 @@
+// ndp-lint golden fixture: every violation below must be reported by the
+// partition-safety rule. Cross-partition effects must ride the SimDomain
+// mailbox API (SimDomain::post / postToDeviceAt / postToHostAt) so the
+// conservative-lookahead window stays sound.
+//
+// expect: partition-safety
+
+#include <cstdint>
+#include <vector>
+
+struct EventQueue
+{
+    template <typename F> void schedule(long when, F &&cb) {}
+    template <typename F> void scheduleAfter(long delay, F &&cb) {}
+};
+
+struct HostCxlPort
+{
+    EventQueue &deviceQueue();
+    EventQueue &hostQueue();
+};
+
+struct System
+{
+    std::vector<EventQueue *> device_queues_;
+    HostCxlPort *port;
+    EventQueue *partitionQueue(unsigned idx);
+
+    void
+    hostSideLaunch(long now)
+    {
+        // BAD: host code scheduling straight onto the device partition's
+        // queue bypasses the mailbox lookahead protocol.
+        port->deviceQueue().schedule(now + 100, [] {});
+    }
+
+    void
+    deviceSideComplete(long now)
+    {
+        // BAD: device code scheduling straight onto the host's queue.
+        port->hostQueue().scheduleAfter(50, [] {});
+    }
+
+    void
+    broadcast(long now)
+    {
+        // BAD: indexing another partition's queue directly.
+        device_queues_[2]->schedule(now + 10, [] {});
+        // BAD: same through the accessor form.
+        partitionQueue(1)->scheduleAfter(10, [] {});
+    }
+};
