@@ -64,6 +64,15 @@ if fm:
           % (fm["bit_error_rate"], fm["completed_launch_ratio"] * 100.0,
              fm["launches"], fm["link_retries"],
              fm["link_retries_per_launch"], fm["stream_relaunches"]))
+qos = doc.get("qos")
+if qos:
+    print("qos (open-loop, deterministic): capacity %.1f Mreq/s | "
+          "p99@70%%knee %d ns | overload shed %.1f%% | min tenant "
+          "progress %.1f%% | typed accounting %s"
+          % (qos["knee_offered_load"] / 1e6, qos["p99_sim_ns"],
+             qos["shed_ratio_overload"] * 100.0,
+             qos["min_progress_ratio"] * 100.0,
+             "ok" if qos["typed_accounting"] else "BROKEN"))
 PYEOF
 fi
 

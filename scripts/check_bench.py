@@ -61,6 +61,15 @@ GATED_PATHS = {
     # false is a 100% regression).
     "parallel.speedup_vs_serial": ("higher", "wall"),
     "parallel.checksums_match": ("higher", "det"),
+    # Open-loop overload / QoS run (deterministic traffic harness, fixed
+    # seeds; see docs/robustness.md "Overload protection"). Capacity must
+    # not sink, the 70%-of-knee tail must not inflate, overload must not
+    # shed a larger fraction, and the worst tenant's progress floor must
+    # hold.
+    "qos.knee_offered_load": ("higher", "det"),
+    "qos.p99_sim_ns": ("lower", "det"),
+    "qos.shed_ratio_overload": ("lower", "det"),
+    "qos.min_progress_ratio": ("higher", "det"),
 }
 
 DETERMINISTIC_TOLERANCE = 0.10

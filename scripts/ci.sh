@@ -6,7 +6,8 @@
 # (-DSANITIZE=address,undefined) over the
 # stream-API tests and the full-stack quickstart example, and a
 # ThreadSanitizer smoke pass over the multithreaded partitioned-engine
-# tests (-DSANITIZE=thread, M2NDP_THREADS=2).
+# tests plus the open-loop overload harness (-DSANITIZE=thread,
+# M2NDP_THREADS=2).
 #
 # Usage: scripts/ci.sh [--no-sanitize] [--no-bench]
 #   --no-sanitize  skip the sanitizer smoke trees (ASan/UBSan and TSan)
@@ -85,6 +86,13 @@ if [[ "$run_sanitize" == 1 ]]; then
         cmake --build "$tsan_dir" -j "$jobs" --target test_faults
         M2NDP_THREADS=2 ctest --test-dir "$tsan_dir" --output-on-failure \
             -R 'test_integration|test_faults'
+        # Open-loop overload smoke: the multi-tenant traffic harness
+        # (saturating open-loop arrivals, admission rejections, deadline
+        # shedding, WRR priorities) drives the partitioned engine through
+        # its contended paths; run it under TSan with 2 worker threads.
+        cmake --build "$tsan_dir" -j "$jobs" --target test_workloads
+        M2NDP_THREADS=2 "$tsan_dir/test_workloads" \
+            --gtest_filter='Traffic.*'
     else
         echo "note: GTest unavailable; skipping TSan smoke"
     fi

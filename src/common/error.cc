@@ -32,6 +32,10 @@ ndpErrorName(NdpError e)
         return "aborted";
     case NdpError::RetriesExhausted:
         return "retries-exhausted";
+    case NdpError::Overloaded:
+        return "overloaded";
+    case NdpError::DeadlineExceeded:
+        return "deadline-exceeded";
     }
     return "invalid-error-code";
 }

@@ -20,7 +20,10 @@
  *  - supervision (WatchdogTimeout from the controller watchdog),
  *  - transport (DeviceLost when a CXL link goes down),
  *  - stream policy (Aborted for queued launches cancelled by fail-fast,
- *    RetriesExhausted reserved for callers that track retry budgets).
+ *    RetriesExhausted reserved for callers that track retry budgets),
+ *  - admission control (Overloaded for bounded-queue rejection and
+ *    DeadlineExceeded for expired-deadline shedding — docs/robustness.md
+ *    "Overload protection").
  */
 
 #pragma once
@@ -58,6 +61,21 @@ enum class NdpError : std::int64_t
     Aborted = -11,
     /** Retry policy exhausted its relaunch budget. */
     RetriesExhausted = -12,
+    /**
+     * Admission control rejected the launch: a bounded stream or device
+     * launch queue was at capacity (host-side backpressure, distinct
+     * from the device controller's QueueFull). Retryable — the Retry
+     * policy backs off through the tenant rate limiter before
+     * re-submitting.
+     */
+    Overloaded = -13,
+    /**
+     * The launch carried a sim-time deadline that expired before it
+     * reached the device; it was shed without occupying a launch slot.
+     * Never retried (the deadline is absolute; a re-issue cannot meet
+     * it).
+     */
+    DeadlineExceeded = -14,
 };
 
 /** Any negative int64 in an id/return channel is an error code. */
@@ -73,7 +91,7 @@ ndpErrorOf(std::int64_t v)
 {
     if (v >= 0)
         return NdpError::Ok;
-    if (v < static_cast<std::int64_t>(NdpError::RetriesExhausted))
+    if (v < static_cast<std::int64_t>(NdpError::DeadlineExceeded))
         return NdpError::Unknown;
     return static_cast<NdpError>(v);
 }

@@ -108,6 +108,24 @@ NdpStream::launch(const LaunchDesc &desc)
         ++completed_;
         return NdpEvent(&rt_, rec);
     }
+    // QoS stamps: an explicit per-launch deadline wins over the stream
+    // default; the stream priority rides every launch to the device WRR.
+    if (rec->deadline == 0 && default_deadline_ != 0)
+        rec->deadline = rt_.eq_.now() + default_deadline_;
+    rec->weight = priority_;
+    if (queue_limit_ != 0 && queued_ >= queue_limit_) [[unlikely]] {
+        // Admission control: a full bounded stream queue rejects the
+        // launch immediately with a typed error instead of growing
+        // without bound. The rejection is not a stream fault — fail-fast
+        // does not trip, and the caller may resubmit later.
+        rec->done = true;
+        rec->instance_id = static_cast<std::int64_t>(NdpError::Overloaded);
+        rec->completed_at = rt_.eq_.now();
+        ++completed_;
+        ++rt_.stats_.overload_rejections;
+        rt_.releaseRecordRef(rec); // runtime side is already finished
+        return NdpEvent(&rt_, rec);
+    }
     rec->stream = this;
     rec->next = nullptr;
     if (queue_tail_ != nullptr)
@@ -115,6 +133,7 @@ NdpStream::launch(const LaunchDesc &desc)
     else
         queue_head_ = rec;
     queue_tail_ = rec;
+    ++queued_;
     pump();
     return NdpEvent(&rt_, rec);
 }
@@ -129,6 +148,7 @@ NdpStream::pump()
     if (queue_head_ == nullptr)
         queue_tail_ = nullptr;
     rec->next = nullptr;
+    --queued_;
     in_flight_ = true;
     rt_.issueRecord(rec);
 }
@@ -165,6 +185,7 @@ NdpStream::abortQueued(Tick now)
         rt_.releaseRecordRef(rec); // the runtime's reference
     }
     queue_tail_ = nullptr;
+    queued_ = 0;
 }
 
 void
@@ -193,8 +214,17 @@ NdpRuntime::NdpRuntime(std::vector<HostCxlPort *> ports,
     for (std::size_t d = 0; d < ports.size(); ++d) {
         devs_[d].port = ports[d];
         devs_[d].m2func_pa = m2func_region_pas[d];
-        devs_[d].slot_busy.assign(kM2FuncLaunchSlots, false);
+        devs_[d].slot_pending.assign(kM2FuncLaunchSlots, 0);
         devs_[d].kernel_ids.push_back(kNdpErr); // handle 0 is invalid
+    }
+    // Token bucket: integer ticks per token so refills are exact and
+    // deterministic (no floating point accumulates into sim time).
+    if (cfg_.rate_limit > 0.0) {
+        tb_period_ = static_cast<Tick>(1e12 / cfg_.rate_limit);
+        if (tb_period_ == 0)
+            tb_period_ = 1;
+        tb_tokens_ = cfg_.rate_burst != 0 ? cfg_.rate_burst : 1;
+        tb_last_refill_ = eq_.now();
     }
     // Staging buffer for kernel source text (written once per register).
     code_staging_va_ = process_.allocate(256 * kKiB);
@@ -362,6 +392,8 @@ NdpRuntime::allocRecord()
     rec->instance_id = kNdpErr;
     rec->issued_at = 0;
     rec->completed_at = 0;
+    rec->deadline = 0;
+    rec->weight = 1;
     rec->on_complete.reset();
     return rec;
 }
@@ -384,6 +416,7 @@ NdpRuntime::makeRecord(const LaunchDesc &desc, unsigned device, bool sync)
     rec->desc = desc;
     rec->device = device;
     rec->sync = sync;
+    rec->deadline = desc.deadlineTick();
     rec->refs = 2; // runtime (until completion) + event handle
     if (deviceKernelId(devs_[device], desc.kernel()) < 0) {
         // Reject unknown kernel handles at submit time, mirroring the
@@ -421,6 +454,37 @@ NdpRuntime::issueRecord(LaunchRecord *rec)
     stats_.peak_in_flight = std::max(stats_.peak_in_flight,
                                      stats_.in_flight);
     rec->issued_at = eq_.now();
+    // Deadline-aware shedding at the door: an expired launch never costs
+    // device time. Sheds are typed terminal completions — never retried,
+    // since an absolute deadline cannot be met by re-issuing.
+    if (deadlineExpired(rec)) [[unlikely]] {
+        ++stats_.deadline_shed;
+        failRecordAsync(rec, NdpError::DeadlineExceeded);
+        return;
+    }
+    // Per-tenant rate limiter. Retries re-enter here too, so a backoff
+    // burst cannot stampede past the tenant's configured rate.
+    if (tb_period_ != 0) {
+        refillTokens();
+        if (tb_tokens_ == 0) {
+            ++stats_.throttled_launches;
+            rec->next = nullptr;
+            if (tb_wait_tail_ != nullptr)
+                tb_wait_tail_->next = rec;
+            else
+                tb_wait_head_ = rec;
+            tb_wait_tail_ = rec;
+            scheduleRateLimiterPump();
+            return;
+        }
+        --tb_tokens_;
+    }
+    issueAdmitted(rec);
+}
+
+void
+NdpRuntime::issueAdmitted(LaunchRecord *rec)
+{
     if (devs_[rec->device].lost) [[unlikely]] {
         completeRecord(rec, static_cast<std::int64_t>(NdpError::DeviceLost),
                        eq_.now());
@@ -433,21 +497,110 @@ NdpRuntime::issueRecord(LaunchRecord *rec)
     }
 }
 
+// ---- admission control (docs/robustness.md "Overload protection") ----
+
+void
+NdpRuntime::failRecordAsync(LaunchRecord *rec, NdpError err)
+{
+    // Same-tick event rather than an inline call: rejecting the head of a
+    // deep stream queue would otherwise recurse completeRecord -> stream
+    // pump -> issueRecord -> reject for every queued launch.
+    std::int64_t code = static_cast<std::int64_t>(err);
+    eq_.scheduleAfter(0, [rec, code] {
+        rec->rt->completeRecord(rec, code, rec->rt->eq_.now());
+    });
+}
+
+bool
+NdpRuntime::deadlineExpired(const LaunchRecord *rec) const
+{
+    return rec->deadline != 0 && eq_.now() > rec->deadline;
+}
+
+void
+NdpRuntime::refillTokens()
+{
+    Tick now = eq_.now();
+    if (now <= tb_last_refill_)
+        return;
+    std::uint64_t accrued = (now - tb_last_refill_) / tb_period_;
+    if (accrued == 0)
+        return;
+    std::uint64_t cap = cfg_.rate_burst != 0 ? cfg_.rate_burst : 1;
+    if (tb_tokens_ + accrued >= cap) {
+        tb_tokens_ = cap;
+        tb_last_refill_ = now; // a full bucket accrues nothing
+    } else {
+        tb_tokens_ += accrued;
+        tb_last_refill_ += accrued * tb_period_;
+    }
+}
+
+void
+NdpRuntime::scheduleRateLimiterPump()
+{
+    if (tb_pump_scheduled_)
+        return;
+    tb_pump_scheduled_ = true;
+    Tick next = tb_last_refill_ + tb_period_;
+    Tick now = eq_.now();
+    eq_.scheduleAfter(next > now ? next - now : 0,
+                      [this] { pumpRateLimiter(); });
+}
+
+void
+NdpRuntime::pumpRateLimiter()
+{
+    tb_pump_scheduled_ = false;
+    refillTokens();
+    while (tb_wait_head_ != nullptr) {
+        LaunchRecord *rec = tb_wait_head_;
+        if (deadlineExpired(rec)) [[unlikely]] {
+            // Shedding needs no token; waiting for one would only make
+            // the launch later still.
+            tb_wait_head_ = rec->next;
+            if (tb_wait_head_ == nullptr)
+                tb_wait_tail_ = nullptr;
+            rec->next = nullptr;
+            ++stats_.deadline_shed;
+            failRecordAsync(rec, NdpError::DeadlineExceeded);
+            continue;
+        }
+        if (tb_tokens_ == 0)
+            break;
+        tb_wait_head_ = rec->next;
+        if (tb_wait_head_ == nullptr)
+            tb_wait_tail_ = nullptr;
+        rec->next = nullptr;
+        --tb_tokens_;
+        issueAdmitted(rec);
+    }
+    if (tb_wait_head_ != nullptr)
+        scheduleRateLimiterPump();
+}
+
 void
 NdpRuntime::completeRecord(LaunchRecord *rec, std::int64_t iid, Tick t)
 {
     if (iid < 0) [[unlikely]] {
         NdpStream *s = rec->stream;
-        if (s != nullptr && s->policy_ == StreamPolicy::Retry &&
+        // An absolute deadline can never be met by re-issuing: shed
+        // launches are terminal, or a shed->retry loop would burn every
+        // attempt without ever reaching the device.
+        bool terminal =
+            iid == static_cast<std::int64_t>(NdpError::DeadlineExceeded);
+        if (!terminal && s != nullptr && s->policy_ == StreamPolicy::Retry &&
             rec->attempts < s->max_retries_) {
             // Exponential backoff, then a full re-issue: the record stays
             // the stream's in-flight launch (in-order semantics hold) and
-            // the re-issue re-routes around lost devices.
+            // the re-issue re-routes around lost devices. The shift is
+            // clamped so high retry budgets cannot overflow the delay.
             ++rec->attempts;
             ++stats_.relaunches;
             --stats_.in_flight;
-            Tick delay = s->retry_backoff_
-                         << static_cast<unsigned>(rec->attempts - 1);
+            unsigned shift =
+                std::min<unsigned>(rec->attempts - 1u, 16u);
+            Tick delay = s->retry_backoff_ << shift;
             eq_.scheduleAfter(delay, [rec] { rec->rt->issueRecord(rec); });
             return;
         }
@@ -511,6 +664,7 @@ NdpRuntime::markDeviceLost(unsigned device)
         }
     };
     drain(dev.m2f_wait_head, dev.m2f_wait_tail);
+    dev.m2f_wait_len = 0;
     drain(dev.direct_head, dev.direct_tail);
 }
 
@@ -543,6 +697,15 @@ void
 NdpRuntime::issueM2Func(LaunchRecord *rec)
 {
     DeviceState &dev = devs_[rec->device];
+    if (cfg_.device_queue_limit != 0 &&
+        dev.m2f_wait_len >= cfg_.device_queue_limit) [[unlikely]] {
+        // Bounded device queue: overflow is a typed rejection, never
+        // silent unbounded growth. Failovers land here too, so a
+        // surviving device's admission limit holds when its peers die.
+        ++stats_.overload_rejections;
+        failRecordAsync(rec, NdpError::Overloaded);
+        return;
+    }
     // Queue, then drain: the pump owns the free-slot scan, so launches
     // that find a slot immediately and launches that waited share one
     // assignment path.
@@ -552,6 +715,7 @@ NdpRuntime::issueM2Func(LaunchRecord *rec)
     else
         dev.m2f_wait_head = rec;
     dev.m2f_wait_tail = rec;
+    ++dev.m2f_wait_len;
     pumpM2FuncQueue(dev);
 }
 
@@ -559,30 +723,82 @@ void
 NdpRuntime::pumpM2FuncQueue(DeviceState &dev)
 {
     while (dev.m2f_wait_head != nullptr) {
+        LaunchRecord *rec = dev.m2f_wait_head;
+        if (deadlineExpired(rec)) [[unlikely]] {
+            // A launch whose deadline passed while it waited is shed
+            // before it can consume a slot the live launches behind it
+            // need.
+            dev.m2f_wait_head = rec->next;
+            if (dev.m2f_wait_head == nullptr)
+                dev.m2f_wait_tail = nullptr;
+            rec->next = nullptr;
+            --dev.m2f_wait_len;
+            ++stats_.deadline_shed;
+            failRecordAsync(rec, NdpError::DeadlineExceeded);
+            continue;
+        }
         unsigned slot = kM2FuncLaunchSlots;
         for (unsigned k = 0; k < kM2FuncLaunchSlots; ++k) {
             unsigned cand = (dev.rr_slot + k) % kM2FuncLaunchSlots;
-            if (!dev.slot_busy[cand]) {
+            if (dev.slot_pending[cand] == 0) {
                 slot = cand;
                 break;
             }
         }
         if (slot == kM2FuncLaunchSlots)
             return;
-        LaunchRecord *rec = dev.m2f_wait_head;
         dev.m2f_wait_head = rec->next;
         if (dev.m2f_wait_head == nullptr)
             dev.m2f_wait_tail = nullptr;
         rec->next = nullptr;
+        --dev.m2f_wait_len;
+        // Batch probe: when a backlog exists and both the head and the
+        // next launch fit the compact half-format, they share one 64 B
+        // store (and one slot). Full-format launches (> 8 B of inline
+        // args) keep the exact single-launch wire timing.
+        LaunchRecord *mate = nullptr;
+        if (cfg_.batch_launches && dev.m2f_wait_head != nullptr &&
+            rec->desc.argSize() <= kCompactMaxArgBytes &&
+            dev.m2f_wait_head->desc.argSize() <= kCompactMaxArgBytes &&
+            !deadlineExpired(dev.m2f_wait_head)) {
+            mate = dev.m2f_wait_head;
+            dev.m2f_wait_head = mate->next;
+            if (dev.m2f_wait_head == nullptr)
+                dev.m2f_wait_tail = nullptr;
+            mate->next = nullptr;
+            --dev.m2f_wait_len;
+        }
         dev.rr_slot = (slot + 1) % kM2FuncLaunchSlots;
-        dev.slot_busy[slot] = true;
-        m2funcLaunchOn(dev, slot, rec);
+        dev.slot_pending[slot] = mate != nullptr ? 2 : 1;
+        m2funcLaunchOn(dev, slot, rec, mate);
     }
 }
 
+namespace {
+
+/** Pack one compact (32 B) launch half of a batched M2func store. */
+void
+packCompactHalf(std::uint8_t *out, std::int64_t device_kernel_id,
+                const LaunchDesc &desc, std::uint8_t weight)
+{
+    std::memset(out, 0, kCompactLaunchBytes);
+    out[0] = kLaunchFlagSync | kLaunchFlagCompact;
+    out[1] = static_cast<std::uint8_t>(desc.argSize());
+    out[2] = weight;
+    auto kid = static_cast<std::uint32_t>(device_kernel_id);
+    std::memcpy(out + 4, &kid, 4);
+    Addr base = desc.poolBase();
+    Addr bound = desc.poolBound();
+    std::memcpy(out + 8, &base, 8);
+    std::memcpy(out + 16, &bound, 8);
+    std::memcpy(out + 24, desc.argData(), desc.argSize());
+}
+
+} // namespace
+
 void
 NdpRuntime::m2funcLaunchOn(DeviceState &dev, unsigned slot,
-                           LaunchRecord *rec)
+                           LaunchRecord *rec, LaunchRecord *mate)
 {
     // Synchronous-launch protocol on a private slot (Fig. 5a): the write
     // carries the arguments, and the return-value read is *deferred by the
@@ -592,12 +808,38 @@ NdpRuntime::m2funcLaunchOn(DeviceState &dev, unsigned slot,
     static_assert(LaunchDesc::kPayloadBytes <=
                       kM2FuncLaunchSlotStride * kM2FuncStride,
                   "launch payload must fit the launch-slot stride");
-    std::uint8_t payload[LaunchDesc::kPayloadBytes];
-    unsigned len = rec->desc.pack(
-        payload, true, deviceKernelId(dev, rec->desc.kernel()));
     Addr addr = dev.m2func_pa +
                 (kM2FuncLaunchSlotBase +
                  slot * kM2FuncLaunchSlotStride) * kM2FuncStride;
+    if (mate != nullptr) [[unlikely]] {
+        // Batched launch: two compact halves share the 64 B store; each
+        // half resolves through its own return offset, so completions
+        // stay independent even though the launches travelled together.
+        mate->slot = slot;
+        std::uint8_t payload[2 * kCompactLaunchBytes];
+        packCompactHalf(payload, deviceKernelId(dev, rec->desc.kernel()),
+                        rec->desc, rec->weight);
+        packCompactHalf(payload + kCompactLaunchBytes,
+                        deviceKernelId(dev, mate->desc.kernel()),
+                        mate->desc, mate->weight);
+        ++stats_.batched_stores;
+        stats_.batched_launches += 2;
+        dev.port->writeAsync(addr, payload, sizeof(payload), {});
+        rec->m2f_ret = kNdpErr;
+        dev.port->readAsync(addr, 8, &rec->m2f_ret, [rec](Tick t) {
+            rec->rt->m2funcReturned(rec, t);
+        });
+        mate->m2f_ret = kNdpErr;
+        dev.port->readAsync(addr + kM2FuncStride, 8, &mate->m2f_ret,
+                            [mate](Tick t) {
+                                mate->rt->m2funcReturned(mate, t);
+                            });
+        return;
+    }
+    std::uint8_t payload[LaunchDesc::kPayloadBytes];
+    unsigned len = rec->desc.pack(
+        payload, true, deviceKernelId(dev, rec->desc.kernel()),
+        rec->weight);
     dev.port->writeAsync(addr, payload, len, {});
     // The deferred return-value read carries the instance id in its DRS:
     // the device fills rec->m2f_ret at response formation, after the
@@ -612,7 +854,9 @@ void
 NdpRuntime::m2funcReturned(LaunchRecord *rec, Tick t)
 {
     DeviceState &dev = devs_[rec->device];
-    dev.slot_busy[rec->slot] = false;
+    M2_ASSERT(dev.slot_pending[rec->slot] > 0,
+              "M2func return for a free slot");
+    --dev.slot_pending[rec->slot];
     if (!deviceHealthy(rec->device)) [[unlikely]] {
         // The read aborted at a dead link: whatever the return slot holds
         // never reached the host. Surface the loss, not stale data.
@@ -621,7 +865,9 @@ NdpRuntime::m2funcReturned(LaunchRecord *rec, Tick t)
         return;
     }
     std::int64_t iid = rec->m2f_ret;
-    pumpM2FuncQueue(dev);
+    // A batched slot stays occupied until both deferred reads returned.
+    if (dev.slot_pending[rec->slot] == 0)
+        pumpM2FuncQueue(dev);
     completeRecord(rec, iid, t);
 }
 

@@ -53,6 +53,32 @@ struct NdpRuntimeConfig
 {
     OffloadScheme scheme = OffloadScheme::M2Func;
     CxlIoConfig io; ///< CXL.io latency constants for the baseline schemes
+
+    // ---- admission control / QoS (docs/robustness.md) ----
+
+    /**
+     * Bound on launches waiting for an M2func slot per device. Launches
+     * arriving at a full device queue complete with NdpError::Overloaded
+     * — including failovers, so a surviving device's admission limit
+     * holds when its peers die. 0 disables the bound.
+     */
+    unsigned device_queue_limit = 1024;
+    /**
+     * Per-tenant token-bucket rate limit in launches/second (0 = off).
+     * Launches (and retries — no retry storms) that find the bucket
+     * empty wait, in arrival order, for the next token accrual; the
+     * delay is sim-time deterministic.
+     */
+    double rate_limit = 0.0;
+    /** Token-bucket depth: burst allowance in launches. */
+    unsigned rate_burst = 16;
+    /**
+     * Coalesce two eligible queued launches (inline args <= 8 B each)
+     * into one 64 B M2func store when a backlog exists — halves the
+     * stores per launch under load. On by default; individual launches
+     * with > 8 B of inline args always use the full-format store.
+     */
+    bool batch_launches = true;
 };
 
 /** Per-runtime statistics. */
@@ -76,6 +102,16 @@ struct NdpRuntimeStats
     std::uint64_t faulted_completions = 0;
     /** Queued launches aborted by fail-fast streams. */
     std::uint64_t aborted_launches = 0;
+    /** Launches rejected by a full bounded queue (NdpError::Overloaded). */
+    std::uint64_t overload_rejections = 0;
+    /** Launches shed with an expired deadline (DeadlineExceeded). */
+    std::uint64_t deadline_shed = 0;
+    /** Launches delayed by the tenant token bucket before issue. */
+    std::uint64_t throttled_launches = 0;
+    /** 64 B M2func stores that carried two compact launches. */
+    std::uint64_t batched_stores = 0;
+    /** Launches that rode a shared (batched) store. */
+    std::uint64_t batched_launches = 0;
 };
 
 /**
@@ -161,12 +197,19 @@ class NdpRuntime
         Addr m2func_pa = 0;
         /** Runtime kernel handle -> this device's kernel id. */
         std::vector<std::int64_t> kernel_ids;
-        /** M2func launch-slot occupancy (Section III-B slot striding). */
-        std::vector<bool> slot_busy;
+        /**
+         * Outstanding deferred return reads per M2func launch slot
+         * (Section III-B slot striding). 0 = free; a batched 64 B store
+         * carries two launches and holds its slot until both reads
+         * return (count 2 -> 0).
+         */
+        std::vector<std::uint8_t> slot_pending;
         unsigned rr_slot = 0;
         /** Records waiting for a free M2func slot (intrusive FIFO). */
         LaunchRecord *m2f_wait_head = nullptr;
         LaunchRecord *m2f_wait_tail = nullptr;
+        /** Length of the m2f_wait FIFO (admission-control bound). */
+        unsigned m2f_wait_len = 0;
         /** CXL.io direct scheme: one kernel at a time (Section III-C). */
         bool direct_busy = false;
         LaunchRecord *direct_head = nullptr;
@@ -185,10 +228,27 @@ class NdpRuntime
 
     // ---- issue path (called by streams and sync launches) ----
     void issueRecord(LaunchRecord *rec);
+    /** issueRecord past the deadline/rate-limit gates. */
+    void issueAdmitted(LaunchRecord *rec);
     void issueM2Func(LaunchRecord *rec);
-    void m2funcLaunchOn(DeviceState &dev, unsigned slot, LaunchRecord *rec);
+    void m2funcLaunchOn(DeviceState &dev, unsigned slot, LaunchRecord *rec,
+                        LaunchRecord *mate = nullptr);
     void m2funcReturned(LaunchRecord *rec, Tick t);
     void pumpM2FuncQueue(DeviceState &dev);
+
+    // ---- admission control (docs/robustness.md "Overload protection") ----
+
+    /** Complete @p rec with error @p err as a same-tick event (never
+     *  inline — shedding a deep queue must not recurse through stream
+     *  pumps). The launches/in_flight counters must already be set. */
+    void failRecordAsync(LaunchRecord *rec, NdpError err);
+    /** True when @p rec's sim-time deadline has already expired. */
+    bool deadlineExpired(const LaunchRecord *rec) const;
+    /** Accrue tokens since the last refill (integer tick arithmetic). */
+    void refillTokens();
+    /** Re-issue throttled launches as tokens accrue. */
+    void pumpRateLimiter();
+    void scheduleRateLimiterPump();
     void issueRingBuffer(LaunchRecord *rec);
     void ringBufferArrived(LaunchRecord *rec);
     void issueDirect(LaunchRecord *rec);
@@ -231,6 +291,15 @@ class NdpRuntime
     /** Staging area in CXL memory for kernel source text. */
     Addr code_staging_va_ = 0;
     std::int64_t next_kernel_handle_ = 1;
+
+    // ---- per-tenant token bucket (cfg_.rate_limit) ----
+    Tick tb_period_ = 0; ///< ticks per token; 0 = rate limit off
+    std::uint64_t tb_tokens_ = 0;
+    Tick tb_last_refill_ = 0;
+    bool tb_pump_scheduled_ = false;
+    /** Launches parked waiting for a token (intrusive FIFO). */
+    LaunchRecord *tb_wait_head_ = nullptr;
+    LaunchRecord *tb_wait_tail_ = nullptr;
 
     /** Slab-pooled launch records (retained for the runtime lifetime). */
     SlabPool<LaunchRecord> record_pool_;

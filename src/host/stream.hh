@@ -101,23 +101,40 @@ class LaunchDesc
         return *this;
     }
 
+    /**
+     * Absolute sim-time deadline (0 = none). A launch whose deadline has
+     * expired before it reaches the device is shed with
+     * NdpError::DeadlineExceeded instead of occupying a launch slot —
+     * host-side admission state, never serialized to the device.
+     */
+    LaunchDesc &
+    deadline(Tick abs_tick)
+    {
+        deadline_ = abs_tick;
+        return *this;
+    }
+
     std::int64_t kernel() const { return kernel_; }
     Addr poolBase() const { return base_; }
     Addr poolBound() const { return bound_; }
     const std::uint8_t *argData() const { return arg_bytes_.data(); }
     std::uint8_t argSize() const { return nargs_; }
+    Tick deadlineTick() const { return deadline_; }
 
     /**
      * Serialize into the M2func wire format. @p out must hold
      * kPayloadBytes. @p device_kernel_id is the id the target device knows
-     * the kernel by. @return payload length in bytes.
+     * the kernel by; @p weight is the stream's WRR priority (byte 2 of
+     * the header; 0 reads as 1 on the device). @return payload length.
      */
     unsigned
-    pack(std::uint8_t *out, bool sync, std::int64_t device_kernel_id) const
+    pack(std::uint8_t *out, bool sync, std::int64_t device_kernel_id,
+         std::uint8_t weight = 0) const
     {
         std::memset(out, 0, 32);
         out[0] = sync ? 1 : 0;
         out[1] = nargs_;
+        out[2] = weight;
         std::memcpy(out + 8, &device_kernel_id, 8);
         std::memcpy(out + 16, &base_, 8);
         std::memcpy(out + 24, &bound_, 8);
@@ -129,6 +146,7 @@ class LaunchDesc
     std::int64_t kernel_ = -1;
     Addr base_ = 0;
     Addr bound_ = 0;
+    Tick deadline_ = 0;
     std::uint8_t nargs_ = 0;
     std::array<std::uint8_t, kMaxArgBytes> arg_bytes_{};
 };
@@ -150,9 +168,13 @@ struct LaunchRecord
     LaunchDesc desc;
     unsigned device = 0;
     unsigned slot = 0; ///< M2func launch slot while in flight
+    /** Absolute sim-time deadline resolved at submit (0 = none). */
+    Tick deadline = 0;
     std::uint8_t refs = 0;
     /** Issue attempts consumed so far (StreamPolicy::Retry bookkeeping). */
     std::uint8_t attempts = 0;
+    /** WRR priority inherited from the owning stream at submit. */
+    std::uint8_t weight = 1;
     bool done = false;
     bool sync = false;
     std::int64_t instance_id = -1;
@@ -259,7 +281,20 @@ class NdpEvent
 class NdpStream
 {
   public:
-    /** Enqueue a launch; returns its completion event. */
+    /**
+     * Default bound on launches queued (accepted but not yet issued) per
+     * stream. A full queue rejects further launches with
+     * NdpError::Overloaded at submit time — queues never grow silently
+     * without bound (docs/robustness.md "Overload protection").
+     */
+    static constexpr unsigned kDefaultQueueLimit = 1024;
+
+    /**
+     * Enqueue a launch; returns its completion event. If the stream's
+     * bounded queue is full the event completes immediately with
+     * NdpError::Overloaded (admission rejection — it does not trip the
+     * fail-fast policy, since no issued launch failed).
+     */
     NdpEvent launch(const LaunchDesc &desc);
 
     /**
@@ -278,6 +313,37 @@ class NdpStream
     }
 
     StreamPolicy policy() const { return policy_; }
+
+    /**
+     * Weighted-round-robin priority (1..255, default 1) applied to
+     * launches submitted after the call: the device controller's pullWork
+     * cursor serves an instance `weight` consecutive spawns per visit, so
+     * a weight-2 stream draws ~2x the issue share of a weight-1 stream
+     * under contention.
+     */
+    void
+    setPriority(unsigned weight)
+    {
+        priority_ = static_cast<std::uint8_t>(
+            weight == 0 ? 1 : (weight > 255 ? 255 : weight));
+    }
+
+    unsigned priority() const { return priority_; }
+
+    /**
+     * Default relative deadline applied at submit to launches whose
+     * descriptor carries none: absolute deadline = submit tick + @p rel.
+     * 0 (default) disables. Expired launches are shed with
+     * NdpError::DeadlineExceeded instead of occupying the device.
+     */
+    void setDeadline(Tick rel) { default_deadline_ = rel; }
+
+    /** Cap on queued (not yet issued) launches; 0 = unbounded. */
+    void setQueueLimit(unsigned depth) { queue_limit_ = depth; }
+    unsigned queueLimit() const { return queue_limit_; }
+
+    /** Launches currently queued behind the in-flight one. */
+    unsigned queued() const { return queued_; }
 
     /** Drive the simulation until every launch on this stream completed. */
     void synchronize();
@@ -315,7 +381,11 @@ class NdpStream
     bool in_flight_ = false;
     std::uint64_t launched_ = 0;
     std::uint64_t completed_ = 0;
+    unsigned queued_ = 0; ///< records sitting in the queue (admission)
+    unsigned queue_limit_ = kDefaultQueueLimit;
+    Tick default_deadline_ = 0; ///< relative; 0 = none
     StreamPolicy policy_ = StreamPolicy::FailFast;
+    std::uint8_t priority_ = 1;
     std::uint8_t max_retries_ = 3;
     Tick retry_backoff_ = 1 * kUs;
 };

@@ -92,6 +92,14 @@ struct KernelInstance
     InstancePhase phase = InstancePhase::Pending;
     std::size_t section_index = 0; ///< current section in kernel->code
 
+    /**
+     * Weighted-round-robin share on the controller's pullWork cursor
+     * (Section III-E fairness): an instance with weight w is served w
+     * consecutive spawns before the cursor advances. Weight 1 (the
+     * default) reproduces the original strict round robin exactly.
+     */
+    std::uint8_t weight = 1;
+
     /** Per-unit scratchpad data offset allocated for this instance. */
     std::uint64_t spad_offset = 0;
 

@@ -43,8 +43,22 @@ void
 NdpController::handleLaunchWrite(Asid asid, std::uint64_t fn_index,
                                  const M2FuncPayload &payload)
 {
-    bool sync = payload.get<std::uint8_t>(0) != 0;
+    std::uint8_t flags = payload.get<std::uint8_t>(0);
+    if (flags & kLaunchFlagCompact) {
+        // Batched store: two compact 32 B launches sharing one 64 B slot
+        // pair. Each half resolves through its own return offset.
+        ++stats_.launches_batched;
+        handleCompactLaunch(asid, fn_index, payload, 0);
+        if (payload.size > kCompactLaunchBytes) {
+            ++stats_.launches_batched;
+            handleCompactLaunch(asid, fn_index + 1, payload,
+                                kCompactLaunchBytes);
+        }
+        return;
+    }
+    bool sync = (flags & kLaunchFlagSync) != 0;
     std::uint8_t argsize = payload.get<std::uint8_t>(1);
+    std::uint8_t weight = payload.get<std::uint8_t>(2);
     auto kernel_id = payload.get<std::int64_t>(8);
     Addr base = payload.get<std::uint64_t>(16);
     Addr bound = payload.get<std::uint64_t>(24);
@@ -52,12 +66,44 @@ NdpController::handleLaunchWrite(Asid asid, std::uint64_t fn_index,
         payload.size > 32 ? static_cast<std::uint32_t>(payload.size) - 32
                           : 0;
     std::uint32_t args_size = std::min<std::uint32_t>(argsize, avail);
+    launchParsed(asid, fn_index, sync, kernel_id, base, bound,
+                 payload.bytes.data() + 32, args_size,
+                 weight == 0 ? 1u : weight);
+}
 
+void
+NdpController::handleCompactLaunch(Asid asid, std::uint64_t fn_index,
+                                   const M2FuncPayload &payload,
+                                   unsigned offset)
+{
+    std::uint8_t flags = payload.get<std::uint8_t>(offset);
+    bool sync = (flags & kLaunchFlagSync) != 0;
+    std::uint32_t argsize = std::min<std::uint32_t>(
+        payload.get<std::uint8_t>(offset + 1), kCompactMaxArgBytes);
+    std::uint8_t weight = payload.get<std::uint8_t>(offset + 2);
+    std::int64_t kernel_id = payload.get<std::uint32_t>(offset + 4);
+    Addr base = payload.get<std::uint64_t>(offset + 8);
+    Addr bound = payload.get<std::uint64_t>(offset + 16);
+    std::uint32_t avail =
+        payload.size > offset + 24
+            ? static_cast<std::uint32_t>(payload.size) - offset - 24
+            : 0;
+    launchParsed(asid, fn_index, sync, kernel_id, base, bound,
+                 payload.bytes.data() + offset + 24,
+                 std::min(argsize, avail), weight == 0 ? 1u : weight);
+}
+
+void
+NdpController::launchParsed(Asid asid, std::uint64_t fn_index, bool sync,
+                            std::int64_t kernel_id, Addr base, Addr bound,
+                            const std::uint8_t *args,
+                            std::uint32_t args_size, unsigned weight)
+{
     // The *write* returns promptly; the launch return value is fetched by
     // the subsequent read to the same offset (deferred if synchronous).
     setReturn(asid, fn_index, kNdpErr, !sync);
-    std::int64_t iid = launch(asid, kernel_id, sync, base, bound,
-                              payload.bytes.data() + 32, args_size, {});
+    std::int64_t iid = launch(asid, kernel_id, sync, base, bound, args,
+                              args_size, {}, weight);
     if (iid < 0) {
         // Typed rejection code travels back through the return slot.
         resolveReturn(asid, fn_index, iid);
@@ -222,7 +268,7 @@ std::int64_t
 NdpController::launch(Asid asid, std::int64_t kernel_id, bool synchronous,
                       Addr pool_base, Addr pool_bound,
                       const std::uint8_t *args, std::uint32_t args_size,
-                      InstanceCompleteFn on_complete)
+                      InstanceCompleteFn on_complete, unsigned weight)
 {
     auto kit = kernels_.find(kernel_id);
     if (kit == kernels_.end() || kit->second->asid != asid) {
@@ -249,6 +295,8 @@ NdpController::launch(Asid asid, std::int64_t kernel_id, bool synchronous,
     inst->args.assign(args, args + args_size);
     inst->args.resize(layout::kKernelArgWindow, 0);
     inst->phase = InstancePhase::Pending;
+    inst->weight = static_cast<std::uint8_t>(
+        weight == 0 ? 1 : std::min<unsigned>(weight, 255));
     inst->launched_at = env_.eventQueue().now();
     inst->on_complete = std::move(on_complete);
     inst->next_work.assign(env_.numUnits(), 0);
@@ -307,6 +355,13 @@ NdpController::instanceError(std::int64_t instance_id) const
         return done->second;
     auto live = instances_by_id_.find(instance_id);
     return live != instances_by_id_.end() ? live->second->error : 0;
+}
+
+std::uint64_t
+NdpController::instanceSpawned(std::int64_t instance_id) const
+{
+    auto live = instances_by_id_.find(instance_id);
+    return live != instances_by_id_.end() ? live->second->spawned : 0;
 }
 
 void
@@ -507,14 +562,27 @@ NdpController::pullWork(unsigned unit)
         return item;
     }
 
-    // Round-robin over active instances: the cursor starts each pull at
-    // the instance after the last one served, so a wide kernel with
-    // near-endless work cannot starve a 1-uthread kernel's spawn (MPS-
-    // style fairness across concurrent instances). This runs once per
-    // spawned uthread — with the ready-ring scheduler every sub-core
-    // with an idle slot pulls every cycle of a burst, so the cursor wrap
-    // is branch arithmetic rather than an integer divide.
+    // Weighted round robin over active instances: the cursor serves the
+    // instance under it `weight` consecutive spawns before advancing, so
+    // a wide kernel with near-endless work cannot starve a 1-uthread
+    // kernel's spawn (MPS-style fairness across concurrent instances)
+    // while priority tenants draw a proportionally larger issue share.
+    // This runs once per spawned uthread — with the ready-ring scheduler
+    // every sub-core with an idle slot pulls every cycle of a burst, so
+    // the cursor wrap is branch arithmetic rather than an integer divide.
     const std::size_t n = active_.size();
+    auto credit_spawn = [this, n](std::size_t idx, KernelInstance *inst) {
+        if (idx == rr_instance_ && rr_credit_ > 0) {
+            --rr_credit_;
+        } else {
+            // Cursor landed on a new instance (or a fresh burst): grant
+            // its weight worth of consecutive spawns, this one included.
+            rr_instance_ = idx;
+            rr_credit_ = inst->weight - 1u;
+        }
+        if (rr_credit_ == 0)
+            rr_instance_ = idx + 1 == n ? 0 : idx + 1;
+    };
     std::size_t idx = rr_instance_ < n ? rr_instance_ : 0;
     for (std::size_t k = 0; k < n; ++k, ++idx) {
         if (idx >= n)
@@ -539,7 +607,7 @@ NdpController::pullWork(unsigned unit)
             item.x1 = layout::kScratchpadVaBase;
             item.x2 = static_cast<std::uint64_t>(unit) *
                           env_.slotsPerUnit() + slot;
-            rr_instance_ = idx + 1 == n ? 0 : idx + 1;
+            credit_spawn(idx, inst);
             return item;
           }
           case InstancePhase::Body: {
@@ -557,7 +625,7 @@ NdpController::pullWork(unsigned unit)
             item.section = &section;
             item.x1 = addr;
             item.x2 = widx * isa::kVlenBytes;
-            rr_instance_ = idx + 1 == n ? 0 : idx + 1;
+            credit_spawn(idx, inst);
             return item;
           }
           default:

@@ -74,6 +74,24 @@ inline constexpr std::uint64_t kM2FuncLaunchSlotStride = 2;
 inline constexpr std::int64_t kNdpErr =
     static_cast<std::int64_t>(NdpError::Unknown);
 
+/** Launch payload byte 0: synchronous-launch flag (Section III-B). */
+inline constexpr std::uint8_t kLaunchFlagSync = 0x1;
+/**
+ * Launch payload byte 0: the 64 B store carries *two* compact 32 B launch
+ * descriptors instead of one full-format launch — one store, two kernel
+ * launches, amortizing the CXL.mem store per launch under load. Each half
+ * owns one return offset of the 64 B slot pair (fn_index and fn_index+1),
+ * so the deferred-read completion protocol is unchanged per launch.
+ * Compact half layout: [0] flags, [1] arg size (<= 8), [2] WRR weight,
+ * [4..7] kernel id (u32), [8..15] pool base, [16..23] pool bound,
+ * [24..31] inline args.
+ */
+inline constexpr std::uint8_t kLaunchFlagCompact = 0x2;
+/** Bytes per compact descriptor; two fill one launch-slot stride. */
+inline constexpr unsigned kCompactLaunchBytes = 32;
+/** Inline-argument capacity of a compact descriptor. */
+inline constexpr unsigned kCompactMaxArgBytes = 8;
+
 /**
  * Wire format of an M2func write payload (little-endian, max 64 B). Fixed
  * inline storage: payloads are staged and passed by value on the launch
@@ -124,6 +142,8 @@ struct NdpControllerStats
     std::uint64_t registrations_rejected = 0;
     std::uint64_t launches = 0;
     std::uint64_t launches_rejected = 0;
+    /** Launches that arrived as compact halves of a batched 64 B store. */
+    std::uint64_t launches_batched = 0;
     std::uint64_t polls = 0;
     std::uint64_t instances_completed = 0;
     /** Instances that completed with an error (traps + watchdog). */
@@ -189,7 +209,8 @@ class NdpController
     std::int64_t launch(Asid asid, std::int64_t kernel_id, bool synchronous,
                         Addr pool_base, Addr pool_bound,
                         const std::uint8_t *args, std::uint32_t args_size,
-                        InstanceCompleteFn on_complete = {});
+                        InstanceCompleteFn on_complete = {},
+                        unsigned weight = 1);
 
     /** Convenience overload for tests/drivers holding args in a vector. */
     std::int64_t
@@ -209,6 +230,13 @@ class NdpController
      * value; 0 for clean instances, unknown ids included).
      */
     std::int64_t instanceError(std::int64_t instance_id) const;
+
+    /**
+     * uthreads spawned so far by a *live* instance in its current phase
+     * (0 for unknown/completed ids). Fairness tests read this to measure
+     * the issue share each tenant received from the weighted cursor.
+     */
+    std::uint64_t instanceSpawned(std::int64_t instance_id) const;
 
     /**
      * Kill a queued or running instance with @p code (a negative
@@ -257,6 +285,14 @@ class NdpController
     /** Launch entry point shared by the base offset and the extra slots. */
     void handleLaunchWrite(Asid asid, std::uint64_t fn_index,
                            const M2FuncPayload &payload);
+    /** One compact 32 B half of a batched launch store. */
+    void handleCompactLaunch(Asid asid, std::uint64_t fn_index,
+                             const M2FuncPayload &payload, unsigned offset);
+    /** Common tail of the launch-write paths: launch + return plumbing. */
+    void launchParsed(Asid asid, std::uint64_t fn_index, bool sync,
+                      std::int64_t kernel_id, Addr base, Addr bound,
+                      const std::uint8_t *args, std::uint32_t args_size,
+                      unsigned weight);
 
     /** Try to move pending launches into the active set. */
     void admitPending();
@@ -283,6 +319,13 @@ class NdpController
     std::vector<std::unique_ptr<KernelInstance>> active_;
     /** Round-robin cursor over active_ for pullWork fairness. */
     std::size_t rr_instance_ = 0;
+    /**
+     * Remaining consecutive spawns owed to the instance under the cursor
+     * (weighted round robin). 0 means the cursor advances after the next
+     * spawn, which for all-weight-1 instances degenerates to the original
+     * strict RR — existing workloads stay bit-exact.
+     */
+    unsigned rr_credit_ = 0;
     std::unordered_map<std::int64_t, KernelInstance *> instances_by_id_;
     /** Completed instance ids (for poll-after-completion). */
     std::unordered_map<std::int64_t, Tick> completed_;

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/bitutil.hh"
+#include "common/histogram.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
@@ -96,6 +97,98 @@ TEST(Stats, HistogramPercentiles)
     EXPECT_NEAR(h.percentile(95), 95.05, 0.01);
     EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
     EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
+}
+
+TEST(LatencyHistogram, ExactBelowSubBucketCount)
+{
+    // Values below kSubBuckets map 1:1 onto buckets, so small latencies
+    // are recorded exactly.
+    LatencyHistogram h;
+    for (std::uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+        EXPECT_EQ(LatencyHistogram::bucketOf(v), v);
+        EXPECT_EQ(LatencyHistogram::bucketUpperBound(
+                      LatencyHistogram::bucketOf(v)),
+                  v);
+        h.record(v);
+    }
+    EXPECT_EQ(h.count(), LatencyHistogram::kSubBuckets);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 15u);
+    EXPECT_EQ(h.p50(), 7u); // ceil(.5*16)=8th sample is value 7, exact
+}
+
+TEST(LatencyHistogram, BucketBoundsContainValue)
+{
+    // Every value must land in a bucket whose upper bound is >= the value
+    // and within 1/kSubBuckets relative error of it.
+    for (std::uint64_t v : {1ull, 15ull, 16ull, 17ull, 31ull, 32ull,
+                            1000ull, 4096ull, 1234567ull,
+                            (1ull << 47) + 12345ull}) {
+        unsigned b = LatencyHistogram::bucketOf(v);
+        std::uint64_t hi = LatencyHistogram::bucketUpperBound(b);
+        EXPECT_GE(hi, v) << "value " << v;
+        EXPECT_LE(static_cast<double>(hi - v),
+                  static_cast<double>(v) / LatencyHistogram::kSubBuckets +
+                      1.0)
+            << "value " << v;
+        if (b + 1 < LatencyHistogram::kBuckets) {
+            // Bucket boundaries are tight: hi + 1 falls in a later bucket.
+            EXPECT_GT(LatencyHistogram::bucketOf(hi + 1), b);
+        }
+    }
+    // Values past the last octave clamp into the final bucket.
+    EXPECT_EQ(LatencyHistogram::bucketOf(~0ull),
+              LatencyHistogram::kBuckets - 1);
+}
+
+TEST(LatencyHistogram, PercentilesMonotoneAndTailSafe)
+{
+    LatencyHistogram h;
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        h.record(v);
+    EXPECT_EQ(h.count(), 1000u);
+    EXPECT_EQ(h.sum(), 500500u);
+    // Percentiles never under-report (bucket upper bound) and never
+    // exceed the observed max.
+    std::uint64_t prev = 0;
+    for (double p : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+        std::uint64_t v = h.percentile(p);
+        EXPECT_GE(v, prev) << "p=" << p;
+        EXPECT_LE(v, h.max()) << "p=" << p;
+        prev = v;
+    }
+    // Upper-bound reporting: p50 of 1..1000 is >= 500 and within one
+    // sub-bucket step (1/16) of it.
+    EXPECT_GE(h.p50(), 500u);
+    EXPECT_LE(h.p50(), 500u + 500u / LatencyHistogram::kSubBuckets + 1);
+    EXPECT_EQ(h.percentile(1.0), 1000u);
+    EXPECT_EQ(h.percentile(0.0), 1u);
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedRecording)
+{
+    LatencyHistogram a, b, both;
+    for (std::uint64_t v = 1; v <= 100; ++v) {
+        a.record(v * 3);
+        both.record(v * 3);
+    }
+    for (std::uint64_t v = 1; v <= 50; ++v) {
+        b.record(v * 1000);
+        both.record(v * 1000);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), both.count());
+    EXPECT_EQ(a.sum(), both.sum());
+    EXPECT_EQ(a.min(), both.min());
+    EXPECT_EQ(a.max(), both.max());
+    EXPECT_EQ(a.buckets(), both.buckets());
+    EXPECT_EQ(a.p99(), both.p99());
+    // Merging an empty histogram is a no-op.
+    LatencyHistogram empty;
+    auto before = a.buckets();
+    a.merge(empty);
+    EXPECT_EQ(a.buckets(), before);
+    EXPECT_EQ(empty.percentile(0.5), 0u);
 }
 
 TEST(Stats, StatDump)

@@ -243,6 +243,46 @@ TEST_F(WatchdogTest, KillsRunawayKernelAndReclaimsSlots)
     EXPECT_TRUE(verifyVecAdd(*sys, *proc, buf));
 }
 
+TEST_F(WatchdogTest, RetriedWatchdogKillBacksOffAndCountsAttempts)
+{
+    // Watchdog/retry interplay: each re-issue of a watchdog-killed launch
+    // burns one retry AND waits the per-attempt exponential backoff —
+    // a runaway kernel must not turn the retry policy into a tight
+    // kill/relaunch spin that monopolizes the device.
+    KernelResources res;
+    res.num_int_regs = 4;
+    std::int64_t spin_kid = rt->registerKernel(kSpin, res);
+    ASSERT_GT(spin_kid, 0);
+
+    NdpStream &stream = rt->createStream();
+    constexpr Tick kBackoff = 1 * kUs;
+    stream.setPolicy(StreamPolicy::Retry, 2, kBackoff);
+
+    Tick t0 = sys->eq().now();
+    NdpEvent ev = stream.launch(tinyLaunch(spin_kid, *proc));
+    ev.wait();
+    ASSERT_TRUE(ev.done());
+
+    // The kernel spins on every attempt: retries exhaust and the final
+    // watchdog error surfaces.
+    EXPECT_EQ(ev.error(), NdpError::WatchdogTimeout);
+    EXPECT_EQ(rt->stats().relaunches, 2u)
+        << "watchdog kills must count toward max_retries";
+    EXPECT_EQ(sys->device().controller().stats().watchdog_kills, 3u)
+        << "initial attempt + 2 retries, each ended by the watchdog";
+
+    // Timeline: 3 watchdog budgets plus the 1 us + 2 us backoffs.
+    constexpr Tick kBudget = 100 * kUs; // WatchdogTest::configure
+    EXPECT_GE(sys->eq().now() - t0, 3 * kBudget + 3 * kBackoff)
+        << "retries of a watchdog kill skipped the backoff";
+
+    // The device is clean afterwards: slots reclaimed, normal kernels run.
+    EXPECT_EQ(sys->device().activeContexts(), 0u);
+    Buffers buf = makeBuffers(*sys, *proc, 256);
+    EXPECT_GT(stream.launch(vecAddLaunch(vecadd_kid, buf)).wait(), 0);
+    EXPECT_TRUE(verifyVecAdd(*sys, *proc, buf));
+}
+
 // -------------------------------------------------------------------------
 // Stream policies: what a launch error does to the rest of the stream.
 // -------------------------------------------------------------------------
@@ -519,6 +559,79 @@ TEST(DeviceLost, RetryPolicyFailsOverInsteadOfFailing)
     }
     EXPECT_TRUE(verifyVecAdd(sys, proc, buf));
     EXPECT_GT(rt->stats().failovers, 0u);
+}
+
+TEST(DeviceLost, FailoverRespectsSurvivorAdmissionLimits)
+{
+    // Graceful degradation under combined loss + pressure: launches
+    // re-routed off a lost device pass through the survivor's admission
+    // control like any other launch. With the survivor nearly full, the
+    // overflow must surface as typed Overloaded rejections — never as a
+    // silent unbounded queue on the survivor.
+    SystemConfig cfg;
+    cfg.num_devices = 2;
+    cfg.link = SystemConfig::linkForLoadToUse(150 * kNs);
+    System sys(cfg);
+    auto &proc = sys.createProcess();
+    NdpRuntimeConfig rtcfg;
+    rtcfg.device_queue_limit = 4;
+    auto rt = sys.createRuntime(proc, rtcfg);
+
+    KernelResources res;
+    res.num_int_regs = 8;
+    res.num_vector_regs = 4;
+    std::int64_t kid = rt->registerKernel(kVecAdd, res);
+    ASSERT_GT(kid, 0);
+
+    // Fill most of the survivor's 56 launch slots with long kernels.
+    Buffers big = makeBuffers(sys, proc, 1u << 16);
+    std::vector<NdpEvent> background;
+    for (unsigned i = 0; i < 50; ++i)
+        background.push_back(
+            rt->createStream(0).launch(vecAddLaunch(kid, big)));
+
+    // Two launches per stream on device 1: the in-flight ones are caught
+    // by the loss, the queued ones re-route to the survivor.
+    Buffers small = makeBuffers(sys, proc, 256);
+    std::vector<NdpEvent> victims;
+    std::vector<NdpStream *> streams;
+    for (unsigned i = 0; i < 30; ++i) {
+        streams.push_back(&rt->createStream(1));
+        streams.back()->setPolicy(StreamPolicy::SkipAndContinue);
+        victims.push_back(streams.back()->launch(vecAddLaunch(kid, small)));
+        victims.push_back(streams.back()->launch(vecAddLaunch(kid, small)));
+    }
+    sys.link(1).forceLinkDown();
+    rt->synchronize();
+
+    unsigned ok = 0, lost = 0, overloaded = 0;
+    for (auto &ev : victims) {
+        ASSERT_TRUE(ev.done()) << "overloaded failover hung a launch";
+        switch (ev.error()) {
+          case NdpError::Ok:
+            ++ok;
+            break;
+          case NdpError::DeviceLost:
+            ++lost;
+            break;
+          case NdpError::Overloaded:
+            ++overloaded;
+            break;
+          default:
+            FAIL() << "unexpected error " << ndpErrorName(ev.error());
+        }
+    }
+    EXPECT_EQ(ok + lost + overloaded, victims.size());
+    EXPECT_GT(lost, 0u) << "the cut caught nothing in flight";
+    EXPECT_GT(overloaded, 0u)
+        << "failover bypassed the survivor's admission limits";
+    EXPECT_GT(ok, 0u) << "the survivor's spare capacity went unused";
+    EXPECT_GT(rt->stats().overload_rejections, 0u);
+
+    // The background work on the survivor is unharmed.
+    for (auto &ev : background)
+        EXPECT_GT(ev.wait(), 0);
+    EXPECT_TRUE(verifyVecAdd(sys, proc, big));
 }
 
 } // namespace

@@ -369,5 +369,239 @@ TEST_F(StreamApiTest, WarmLaunchBurstIsAllocationFreeOnHostPath)
     }
 }
 
+// ---------------------------------------------------------------------
+// Overload protection and QoS (docs/robustness.md "Overload protection").
+// ---------------------------------------------------------------------
+
+TEST_F(StreamApiTest, BoundedQueueRejectsWithTypedOverloaded)
+{
+    // A full per-stream queue rejects at submit with a typed error; it
+    // must NOT trip fail-fast (no issued launch failed) and the stream
+    // stays usable.
+    Buffers big = makeBuffers(*sys, *proc, 1u << 16);
+    Buffers small = makeBuffers(*sys, *proc, 64);
+    NdpStream &stream = rt->createStream();
+    stream.setQueueLimit(2);
+
+    NdpEvent head = stream.launch(vecAddLaunch(kid, big)); // in flight
+    NdpEvent q1 = stream.launch(vecAddLaunch(kid, small)); // queued
+    NdpEvent q2 = stream.launch(vecAddLaunch(kid, small)); // queued
+    EXPECT_EQ(stream.queued(), 2u);
+    NdpEvent rejected = stream.launch(vecAddLaunch(kid, small));
+
+    EXPECT_TRUE(rejected.done()) << "rejection must be immediate";
+    EXPECT_EQ(rejected.error(), NdpError::Overloaded);
+    EXPECT_EQ(rt->stats().overload_rejections, 1u);
+
+    // The accepted launches are unaffected by the rejection.
+    EXPECT_GT(head.wait(), 0);
+    EXPECT_GT(q1.wait(), 0);
+    EXPECT_GT(q2.wait(), 0);
+    EXPECT_EQ(rt->stats().aborted_launches, 0u)
+        << "admission rejection tripped the fail-fast policy";
+    // Queue drained -> submits are accepted again.
+    EXPECT_GT(stream.launch(vecAddLaunch(kid, small)).wait(), 0);
+}
+
+TEST_F(StreamApiTest, DeviceQueueLimitRejectsWithTypedOverloaded)
+{
+    // Per-device admission: with every M2func launch slot busy, at most
+    // device_queue_limit launches wait at the device; the rest reject.
+    NdpRuntimeConfig cfg;
+    cfg.device_queue_limit = 4;
+    auto rt2 = sys->createRuntime(*proc, cfg);
+    KernelResources res;
+    res.num_int_regs = 4;
+    std::int64_t nop = rt2->registerKernel("nop\n", res);
+    ASSERT_GT(nop, 0);
+    Addr pool = proc->allocate(4096);
+
+    constexpr unsigned kLaunches = 72; // > 56 launch slots + 4 queued
+    std::vector<NdpEvent> events;
+    for (unsigned i = 0; i < kLaunches; ++i) {
+        events.push_back(
+            rt2->createStream().launch(LaunchDesc(nop, pool, pool + 32)));
+    }
+    std::uint64_t rejected = rt2->stats().overload_rejections;
+    EXPECT_GT(rejected, 0u) << "device queue bound never engaged";
+    rt2->synchronize();
+
+    unsigned ok = 0, overloaded = 0;
+    for (auto &ev : events) {
+        ASSERT_TRUE(ev.done());
+        if (ev.instanceId() > 0)
+            ++ok;
+        else if (ev.error() == NdpError::Overloaded)
+            ++overloaded;
+    }
+    EXPECT_EQ(overloaded, rejected) << "rejections must be typed";
+    EXPECT_EQ(ok + overloaded, kLaunches)
+        << "every launch either completed or carried a typed error";
+}
+
+TEST_F(StreamApiTest, ExpiredDeadlineShedsWithoutRetry)
+{
+    // A queued launch whose deadline passed while it waited is shed with
+    // DeadlineExceeded when its turn comes — and is never retried, even
+    // on a Retry stream (retrying cannot un-expire a deadline).
+    Buffers big = makeBuffers(*sys, *proc, 1u << 16);
+    Buffers small = makeBuffers(*sys, *proc, 64);
+    NdpStream &stream = rt->createStream();
+    stream.setPolicy(StreamPolicy::Retry, 3, 1 * kUs);
+    stream.setDeadline(1 * kUs); // far below the big kernel's runtime
+
+    NdpEvent head = stream.launch(vecAddLaunch(kid, big));
+    NdpEvent late = stream.launch(vecAddLaunch(kid, small));
+
+    EXPECT_GT(head.wait(), 0) << "head launch met no deadline at issue";
+    EXPECT_LT(late.wait(), 0);
+    EXPECT_EQ(late.error(), NdpError::DeadlineExceeded);
+    EXPECT_EQ(rt->stats().deadline_shed, 1u);
+    EXPECT_EQ(rt->stats().relaunches, 0u)
+        << "a shed deadline must not be retried";
+}
+
+TEST_F(StreamApiTest, TokenBucketThrottlesDeterministically)
+{
+    // A 1 Mlaunch/s bucket with burst 2: two launches go immediately,
+    // the rest drain one per refill period, in FIFO order. Two identical
+    // systems must produce identical completion ticks.
+    auto run = [](std::vector<Tick> &completions) {
+        SystemConfig scfg;
+        scfg.link = SystemConfig::linkForLoadToUse(150 * kNs);
+        System tsys(scfg);
+        auto &tproc = tsys.createProcess();
+        NdpRuntimeConfig cfg;
+        cfg.rate_limit = 1e6;
+        cfg.rate_burst = 2;
+        auto trt = tsys.createRuntime(tproc, cfg);
+        KernelResources res;
+        res.num_int_regs = 4;
+        std::int64_t nop = trt->registerKernel("nop\n", res);
+        ASSERT_GT(nop, 0);
+        Addr pool = tproc.allocate(4096);
+
+        constexpr unsigned kLaunches = 6;
+        std::vector<NdpEvent> events;
+        for (unsigned i = 0; i < kLaunches; ++i) {
+            events.push_back(trt->createStream().launch(
+                LaunchDesc(nop, pool, pool + 32)));
+        }
+        EXPECT_EQ(trt->stats().throttled_launches, kLaunches - 2);
+        trt->synchronize();
+        for (auto &ev : events) {
+            EXPECT_GT(ev.instanceId(), 0)
+                << "throttling delays launches, it must not fail them";
+            completions.push_back(ev.completedAt());
+        }
+    };
+
+    std::vector<Tick> first, second;
+    run(first);
+    run(second);
+    EXPECT_EQ(first, second) << "token bucket is not deterministic";
+
+    ASSERT_EQ(first.size(), 6u);
+    // The throttled launches are spaced by at least the refill period.
+    constexpr Tick kPeriod = 1 * kUs; // 1e12 / 1e6
+    for (std::size_t i = 3; i < first.size(); ++i) {
+        EXPECT_GE(first[i], first[i - 1] + kPeriod)
+            << "throttled launches " << i - 1 << " and " << i
+            << " issued inside one refill period";
+    }
+}
+
+TEST_F(StreamApiTest, WeightedPriorityGetsProportionalIssueShare)
+{
+    // Two equally wide kernels on streams with 2:1 WRR weights: while
+    // both are resident, the weight-2 instance must draw ~2x the uthread
+    // issue share from the controller's pullWork cursor — and the
+    // weight-1 instance must keep progressing (no starvation).
+    Buffers wide_a = makeBuffers(*sys, *proc, 1u << 18);
+    Buffers wide_b = makeBuffers(*sys, *proc, 1u << 18);
+    NdpStream &fast = rt->createStream();
+    NdpStream &slow = rt->createStream();
+    fast.setPriority(2);
+    slow.setPriority(1);
+
+    NdpEvent ev_fast = fast.launch(vecAddLaunch(kid, wide_a));
+    NdpEvent ev_slow = slow.launch(vecAddLaunch(kid, wide_b));
+
+    // Instance ids are assigned in launch order on the fresh system.
+    const auto &ctrl = sys->device().controller();
+    while (ctrl.activeInstances() < 2 && sys->eq().step()) {
+    }
+    ASSERT_EQ(ctrl.activeInstances(), 2u);
+
+    // Let the cursor hand out a meaningful number of spawns, then
+    // compare shares while both instances still have work to issue.
+    constexpr std::uint64_t kProbe = 4096;
+    while (ctrl.instanceSpawned(1) + ctrl.instanceSpawned(2) < kProbe &&
+           sys->eq().step()) {
+    }
+    std::uint64_t fast_spawned = ctrl.instanceSpawned(1);
+    std::uint64_t slow_spawned = ctrl.instanceSpawned(2);
+    ASSERT_GT(slow_spawned, 0u) << "weight-1 stream was starved";
+    double share = static_cast<double>(fast_spawned) /
+                   static_cast<double>(slow_spawned);
+    EXPECT_GT(share, 1.5) << "2:1 weights gave no priority advantage";
+    EXPECT_LT(share, 2.5) << "2:1 weights over-served the fast stream";
+
+    // Both finish; the weighted stream finishes first.
+    EXPECT_GT(ev_fast.wait(), 0);
+    EXPECT_GT(ev_slow.wait(), 0);
+    EXPECT_LT(ev_fast.completedAt(), ev_slow.completedAt());
+    EXPECT_TRUE(verifyVecAdd(*sys, *proc, wide_a));
+    EXPECT_TRUE(verifyVecAdd(*sys, *proc, wide_b));
+}
+
+TEST_F(StreamApiTest, BatchedCompactLaunchesShareOneStore)
+{
+    // With every launch slot busy and a backlog of small-arg launches
+    // waiting, freeing one slot issues TWO compact launches in a single
+    // 64 B M2func store. Both must complete with distinct instance ids,
+    // and host, device and controller must agree on how many rode shared
+    // stores.
+    KernelResources res;
+    res.num_int_regs = 4;
+    std::int64_t nop = rt->registerKernel("nop\n", res);
+    ASSERT_GT(nop, 0);
+    Addr pool = proc->allocate(4096);
+
+    constexpr unsigned kStreams = 60; // > 56 launch slots -> backlog forms
+    constexpr unsigned kPerStream = 2;
+    std::vector<NdpStream *> streams;
+    for (unsigned s = 0; s < kStreams; ++s)
+        streams.push_back(&rt->createStream());
+
+    std::vector<NdpEvent> events;
+    for (unsigned r = 0; r < kPerStream; ++r) {
+        for (unsigned s = 0; s < kStreams; ++s) {
+            events.push_back(
+                streams[s]->launch(LaunchDesc(nop, pool, pool + 32)));
+        }
+    }
+    rt->synchronize();
+
+    const NdpRuntimeStats &st = rt->stats();
+    EXPECT_GT(st.batched_stores, 0u) << "backlog never produced a batch";
+    EXPECT_EQ(st.batched_launches, 2 * st.batched_stores);
+    EXPECT_EQ(sys->device().controller().stats().launches_batched,
+              st.batched_launches)
+        << "controller parsed a different number of compact launches";
+    EXPECT_EQ(sys->device().deviceStats().m2func_batched_stores,
+              st.batched_stores);
+
+    std::vector<std::int64_t> iids;
+    for (auto &ev : events) {
+        ASSERT_TRUE(ev.done());
+        ASSERT_GT(ev.instanceId(), 0);
+        iids.push_back(ev.instanceId());
+    }
+    std::sort(iids.begin(), iids.end());
+    EXPECT_EQ(std::adjacent_find(iids.begin(), iids.end()), iids.end())
+        << "batched halves resolved to the same kernel instance";
+}
+
 } // namespace
 } // namespace m2ndp

@@ -15,6 +15,7 @@
 #include "workloads/kvstore.hh"
 #include "workloads/olap.hh"
 #include "workloads/opt.hh"
+#include "workloads/traffic.hh"
 
 namespace m2ndp::workloads {
 namespace {
@@ -201,6 +202,63 @@ TEST_F(WorkloadTest, OptGemvCorrectAndExtrapolates)
     // OPT-2.7B streams ~10.7 GB per token (FP32): at ~300 GB/s that is
     // tens of milliseconds.
     EXPECT_GT(token, 10 * kMs / 1000);
+}
+
+TEST(Traffic, OpenLoopHarnessTypedAccountingAndThreadBitExact)
+{
+    // Two-tenant open-loop overload run on a 2-device system: every
+    // request must resolve to a completion or a typed error, and the
+    // result digest must be bit-exact across engine thread counts (the
+    // conservative-lookahead partitioned engine replays the same
+    // schedule regardless of M2NDP_THREADS).
+    auto run = [](unsigned threads) {
+        SystemConfig cfg;
+        cfg.num_devices = 2;
+        cfg.link = SystemConfig::linkForLoadToUse(150 * kNs);
+        cfg.threads = threads;
+        System sys(cfg);
+
+        TrafficConfig tc;
+        TrafficTenantConfig hi;
+        hi.streams = 8;
+        hi.requests = 200;
+        hi.arrival_rate = 4e6;
+        hi.weight = 4;
+        hi.deadline = 100 * kUs;
+        TrafficTenantConfig lo;
+        lo.streams = 16;
+        lo.requests = 600;
+        lo.arrival_rate = 120e6; // saturating
+        lo.queue_limit = 4;
+        lo.deadline = 10 * kUs;
+        lo.burst_prob = 0.1;
+        lo.burst_size = 8;
+        tc.tenants.push_back(hi);
+        tc.tenants.push_back(lo);
+
+        TrafficHarness h(sys, tc);
+        return h.run();
+    };
+
+    TrafficResult r1 = run(1);
+    // Typed accounting: nothing lost, nothing untyped.
+    EXPECT_EQ(r1.completed + r1.rejected + r1.shed + r1.faulted,
+              r1.offered);
+    EXPECT_EQ(r1.offered, 800u);
+    EXPECT_GT(r1.completed, 0u);
+    EXPECT_GT(r1.rejected + r1.shed, 0u)
+        << "the saturating tenant never hit admission control";
+    // The high-priority tenant is not starved by the overload.
+    EXPECT_EQ(r1.tenants[0].completed, r1.tenants[0].offered)
+        << "hi-pri tenant lost requests to a lo-pri overload";
+    EXPECT_GT(r1.latency.count(), 0u);
+
+    TrafficResult r2 = run(2);
+    TrafficResult r4 = run(4);
+    EXPECT_EQ(r1.checksum(), r2.checksum())
+        << "traffic run diverged between 1 and 2 engine threads";
+    EXPECT_EQ(r1.checksum(), r4.checksum())
+        << "traffic run diverged between 1 and 4 engine threads";
 }
 
 TEST(HostModels, GpuEstimateShapes)
