@@ -44,7 +44,11 @@ import json, sys
 doc = json.load(open(sys.argv[1]))
 bd = doc.get("breakdown")
 if bd:
-    other = 100.0 - bd["issue_pct"] - bd["fill_pct"] - bd["functional_pct"]
+    # other_pct is emitted by the benchmark (residual outside the
+    # instrumented scopes); derive it only for pre-schema baselines.
+    other = bd.get("other_pct",
+                   100.0 - bd["issue_pct"] - bd["fill_pct"]
+                   - bd["functional_pct"])
     print("hot-path wall breakdown: issue %.1f%% | fill %.1f%% | "
           "functional %.1f%% | other %.1f%% (instrumented e2e, %.3fs)"
           % (bd["issue_pct"], bd["fill_pct"], bd["functional_pct"],

@@ -10,6 +10,10 @@ Fails (exit 1) when, relative to the committed baseline,
   - end_to_end.events_per_inst RISES by more than its tolerance (this
     metric is lower-is-better: it counts scheduled events per simulated
     instruction, is deterministic, and guards the fused access path), or
+  - end_to_end.packets_per_miss RISES by more than its tolerance (pooled
+    packets per forwarded cache miss; ~1.0 on the single-packet miss
+    path), or end_to_end.dtlb_fast_hit_rate DROPS by more than its
+    tolerance (both deterministic; see docs/performance.md), or
   - fault_mode.completed_launch_ratio drops, or
     fault_mode.link_retries_per_launch rises, by more than its tolerance
     (both come from a deterministic fault-injection run at a fixed seed
@@ -48,6 +52,15 @@ GATED_PATHS = {
     "end_to_end.sim_instructions_per_sec": ("higher", "wall"),
     "launch_throughput.launches_per_sec": ("higher", "det"),
     "end_to_end.events_per_inst": ("lower", "det"),
+    # Single-packet miss path: pooled MemPackets spent per forwarded cache
+    # miss (deterministic; ~1.0 once fills ride the original packet's hop
+    # stack — a rise means a completion-interposer or carrier allocation
+    # crept back into the miss path).
+    "end_to_end.packets_per_miss": ("lower", "det"),
+    # D-TLB last-translation fast path (two MRU slots in front of the
+    # set-associative probe): deterministic hit share of all D-TLB hits;
+    # a drop means the fast path stopped covering the streaming pattern.
+    "end_to_end.dtlb_fast_hit_rate": ("higher", "det"),
     # Deterministic fault-injection run (fixed seed, 1e-4 bit-error
     # rate): the completed-launch ratio must not sink (CXL replay absorbs
     # CRC faults) and the replay count per launch must not creep up.

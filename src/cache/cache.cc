@@ -230,7 +230,8 @@ M2NDP_HOT_PATH
 void
 Cache::receiveAt(MemPacketPtr pkt, Tick at)
 {
-    M2_ASSERT(at >= eq_.now(), "cache delivery in the past");
+    M2_ASSERT(at + eq_.deliverySlack() >= eq_.now(),
+              "cache delivery in the past");
     // Serialize lookups through the port, then charge the lookup latency.
     // The lookup itself runs now (fused): its effects carry the logical
     // lookup tick, so no event is needed to make sim-time catch up first.
@@ -252,13 +253,11 @@ Cache::lookupAt(MemPacketPtr pkt, Tick done_tick)
         line != nullptr && (line->sector_valid & (1ull << sector));
 
     if (pkt->op == MemOp::Atomic && !cfg_.atomics_local) {
-        // Atomics execute at the memory-side L2; pass straight through.
-        auto *raw = pkt.release();
-        sendDownstream(MemOp::Atomic, raw->addr, raw->size, raw->source,
-                       now, [raw](Tick t) {
-                           MemPacketPtr p(raw);
-                           p->complete(t);
-                       });
+        // Atomics execute at the memory-side L2; the original packet
+        // passes straight through — the port below pushes the
+        // response-crossbar hop frame, so no carrier wrap is needed.
+        stats_.bytes_downstream += pkt->size;
+        downstream_.receiveAt(std::move(pkt), now);
         return;
     }
 
@@ -310,38 +309,42 @@ Cache::lookupAt(MemPacketPtr pkt, Tick done_tick)
             m = mshrInsert(line_addr);
         m->sectors_pending |= sbit;
         ++mshr_count_;
-        MemPacket *raw = pkt.release();
-        raw->link = nullptr;
-        raw->wait_sector = static_cast<std::uint8_t>(sector);
-        if (m->waiters_tail != nullptr)
-            m->waiters_tail->link = raw;
-        else
-            m->waiters_head = raw;
-        m->waiters_tail = raw;
-        // The fill callback captures the stable node pointer: no hash
-        // probe on the fill path.
-        sendDownstream(MemOp::Read, sector_addr, cfg_.sector_bytes,
-                       MemSource::NdpUnit, now,
-                       [this, m, sector](Tick t) {
-                           handleLineFill(m, sector, t);
-                       });
+        ++stats_.miss_forwards;
+        // Single-packet miss path: the first miss is never parked — the
+        // ORIGINAL packet rides downstream as the sector fill request.
+        // Re-stamp it to the fill granule (it keeps its source and issue
+        // tick) and push the fill frame carrying the stable node
+        // pointer: no carrier packet, no wrapped callback, and no hash
+        // probe on the fill path. The whole request path below is
+        // synchronous, so the pool alloc-count delta measures exactly
+        // the packets this miss acquired (the rider counts as one).
+        const bool was_atomic = pkt->op == MemOp::Atomic;
+        const std::uint64_t allocs_before = MemPacketPool::allocCount();
+        pkt->op = MemOp::Read;
+        pkt->addr = sector_addr;
+        pkt->size = cfg_.sector_bytes;
+        pkt->pushHop(&Cache::fillHop, this,
+                     reinterpret_cast<std::uint64_t>(m),
+                     sector | (was_atomic ? kHopWasAtomic : 0u));
+        stats_.bytes_downstream += cfg_.sector_bytes;
+        downstream_.receiveAt(std::move(pkt), now);
+        stats_.miss_path_packets +=
+            1 + (MemPacketPool::allocCount() - allocs_before);
         return;
       }
       case MemOp::Write: {
+        bool forward = false;
         if (line != nullptr && sector_hit) {
             ++stats_.write_hits;
             touch(*line);
-            if (cfg_.write_through) {
-                sendDownstream(MemOp::Write, sector_addr, cfg_.sector_bytes,
-                               pkt->source, now, {});
-            } else {
+            if (cfg_.write_through)
+                forward = true;
+            else
                 line->dirty = true;
-            }
         } else if (!cfg_.write_allocate || cfg_.write_through) {
             // No-allocate: forward the write downstream.
             ++stats_.write_misses;
-            sendDownstream(MemOp::Write, sector_addr, cfg_.sector_bytes,
-                           pkt->source, now, {});
+            forward = true;
         } else {
             // Write-allocate, write-back: full-sector writes install the
             // sector without fetching (write-validate).
@@ -351,16 +354,38 @@ Cache::lookupAt(MemPacketPtr pkt, Tick done_tick)
             l.dirty = true;
             touch(l);
         }
-        // Writes are posted: complete at the lookup point.
+        // Writes are posted: complete at the lookup point. A write that
+        // also flows downstream re-uses the just-completed node as the
+        // posted downstream write — complete() is synchronous and
+        // consumes the callback, so nothing retains the packet — saving
+        // a pool round-trip per store on the write-through path.
         pkt->complete(now);
+        if (forward) {
+            pkt->addr = sector_addr;
+            pkt->size = cfg_.sector_bytes;
+            pkt->issued_at = now;
+            stats_.bytes_downstream += cfg_.sector_bytes;
+            downstream_.receiveAt(std::move(pkt), now);
+        }
         return;
       }
     }
 }
 
+Tick
+Cache::fillHop(MemPacket &pkt, Tick t, void *ctx, std::uint64_t a,
+               std::uint64_t b)
+{
+    static_cast<Cache *>(ctx)->handleRiderFill(
+        pkt, reinterpret_cast<Mshr *>(a), static_cast<unsigned>(b & 0xff),
+        (b & kHopWasAtomic) != 0, t);
+    return t;
+}
+
 M2NDP_HOT_PATH
 void
-Cache::handleLineFill(Mshr *m, unsigned sector, Tick when)
+Cache::handleRiderFill(MemPacket &rider, Mshr *m, unsigned sector,
+                       bool was_atomic, Tick when)
 {
     hotpath::Scope fill_timer(hotpath::g.fill);
     const std::uint64_t sbit = std::uint64_t(1) << sector;
@@ -384,44 +409,37 @@ Cache::handleLineFill(Mshr *m, unsigned sector, Tick when)
     }
     line->sector_valid |= sbit;
     touch(*line);
+    if (was_atomic)
+        line->dirty = true;
 
     m->sectors_pending &= ~sbit;
     --mshr_count_;
 
+    // Detach this sector's merged waiters — the whole chain when this is
+    // the line's last outstanding sector, else one filtering pass that
+    // keeps other sectors' waiters chained in FIFO order. The emptied
+    // node is released *first*: completions below may re-enter the cache
+    // and take a fresh node.
+    MemPacket *settle = nullptr;
     if (m->sectors_pending == 0) {
-        // Last sector of the line: every remaining waiter belongs to this
-        // fill, so detach the whole chain, release the node *first* (the
-        // completions may re-enter the cache and take a fresh node), and
-        // settle all coalesced waiters in one walk.
-        MemPacket *w = m->waiters_head;
+        settle = m->waiters_head;
         m->waiters_head = nullptr;
         m->waiters_tail = nullptr;
         mshrErase(m);
-        while (w != nullptr) {
-            MemPacket *next = w->link;
-            w->link = nullptr;
-            M2_ASSERT(w->wait_sector == sector,
-                      "stranded waiter on a fully-filled line");
-            if (w->op == MemOp::Atomic)
-                line->dirty = true;
-            MemPacketPtr holder(w); // recycled after completion
-            holder->complete(when);
-            w = next;
-        }
     } else {
-        // Other sectors still in flight: one filtering pass settles this
-        // sector's waiters and keeps the rest chained in FIFO order.
         MemPacket *w = m->waiters_head;
+        MemPacket *settle_tail = nullptr;
         m->waiters_head = nullptr;
         m->waiters_tail = nullptr;
         while (w != nullptr) {
             MemPacket *next = w->link;
             w->link = nullptr;
             if (w->wait_sector == sector) {
-                if (w->op == MemOp::Atomic)
-                    line->dirty = true;
-                MemPacketPtr holder(w);
-                holder->complete(when);
+                if (settle_tail != nullptr)
+                    settle_tail->link = w;
+                else
+                    settle = w;
+                settle_tail = w;
             } else {
                 if (m->waiters_tail != nullptr)
                     m->waiters_tail->link = w;
@@ -431,6 +449,25 @@ Cache::handleLineFill(Mshr *m, unsigned sector, Tick when)
             }
             w = next;
         }
+    }
+
+    // Continue the rider FIRST: popping its remaining hop frames
+    // (response crossbar, an upper level's fill) and its completion
+    // callback settles the first-missing request before the requests
+    // that merged behind it — the completion order the former
+    // carrier-packet chain produced.
+    rider.complete(when);
+
+    while (settle != nullptr) {
+        MemPacket *next = settle->link;
+        settle->link = nullptr;
+        M2_ASSERT(settle->wait_sector == sector,
+                  "stranded waiter on a filled sector");
+        if (settle->op == MemOp::Atomic)
+            line->dirty = true;
+        MemPacketPtr holder(settle); // recycled after completion
+        holder->complete(when);
+        settle = next;
     }
 
     // Admit one stalled request per freed sector fill. The retry

@@ -55,6 +55,16 @@ struct CacheStats
     std::uint64_t bytes_downstream = 0;
     std::uint64_t mshr_merges = 0;
     std::uint64_t mshr_stalls = 0;
+    /** First-miss fill requests forwarded downstream (one rider each). */
+    std::uint64_t miss_forwards = 0;
+    /**
+     * Pooled packets acquired to service those forwards' request paths,
+     * including the rider itself (measured as a pool alloc-count delta
+     * across the synchronous downstream traversal). miss_path_packets /
+     * miss_forwards is the `packets_per_miss` bench headline; the
+     * single-packet miss path holds it at exactly 1.0.
+     */
+    std::uint64_t miss_path_packets = 0;
 
     std::uint64_t
     accesses() const
@@ -124,10 +134,11 @@ class Cache : public MemPort
      * `MemPacket::link` (each stamped with its sector in
      * `MemPacket::wait_sector`), so merging a request allocates nothing
      * and a fill settles its waiters in a single chain walk. Nodes live
-     * in a fixed pool and never move: each downstream sector read
-     * captures its node pointer directly, so a fill performs **no hash
-     * probe at all** — and at most one tag probe, via the way cached on
-     * the node (`way`, revalidated against the tag array). The line ->
+     * in a fixed pool and never move: the fill frame a first miss pushes
+     * on its rider packet carries the node pointer, so a fill performs
+     * **no hash probe at all** — and at most one tag probe, via the way
+     * cached on the node (`way`, revalidated against the tag array). The
+     * first miss itself is never parked: it rides downstream. The line ->
      * node index is a separate open-addressing pointer table (linear
      * probing, backward-shift deletion) sized at construction.
      *
@@ -155,14 +166,28 @@ class Cache : public MemPort
     /** Perform the lookup with all effects stamped at @p done_tick. */
     void lookupAt(MemPacketPtr pkt, Tick done_tick);
 
+    /** Hop-frame payload bit: the rider was an Atomic before it was
+     *  re-stamped to a Read fill (sets the line dirty on fill). */
+    static constexpr std::uint64_t kHopWasAtomic = 0x100;
+
+    /** Hop-stack trampoline for the fill frame pushed by a first miss:
+     *  ctx is the Cache, @p a the stable Mshr node, @p b packs the
+     *  sector index and the was-atomic bit. */
+    static Tick fillHop(MemPacket &pkt, Tick t, void *ctx, std::uint64_t a,
+                        std::uint64_t b);
+
     /**
-     * Batched line-fill path: sector @p sector of @p m's line returned
-     * from downstream at @p when. One tag update (cached way), one pass
-     * over the line's waiter chain, and — when the line's last pending
-     * sector fills with a shared chain — the node is released before the
-     * waiters complete, so their callbacks can re-enter the cache freely.
+     * Batched line-fill path: the rider packet (the first miss itself,
+     * forwarded downstream) returned for sector @p sector of @p m's line
+     * at @p when. One tag update (cached way), one pass over the line's
+     * waiter chain; the node is released before any completion runs when
+     * the line's last sector fills, so completions can re-enter the
+     * cache freely. The rider's own upward continuation (remaining hop
+     * frames + callback) runs *before* the merged waiters settle,
+     * preserving first-miss-first completion order.
      */
-    void handleLineFill(Mshr *m, unsigned sector, Tick when);
+    void handleRiderFill(MemPacket &rider, Mshr *m, unsigned sector,
+                         bool was_atomic, Tick when);
 
     // Line/sector geometry is power-of-two (asserted at construction —
     // the mask arithmetic below depends on it), so these stay mask/shift

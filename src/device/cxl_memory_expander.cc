@@ -11,6 +11,19 @@ namespace m2ndp {
 // Temporary path-latency breakdown instrumentation (debug builds of tools).
 thread_local PathDebugCounters g_path_debug;
 
+namespace {
+
+/** Hop frame: DRAM-leg path-debug accounting (a = arrival tick). */
+Tick
+dramDebugHop(MemPacket &, Tick t, void *, std::uint64_t a, std::uint64_t)
+{
+    g_path_debug.dram += t - static_cast<Tick>(a);
+    ++g_path_debug.ndram;
+    return t;
+}
+
+} // namespace
+
 /** MemPort adapter feeding the shared DRAM device from the L2 slices. */
 class CxlMemoryExpander::DramPort : public MemPort
 {
@@ -30,16 +43,12 @@ class CxlMemoryExpander::DramPort : public MemPort
         if (pkt->op == MemOp::Atomic)
             pkt->op = MemOp::Read;
         g_path_debug.l2 += at - pkt->issued_at;
-        if (pkt->onComplete) {
-            // Interpose on the packet itself: wrapping the existing
-            // TickCallback in another one exceeds the 48 B inline buffer
-            // and used to heap-allocate once per DRAM access.
-            Tick t0 = at;
-            pkt->pushStage([t0](Tick t) {
-                g_path_debug.dram += t - t0;
-                ++g_path_debug.ndram;
-            });
-        }
+        // Posted traffic (writebacks, drained write-through stores)
+        // carries neither frames nor a callback; skipping the debug frame
+        // keeps the DRAM recycle fast path (no parked completion) intact.
+        if (pkt->onComplete || pkt->num_hops > 0)
+            pkt->pushHop(&dramDebugHop, nullptr,
+                         static_cast<std::uint64_t>(at), 0);
         dev_.dram_->receiveAt(std::move(pkt), at);
     }
 
@@ -63,32 +72,39 @@ class CxlMemoryExpander::UnitPort : public MemPort
     void
     receiveAt(MemPacketPtr pkt, Tick at) override
     {
-        MemOp op = pkt->op;
-        Addr pa = pkt->addr;
-        std::uint32_t size = pkt->size;
         g_path_debug.l1 += at - pkt->issued_at;
-        auto *raw = pkt.release();
-        unsigned unit = unit_;
-        CxlMemoryExpander &dev = dev_;
-        dev_.localMemAccess(
-            op, pa, size, MemSource::NdpUnit, at,
-            [&dev, unit, size, raw, at](Tick t) {
-                g_path_debug.device += t - at;
-                // Fused response delivery: the crossbar hop is booked as
-                // a latency term (per-port next-free bookkeeping models
-                // arbitration) and the completion is delivered right
-                // away, stamped with the arrival tick — the waiting NDP
-                // unit parks it on its cycle ticker. No response event,
-                // no unit-wake event.
-                Tick resp = dev.resp_xbar_->send(unit, size, t, t ^ unit);
-                g_path_debug.resp += resp - t;
-                ++g_path_debug.n;
-                MemPacketPtr p(raw);
-                p->complete(resp);
-            });
+        // Fused response delivery: the return crossbar hop rides as a
+        // hop frame on the packet itself and is booked as a latency term
+        // (per-port next-free bookkeeping models arbitration) when the
+        // frame pops — the waiting NDP unit parks the early completion
+        // on its cycle ticker. No response event, no unit-wake event,
+        // and no carrier packet: the L1 miss continues downstream on
+        // the same pooled node.
+        pkt->pushHop(&UnitPort::respHop, &dev_,
+                     std::uint64_t(unit_) |
+                         (std::uint64_t(pkt->size) << 32),
+                     static_cast<std::uint64_t>(at));
+        dev_.localMemPacket(std::move(pkt), at);
     }
 
   private:
+    /** Hop frame: response crossbar back to the unit (a = unit |
+     *  bytes<<32, b = the request's crossbar arrival tick, for the
+     *  path-debug split). */
+    static Tick
+    respHop(MemPacket &, Tick t, void *ctx, std::uint64_t a,
+            std::uint64_t b)
+    {
+        auto *dev = static_cast<CxlMemoryExpander *>(ctx);
+        const unsigned unit = static_cast<unsigned>(a & 0xffffffffu);
+        const std::uint32_t bytes = static_cast<std::uint32_t>(a >> 32);
+        g_path_debug.device += t - static_cast<Tick>(b);
+        Tick resp = dev->resp_xbar_->send(unit, bytes, t, t ^ unit);
+        g_path_debug.resp += resp - t;
+        ++g_path_debug.n;
+        return resp;
+    }
+
     CxlMemoryExpander &dev_;
     unsigned unit_;
 };
@@ -119,8 +135,14 @@ CxlMemoryExpander::CxlMemoryExpander(EventQueue &eq, SparseMemory &global_mem,
                         layout::kM2FuncReserve),
       bi_rng_(0xB1B1 + cfg.index)
 {
+    // Drain delivery aligned to unit cycle edges: units park completions
+    // until their next edge anyway, so the quantized drain coalesces
+    // completer events with unit ticks at no unit-visible timing cost
+    // (host-path completions through the L2 slices can deliver up to one
+    // unit cycle later in *sim* time; their completion ticks stay exact).
     dram_ = std::make_unique<DramDevice>(eq_, cfg_.dram, cfg_.dram_channels,
-                                         cfg_.interleave_bytes);
+                                         cfg_.interleave_bytes,
+                                         cfg_.unit.period);
     dram_port_ = std::make_unique<DramPort>(*this);
 
     for (unsigned c = 0; c < cfg_.dram_channels; ++c) {
@@ -188,8 +210,19 @@ CxlMemoryExpander::localMemAccess(MemOp op, Addr pa, std::uint32_t size,
                                   MemSource source, Tick at,
                                   TickCallback done)
 {
-    M2_ASSERT(ownsPa(pa), "localMemAccess outside device window");
-    M2_ASSERT(at >= eq_.now(), "localMemAccess issued in the past");
+    localMemPacket(makePacket(op, pa, size, source, at, std::move(done)),
+                   at);
+}
+
+M2NDP_HOT_PATH
+void
+CxlMemoryExpander::localMemPacket(MemPacketPtr pkt, Tick at)
+{
+    const Addr pa = pkt->addr;
+    const std::uint32_t size = pkt->size;
+    M2_ASSERT(ownsPa(pa), "local access outside device window");
+    M2_ASSERT(at + eq_.deliverySlack() >= eq_.now(),
+              "local access issued in the past");
     Addr local = pa - paBase();
     unsigned channel = dram_->channelOf(local);
 
@@ -204,6 +237,8 @@ CxlMemoryExpander::localMemAccess(MemOp op, Addr pa, std::uint32_t size,
         media_delay = (start - at) + ser + 2 * cfg_.media_link_latency;
     }
 
+    // The crossbar plane hash keys on the *global* PA (stable across the
+    // re-stamp below).
     Tick arrival = req_xbar_->send(channel, size, at, pa) + media_delay;
 
     // Fused delivery end to end: the slice's lookup, the DRAM booking and
@@ -214,8 +249,8 @@ CxlMemoryExpander::localMemAccess(MemOp op, Addr pa, std::uint32_t size,
     // reorder in flight); the per-port next-free clamp keeps the booking
     // conservative, and per-slice load is low enough (hashed channel
     // interleaving) that the approximation does not move contention.
-    l2_slices_[channel]->receiveAt(
-        makePacket(op, local, size, source, at, std::move(done)), arrival);
+    pkt->addr = local;
+    l2_slices_[channel]->receiveAt(std::move(pkt), arrival);
 }
 
 void
@@ -311,32 +346,38 @@ CxlMemoryExpander::unitMemAccess(unsigned unit, MemOp op, Addr pa,
         launch();
 }
 
-TickCallback
-CxlMemoryExpander::respondThrough(unsigned resp_port,
-                                  std::uint32_t xbar_size,
-                                  TickCallback done)
+Tick
+CxlMemoryExpander::respXbarHop(MemPacket &, Tick t, void *ctx,
+                               std::uint64_t a, std::uint64_t)
 {
-    MemPacket *carrier =
-        makePacket(MemOp::Read, 0, xbar_size, MemSource::Host, eq_.now(),
-                   std::move(done))
-            .release();
-    return [this, carrier, resp_port, xbar_size](Tick t) {
-        // Fused: the crossbar hop is a latency term on the completion
-        // tick; the consumer (host port / peer route) re-schedules at
-        // max(now, t), so early delivery with a future stamp is safe.
-        Tick resp = resp_xbar_->send(resp_port, xbar_size, t, t);
-        MemPacketPtr p(carrier);
-        p->complete(resp);
-    };
+    // Fused: the crossbar hop is a latency term on the completion tick;
+    // the consumer (host port / peer route) re-schedules at max(now, t),
+    // so early delivery with a future stamp is safe.
+    auto *dev = static_cast<CxlMemoryExpander *>(ctx);
+    const unsigned port = static_cast<unsigned>(a & 0xffffffffu);
+    const std::uint32_t bytes = static_cast<std::uint32_t>(a >> 32);
+    return dev->resp_xbar_->send(port, bytes, t, t);
+}
+
+void
+CxlMemoryExpander::respondVia(unsigned resp_port, std::uint32_t xbar_size,
+                              MemOp op, Addr pa, std::uint32_t size,
+                              MemSource source, TickCallback done)
+{
+    MemPacketPtr pkt =
+        makePacket(op, pa, size, source, eq_.now(), std::move(done));
+    pkt->pushHop(&CxlMemoryExpander::respXbarHop, this,
+                 std::uint64_t(resp_port) | (std::uint64_t(xbar_size) << 32),
+                 0);
+    localMemPacket(std::move(pkt), eq_.now());
 }
 
 void
 CxlMemoryExpander::peerMemAccess(MemOp op, Addr pa, std::uint32_t size,
                                  TickCallback done)
 {
-    localMemAccess(op, pa, size, MemSource::Peer, eq_.now(),
-                   respondThrough(peerRespPort(cfg_), size,
-                                  std::move(done)));
+    respondVia(peerRespPort(cfg_), size, op, pa, size, MemSource::Peer,
+               std::move(done));
 }
 
 // --------------------------------------------------------------------------
@@ -386,8 +427,8 @@ CxlMemoryExpander::cxlWrite(Addr hpa, const void *data, std::uint32_t size,
     }
     ++dstats_.host_writes;
     mem_.write(hpa, data, size);
-    localMemAccess(MemOp::Write, hpa, size, MemSource::Host, eq_.now(),
-                   respondThrough(hostRespPort(cfg_), 16, std::move(done)));
+    respondVia(hostRespPort(cfg_), 16, MemOp::Write, hpa, size,
+               MemSource::Host, std::move(done));
 }
 
 void
@@ -398,9 +439,9 @@ CxlMemoryExpander::cxlRead(Addr hpa, std::uint32_t size,
     if (match) {
         ++dstats_.m2func_calls;
         Asid asid = match->asid;
-        // Carrier packet trick (see respondThrough): the deferred
-        // return-value responder must hold the completion callback without
-        // overflowing inline capture buffers.
+        // Carrier packet trick: the deferred return-value responder must
+        // hold the completion callback without overflowing inline capture
+        // buffers; a pooled packet is its zero-allocation home.
         MemPacket *carrier = makePacket(MemOp::Read, hpa, size,
                                         MemSource::Host, eq_.now(),
                                         std::move(done))
@@ -419,9 +460,8 @@ CxlMemoryExpander::cxlRead(Addr hpa, std::uint32_t size,
         return;
     }
     ++dstats_.host_reads;
-    localMemAccess(MemOp::Read, hpa, size, MemSource::Host, eq_.now(),
-                   respondThrough(hostRespPort(cfg_), size,
-                                  std::move(done)));
+    respondVia(hostRespPort(cfg_), size, MemOp::Read, hpa, size,
+               MemSource::Host, std::move(done));
 }
 
 // --------------------------------------------------------------------------

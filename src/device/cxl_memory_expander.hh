@@ -251,15 +251,29 @@ class CxlMemoryExpander : public NdpUnitEnv, public NdpControllerEnv
                         MemSource source, Tick at, TickCallback done);
 
     /**
-     * Wrap @p done so the completion additionally books @p xbar_size bytes
-     * on response-crossbar port @p resp_port before firing. The original
-     * callback rides on a pooled carrier packet — a TickCallback is 56 B,
-     * so capturing it in a lambda would overflow the 48 B inline buffer
-     * and heap-allocate per access; the carrier keeps the wrap at zero
-     * allocations.
+     * Single-packet form of localMemAccess: route @p pkt (addressed with
+     * a global PA inside this device's window) over the request crossbar
+     * to its L2 slice, re-stamping the address device-local in place. The
+     * packet keeps whatever hop frames and completion callback it already
+     * carries — an L1 miss rides through here unchanged.
      */
-    TickCallback respondThrough(unsigned resp_port, std::uint32_t xbar_size,
-                                TickCallback done);
+    void localMemPacket(MemPacketPtr pkt, Tick at);
+
+    /**
+     * Issue a local access that answers through response-crossbar port
+     * @p resp_port with @p xbar_size response bytes (host and peer
+     * traffic). The crossbar hop rides as a hop frame on the access
+     * packet itself — the carrier packet the old callback-wrap needed is
+     * gone; the response path allocates nothing.
+     */
+    void respondVia(unsigned resp_port, std::uint32_t xbar_size, MemOp op,
+                    Addr pa, std::uint32_t size, MemSource source,
+                    TickCallback done);
+
+    /** Hop frame for host/peer responses: books the response crossbar as
+     *  a latency term on the completion tick (a = port | bytes<<32). */
+    static Tick respXbarHop(MemPacket &pkt, Tick t, void *ctx,
+                            std::uint64_t a, std::uint64_t b);
 
     /**
      * Pooled staging buffer for an M2func payload in flight between the

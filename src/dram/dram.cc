@@ -122,7 +122,8 @@ DramChannel::book(const MemPacket &pkt, unsigned bank_idx, std::uint64_t row,
     // that one could reorder *same-tick* arrivals (earliest-ready scan,
     // row hits win) before booking, whereas this books strictly in
     // arrival order (see docs/performance.md, fused response delivery).
-    M2_ASSERT(at >= eq_.now(), "DRAM delivery in the past");
+    M2_ASSERT(at + eq_.deliverySlack() >= eq_.now(),
+              "DRAM delivery in the past");
 
     BankState &bank = banks_[bank_idx];
     const bool hit = bank.row_open && bank.open_row == row;
@@ -175,10 +176,16 @@ DramChannel::book(const MemPacket &pkt, unsigned bank_idx, std::uint64_t row,
 }
 
 DramDevice::DramDevice(EventQueue &eq, const DramTiming &timing,
-                       unsigned channels, std::uint64_t interleave_bytes)
+                       unsigned channels, std::uint64_t interleave_bytes,
+                       Tick drain_quantum)
     : eq_(eq), timing_(timing), map_(channels, timing, interleave_bytes),
-      completer_(eq, [this] { completeReady(); })
+      drain_quantum_(drain_quantum), completer_(eq, [this] { completeReady(); })
 {
+    // Quantized drains deliver completions up to one quantum after their
+    // (exact) completion tick; fused re-entry paths (fill-triggered
+    // writebacks, stall retries, response-crossbar hops) then see
+    // bounded-past arrival ticks, which the causality checks must accept.
+    eq_.allowDeliverySlack(drain_quantum_);
     channels_.reserve(channels);
     for (unsigned i = 0; i < channels; ++i)
         channels_.push_back(std::make_unique<DramChannel>(eq, timing, i));
@@ -208,16 +215,18 @@ DramDevice::receiveAt(MemPacketPtr pkt, Tick at)
 
     // Posted traffic (writebacks, fire-and-forget writes) carries no
     // completion work at all: recycle the packet without an event.
-    if (!pkt->onComplete && pkt->num_stages == 0)
+    if (!pkt->onComplete && pkt->num_hops == 0)
         return;
 
     // Batched completion: park the access on the device-level ready-heap
     // and let one Ticker drain everything whose data tick has arrived —
     // same-tick completions coalesce into a single event even across
     // channels (previously each of the 32 channels armed its own ticker).
+    // Delivery is quantized up to the drain edge; the parked completion
+    // tick stays exact.
     ready_.push_back(ReadyEntry{pkt.release(), done, ready_seq_++});
     std::push_heap(ready_.begin(), ready_.end(), readyAfter);
-    completer_.armAt(done);
+    completer_.armAt(drainEdge(done));
 }
 
 void
@@ -235,7 +244,7 @@ DramDevice::completeReady()
         pkt->complete(e.when);
     }
     if (!ready_.empty())
-        completer_.armAt(ready_.front().when);
+        completer_.armAt(drainEdge(ready_.front().when));
 }
 
 unsigned

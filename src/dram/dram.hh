@@ -147,8 +147,18 @@ class DramChannel
 class DramDevice : public MemPort
 {
   public:
+    /**
+     * @p drain_quantum quantizes drain *delivery* (the tick the completer
+     * event fires at) up to multiples of that period; completion ticks
+     * themselves stay exact. The CXL expander passes its NDP-unit cycle
+     * period: units already park completions and act on them at the next
+     * cycle edge, so aligning the drain to those edges coalesces
+     * completer events with unit edges without moving any unit-visible
+     * timing. 0 (the default, used by the host memory models) drains at
+     * the exact data tick.
+     */
     DramDevice(EventQueue &eq, const DramTiming &timing, unsigned channels,
-               std::uint64_t interleave_bytes = 256);
+               std::uint64_t interleave_bytes = 256, Tick drain_quantum = 0);
 
     /** Releases packets still parked in the completion ready-heap. */
     ~DramDevice();
@@ -206,8 +216,19 @@ class DramDevice : public MemPort
      * The device-global seq preserves booking order as the tie-break, so
      * the drain order matches what the per-channel heaps produced.
      */
+    /** Round a drain tick up to the delivery quantum (see constructor). */
+    Tick
+    drainEdge(Tick t) const
+    {
+        return drain_quantum_ == 0
+                   ? t
+                   : ((t + drain_quantum_ - 1) / drain_quantum_) *
+                         drain_quantum_;
+    }
+
     std::vector<ReadyEntry> ready_;
     std::uint64_t ready_seq_ = 0;
+    Tick drain_quantum_ = 0;
     Ticker completer_;
 };
 

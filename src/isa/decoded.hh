@@ -36,6 +36,10 @@ struct DecodedInst
     bool mem_fp = false;         ///< scalar load/store targets the FP file
     bool masked = false;         ///< ", v0.t" suffix: execute under mask v0
     bool is_vector = false;      ///< vector-unit opcode (stat bucketing)
+    /** Can emit MemRefs (loads/stores/AMOs/vector memory). Lets the issue
+     *  stage skip memory-ref handling without inspecting the StepResult:
+     *  a µop without this tag never populates StepResult::mem. */
+    bool touches_mem = false;
     std::uint8_t sew = 0;        ///< VSETVLI: selected element width (bytes)
     AmoOp amo_op = AmoOp::Add;   ///< resolved atomic op (AMO* only)
     std::int32_t target = -1;    ///< resolved branch/jump target (µop index)

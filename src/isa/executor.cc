@@ -1199,6 +1199,9 @@ decodeInst(const Instruction &in)
       default:
         break;
     }
+    // Exactly the opcodes above (each sets mem_width) can push MemRefs;
+    // everything else is provably mem-free at decode time.
+    d.touches_mem = d.mem_width != 0;
     return d;
 }
 

@@ -99,6 +99,23 @@ struct MemRefList
     std::array<MemRef, kCapacity> refs;
     std::uint8_t count = 0;
 
+    MemRefList() = default;
+    /** Count-bounded copy: `res = isa::step(...)` runs once per issued
+     *  instruction, and most instructions touch 0-2 sectors — copying
+     *  the full 64-entry array there costs more than the step itself.
+     *  Entries past `count` are never read, so they stay indeterminate. */
+    MemRefList(const MemRefList &o) : count(o.count)
+    {
+        std::copy_n(o.refs.data(), count, refs.data());
+    }
+    MemRefList &
+    operator=(const MemRefList &o)
+    {
+        count = o.count;
+        std::copy_n(o.refs.data(), count, refs.data());
+        return *this;
+    }
+
     void
     push(const MemRef &r)
     {

@@ -45,6 +45,8 @@ struct LocalCache
      * per-access hot path.
      */
     std::uint64_t next_id = 0;
+    /** Monotonic acquisitions (packets_per_miss accounting). */
+    std::uint64_t allocs = 0;
 };
 
 thread_local LocalCache t_cache;
@@ -75,6 +77,7 @@ MemPacketPool::alloc()
     c.free_head = pkt->link;
     pkt->link = nullptr;
     pkt->id = c.next_id++;
+    ++c.allocs;
     ++c.live;
     return pkt;
 }
@@ -86,10 +89,9 @@ MemPacketPool::release(MemPacket *pkt)
     if (pkt == nullptr)
         return;
     // Drop any held captures before the node goes back on the free list.
+    // Hop frames are POD (no captures); clearing the count suffices.
     pkt->onComplete.reset();
-    for (unsigned i = 0; i < pkt->num_stages; ++i)
-        pkt->stages[i].reset();
-    pkt->num_stages = 0;
+    pkt->num_hops = 0;
     pkt->issued_at = 0;
     pkt->wait_sector = 0;
     LocalCache &c = t_cache;
@@ -102,6 +104,12 @@ std::size_t
 MemPacketPool::outstanding()
 {
     return t_cache.live;
+}
+
+std::uint64_t
+MemPacketPool::allocCount()
+{
+    return t_cache.allocs;
 }
 
 } // namespace m2ndp

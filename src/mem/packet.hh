@@ -9,12 +9,18 @@
  *
  * Packets are slab-pooled: `MemPacketPool::alloc()` hands out recycled
  * nodes and the `MemPacketPtr` deleter returns them, so steady-state
- * traffic performs zero heap allocations per access. Interposers (path
- * instrumentation, protocol adapters) that previously wrapped `onComplete`
- * inside another callback — overflowing the 48 B inline buffer and heap-
- * allocating once per wrap — instead push an extra *stage* onto the packet
- * with `pushStage()`; `complete()` runs stages LIFO and then the original
- * callback.
+ * traffic performs zero heap allocations per access.
+ *
+ * A miss rides **one** packet end-to-end: each level a packet descends
+ * (L1 miss, NoC port, L2 miss, DRAM ingress) pushes a *hop frame* — a
+ * plain {function, context, two words} record — onto the packet's
+ * intrusive hop stack instead of parking the packet and forwarding a
+ * fresh carrier with an interposed callback. `complete(t)` pops the
+ * frames LIFO, threading the completion tick through each (a frame may
+ * transform it, e.g. folding in the response-crossbar hop as a latency
+ * term), and finally runs `onComplete`. Frames capture nothing — the
+ * two payload words are packed by the pusher — so the response path
+ * allocates nothing and wraps no callbacks.
  */
 
 #pragma once
@@ -52,11 +58,39 @@ enum class MemSource : std::uint8_t {
     Peer,
 };
 
+struct MemPacket;
+
+/**
+ * One frame of a packet's return path (see MemPacket). `fn` receives the
+ * packet, the completion tick produced by the frames popped before it,
+ * and the two payload words packed at push time; it returns the tick the
+ * next frame (or `onComplete`) observes. Plain function pointer +
+ * POD payload: no captures, no heap, trivially resettable on recycle.
+ */
+struct HopFrame
+{
+    using Fn = Tick (*)(MemPacket &pkt, Tick t, void *ctx, std::uint64_t a,
+                        std::uint64_t b);
+    Fn fn = nullptr;
+    void *ctx = nullptr;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+};
+
+namespace detail {
+/** Deepest hop stack seen on this thread (test observability). */
+inline thread_local std::uint8_t t_hop_high_water = 0;
+} // namespace detail
+
 /** One physical memory access in flight. */
 struct MemPacket
 {
-    /** Interposed completion stages chained on the packet itself. */
-    static constexpr unsigned kMaxStages = 2;
+    /**
+     * Hop-stack depth: the deepest traversal is an L1 read miss that
+     * also misses L2 — L1 fill frame, response-crossbar frame, L2 fill
+     * frame, DRAM path-debug frame.
+     */
+    static constexpr unsigned kMaxHops = 4;
 
     MemOp op = MemOp::Read;
     Addr addr = 0;
@@ -89,28 +123,46 @@ struct MemPacket
      */
     std::uint8_t wait_sector = 0;
 
-    /** Completion stages interposed between the memory system and
-     *  onComplete (run LIFO: last pushed fires first). */
-    TickCallback stages[kMaxStages];
-    std::uint8_t num_stages = 0;
+    /** Return-path frames, pushed on the way down, popped on the way up
+     *  (LIFO: the innermost level's frame fires first). */
+    HopFrame hops[kMaxHops];
+    std::uint8_t num_hops = 0;
 
-    /** Interpose a completion stage without wrapping (zero-allocation). */
-    template <typename F>
+    /** Push a return-path frame (zero-allocation; no captures). */
     void
-    pushStage(F &&f)
+    pushHop(HopFrame::Fn fn, void *ctx, std::uint64_t a, std::uint64_t b)
     {
-        M2_ASSERT(num_stages < kMaxStages, "MemPacket stage overflow");
-        stages[num_stages++] = std::forward<F>(f);
+        M2_ASSERT(num_hops < kMaxHops, "MemPacket hop-stack overflow");
+        if (num_hops + 1u > detail::t_hop_high_water)
+            detail::t_hop_high_water =
+                static_cast<std::uint8_t>(num_hops + 1u);
+        hops[num_hops++] = HopFrame{fn, ctx, a, b};
     }
 
-    /** Run interposed stages (LIFO), then the completion callback. */
+    /**
+     * Pop the hop stack (LIFO), threading the completion tick through
+     * each frame, then run the completion callback.
+     *
+     * Re-entrant by design: a fill frame completes the packet's *rider*
+     * role first — it calls `complete()` recursively to continue the
+     * upward traversal before settling the waiters merged behind it, so
+     * first-miss-first completion order is preserved. The loop re-reads
+     * `num_hops` each iteration and `onComplete` is moved out before it
+     * is invoked, so the recursive call drains the remaining frames and
+     * the outer invocation finds nothing left to run.
+     */
     void
     complete(Tick t)
     {
-        for (unsigned i = num_stages; i-- > 0;)
-            stages[i](t);
-        if (onComplete)
-            onComplete(t);
+        while (num_hops > 0) {
+            const HopFrame f = hops[--num_hops];
+            t = f.fn(*this, t, f.ctx, f.a, f.b);
+        }
+        if (onComplete) {
+            TickCallback cb = std::move(onComplete);
+            onComplete.reset();
+            cb(t);
+        }
     }
 };
 
@@ -133,6 +185,21 @@ class MemPacketPool
 
     /** Packets live on the calling thread (leak checks in tests). */
     static std::size_t outstanding();
+
+    /**
+     * Monotonic count of pool acquisitions on the calling thread. The
+     * request path is fully synchronous, so a delta around a downstream
+     * forward measures exactly how many packets servicing that miss
+     * acquired (the `packets_per_miss` headline).
+     */
+    static std::uint64_t allocCount();
+
+    /** Deepest hop stack pushed on the calling thread (tests). */
+    static unsigned
+    hopHighWater()
+    {
+        return detail::t_hop_high_water;
+    }
 };
 
 struct MemPacketDeleter

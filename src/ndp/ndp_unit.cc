@@ -231,6 +231,7 @@ NdpUnit::tick(Tick now)
             ++burst_len_;
         } else {
             stats_.recordBurst(burst_len_);
+            flushIssueStats();
             burst_len_ = 1;
         }
         last_tick_ = now;
@@ -373,6 +374,7 @@ NdpUnit::trySpawn(SubCore &sc, Tick now)
         slot.ready_at = now + cfg_.period; // spawn takes one cycle
         slot.outstanding_loads = 0;
         slot.finish_pending = false;
+        slot.issued_insts = 0;
         ++live_slots_;
         --sc.idle_count;
         sc.idle_mask &= ~(std::uint64_t(1) << idx);
@@ -496,12 +498,14 @@ NdpUnit::issueOne(unsigned sc_idx, SubCore &sc, Tick now, bool new_cycle,
             break;
         }
 
-        ++stats_.instructions;
-        ++slot.instance->instructions;
+        // Per-issue stat writes hoisted into per-burst accumulators (see
+        // flushIssueStats) and a per-slot counter flushed at retirement:
+        // two unit-local increments on the issue path instead of four
+        // spread over stats_ and the shared KernelInstance.
+        ++acc_instructions_;
+        ++slot.issued_insts;
         if (next_inst.is_vector)
-            ++stats_.vector_instructions;
-        else
-            ++stats_.scalar_instructions;
+            ++acc_vector_instructions_;
 
         // FU occupancy: pipelined units take a new op next cycle; SFUs are
         // unpipelined; LSUs are occupied one cycle per sector reference.
@@ -532,7 +536,9 @@ NdpUnit::issueOne(unsigned sc_idx, SubCore &sc, Tick now, bool new_cycle,
             slot.finish_pending = true;
 
         Tick spad_ready = 0;
-        if (!res.mem.empty())
+        // Decode-time mem-free tag: ALU/branch µops (the majority on
+        // compute-heavy kernels) skip the MemRefList inspection outright.
+        if (next_inst.touches_mem && !res.mem.empty())
             spad_ready = handleMemRefs(sc_idx, sc, slot, res, now);
 
         if (slot.outstanding_loads == 0) {
@@ -749,6 +755,10 @@ NdpUnit::finishThread(SubCore &sc, Slot &slot)
 {
     sc.reg_bytes_used -= slot.instance->kernel->resources.registerBytes();
     KernelInstance *inst = slot.instance;
+    // Flush the uthread's dynamic-instruction count into the instance
+    // exactly once, at retirement (see Slot::issued_insts).
+    inst->instructions += slot.issued_insts;
+    slot.issued_insts = 0;
     sc.sched.remove(slot.index); // idempotent; no-op for WaitMem finishes
     slot.state = SlotState::Idle;
     slot.instance = nullptr;

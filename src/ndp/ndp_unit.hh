@@ -257,6 +257,11 @@ class NdpUnit : public isa::MemoryIf
     {
         NdpUnitStats s = stats_;
         s.recordBurst(burst_len_);
+        // Fold the open burst's issue accumulators the same way: the
+        // per-issue counts live in acc_* until the burst closes.
+        s.instructions += acc_instructions_;
+        s.vector_instructions += acc_vector_instructions_;
+        s.scalar_instructions += acc_instructions_ - acc_vector_instructions_;
         return s;
     }
 
@@ -301,6 +306,11 @@ class NdpUnit : public isa::MemoryIf
         Tick ready_at = 0;
         unsigned outstanding_loads = 0;
         bool finish_pending = false;
+        /** Instructions issued by the current uthread; flushed into
+         *  `instance->instructions` once at retirement (finishThread)
+         *  instead of a per-issue read-modify-write of a foreign
+         *  cache line shared by every unit running the instance. */
+        std::uint64_t issued_insts = 0;
     };
 
     struct SubCore
@@ -472,6 +482,27 @@ class NdpUnit : public isa::MemoryIf
     /** Burst tracking: previous ticked edge and current run length. */
     Tick last_tick_ = kTickMax;
     std::uint64_t burst_len_ = 0;
+    /**
+     * Per-burst issue accumulators: the issue loop bumps these two local
+     * counters instead of three NdpUnitStats fields per instruction; the
+     * burst-close path in tick() folds them into stats_ (scalar count is
+     * derived as instructions - vector there, saving the third per-issue
+     * increment and its branch). statsSnapshot() folds non-mutatingly.
+     */
+    std::uint64_t acc_instructions_ = 0;
+    std::uint64_t acc_vector_instructions_ = 0;
+
+    /** Fold the open burst's issue accumulators into stats_. */
+    void
+    flushIssueStats()
+    {
+        stats_.instructions += acc_instructions_;
+        stats_.vector_instructions += acc_vector_instructions_;
+        stats_.scalar_instructions +=
+            acc_instructions_ - acc_vector_instructions_;
+        acc_instructions_ = 0;
+        acc_vector_instructions_ = 0;
+    }
     /** Parked memory completions: (when, seq) min-heap over a capacity-
      *  retaining vector (drained by tick; heap top tick == pending_min_). */
     std::vector<PendingCompletion> pending_;

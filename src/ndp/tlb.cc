@@ -42,12 +42,23 @@ Tlb::lookup(Asid asid, Addr va)
 {
     std::uint64_t vpn = va >> page_shift_;
 
-    // Last-translation fast path: no hash, no probe loop.
-    if (last_entry_ != nullptr && last_vpn_ == vpn && last_asid_ == asid) {
+    // Last-translation fast path: no hash, no probe loop. MRU slot first;
+    // a victim-slot hit (the alternating-page streaming pattern) swaps it
+    // to the front so the pair tracks the two live pages.
+    if (fast_[0].entry != nullptr && fast_[0].vpn == vpn &&
+        fast_[0].asid == asid) {
         ++stats_.hits;
         ++stats_.fast_hits;
-        last_entry_->lru = nextLruStamp();
-        return last_entry_->pa_page;
+        fast_[0].entry->lru = nextLruStamp();
+        return fast_[0].entry->pa_page;
+    }
+    if (fast_[1].entry != nullptr && fast_[1].vpn == vpn &&
+        fast_[1].asid == asid) {
+        std::swap(fast_[0], fast_[1]);
+        ++stats_.hits;
+        ++stats_.fast_hits;
+        fast_[0].entry->lru = nextLruStamp();
+        return fast_[0].entry->pa_page;
     }
 
     std::uint64_t set = setOf(asid, vpn);
@@ -56,9 +67,7 @@ Tlb::lookup(Asid asid, Addr va)
         if (e.valid && e.asid == asid && e.vpn == vpn) {
             ++stats_.hits;
             e.lru = nextLruStamp();
-            last_entry_ = &e;
-            last_asid_ = asid;
-            last_vpn_ = vpn;
+            primeFast(&e, asid, vpn);
             return e.pa_page;
         }
     }
@@ -91,8 +100,7 @@ Tlb::insert(Asid asid, Addr va, Addr pa_page)
         ++stats_.evictions;
         // Coherence: the displaced translation must not survive in the
         // fast path.
-        if (victim == last_entry_)
-            last_entry_ = nullptr;
+        dropFast(victim);
     }
     victim->valid = true;
     victim->asid = asid;
@@ -101,9 +109,7 @@ Tlb::insert(Asid asid, Addr va, Addr pa_page)
     victim->lru = nextLruStamp();
     // The just-installed translation is about to be used; prime the fast
     // path with it.
-    last_entry_ = victim;
-    last_asid_ = asid;
-    last_vpn_ = vpn;
+    primeFast(victim, asid, vpn);
 }
 
 void
@@ -116,8 +122,7 @@ Tlb::shootdown(Asid asid, Addr va)
         if (e.valid && e.asid == asid && e.vpn == vpn) {
             e.valid = false;
             ++stats_.shootdowns;
-            if (&e == last_entry_)
-                last_entry_ = nullptr;
+            dropFast(&e);
         }
     }
 }
@@ -127,7 +132,8 @@ Tlb::flush()
 {
     for (auto &e : entries_)
         e.valid = false;
-    last_entry_ = nullptr;
+    for (auto &f : fast_)
+        f.entry = nullptr;
 }
 
 DramTlb::DramTlb(Addr region_base, std::uint64_t region_bytes,

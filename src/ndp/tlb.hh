@@ -13,6 +13,7 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -29,7 +30,7 @@ struct TlbStats
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t shootdowns = 0;
-    /** Hits served by the one-entry last-translation cache (subset of
+    /** Hits served by the two-entry last-translation cache (subset of
      *  hits): these skip the set-associative probe entirely. */
     std::uint64_t fast_hits = 0;
     /** Valid entries displaced by insert() (capacity/conflict evictions). */
@@ -49,13 +50,17 @@ struct TlbStats
  * Set-associative LRU TLB keyed by (ASID, virtual page number).
  * Timing-neutral: callers charge latency based on hit/miss.
  *
- * A one-entry last-translation cache sits in front of the probe:
+ * A two-entry last-translation cache sits in front of the probe:
  * translation is queried on every global memory reference and references
- * are strongly page-local, so most lookups resolve with two compares and
- * no hashing. The fast-path entry points into the backing array (so LRU
- * stamps stay exact) and is invalidated coherently on eviction,
- * shootdown, and flush. The number of sets must be a power of two; set
- * selection is mask-indexed (no division on the hot path).
+ * are strongly page-local, so most lookups resolve with a couple of
+ * compares and no hashing. One entry alone thrashes on the common
+ * two-buffer streaming pattern (load from A, store to B alternate pages
+ * every instruction); the second, victim-style slot holds the previously
+ * displaced translation and is promoted move-to-front on a hit. Both
+ * slots point into the backing array (so LRU stamps stay exact) and are
+ * invalidated coherently on eviction, shootdown, and flush. The number
+ * of sets must be a power of two; set selection is mask-indexed (no
+ * division on the hot path).
  */
 class Tlb
 {
@@ -101,11 +106,38 @@ class Tlb
     std::vector<Entry> entries_;
     std::uint64_t lru_clock_ = 0;
 
-    /** Last-translation fast path: points at the entry that served the
-     *  previous hit (entries_ storage is stable). */
-    Entry *last_entry_ = nullptr;
-    Asid last_asid_ = 0;
-    std::uint64_t last_vpn_ = 0;
+    /** One slot of the last-translation fast path: points at the entry
+     *  that served a recent hit (entries_ storage is stable). */
+    struct FastSlot
+    {
+        Entry *entry = nullptr;
+        Asid asid = 0;
+        std::uint64_t vpn = 0;
+    };
+    /** MRU-ordered: [0] is checked first; a hit in [1] swaps the pair
+     *  (move-to-front), and a new translation demotes [0] into [1]. */
+    std::array<FastSlot, 2> fast_{};
+
+    /** Install (entry, asid, vpn) as the MRU fast slot, demoting the
+     *  current MRU into the victim slot. */
+    void
+    primeFast(Entry *entry, Asid asid, std::uint64_t vpn)
+    {
+        // Re-priming the MRU entry (insert-refresh) must not duplicate it
+        // into the victim slot — that would silently halve the fast path.
+        if (fast_[0].entry != entry)
+            fast_[1] = fast_[0];
+        fast_[0] = FastSlot{entry, asid, vpn};
+    }
+
+    /** Coherence: drop any fast slot aliasing backing entry @p e. */
+    void
+    dropFast(const Entry *e)
+    {
+        for (auto &f : fast_)
+            if (f.entry == e)
+                f.entry = nullptr;
+    }
 
     TlbStats stats_;
 };

@@ -19,7 +19,8 @@ Crossbar::send(unsigned dst_port, std::uint32_t bytes, Tick at,
                std::uint64_t route_hash)
 {
     M2_ASSERT(dst_port < cfg_.ports, "bad crossbar port ", dst_port);
-    M2_ASSERT(at >= eq_.now(), "crossbar injection in the past");
+    M2_ASSERT(at + eq_.deliverySlack() >= eq_.now(),
+              "crossbar injection in the past");
     unsigned plane = static_cast<unsigned>(mixHash64(route_hash) % cfg_.planes);
     Tick &free = port_free_[static_cast<std::size_t>(plane) * cfg_.ports +
                             dst_port];

@@ -26,6 +26,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <memory>
@@ -75,6 +76,23 @@ class EventQueue
 
     /** Current simulated time. */
     Tick now() const { return now_; }
+
+    /**
+     * Bounded-lateness allowance for quantized delivery (see the DRAM
+     * drain quantum): a component that coalesces completion *delivery*
+     * onto cycle edges while keeping completion ticks exact registers the
+     * worst-case lateness here. Causality checks on fused paths then
+     * accept `at + deliverySlack() >= now()` instead of `at >= now()` —
+     * the next-free-tick booking math treats a bounded-past tick as an
+     * ordinary floor, so nothing downstream needs clamping.
+     */
+    Tick deliverySlack() const { return delivery_slack_; }
+
+    void
+    allowDeliverySlack(Tick slack)
+    {
+        delivery_slack_ = std::max(delivery_slack_, slack);
+    }
 
     /**
      * Schedule @p cb at absolute tick @p when (must be >= now()).
@@ -304,6 +322,7 @@ class EventQueue
     }
 
     Tick now_ = 0;
+    Tick delivery_slack_ = 0; ///< see deliverySlack()
     std::uint64_t seq_ = 0;
     std::uint64_t scheduled_total_ = 0;
     std::size_t size_ = 0;      ///< live pending events (both tiers)

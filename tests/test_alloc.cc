@@ -19,7 +19,9 @@
 
 #include <cstring>
 
+#include "cache/cache.hh"
 #include "common/counting_new.hh"
+#include "mem/packet.hh"
 #include "ndp/ndp_controller.hh"
 #include "system/system.hh"
 
@@ -251,6 +253,172 @@ TEST(SteadyStateAllocation, SecondRunAllocatesOnlyLaunchOverhead)
         << "(first run: " << first << ")";
     EXPECT_LE(second, first)
         << "warm run should not allocate more than the cold run";
+}
+
+// ------------------------------------------------- single-packet miss path
+
+/** Sum the miss-path counters over every cache level of one device. */
+struct MissPathCounters
+{
+    std::uint64_t forwards = 0;
+    std::uint64_t packets = 0;
+};
+
+MissPathCounters
+missPathCounters(System &sys, unsigned dev = 0)
+{
+    MissPathCounters c;
+    auto &device = sys.device(dev);
+    for (unsigned u = 0; u < device.config().num_units; ++u) {
+        const CacheStats &s = device.l1dCache(u).stats();
+        c.forwards += s.miss_forwards;
+        c.packets += s.miss_path_packets;
+    }
+    for (unsigned i = 0; i < device.numL2Slices(); ++i) {
+        const CacheStats &s = device.l2Slice(i).stats();
+        c.forwards += s.miss_forwards;
+        c.packets += s.miss_path_packets;
+    }
+    return c;
+}
+
+TEST(SinglePacketMissPath, EveryMissAcquiresExactlyOnePooledPacket)
+{
+    // The flattened miss path forwards the *original* packet downward
+    // with fill frames on its hop stack: a forwarded miss must account
+    // for exactly one pooled packet (the rider itself) at every level —
+    // any extra acquisition means a carrier or interposer crept back in.
+    VecAddSetup s(1u << 14);
+    auto &ctrl = s.sys.device().controller();
+    std::int64_t iid = ctrl.launch(s.proc->asid(), s.kid, false, s.a,
+                                   s.a + s.elems * 4, s.args);
+    ASSERT_GE(iid, 0);
+    s.sys.eq().run();
+    ASSERT_EQ(ctrl.status(iid), KernelStatus::Finished);
+
+    MissPathCounters c = missPathCounters(s.sys);
+    ASSERT_GT(c.forwards, 0u) << "vecadd produced no cache misses";
+    EXPECT_EQ(c.packets, c.forwards)
+        << "a forwarded miss acquired more than its one rider packet";
+}
+
+TEST(SinglePacketMissPath, PoolReturnsToBaselineAfterMissStorm)
+{
+    // A storm of cold misses (fresh buffers each run => every line
+    // fills from DRAM) must hand every pooled packet back: outstanding()
+    // returns to its pre-storm baseline and the hop stack never
+    // outgrows its fixed cap.
+    VecAddSetup s(1u << 14);
+    auto &ctrl = s.sys.device().controller();
+
+    std::size_t baseline = MemPacketPool::outstanding();
+    for (int r = 0; r < 3; ++r) {
+        std::int64_t iid = ctrl.launch(s.proc->asid(), s.kid, false, s.a,
+                                       s.a + s.elems * 4, s.args);
+        ASSERT_GE(iid, 0);
+        s.sys.eq().run();
+        ASSERT_EQ(ctrl.status(iid), KernelStatus::Finished);
+        EXPECT_EQ(MemPacketPool::outstanding(), baseline)
+            << "packets leaked after miss storm round " << r;
+    }
+
+    EXPECT_GT(MemPacketPool::hopHighWater(), 0u)
+        << "no hop frames were ever pushed: the miss path is not riding "
+           "the hop stack";
+    EXPECT_LE(MemPacketPool::hopHighWater(), MemPacket::kMaxHops)
+        << "hop stack exceeded its fixed depth cap";
+}
+
+TEST(SinglePacketMissPath, NewCountersBitExactAcrossEngineThreads)
+{
+    // The miss-path and D-TLB fast-path counters are simulated-time
+    // metrics: a 2-device run must report bit-identical values at
+    // M2NDP_THREADS 1, 2, and 4 (the partitioned engine replays the
+    // same schedule regardless of executor count).
+    struct Digest
+    {
+        Tick elapsed = 0;
+        std::uint64_t miss_forwards = 0;
+        std::uint64_t miss_path_packets = 0;
+        std::uint64_t dtlb_hits = 0;
+        std::uint64_t dtlb_fast_hits = 0;
+        std::uint64_t instructions = 0;
+
+        bool
+        operator==(const Digest &o) const
+        {
+            return elapsed == o.elapsed &&
+                   miss_forwards == o.miss_forwards &&
+                   miss_path_packets == o.miss_path_packets &&
+                   dtlb_hits == o.dtlb_hits &&
+                   dtlb_fast_hits == o.dtlb_fast_hits &&
+                   instructions == o.instructions;
+        }
+    };
+
+    auto run = [](unsigned threads) {
+        SystemConfig cfg;
+        cfg.num_devices = 2;
+        cfg.link = SystemConfig::linkForLoadToUse(150 * kNs);
+        cfg.threads = threads;
+        System sys(cfg);
+        auto &proc = sys.createProcess();
+        auto rt = sys.createRuntime(proc);
+
+        KernelResources res;
+        res.num_int_regs = 8;
+        res.num_vector_regs = 4;
+        std::int64_t kid = rt->registerKernel(kVecAdd, res);
+        EXPECT_GT(kid, 0);
+
+        constexpr unsigned kElems = 1u << 12;
+        std::vector<NdpEvent> events;
+        for (unsigned d = 0; d < 2; ++d) {
+            Addr a = proc.allocate(kElems * 4, Placement::Localized, d);
+            Addr b = proc.allocate(kElems * 4, Placement::Localized, d);
+            Addr c = proc.allocate(kElems * 4, Placement::Localized, d);
+            std::vector<float> va(kElems), vb(kElems);
+            for (unsigned i = 0; i < kElems; ++i) {
+                va[i] = 0.5f * static_cast<float>(i);
+                vb[i] = 2.0f * static_cast<float>(i);
+            }
+            sys.writeVirtual(proc, a, va.data(), kElems * 4);
+            sys.writeVirtual(proc, b, vb.data(), kElems * 4);
+            events.push_back(rt->createStream(d).launch(
+                LaunchDesc(kid, a, a + kElems * 4).arg(b).arg(c)));
+        }
+        Tick t0 = sys.eq().now();
+        for (auto &ev : events)
+            EXPECT_GT(ev.wait(), 0);
+
+        Digest dg;
+        dg.elapsed = sys.eq().now() - t0;
+        for (unsigned d = 0; d < 2; ++d) {
+            MissPathCounters c = missPathCounters(sys, d);
+            dg.miss_forwards += c.forwards;
+            dg.miss_path_packets += c.packets;
+            auto &device = sys.device(d);
+            for (unsigned u = 0; u < device.config().num_units; ++u) {
+                const TlbStats &t = device.unit(u).dtlbStats();
+                dg.dtlb_hits += t.hits;
+                dg.dtlb_fast_hits += t.fast_hits;
+            }
+            dg.instructions += device.aggregateUnitStats().instructions;
+        }
+        return dg;
+    };
+
+    Digest d1 = run(1);
+    EXPECT_GT(d1.miss_forwards, 0u);
+    EXPECT_EQ(d1.miss_path_packets, d1.miss_forwards);
+    EXPECT_GT(d1.dtlb_fast_hits, 0u);
+
+    Digest d2 = run(2);
+    Digest d4 = run(4);
+    EXPECT_TRUE(d1 == d2)
+        << "miss-path/D-TLB counters diverged between 1 and 2 threads";
+    EXPECT_TRUE(d1 == d4)
+        << "miss-path/D-TLB counters diverged between 1 and 4 threads";
 }
 
 } // namespace

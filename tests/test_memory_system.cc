@@ -219,8 +219,9 @@ class FixedLatencyMem : public MemPort
         EventQueue &eq = eq_;
         eq_.scheduleAfter(latency_, [raw, &eq] {
             MemPacketPtr p(raw);
-            if (p->onComplete)
-                p->onComplete(eq.now());
+            // complete(), not onComplete directly: a missing packet rides
+            // through with its fill frames on the hop stack.
+            p->complete(eq.now());
         });
     }
 

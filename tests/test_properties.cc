@@ -236,8 +236,8 @@ TEST_P(CacheSweepTest, FillThenHitInvariant)
             auto *raw = pkt.release();
             eq.scheduleAfter(50000, [raw, this] {
                 MemPacketPtr p(raw);
-                if (p->onComplete)
-                    p->onComplete(eq.now());
+                // complete() pops the miss path's fill frames too.
+                p->complete(eq.now());
             });
         }
     } mem(eq);

@@ -1,0 +1,44 @@
+// ndp-lint golden fixture: the pre-hop-stack miss path parked the original
+// packet and forwarded a heap-built carrier whose completion callback was
+// an interposer wrapping the rider's own — exactly the shape the
+// single-packet miss path removed. Every wrap below must be reported by
+// the hotpath-alloc rule so the pattern cannot creep back in.
+//
+// expect: hotpath-alloc
+
+#include <functional>
+#include <memory>
+
+#define M2NDP_HOT_PATH
+
+struct MissPacket
+{
+    int addr;
+    std::function<void(long)> onComplete;
+};
+
+M2NDP_HOT_PATH
+void
+forwardMissWithInterposer(MissPacket &rider, void (*settle)(MissPacket &,
+                                                            long))
+{
+    // BAD: heap-allocated carrier packet per forwarded miss.
+    MissPacket *carrier = new MissPacket{rider.addr, {}};
+    // BAD: std::function interposer chaining the carrier's completion
+    // back into the rider (captures the rider and the settle hook, so it
+    // heap-allocates on every miss).
+    carrier->onComplete = std::function<void(long)>(
+        [&rider, settle](long t) { settle(rider, t); });
+    // BAD: shared-ownership wrap to keep the interposer alive across the
+    // response path.
+    auto keepalive = std::make_shared<MissPacket>(*carrier);
+    (void)keepalive;
+}
+
+// The replacement shape — frames pushed onto the rider itself, no wraps —
+// allocates nothing, so a non-annotated helper doing setup is fine.
+void
+coldPathSetup(MissPacket &pkt)
+{
+    pkt.onComplete = [](long) {};
+}
